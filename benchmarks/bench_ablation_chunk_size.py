@@ -1,0 +1,79 @@
+"""Ablation — AGD chunk size (§3, §5.2).
+
+The paper: "The choice of chunk size is an important factor to maximize
+I/O performance.  Larger chunk sizes have better compression ratios and
+lower overhead due to large contiguous reads from local storage.
+However, smaller chunk sizes decrease the I/O and decompression latency
+during which processing cores may stand idle."  The evaluation fixes
+chunk size at 100,000 reads (~3.5 MB per column, §5.2).
+
+This ablation sweeps chunk size and measures the two opposing quantities:
+stored size (compression win of big chunks) and per-chunk decode latency
+(responsiveness win of small chunks).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.formats.converters import import_reads
+from repro.storage.base import MemoryStore
+
+
+def test_ablation_chunk_size(benchmark, bench_reads, bench_reference, report):
+    sizes = [25, 100, 400, 2000]
+    rows = []
+    for chunk_size in sizes:
+        dataset = import_reads(
+            bench_reads, f"ab{chunk_size}", MemoryStore(),
+            chunk_size=chunk_size,
+            reference=bench_reference.manifest_entry(),
+        )
+        stored = dataset.total_bytes()
+        start = time.monotonic()
+        for i in range(dataset.num_chunks):
+            dataset.read_chunk("bases", i)
+        decode_wall = time.monotonic() - start
+        per_chunk_latency = decode_wall / dataset.num_chunks
+        rows.append({
+            "chunk_size": chunk_size,
+            "chunks": dataset.num_chunks,
+            "stored_bytes": stored,
+            "per_chunk_ms": per_chunk_latency * 1e3,
+            "decode_wall": decode_wall,
+        })
+
+    rep = report("ablation_chunk_size", "Ablation — AGD chunk size (§3)")
+    rep.add(f"{'reads/chunk':>12} {'chunks':>7} {'stored KB':>10} "
+            f"{'chunk latency':>14} {'full decode':>12}")
+    for row in rows:
+        rep.add(
+            f"{row['chunk_size']:>12} {row['chunks']:>7} "
+            f"{row['stored_bytes'] / 1e3:>10.0f} "
+            f"{row['per_chunk_ms']:>12.2f}ms "
+            f"{row['decode_wall'] * 1e3:>10.0f}ms"
+        )
+    smallest, largest = rows[0], rows[-1]
+    rep.add()
+    rep.add("shape checks:")
+    rep.check(
+        "larger chunks compress better (smaller stored size)",
+        largest["stored_bytes"] < smallest["stored_bytes"],
+    )
+    rep.check(
+        "smaller chunks have lower per-chunk latency",
+        smallest["per_chunk_ms"] < largest["per_chunk_ms"],
+    )
+    rep.check(
+        "larger chunks have lower total decode overhead",
+        largest["decode_wall"] < smallest["decode_wall"] * 1.2,
+    )
+    rep.finish()
+
+    benchmark.pedantic(
+        lambda: import_reads(
+            bench_reads, "bench", MemoryStore(), chunk_size=400,
+            reference=bench_reference.manifest_entry(),
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,103 @@
+"""Ablation — work stealing vs bounded shared queues (§4.5).
+
+The paper: "A server can become a straggler if its queue contains
+'expensive' chunks with high compute latency.  Work stealing [5] is an
+alternative to avoid stragglers, but the approach of bounding the queues
+is simpler and incurs less communication in a distributed system."
+
+This ablation runs a skewed workload (some chunks 8x more expensive than
+others, the straggler scenario) on both designs: Persona's shared
+fine-grain task queue (:class:`Executor`) and a Blumofe-Leiserson
+work-stealing executor.  Tasks sleep rather than compute so scheduling —
+not the GIL — determines the outcome.
+
+Expected shape: both designs reach comparable makespan (stealing repairs
+the imbalance it creates; the shared queue never creates it), while the
+stealing design performs measurable extra coordination (steal attempts) —
+the §4.5 argument for the simpler design.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dataflow.executor import Executor
+from repro.dataflow.stealing import WorkStealingExecutor
+
+THREADS = 4
+CHUNKS = 12
+TASKS_PER_CHUNK = 8
+CHEAP_SLEEP = 0.004
+EXPENSIVE_SLEEP = 8 * CHEAP_SLEEP
+
+
+def _skewed_chunks():
+    """Chunks 0, 4, 8, ... are 8x more expensive.  Under round-robin
+    placement they all land on worker 0 — the worst-case straggler mix
+    that stealing must repair and the shared queue never creates."""
+    chunks = []
+    for index in range(CHUNKS):
+        sleep = EXPENSIVE_SLEEP if index % THREADS == 0 else CHEAP_SLEEP
+        chunks.append([
+            (lambda s=sleep: time.sleep(s)) for _ in range(TASKS_PER_CHUNK)
+        ])
+    return chunks
+
+
+def _run(executor) -> float:
+    start = time.monotonic()
+    completions = [executor.submit_chunk(chunk) for chunk in _skewed_chunks()]
+    for completion in completions:
+        completion.wait(timeout=60)
+    return time.monotonic() - start
+
+
+def test_ablation_work_stealing(benchmark, report):
+    shared = Executor(THREADS, name="shared-queue")
+    shared_wall = _run(shared)
+    shared.shutdown()
+
+    stealing = WorkStealingExecutor(THREADS, name="stealing")
+    stealing_wall = _run(stealing)
+    steals = stealing.stats.steals
+    attempts = stealing.stats.steal_attempts
+    stealing.shutdown()
+
+    total_sleep = sum(
+        (EXPENSIVE_SLEEP if i % THREADS == 0 else CHEAP_SLEEP) * TASKS_PER_CHUNK
+        for i in range(CHUNKS)
+    )
+    ideal = total_sleep / THREADS
+
+    rep = report("ablation_work_stealing",
+                 "Ablation — work stealing vs bounded shared queues (§4.5)")
+    rep.add(f"workload: {CHUNKS} chunks x {TASKS_PER_CHUNK} tasks; chunks "
+            f"0,4,8 are 8x more expensive (all on one stealing worker); "
+            f"{THREADS} threads; "
+            f"ideal makespan {ideal:.2f}s")
+    rep.add(f"shared fine-grain queue (Persona, §4.3): {shared_wall:.3f}s")
+    rep.add(f"work stealing [Blumofe-Leiserson]:       {stealing_wall:.3f}s "
+            f"({steals} steals, {attempts} steal attempts)")
+    rep.add()
+    rep.add("shape checks:")
+    rep.check("shared queue achieves near-ideal makespan (<1.5x ideal)",
+              shared_wall < 1.5 * ideal)
+    rep.check("stealing also avoids stragglers (<1.6x ideal)",
+              stealing_wall < 1.6 * ideal)
+    rep.check("the two designs are comparable (within 40%)",
+              abs(shared_wall - stealing_wall)
+              < 0.4 * max(shared_wall, stealing_wall))
+    rep.check("stealing pays coordination the shared queue avoids (>0 "
+              "steal attempts)", attempts > 0)
+    rep.finish()
+
+    benchmark.pedantic(
+        lambda: _run_and_shutdown(), rounds=1, iterations=1
+    )
+
+
+def _run_and_shutdown():
+    executor = Executor(THREADS)
+    wall = _run(executor)
+    executor.shutdown()
+    return wall

@@ -1,0 +1,109 @@
+"""Shared benchmark fixtures and the paper-vs-measured report helper.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§5-§6) at reduced scale.  Reports are printed and also written
+to ``benchmarks/results/`` so EXPERIMENTS.md can cite a concrete run.
+
+Scale note: the paper's testbed aligns 223M real reads on 32 Xeon nodes;
+we align synthetic reads in pure Python on one machine.  Absolute numbers
+differ by construction — every report therefore shows the paper's value,
+our measured value, and the *shape* property that must hold.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.align.snap import SeedIndex, SnapAligner
+from repro.formats.converters import import_reads
+from repro.genome.synthetic import ReadSimulator, synthetic_reference
+from repro.storage.base import MemoryStore
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_GENOME = 150_000
+BENCH_READS = 4_000
+BENCH_CHUNK = 400
+READ_LENGTH = 101
+
+
+@pytest.fixture(scope="session")
+def bench_reference():
+    return synthetic_reference(BENCH_GENOME, num_contigs=2, seed=7001)
+
+
+@pytest.fixture(scope="session")
+def bench_reads(bench_reference):
+    simulator = ReadSimulator(
+        bench_reference, read_length=READ_LENGTH,
+        duplicate_fraction=0.12, seed=7002,
+    )
+    reads, _origins = simulator.simulate(BENCH_READS)
+    return reads
+
+
+@pytest.fixture(scope="session")
+def bench_aligner(bench_reference):
+    return SnapAligner(SeedIndex(bench_reference, seed_length=16, max_hits=32))
+
+
+@pytest.fixture()
+def bench_dataset(bench_reads, bench_reference):
+    return import_reads(
+        bench_reads, "bench", MemoryStore(), chunk_size=BENCH_CHUNK,
+        reference=bench_reference.manifest_entry(),
+    )
+
+
+@pytest.fixture(scope="session")
+def single_thread_rate(bench_aligner, bench_reads):
+    """Calibration: measured single-thread alignment rate (bases/s).
+
+    The storage models express bandwidths as multiples of this rate so
+    the paper's compute-to-I/O regime is reproduced regardless of how
+    fast the host machine runs Python.
+    """
+    import time
+
+    sample = bench_reads[:300]
+    start = time.monotonic()
+    for read in sample:
+        bench_aligner.align_read(read.bases)
+    elapsed = time.monotonic() - start
+    return len(sample) * READ_LENGTH / elapsed
+
+
+class Report:
+    """Collects lines, prints them, and persists them under results/."""
+
+    def __init__(self, name: str, title: str):
+        self.name = name
+        self.lines = [title, "=" * len(title)]
+
+    def add(self, line: str = "") -> None:
+        self.lines.append(line)
+
+    def row(self, label: str, paper, measured, note: str = "") -> None:
+        self.add(f"{label:<42} paper: {paper:<16} measured: {measured:<16} {note}")
+
+    def check(self, description: str, holds: bool) -> None:
+        marker = "HOLDS" if holds else "VIOLATED"
+        self.add(f"  [{marker}] {description}")
+        assert holds, f"shape violated: {description}"
+
+    def finish(self) -> str:
+        text = "\n".join(self.lines) + "\n"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture()
+def report(request):
+    def factory(name: str, title: str) -> Report:
+        return Report(name, title)
+
+    return factory

@@ -1,0 +1,183 @@
+"""AGD chunk file codec: header, relative index, compressed data (§3).
+
+A chunk file holds a contiguous run of records from one column:
+
+    +----------------+  64-byte fixed header (magic, version, record type,
+    |  File Header   |  codec, record count, first ordinal, sizes, CRCs)
+    +----------------+
+    | Relative Index |  one uint32 logical length per record
+    +----------------+
+    |  Data  Block   |  block-compressed record payload
+    +----------------+
+
+The header carries CRC32 checksums of the index and uncompressed data so
+truncation and corruption are detected at parse time rather than producing
+garbage records downstream.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.agd.compression import DEFAULT_CODEC, Codec, get_codec
+from repro.agd.index import RelativeIndex
+from repro.agd.records import get_record_codec
+
+MAGIC = b"AGDC"
+VERSION = 1
+
+# magic, version, record type, codec, record count, first ordinal,
+# compressed size, uncompressed size, data crc, index crc.
+_HEADER = struct.Struct("<4sH12s8sIQQQII")
+HEADER_SIZE = 64
+_PAD = HEADER_SIZE - _HEADER.size
+
+
+class ChunkFormatError(ValueError):
+    """Raised when a chunk file is malformed, truncated, or corrupt."""
+
+
+def _fixed_name(name: str, width: int) -> bytes:
+    raw = name.encode()
+    if len(raw) > width:
+        raise ValueError(f"name {name!r} longer than {width} bytes")
+    return raw.ljust(width, b"\0")
+
+
+@dataclass(frozen=True)
+class ChunkHeader:
+    """Decoded chunk header fields."""
+
+    record_type: str
+    codec_name: str
+    record_count: int
+    first_ordinal: int
+    compressed_size: int
+    uncompressed_size: int
+    data_crc: int
+    index_crc: int
+
+    def to_bytes(self) -> bytes:
+        return _HEADER.pack(
+            MAGIC,
+            VERSION,
+            _fixed_name(self.record_type, 12),
+            _fixed_name(self.codec_name, 8),
+            self.record_count,
+            self.first_ordinal,
+            self.compressed_size,
+            self.uncompressed_size,
+            self.data_crc,
+            self.index_crc,
+        ) + b"\0" * _PAD
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ChunkHeader":
+        if len(raw) < HEADER_SIZE:
+            raise ChunkFormatError(
+                f"chunk header truncated: {len(raw)} < {HEADER_SIZE} bytes"
+            )
+        (magic, version, rtype, codec, count, first_ordinal,
+         csize, usize, data_crc, index_crc) = _HEADER.unpack_from(raw)
+        if magic != MAGIC:
+            raise ChunkFormatError(f"bad magic {magic!r} (not an AGD chunk)")
+        if version != VERSION:
+            raise ChunkFormatError(f"unsupported chunk version {version}")
+        return cls(
+            record_type=rtype.rstrip(b"\0").decode(),
+            codec_name=codec.rstrip(b"\0").decode(),
+            record_count=count,
+            first_ordinal=first_ordinal,
+            compressed_size=csize,
+            uncompressed_size=usize,
+            data_crc=data_crc,
+            index_crc=index_crc,
+        )
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A decoded AGD chunk: typed records plus their position in the dataset."""
+
+    record_type: str
+    records: list
+    first_ordinal: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def write_chunk(
+    records: Sequence,
+    record_type: str,
+    first_ordinal: int = 0,
+    codec: "Codec | str" = DEFAULT_CODEC,
+) -> bytes:
+    """Serialize records into a complete chunk file image."""
+    if isinstance(codec, str):
+        codec = get_codec(codec)
+    record_codec = get_record_codec(record_type)
+    data, lengths = record_codec.encode(records)
+    index = RelativeIndex(lengths)
+    index_bytes = index.to_bytes()
+    compressed = codec.compress(data)
+    header = ChunkHeader(
+        record_type=record_type,
+        codec_name=codec.name,
+        record_count=len(records),
+        first_ordinal=first_ordinal,
+        compressed_size=len(compressed),
+        uncompressed_size=len(data),
+        data_crc=zlib.crc32(data),
+        index_crc=zlib.crc32(index_bytes),
+    )
+    return header.to_bytes() + index_bytes + compressed
+
+
+def read_chunk_header(blob: bytes) -> ChunkHeader:
+    """Decode only the header of a chunk file image."""
+    return ChunkHeader.from_bytes(blob)
+
+
+def read_chunk_index(blob: bytes) -> tuple[ChunkHeader, RelativeIndex]:
+    """Decode the header and relative index without touching the data block."""
+    header = ChunkHeader.from_bytes(blob)
+    index_size = header.record_count * 4
+    index_bytes = blob[HEADER_SIZE : HEADER_SIZE + index_size]
+    if len(index_bytes) != index_size:
+        raise ChunkFormatError("chunk index truncated")
+    if zlib.crc32(index_bytes) != header.index_crc:
+        raise ChunkFormatError("chunk index CRC mismatch")
+    return header, RelativeIndex.from_bytes(index_bytes, header.record_count)
+
+
+def read_chunk(blob: bytes) -> Chunk:
+    """Decode a full chunk file image into typed records."""
+    header, index = read_chunk_index(blob)
+    data_start = HEADER_SIZE + header.record_count * 4
+    compressed = blob[data_start : data_start + header.compressed_size]
+    if len(compressed) != header.compressed_size:
+        raise ChunkFormatError("chunk data block truncated")
+    codec = get_codec(header.codec_name)
+    try:
+        data = codec.decompress(compressed)
+    except Exception as exc:  # zlib/lzma raise library-specific errors
+        raise ChunkFormatError(f"chunk decompression failed: {exc}") from exc
+    if len(data) != header.uncompressed_size:
+        raise ChunkFormatError(
+            f"chunk data decompressed to {len(data)} bytes, "
+            f"header says {header.uncompressed_size}"
+        )
+    if zlib.crc32(data) != header.data_crc:
+        raise ChunkFormatError("chunk data CRC mismatch")
+    record_codec = get_record_codec(header.record_type)
+    records = record_codec.decode(data, index)
+    return Chunk(header.record_type, records, header.first_ordinal)
+
+
+def chunk_record_count(blob: bytes) -> int:
+    """Record count from the header only (no decompression)."""
+    return ChunkHeader.from_bytes(blob).record_count

@@ -1,0 +1,80 @@
+"""Per-column block compression for AGD chunks (§3).
+
+"The type of compression may be selected on a column-by-column basis ...
+This flexibility allows tradeoffs between compressed file size and
+decompression time."  The default is gzip, "as it has a good compression
+[ratio] without being too compute-intensive".
+"""
+
+from __future__ import annotations
+
+import lzma
+import zlib
+from typing import Callable, NamedTuple
+
+
+class Codec(NamedTuple):
+    """A named compress/decompress pair."""
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+def _gzip_compress(data: bytes) -> bytes:
+    return zlib.compress(data, level=6)
+
+
+def _gzip_decompress(data: bytes) -> bytes:
+    return zlib.decompress(data)
+
+
+def _lzma_compress(data: bytes) -> bytes:
+    return lzma.compress(data, preset=3)
+
+
+def _lzma_decompress(data: bytes) -> bytes:
+    return lzma.decompress(data)
+
+
+def _identity(data: bytes) -> bytes:
+    return data
+
+
+GZIP = Codec("gzip", _gzip_compress, _gzip_decompress)
+LZMA = Codec("lzma", _lzma_compress, _lzma_decompress)
+NONE = Codec("none", _identity, _identity)
+
+_CODECS = {c.name: c for c in (GZIP, LZMA, NONE)}
+
+#: Default codec for new columns (the paper's implementation uses gzip).
+DEFAULT_CODEC = GZIP
+
+
+class UnknownCodecError(KeyError):
+    """Raised when a chunk names a codec this build does not provide."""
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by name (``gzip``, ``lzma``, or ``none``)."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise UnknownCodecError(
+            f"unknown compression codec {name!r}; "
+            f"available: {sorted(_CODECS)}"
+        ) from None
+
+
+def register_codec(codec: Codec) -> None:
+    """Register a new codec (AGD extensibility hook).
+
+    Refuses to silently replace a built-in codec.
+    """
+    if codec.name in _CODECS:
+        raise ValueError(f"codec {codec.name!r} already registered")
+    _CODECS[codec.name] = codec
+
+
+def available_codecs() -> list[str]:
+    return sorted(_CODECS)

@@ -1,0 +1,195 @@
+"""AGD dataset manifest (§3, Figure 2).
+
+"A descriptive manifest metadata file holds an index describing the
+columns, chunks, and records in an AGD dataset, in addition to other
+relevant data such as the names and sizes of contiguous reference
+sequences to which the dataset reads have been aligned.  The manifest is
+implemented as a simple JSON file, which can be reconstructed from the set
+of chunk files it describes."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+MANIFEST_VERSION = 1
+MANIFEST_FILENAME = "manifest.json"
+
+
+class ManifestError(ValueError):
+    """Raised for malformed or inconsistent manifests."""
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """One row group: a chunk-file basename plus its record span."""
+
+    path: str
+    first_ordinal: int
+    record_count: int
+
+    def chunk_file(self, column: str) -> str:
+        """Filename of this chunk for ``column`` (e.g. ``test-0.bases``)."""
+        return f"{self.path}.{column}"
+
+
+@dataclass
+class Manifest:
+    """In-memory form of ``manifest.json``."""
+
+    name: str
+    columns: list[str] = field(default_factory=list)
+    chunks: list[ChunkEntry] = field(default_factory=list)
+    reference: list[dict] = field(default_factory=list)
+    sort_order: str = "unsorted"
+    version: int = MANIFEST_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ManifestError("dataset name must be non-empty")
+        if len(set(self.columns)) != len(self.columns):
+            raise ManifestError("duplicate column names")
+        expected = 0
+        for entry in self.chunks:
+            if entry.first_ordinal != expected:
+                raise ManifestError(
+                    f"chunk {entry.path!r} starts at ordinal "
+                    f"{entry.first_ordinal}, expected {expected}"
+                )
+            if entry.record_count <= 0:
+                raise ManifestError(f"chunk {entry.path!r} has no records")
+            expected += entry.record_count
+
+    @property
+    def total_records(self) -> int:
+        return sum(c.record_count for c in self.chunks)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    def has_column(self, column: str) -> bool:
+        return column in self.columns
+
+    def chunk_files(self, column: str) -> list[str]:
+        """All chunk filenames for one column, in record order."""
+        if not self.has_column(column):
+            raise ManifestError(
+                f"dataset {self.name!r} has no column {column!r} "
+                f"(columns: {self.columns})"
+            )
+        return [entry.chunk_file(column) for entry in self.chunks]
+
+    def add_column(self, column: str) -> None:
+        """Register a new column (AGD extensibility: append e.g. results)."""
+        if self.has_column(column):
+            raise ManifestError(f"column {column!r} already present")
+        self.columns.append(column)
+
+    def chunk_for_record(self, ordinal: int) -> tuple[ChunkEntry, int]:
+        """Locate the chunk containing global record ``ordinal``."""
+        if not 0 <= ordinal < self.total_records:
+            raise IndexError(
+                f"record {ordinal} out of range ({self.total_records} records)"
+            )
+        for entry in self.chunks:
+            if ordinal < entry.first_ordinal + entry.record_count:
+                return entry, ordinal - entry.first_ordinal
+        raise AssertionError("unreachable: manifest ordinals are contiguous")
+
+    # ------------------------------------------------------------------ JSON
+
+    def to_json(self) -> str:
+        doc = {
+            "version": self.version,
+            "name": self.name,
+            "sort_order": self.sort_order,
+            "columns": list(self.columns),
+            "records": [
+                {
+                    "path": c.path,
+                    "first": c.first_ordinal,
+                    "last": c.first_ordinal + c.record_count,
+                }
+                for c in self.chunks
+            ],
+            "reference": self.reference,
+        }
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"manifest is not valid JSON: {exc}") from exc
+        for key in ("name", "columns", "records"):
+            if key not in doc:
+                raise ManifestError(f"manifest missing {key!r} field")
+        chunks = [
+            ChunkEntry(r["path"], r["first"], r["last"] - r["first"])
+            for r in doc["records"]
+        ]
+        return cls(
+            name=doc["name"],
+            columns=list(doc["columns"]),
+            chunks=chunks,
+            reference=doc.get("reference", []),
+            sort_order=doc.get("sort_order", "unsorted"),
+            version=doc.get("version", MANIFEST_VERSION),
+        )
+
+    def save(self, directory: "str | Path") -> Path:
+        path = Path(directory) / MANIFEST_FILENAME
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, directory: "str | Path") -> "Manifest":
+        path = Path(directory) / MANIFEST_FILENAME
+        if not path.exists():
+            raise ManifestError(f"no {MANIFEST_FILENAME} in {directory}")
+        return cls.from_json(path.read_text())
+
+
+def reconstruct_manifest(
+    directory: "str | Path", name: "str | None" = None
+) -> Manifest:
+    """Rebuild a manifest by scanning chunk files (§3: the manifest "can be
+    reconstructed from the set of chunk files it describes")."""
+    from repro.agd.chunk import read_chunk_header
+
+    directory = Path(directory)
+    columns: dict[str, dict[str, tuple[int, int]]] = {}
+    for file in sorted(directory.iterdir()):
+        if file.name == MANIFEST_FILENAME or not file.is_file():
+            continue
+        stem, _, column = file.name.rpartition(".")
+        if not stem:
+            continue
+        header = read_chunk_header(file.read_bytes())
+        columns.setdefault(column, {})[stem] = (
+            header.first_ordinal,
+            header.record_count,
+        )
+    if not columns:
+        raise ManifestError(f"no chunk files found in {directory}")
+    # All columns must agree on the chunk layout (row grouping).
+    layouts = {
+        column: tuple(sorted(spans.items(), key=lambda kv: kv[1][0]))
+        for column, spans in columns.items()
+    }
+    reference_layout = next(iter(layouts.values()))
+    for column, layout in layouts.items():
+        if layout != reference_layout:
+            raise ManifestError(
+                f"column {column!r} chunk layout disagrees with others"
+            )
+    chunks = [
+        ChunkEntry(path, first, count)
+        for path, (first, count) in reference_layout
+    ]
+    inferred = name or chunks[0].path.rsplit("-", 1)[0]
+    return Manifest(name=inferred, columns=sorted(columns), chunks=chunks)

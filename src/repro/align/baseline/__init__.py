@@ -1,0 +1,18 @@
+"""Baseline aligners: Smith-Waterman oracle and BLAST-like seed-extend."""
+
+from repro.align.baseline.blast_like import BlastConfig, BlastLikeAligner
+from repro.align.baseline.smith_waterman import (
+    LocalAlignment,
+    SWScores,
+    smith_waterman,
+    sw_score_only,
+)
+
+__all__ = [
+    "BlastConfig",
+    "BlastLikeAligner",
+    "LocalAlignment",
+    "SWScores",
+    "smith_waterman",
+    "sw_score_only",
+]

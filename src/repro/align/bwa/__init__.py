@@ -1,0 +1,21 @@
+"""BWA-MEM-like aligner: FM-index seeding + bounded extension."""
+
+from repro.align.bwa.aligner import (
+    BwaConfig,
+    BwaMemAligner,
+    BwaStats,
+    InsertSizeModel,
+    Seed,
+)
+from repro.align.bwa.fm_index import FMIndex, encode_symbols, suffix_array
+
+__all__ = [
+    "BwaConfig",
+    "BwaMemAligner",
+    "BwaStats",
+    "FMIndex",
+    "InsertSizeModel",
+    "Seed",
+    "encode_symbols",
+    "suffix_array",
+]

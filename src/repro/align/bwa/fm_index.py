@@ -1,0 +1,191 @@
+"""FM-index: Burrows–Wheeler transform with occ/locate support (§2.1).
+
+BWA-MEM "uses the Burrows-Wheeler transform to efficiently find candidate
+alignment positions for reads" [30].  The index consists of:
+
+* the suffix array of the genome (built by prefix doubling, O(n log^2 n)
+  with vectorized sorts);
+* the BWT string derived from it;
+* checkpointed occurrence counts, giving O(1) ``occ(c, i)`` queries with a
+  bounded scan — the randomly-strided memory walks that make BWA
+  memory-bound in the paper's VTune analysis (§6, Fig. 8);
+* a sampled suffix array for ``locate`` via LF-mapping walks.
+
+Non-ACGT bases (N) are mapped to ``A`` for indexing; candidate
+verification against the true reference rejects spurious matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.genome.reference import ReferenceGenome
+
+_CODE_LUT = np.full(256, 1, dtype=np.uint8)  # unknown/N -> A (code 1)
+for _i, _b in enumerate(b"ACGT"):
+    _CODE_LUT[_b] = _i + 1  # 0 is the sentinel
+
+ALPHABET_SIZE = 5  # sentinel + ACGT
+
+
+def suffix_array(codes: np.ndarray) -> np.ndarray:
+    """Suffix array by prefix doubling over an integer alphabet.
+
+    ``codes`` must already include a unique smallest sentinel at the end.
+    """
+    n = codes.size
+    if n == 0:
+        raise ValueError("empty input")
+    rank = codes.astype(np.int64)
+    k = 1
+    indices = np.arange(n, dtype=np.int64)
+    while True:
+        second = np.full(n, -1, dtype=np.int64)
+        ahead = indices + k
+        valid = ahead < n
+        second[valid] = rank[ahead[valid]]
+        order = np.lexsort((second, rank))
+        paired = np.empty((n, 2), dtype=np.int64)
+        paired[:, 0] = rank[order]
+        paired[:, 1] = second[order]
+        changed = np.ones(n, dtype=np.int64)
+        changed[1:] = (np.diff(paired, axis=0) != 0).any(axis=1)
+        new_rank = np.empty(n, dtype=np.int64)
+        new_rank[order] = np.cumsum(changed) - 1
+        rank = new_rank
+        if rank[order[-1]] == n - 1:
+            return order
+        k *= 2
+
+
+class FMIndex:
+    """FM-index over a reference genome."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        occ_checkpoint: int = 64,
+        sa_sample: int = 8,
+    ):
+        if occ_checkpoint <= 0 or sa_sample <= 0:
+            raise ValueError("checkpoint and sample intervals must be positive")
+        self.reference = reference
+        self.occ_checkpoint = occ_checkpoint
+        self.sa_sample = sa_sample
+        self._build()
+
+    def _build(self) -> None:
+        genome = np.frombuffer(self.reference.concatenated(), dtype=np.uint8)
+        codes = np.empty(genome.size + 1, dtype=np.uint8)
+        codes[:-1] = _CODE_LUT[genome]
+        codes[-1] = 0  # sentinel
+        self.length = int(codes.size)
+        sa = suffix_array(codes)
+        # BWT: character preceding each suffix.
+        prev = sa - 1
+        prev[prev < 0] = self.length - 1
+        self.bwt = codes[prev]
+        # C array: for each symbol, count of smaller symbols in the text.
+        counts = np.bincount(codes, minlength=ALPHABET_SIZE).astype(np.int64)
+        self.C = np.zeros(ALPHABET_SIZE + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.C[1:])
+        # Occ checkpoints: cumulative symbol counts at block boundaries.
+        blocks = (self.length + self.occ_checkpoint - 1) // self.occ_checkpoint
+        self._occ = np.zeros((blocks + 1, ALPHABET_SIZE), dtype=np.int64)
+        onehot = np.zeros((self.length, ALPHABET_SIZE), dtype=np.int64)
+        onehot[np.arange(self.length), self.bwt] = 1
+        cumulative = np.cumsum(onehot, axis=0)
+        for b in range(1, blocks + 1):
+            end = min(b * self.occ_checkpoint, self.length)
+            self._occ[b] = cumulative[end - 1]
+        # Sampled suffix array.
+        sampled_mask = sa % self.sa_sample == 0
+        self._sampled_rows = np.flatnonzero(sampled_mask)
+        self._sampled_values = sa[sampled_mask]
+        self._sample_lookup = dict(
+            zip(self._sampled_rows.tolist(), self._sampled_values.tolist())
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def occ(self, symbol: int, i: int) -> int:
+        """Occurrences of ``symbol`` in ``bwt[0:i]``."""
+        if i <= 0:
+            return 0
+        if i > self.length:
+            i = self.length
+        block = i // self.occ_checkpoint
+        base = int(self._occ[block, symbol])
+        start = block * self.occ_checkpoint
+        if start < i:
+            base += int((self.bwt[start:i] == symbol).sum())
+        return base
+
+    def lf(self, row: int) -> int:
+        """LF-mapping: row of the preceding character's suffix."""
+        symbol = int(self.bwt[row])
+        return int(self.C[symbol]) + self.occ(symbol, row)
+
+    def backward_extend(
+        self, interval: "tuple[int, int]", symbol: int
+    ) -> "tuple[int, int]":
+        """Prepend ``symbol`` to the pattern; returns the new SA interval.
+
+        An empty interval is returned as (x, x).
+        """
+        lo, hi = interval
+        c = int(self.C[symbol])
+        return c + self.occ(symbol, lo), c + self.occ(symbol, hi)
+
+    def full_interval(self) -> "tuple[int, int]":
+        return 0, self.length
+
+    def count(self, pattern: bytes) -> int:
+        """Number of occurrences of ``pattern`` in the indexed text."""
+        interval = self.search(pattern)
+        return 0 if interval is None else interval[1] - interval[0]
+
+    def search(self, pattern: bytes) -> "tuple[int, int] | None":
+        """Backward search; returns the SA interval or None if absent."""
+        if not pattern:
+            return self.full_interval()
+        lo, hi = self.full_interval()
+        for byte in reversed(pattern):
+            symbol = int(_CODE_LUT[byte])
+            lo, hi = self.backward_extend((lo, hi), symbol)
+            if lo >= hi:
+                return None
+        return lo, hi
+
+    def locate_row(self, row: int) -> int:
+        """Text position of the suffix at SA row ``row`` (LF walk)."""
+        steps = 0
+        while row not in self._sample_lookup:
+            row = self.lf(row)
+            steps += 1
+            if steps > self.length:  # pragma: no cover - defensive
+                raise RuntimeError("LF walk did not terminate")
+        return (self._sample_lookup[row] + steps) % self.length
+
+    def locate(
+        self, interval: "tuple[int, int]", limit: "int | None" = None
+    ) -> list[int]:
+        """Text positions for an SA interval (optionally capped)."""
+        lo, hi = interval
+        rows = range(lo, hi if limit is None else min(hi, lo + limit))
+        return [self.locate_row(r) for r in rows]
+
+    def memory_bytes(self) -> int:
+        """Approximate index footprint."""
+        return int(
+            self.bwt.nbytes
+            + self._occ.nbytes
+            + self._sampled_rows.nbytes
+            + self._sampled_values.nbytes
+            + len(self._sample_lookup) * 64
+        )
+
+
+def encode_symbols(pattern: bytes) -> np.ndarray:
+    """Map ASCII bases to FM-index symbol codes (N folds to A)."""
+    return _CODE_LUT[np.frombuffer(pattern, dtype=np.uint8)]

@@ -1,0 +1,197 @@
+"""Generic paired-end alignment orchestration (§2.1, §5.1).
+
+"Raw datasets are typically single-ended, where each read is independent,
+or paired-ended, where reads are aligned as pairs with some gap between
+them."  Persona's "integrated aligners and AGD also support paired-end
+alignment."  This module pairs any single-end aligner exposing
+``align_global(bases) -> (pos, reverse, distance, cigar, mapq) | None``:
+it aligns both mates, prefers combinations consistent with the insert
+model, sets SAM pair flags and template length, and can rescue an
+unaligned mate by scanning the expected insert window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.align.distance import verify_candidate
+from repro.align.result import (
+    FLAG_FIRST_IN_PAIR,
+    FLAG_MATE_REVERSE,
+    FLAG_MATE_UNMAPPED,
+    FLAG_PAIRED,
+    FLAG_PROPER_PAIR,
+    FLAG_REVERSE,
+    FLAG_SECOND_IN_PAIR,
+    FLAG_UNMAPPED,
+    AlignmentResult,
+)
+from repro.genome.reference import ReferenceGenome
+from repro.genome.sequence import reverse_complement
+
+#: A global alignment outcome: (position, reverse, distance, cigar, mapq).
+GlobalAlignment = "tuple[int, bool, int, bytes, int]"
+
+
+class SingleEndAligner(Protocol):
+    """What the pairing layer needs from an aligner."""
+
+    reference: ReferenceGenome
+
+    def align_global(self, bases: bytes):  # -> GlobalAlignment | None
+        ...
+
+
+@dataclass
+class InsertWindow:
+    """Expected fragment-length window for proper pairs."""
+
+    low: int = 150
+    high: int = 650
+
+    def contains(self, span: int) -> bool:
+        return self.low <= span <= self.high
+
+
+class PairedAligner:
+    """Aligns read pairs using an underlying single-end aligner."""
+
+    def __init__(
+        self,
+        aligner: SingleEndAligner,
+        insert_window: "InsertWindow | None" = None,
+        rescue_max_k: int = 4,
+    ):
+        self.aligner = aligner
+        self.reference = aligner.reference
+        self.insert_window = insert_window or InsertWindow()
+        self.rescue_max_k = rescue_max_k
+        self._contig_index = {
+            name: i for i, name in enumerate(self.reference.names)
+        }
+
+    # ----------------------------------------------------------------- API
+
+    def align_pair(
+        self, r1: bytes, r2: bytes
+    ) -> tuple[AlignmentResult, AlignmentResult]:
+        a1 = self.aligner.align_global(r1)
+        a2 = self.aligner.align_global(r2)
+        if a1 is not None and a2 is None:
+            a2 = self.rescue_mate(r2, a1, len(r1))
+        elif a2 is not None and a1 is None:
+            a1 = self.rescue_mate(r1, a2, len(r2))
+        return (
+            self.build_result(a1, a2, r1, r2, first=True),
+            self.build_result(a2, a1, r2, r1, first=False),
+        )
+
+    # -------------------------------------------------------------- rescue
+
+    def rescue_mate(
+        self,
+        bases: bytes,
+        anchor,
+        anchor_len: int,
+    ):
+        """Scan the insert window adjacent to the anchor for the mate.
+
+        In a proper forward/reverse pair, the mate of a forward anchor
+        lies downstream reverse-complemented, and vice versa.
+        """
+        anchor_pos, anchor_rev = anchor[0], anchor[1]
+        lo, hi = self.insert_window.low, self.insert_window.high
+        m = len(bases)
+        genome_len = len(self.reference)
+        if anchor_rev:
+            window_start = max(0, anchor_pos + anchor_len - hi)
+            window_end = min(genome_len, anchor_pos + anchor_len - lo + m)
+            read = bases
+            rescued_reverse = False
+        else:
+            window_start = max(0, anchor_pos + lo - m)
+            window_end = min(genome_len, anchor_pos + hi)
+            read = reverse_complement(bases)
+            rescued_reverse = True
+        if window_end - window_start < m:
+            return None
+        window = self.reference.fetch(window_start, window_end - window_start)
+        best = None
+        for offset in range(0, len(window) - m + 1):
+            verdict = verify_candidate(
+                read,
+                window[offset : offset + m + self.rescue_max_k],
+                self.rescue_max_k,
+            )
+            if verdict is None:
+                continue
+            distance, cigar = verdict
+            if best is None or distance < best[1]:
+                best = (window_start + offset, distance, cigar)
+                if distance == 0:
+                    break
+        if best is None:
+            return None
+        pos, distance, cigar = best
+        return (pos, rescued_reverse, distance, cigar, 20)
+
+    # ------------------------------------------------------------- results
+
+    def build_result(
+        self,
+        mine,
+        mate,
+        my_bases: bytes,
+        mate_bases: bytes,
+        first: bool,
+    ) -> AlignmentResult:
+        """Combine two optional global alignments into one mate's result."""
+        flag = FLAG_PAIRED | (
+            FLAG_FIRST_IN_PAIR if first else FLAG_SECOND_IN_PAIR
+        )
+        if mine is None:
+            flag |= FLAG_UNMAPPED
+            if mate is None:
+                return AlignmentResult(flag=flag | FLAG_MATE_UNMAPPED)
+            mate_contig, mate_local = self.reference.to_local(mate[0])
+            if mate[1]:
+                flag |= FLAG_MATE_REVERSE
+            return AlignmentResult(
+                flag=flag,
+                next_contig_index=self._contig_index[mate_contig],
+                next_position=mate_local,
+            )
+        pos, reverse, distance, cigar, mapq = mine
+        contig, local = self.reference.to_local(pos)
+        if reverse:
+            flag |= FLAG_REVERSE
+        next_contig = next_pos = -1
+        tlen = 0
+        if mate is None:
+            flag |= FLAG_MATE_UNMAPPED
+        else:
+            mate_contig, mate_local = self.reference.to_local(mate[0])
+            next_contig = self._contig_index[mate_contig]
+            next_pos = mate_local
+            if mate[1]:
+                flag |= FLAG_MATE_REVERSE
+            same_contig = next_contig == self._contig_index[contig]
+            if same_contig and reverse != mate[1]:
+                left = min(pos, mate[0])
+                right = max(pos + len(my_bases), mate[0] + len(mate_bases))
+                span = right - left
+                if self.insert_window.contains(span):
+                    flag |= FLAG_PROPER_PAIR
+                tlen = span if pos <= mate[0] else -span
+        return AlignmentResult(
+            flag=flag,
+            mapq=mapq,
+            contig_index=self._contig_index[contig],
+            position=local,
+            next_contig_index=next_contig,
+            next_position=next_pos,
+            template_length=tlen,
+            edit_distance=distance,
+            cigar=cigar,
+        )

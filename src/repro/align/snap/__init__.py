@@ -1,0 +1,19 @@
+"""SNAP-like hash-index seed-and-extend aligner."""
+
+from repro.align.snap.aligner import (
+    SnapAligner,
+    SnapConfig,
+    SnapStats,
+    compute_mapq,
+)
+from repro.align.snap.index import MAX_SEED_LENGTH, SeedHit, SeedIndex
+
+__all__ = [
+    "MAX_SEED_LENGTH",
+    "SeedHit",
+    "SeedIndex",
+    "SnapAligner",
+    "SnapConfig",
+    "SnapStats",
+    "compute_mapq",
+]

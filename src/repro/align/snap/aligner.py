@@ -1,0 +1,184 @@
+"""SNAP-style seed-and-extend aligner (§2.1, §4.3).
+
+The algorithm, following Zaharia et al. [47]:
+
+1. sample seeds across the read and look each up in the hash index;
+2. each hit votes for a candidate alignment start (hit position minus
+   seed offset); both strands are considered via the reverse complement;
+3. candidates are verified best-vote-first with a *bounded* edit distance
+   (Hamming fast path, then Landau–Vishkin); the bound shrinks as better
+   alignments are found, so most candidates are rejected cheaply;
+4. MAPQ is derived from the gap between the best and second-best
+   verified alignment.
+
+The aligner is stateless per read and shared read-only across executor
+threads, matching how Persona's aligner kernels delegate subchunks to the
+thread-owning executor (§4.3, Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.distance import verify_candidate
+from repro.align.result import (
+    FLAG_REVERSE,
+    FLAG_UNMAPPED,
+    AlignmentResult,
+)
+from repro.align.snap.index import SeedIndex
+from repro.genome.sequence import reverse_complement
+
+
+@dataclass
+class SnapConfig:
+    """Tuning knobs (defaults follow SNAP's spirit at our genome scale)."""
+
+    seed_stride: int = 8
+    max_edit_distance: int = 8
+    max_candidates: int = 24
+    confidence_gap: int = 2  # SNAP's confDiff analog
+
+
+@dataclass
+class SnapStats:
+    """Aligner-level counters (also feed the Fig. 8 op-mix profiler)."""
+
+    reads: int = 0
+    aligned: int = 0
+    seed_lookups: int = 0
+    candidates_checked: int = 0
+    lv_calls: int = 0
+
+
+class SnapAligner:
+    """Single-read aligner over a shared :class:`SeedIndex`."""
+
+    def __init__(self, index: SeedIndex, config: "SnapConfig | None" = None):
+        self.index = index
+        self.config = config or SnapConfig()
+        self.reference = index.reference
+        self.stats = SnapStats()
+        self._contig_index = {
+            name: i for i, name in enumerate(self.reference.names)
+        }
+
+    # ----------------------------------------------------------------- API
+
+    def align_read(self, bases: bytes) -> AlignmentResult:
+        """Align one read; returns an unmapped result when nothing passes."""
+        self.stats.reads += 1
+        m = len(bases)
+        if m < self.index.seed_length:
+            return AlignmentResult(flag=FLAG_UNMAPPED)
+        candidates = self._collect_candidates(bases)
+        best = self._verify_candidates(bases, candidates)
+        if best is None:
+            return AlignmentResult(flag=FLAG_UNMAPPED)
+        position, reverse, distance, cigar, mapq = best
+        contig, local = self.reference.to_local(position)
+        contig_index = self._contig_index[contig]
+        self.stats.aligned += 1
+        return AlignmentResult(
+            flag=FLAG_REVERSE if reverse else 0,
+            mapq=mapq,
+            contig_index=contig_index,
+            position=local,
+            edit_distance=distance,
+            cigar=cigar,
+        )
+
+    def align_global(self, bases: bytes) -> "tuple[int, bool, int, bytes, int] | None":
+        """Align returning (global pos, reverse, distance, cigar, mapq).
+
+        Used by the paired-end layer, which reasons in global coordinates.
+        """
+        candidates = self._collect_candidates(bases)
+        return self._verify_candidates(bases, candidates)
+
+    # ------------------------------------------------------------ internals
+
+    def _collect_candidates(
+        self, bases: bytes
+    ) -> "dict[tuple[int, bool], int]":
+        """Seed both strands and tally votes per candidate start."""
+        votes: dict[tuple[int, bool], int] = {}
+        s = self.index.seed_length
+        stride = self.config.seed_stride
+        genome_len = len(self.reference)
+        m = len(bases)
+        offsets = list(range(0, m - s + 1, stride))
+        if offsets and offsets[-1] != m - s:
+            offsets.append(m - s)  # always seed the read tail
+        for strand_bases, reverse in (
+            (bases, False),
+            (reverse_complement(bases), True),
+        ):
+            values = self.index.encode_read_seeds(strand_bases, offsets)
+            self.stats.seed_lookups += len(offsets)
+            for offset, value in zip(offsets, values):
+                if value is None:
+                    continue
+                for pos in self.index.lookup_value(value):
+                    start = int(pos) - offset
+                    if start < 0 or start + m > genome_len:
+                        continue
+                    key = (start, reverse)
+                    votes[key] = votes.get(key, 0) + 1
+        return votes
+
+    def _verify_candidates(
+        self, bases: bytes, votes: "dict[tuple[int, bool], int]"
+    ) -> "tuple[int, bool, int, bytes, int] | None":
+        if not votes:
+            return None
+        m = len(bases)
+        max_k = self.config.max_edit_distance
+        ordered = sorted(votes.items(), key=lambda kv: -kv[1])
+        ordered = ordered[: self.config.max_candidates]
+        rc = reverse_complement(bases)
+        best: "tuple[int, bool, int, bytes] | None" = None
+        second_distance: "int | None" = None
+        bound = max_k
+        for (start, reverse), _count in ordered:
+            self.stats.candidates_checked += 1
+            read = rc if reverse else bases
+            window = self.reference.fetch(start, m + bound)
+            verdict = verify_candidate(read, window, bound)
+            self.stats.lv_calls += 1
+            if verdict is None:
+                continue
+            distance, cigar = verdict
+            if best is None or distance < best[2]:
+                if best is not None:
+                    second_distance = best[2]
+                best = (start, reverse, distance, cigar)
+                # Tighten the bound: later candidates must strictly win.
+                bound = min(bound, distance + self.config.confidence_gap)
+            elif best is not None and (start, reverse) != best[:2]:
+                if second_distance is None or distance < second_distance:
+                    second_distance = distance
+        if best is None:
+            return None
+        start, reverse, distance, cigar = best
+        mapq = compute_mapq(distance, second_distance, max_k)
+        return start, reverse, distance, cigar, mapq
+
+
+def compute_mapq(
+    best_distance: int,
+    second_distance: "int | None",
+    max_k: int,
+) -> int:
+    """Heuristic mapping quality from the best/second-best distance gap.
+
+    Mirrors the shape of SNAP's MAPQ: unique, low-edit alignments score
+    near 60; ties score near 0.  The exact probabilistic calibration of
+    SNAP is not reproduced (we only need relative ordering downstream).
+    """
+    if second_distance is None:
+        return max(10, 60 - 4 * best_distance)
+    gap = second_distance - best_distance
+    if gap <= 0:
+        return 1
+    return max(1, min(60, 12 * gap - 2 * best_distance))

@@ -1,0 +1,153 @@
+"""SNAP-style hash-based seed index (§2.1, Figure 3).
+
+SNAP uses "hash-based indexing of the reference" — a table mapping every
+length-``s`` substring (seed) of the genome to the sorted list of
+locations where it occurs.  Figure 3 depicts exactly this shared resource:
+``ACTGA -> 2349523, ...`` over the "3 Bn BasePair" reference.  The index
+is built once per server and shared read-only by all aligner threads
+(Persona registers it as a session resource).
+
+Construction is vectorized: seeds are 2-bit-encoded into integers with a
+sliding dot product, then grouped with one argsort — O(n log n) for an
+n-base genome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genome.reference import ReferenceGenome
+
+#: Seeds longer than 31 bases would overflow the 2-bit packing into int64.
+MAX_SEED_LENGTH = 31
+
+_CODE_LUT = np.full(256, 255, dtype=np.uint8)
+for _i, _b in enumerate(b"ACGT"):
+    _CODE_LUT[_b] = _i
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SeedHit:
+    """Candidate genome locations for one seed lookup."""
+
+    positions: np.ndarray  # sorted global positions
+
+    def __len__(self) -> int:
+        return int(self.positions.size)
+
+
+class SeedIndex:
+    """Hash table from 2-bit-packed seeds to genome locations."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        seed_length: int = 16,
+        max_hits: int = 64,
+    ):
+        """Build the index.
+
+        ``max_hits`` mirrors SNAP's popular-seed filtering: seeds occurring
+        more often than this are treated as uninformative and return no
+        hits (repetitive regions would otherwise flood the candidate set).
+        """
+        if not 4 <= seed_length <= MAX_SEED_LENGTH:
+            raise ValueError(
+                f"seed_length must be in [4, {MAX_SEED_LENGTH}], "
+                f"got {seed_length}"
+            )
+        if max_hits <= 0:
+            raise ValueError("max_hits must be positive")
+        if len(reference) < seed_length:
+            raise ValueError("reference shorter than one seed")
+        self.reference = reference
+        self.seed_length = seed_length
+        self.max_hits = max_hits
+        self._build()
+
+    def _build(self) -> None:
+        genome = np.frombuffer(self.reference.concatenated(), dtype=np.uint8)
+        codes = _CODE_LUT[genome]
+        s = self.seed_length
+        n = codes.size - s + 1
+        windows = np.lib.stride_tricks.sliding_window_view(codes, s)
+        valid = (windows != 255).all(axis=1)
+        weights = (4 ** np.arange(s, dtype=np.int64)).astype(np.int64)
+        values = windows.astype(np.int64) @ weights
+        positions = np.flatnonzero(valid)
+        values = values[positions]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_positions = positions[order].astype(np.int64)
+        unique_values, starts = np.unique(sorted_values, return_index=True)
+        ends = np.empty_like(starts)
+        ends[:-1] = starts[1:]
+        if len(starts):
+            ends[-1] = sorted_values.size
+        self._positions = sorted_positions
+        self._table: dict[int, tuple[int, int]] = {
+            int(v): (int(a), int(b))
+            for v, a, b in zip(unique_values, starts, ends)
+        }
+        self.num_seeds = int(n)
+        self.num_distinct = len(self._table)
+
+    # ------------------------------------------------------------- lookups
+
+    def encode_seed(self, seed: bytes) -> "int | None":
+        """2-bit-pack a seed; None if it contains a non-ACGT base."""
+        if len(seed) != self.seed_length:
+            raise ValueError(
+                f"seed is {len(seed)} bases, index uses {self.seed_length}"
+            )
+        codes = _CODE_LUT[np.frombuffer(seed, dtype=np.uint8)]
+        if (codes == 255).any():
+            return None
+        weights = (4 ** np.arange(self.seed_length, dtype=np.int64))
+        return int(codes.astype(np.int64) @ weights)
+
+    def lookup(self, seed: bytes) -> SeedHit:
+        """Genome locations of a seed; empty for unknown/popular/N seeds."""
+        value = self.encode_seed(seed)
+        if value is None:
+            return SeedHit(np.empty(0, dtype=np.int64))
+        return SeedHit(self.lookup_value(value))
+
+    def lookup_value(self, value: int) -> np.ndarray:
+        """Locations for a pre-encoded seed value (the aligner hot path)."""
+        span = self._table.get(value)
+        if span is None:
+            return _EMPTY_POSITIONS
+        start, end = span
+        if end - start > self.max_hits:
+            return _EMPTY_POSITIONS
+        return self._positions[start:end]
+
+    def encode_read_seeds(self, bases: bytes, offsets: "list[int]") -> list:
+        """Encode the seeds at ``offsets`` of a read in one vectorized pass.
+
+        Returns one packed value per offset, or None where the seed
+        contains a non-ACGT base.
+        """
+        s = self.seed_length
+        codes = _CODE_LUT[np.frombuffer(bases, dtype=np.uint8)]
+        windows = np.lib.stride_tricks.sliding_window_view(codes, s)
+        picked = windows[offsets]
+        valid = (picked != 255).all(axis=1)
+        weights = (4 ** np.arange(s, dtype=np.int64)).astype(np.int64)
+        values = picked.astype(np.int64) @ weights
+        return [
+            int(v) if ok else None for v, ok in zip(values, valid)
+        ]
+
+    def memory_bytes(self) -> int:
+        """Approximate index footprint (the "multi-gigabyte reference
+        indexes" of §4.1, at our scale)."""
+        return int(
+            self._positions.nbytes
+            + len(self._table) * 64  # dict entry overhead estimate
+        )

@@ -1,0 +1,262 @@
+"""The ``persona`` command line (the original repo ships a ``persona``
+driver script; this is its analog over our Python reproduction).
+
+Subcommands::
+
+    persona import-fastq  <fastq> <dataset-dir> [--name N] [--chunk-size C]
+    persona export        <dataset-dir> <out.{sam,bam,fastq}>
+    persona align         <dataset-dir> --reference ref.fasta [--aligner snap|bwa]
+    persona sort          <dataset-dir> <out-dir> [--order location|metadata]
+    persona dupmark       <dataset-dir>
+    persona varcall       <dataset-dir> --reference ref.fasta <out.vcf>
+    persona stats         <dataset-dir>
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.agd.dataset import AGDDataset
+from repro.storage.base import DirectoryStore
+
+
+def _cmd_import_fastq(args: argparse.Namespace) -> int:
+    from repro.formats.converters import import_fastq
+
+    store = DirectoryStore(args.dataset_dir)
+    name = args.name or Path(args.fastq).stem.split(".")[0]
+    start = time.monotonic()
+    dataset = import_fastq(args.fastq, name, store, chunk_size=args.chunk_size)
+    dataset.save_manifest(args.dataset_dir)
+    elapsed = time.monotonic() - start
+    print(
+        f"imported {dataset.total_records} reads into "
+        f"{dataset.num_chunks} chunks in {elapsed:.2f}s"
+    )
+    return 0
+
+
+def _cmd_import_sam(args: argparse.Namespace) -> int:
+    from repro.formats.converters import import_bam, import_sam
+
+    store = DirectoryStore(args.dataset_dir)
+    name = args.name or Path(args.input).stem
+    path = Path(args.input)
+    with open(path, "rb") as fh:
+        magic = fh.read(4)
+    importer = import_bam if magic == b"BGZB" else import_sam
+    dataset = importer(path, name, store, chunk_size=args.chunk_size)
+    dataset.save_manifest(args.dataset_dir)
+    print(
+        f"imported {dataset.total_records} aligned records into "
+        f"{dataset.num_chunks} chunks (columns: {dataset.columns})"
+    )
+    return 0
+
+
+def _cmd_rechunk(args: argparse.Namespace) -> int:
+    dataset = AGDDataset.open(args.dataset_dir)
+    out_store = DirectoryStore(args.output_dir)
+    rechunked = dataset.rechunk(args.chunk_size, store=out_store)
+    rechunked.save_manifest(args.output_dir)
+    print(
+        f"rechunked {dataset.num_chunks} -> {rechunked.num_chunks} chunks "
+        f"({args.chunk_size} records each) -> {args.output_dir}"
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.formats.converters import export_bam, export_fastq, export_sam
+
+    dataset = AGDDataset.open(args.dataset_dir)
+    out = Path(args.output)
+    suffix = out.suffix.lower()
+    if suffix == ".sam":
+        count = export_sam(dataset, out)
+        print(f"wrote {count} SAM records to {out}")
+    elif suffix == ".bam":
+        nbytes = export_bam(dataset, out)
+        print(f"wrote {nbytes} BAM bytes to {out}")
+    elif suffix in (".fastq", ".fq"):
+        count = export_fastq(dataset, out)
+        print(f"wrote {count} FASTQ records to {out}")
+    else:
+        print(f"unsupported export format {suffix!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    from repro.core.pipelines import (
+        align_dataset,
+        build_bwa_aligner,
+        build_snap_aligner,
+    )
+    from repro.core.subgraphs import AlignGraphConfig
+    from repro.genome.reference import read_fasta
+    from repro.metrics.throughput import format_bases_rate
+
+    dataset = AGDDataset.open(args.dataset_dir)
+    reference = read_fasta(args.reference)
+    if args.aligner == "snap":
+        aligner = build_snap_aligner(reference)
+    elif args.aligner == "bwa":
+        aligner = build_bwa_aligner(reference)
+    else:
+        print(f"unknown aligner {args.aligner!r}", file=sys.stderr)
+        return 2
+    dataset.manifest.reference = reference.manifest_entry()
+    config = AlignGraphConfig(
+        executor_threads=args.threads,
+        aligner_nodes=max(1, args.threads // 2),
+    )
+    outcome = align_dataset(dataset, aligner, config=config)
+    dataset.save_manifest(args.dataset_dir)
+    print(
+        f"aligned {outcome.total_reads} reads "
+        f"({outcome.total_bases} bases) in {outcome.wall_seconds:.2f}s "
+        f"= {format_bases_rate(outcome.bases_per_second)}"
+    )
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.core.sort import SortConfig, sort_dataset
+
+    dataset = AGDDataset.open(args.dataset_dir)
+    out_store = DirectoryStore(args.output_dir)
+    start = time.monotonic()
+    sorted_ds = sort_dataset(
+        dataset,
+        out_store,
+        SortConfig(order=args.order, chunks_per_superchunk=args.superchunk),
+    )
+    sorted_ds.save_manifest(args.output_dir)
+    elapsed = time.monotonic() - start
+    print(
+        f"sorted {sorted_ds.total_records} records by {args.order} "
+        f"in {elapsed:.2f}s -> {args.output_dir}"
+    )
+    return 0
+
+
+def _cmd_dupmark(args: argparse.Namespace) -> int:
+    from repro.core.dupmark import mark_duplicates
+
+    dataset = AGDDataset.open(args.dataset_dir)
+    start = time.monotonic()
+    stats = mark_duplicates(dataset)
+    elapsed = time.monotonic() - start
+    rate = stats.records / elapsed if elapsed > 0 else 0.0
+    print(
+        f"marked {stats.duplicates_marked} duplicates in "
+        f"{stats.records} records ({rate:,.0f} reads/s)"
+    )
+    return 0
+
+
+def _cmd_varcall(args: argparse.Namespace) -> int:
+    from repro.core.varcall import call_variants
+    from repro.formats.vcf import write_vcf
+    from repro.genome.reference import read_fasta
+
+    dataset = AGDDataset.open(args.dataset_dir)
+    reference = read_fasta(args.reference)
+    variants = call_variants(dataset, reference)
+    count = write_vcf(variants, args.output, contigs=reference.manifest_entry())
+    print(f"called {count} variants -> {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = AGDDataset.open(args.dataset_dir)
+    manifest = dataset.manifest
+    print(f"dataset:    {manifest.name}")
+    print(f"records:    {manifest.total_records}")
+    print(f"chunks:     {manifest.num_chunks}")
+    print(f"sort order: {manifest.sort_order}")
+    print(f"columns:")
+    for column in manifest.columns:
+        nbytes = dataset.column_bytes(column)
+        print(f"  {column:<10} {nbytes:>12,} bytes")
+    if manifest.reference:
+        print("reference contigs:")
+        for contig in manifest.reference:
+            print(f"  {contig['name']:<10} {contig['length']:>12,} bp")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="persona",
+        description="Persona bioinformatics framework (USENIX ATC '17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("import-fastq", help="import FASTQ into an AGD dataset")
+    p.add_argument("fastq")
+    p.add_argument("dataset_dir")
+    p.add_argument("--name", default=None)
+    p.add_argument("--chunk-size", type=int, default=10_000)
+    p.set_defaults(fn=_cmd_import_fastq)
+
+    p = sub.add_parser("import-sam", help="import SAM/BAM into an AGD dataset")
+    p.add_argument("input")
+    p.add_argument("dataset_dir")
+    p.add_argument("--name", default=None)
+    p.add_argument("--chunk-size", type=int, default=10_000)
+    p.set_defaults(fn=_cmd_import_sam)
+
+    p = sub.add_parser("export", help="export AGD to SAM/BAM/FASTQ")
+    p.add_argument("dataset_dir")
+    p.add_argument("output")
+    p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("rechunk", help="rewrite a dataset with a new chunk size")
+    p.add_argument("dataset_dir")
+    p.add_argument("output_dir")
+    p.add_argument("--chunk-size", type=int, required=True)
+    p.set_defaults(fn=_cmd_rechunk)
+
+    p = sub.add_parser("align", help="align a dataset, appending results")
+    p.add_argument("dataset_dir")
+    p.add_argument("--reference", required=True)
+    p.add_argument("--aligner", choices=("snap", "bwa"), default="snap")
+    p.add_argument("--threads", type=int, default=4)
+    p.set_defaults(fn=_cmd_align)
+
+    p = sub.add_parser("sort", help="external-merge sort a dataset")
+    p.add_argument("dataset_dir")
+    p.add_argument("output_dir")
+    p.add_argument("--order", choices=("location", "metadata"), default="location")
+    p.add_argument("--superchunk", type=int, default=4)
+    p.set_defaults(fn=_cmd_sort)
+
+    p = sub.add_parser("dupmark", help="mark duplicate reads in place")
+    p.add_argument("dataset_dir")
+    p.set_defaults(fn=_cmd_dupmark)
+
+    p = sub.add_parser("varcall", help="call variants to VCF")
+    p.add_argument("dataset_dir")
+    p.add_argument("output")
+    p.add_argument("--reference", required=True)
+    p.set_defaults(fn=_cmd_varcall)
+
+    p = sub.add_parser("stats", help="show dataset statistics")
+    p.add_argument("dataset_dir")
+    p.set_defaults(fn=_cmd_stats)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Cluster substrate: manifest server, multi-server runs, simulation, TCO."""
+
+from repro.cluster.manifest_server import ManifestServer, partition_manifest
+from repro.cluster.multiserver import (
+    MultiServerOutcome,
+    ServerOutcome,
+    run_multi_server_alignment,
+)
+from repro.cluster.simulation import (
+    ClusterSimParams,
+    ClusterSimResult,
+    ThreadScalingParams,
+    bwa_standalone_rate,
+    persona_bwa_rate,
+    persona_snap_rate,
+    saturation_point,
+    scaling_series,
+    simulate_cluster,
+    snap_standalone_rate,
+    thread_scaling_table,
+)
+from repro.cluster.tco import (
+    CostInputs,
+    TCOReport,
+    cluster_tco,
+    glacier_cost_per_genome,
+    national_scale_tco,
+    single_server_tco,
+    table3_rows,
+)
+
+__all__ = [
+    "ClusterSimParams",
+    "ClusterSimResult",
+    "CostInputs",
+    "ManifestServer",
+    "MultiServerOutcome",
+    "ServerOutcome",
+    "TCOReport",
+    "ThreadScalingParams",
+    "bwa_standalone_rate",
+    "cluster_tco",
+    "glacier_cost_per_genome",
+    "national_scale_tco",
+    "partition_manifest",
+    "persona_bwa_rate",
+    "persona_snap_rate",
+    "run_multi_server_alignment",
+    "saturation_point",
+    "scaling_series",
+    "simulate_cluster",
+    "single_server_tco",
+    "snap_standalone_rate",
+    "table3_rows",
+]

@@ -1,0 +1,56 @@
+"""The manifest server: chunk-granularity work distribution (§5.2).
+
+"For cluster-wide execution, Persona launches a TensorFlow instance per
+compute server.  Within each server, the first stage in the TensorFlow
+graph fetches a chunk name from the manifest server; the latter is
+implemented as a simple message queue."
+
+Servers pulling chunk names from one queue self-balance: a server that
+drew an expensive chunk simply fetches its next name later.  Combined
+with shallow per-server queues this is Persona's whole straggler-avoidance
+story (§4.5) — no work stealing needed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.agd.manifest import ChunkEntry, Manifest
+from repro.dataflow.queues import Queue
+
+
+class ManifestServer:
+    """A shared chunk-name message queue over one dataset."""
+
+    def __init__(self, manifest: Manifest, name: str = "manifest_server"):
+        self.manifest = manifest
+        self.queue: Queue = Queue(name, capacity=max(1, manifest.num_chunks))
+        self.queue.register_producer()
+        self._publish_lock = threading.Lock()
+        self._published = False
+
+    def publish(self) -> int:
+        """Enqueue every chunk entry and close the queue; idempotent."""
+        with self._publish_lock:
+            if self._published:
+                return self.manifest.num_chunks
+            for entry in self.manifest.chunks:
+                self.queue.put(entry)
+            self.queue.producer_done()
+            self._published = True
+        return self.manifest.num_chunks
+
+    @property
+    def remaining(self) -> int:
+        return len(self.queue)
+
+
+def partition_manifest(manifest: Manifest, servers: int) -> list[list[ChunkEntry]]:
+    """Static round-robin partition (the non-queue alternative, used by
+    tests to check the dynamic queue beats static assignment on skew)."""
+    if servers <= 0:
+        raise ValueError("servers must be positive")
+    parts: list[list[ChunkEntry]] = [[] for _ in range(servers)]
+    for i, entry in enumerate(manifest.chunks):
+        parts[i % servers].append(entry)
+    return parts

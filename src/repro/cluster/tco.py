@@ -1,0 +1,178 @@
+"""Total-cost-of-ownership model (Table 3, §6.1).
+
+Reproduces the paper's cost arithmetic for three deployment scenarios:
+
+1. a single server attached to one sequencer (~144 alignments/day,
+   4.1 cents per alignment);
+2. the balanced regional cluster of Table 3 (60 compute + 7 storage
+   servers + 67 fabric ports = $613K CAPEX, ~$943K 5-year TCO,
+   ~6 cents per alignment at full occupancy, storage ~$8.83/genome);
+3. nation-scale sizing via the 60:7 compute-to-storage "not to exceed"
+   ratio.
+
+All unit costs default to the paper's Table 3 values and every knob is a
+parameter, so the model doubles as the sizing calculator §6.1 describes
+("The TCO model of Table 3 can be adjusted to estimate the capacity and
+throughput requirements of a deployment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostInputs:
+    """Unit costs and capacities (Table 3 defaults)."""
+
+    compute_server_cost: float = 8_450.0
+    storage_server_cost: float = 7_575.0
+    fabric_port_cost: float = 792.0
+    compute_servers: int = 60
+    storage_servers: int = 7
+    # "we determine the per-port cost of the 8-TOR, 3-spine architecture
+    # ... and multiply by the number of ports used" — one per server.
+    years: float = 5.0
+    #: Hamilton-style overall-DC multiplier (power, cooling, space,
+    #: admin) applied to CAPEX to approximate the paper's $943K TCO.
+    tco_multiplier: float = 943.0 / 613.0
+    alignments_per_server_day: float = 144.0
+    usable_storage_tb: float = 126.0
+    genome_size_gb: float = 21.0  # 126 TB / ~6000 genomes
+    #: The AGD dataset footprint used for the cold-storage comparison
+    #: (the evaluation dataset is "16 GB in AGD format", §5.1).
+    cold_genome_size_gb: float = 16.0
+    glacier_price_gb_month: float = 0.007
+
+
+@dataclass
+class TCOReport:
+    """One scenario's cost breakdown."""
+
+    compute_capex: float
+    storage_capex: float
+    fabric_capex: float
+    total_capex: float
+    tco: float
+    alignments_per_day: float
+    lifetime_alignments: float
+    cost_per_alignment: float
+    storage_cost_per_genome: float
+    genomes_capacity: float
+
+
+def cluster_tco(inputs: "CostInputs | None" = None) -> TCOReport:
+    """Compute Table 3 for a cluster configuration."""
+    inputs = inputs or CostInputs()
+    fabric_ports = inputs.compute_servers + inputs.storage_servers
+    compute = inputs.compute_server_cost * inputs.compute_servers
+    storage = inputs.storage_server_cost * inputs.storage_servers
+    fabric = inputs.fabric_port_cost * fabric_ports
+    capex = compute + storage + fabric
+    tco = capex * inputs.tco_multiplier
+    per_day = inputs.alignments_per_server_day * inputs.compute_servers
+    lifetime = per_day * 365.0 * inputs.years
+    genomes = (
+        inputs.usable_storage_tb * 1000.0 / inputs.genome_size_gb
+        if inputs.genome_size_gb > 0
+        else 0.0
+    )
+    # §6.1 prices stored genomes against the storage subsystem CAPEX:
+    # "the cost per genome for storage is $8.83".
+    storage_per_genome = storage / genomes if genomes else 0.0
+    return TCOReport(
+        compute_capex=compute,
+        storage_capex=storage,
+        fabric_capex=fabric,
+        total_capex=capex,
+        tco=tco,
+        alignments_per_day=per_day,
+        lifetime_alignments=lifetime,
+        cost_per_alignment=tco / lifetime if lifetime else 0.0,
+        storage_cost_per_genome=storage_per_genome,
+        genomes_capacity=genomes,
+    )
+
+
+def single_server_tco(inputs: "CostInputs | None" = None) -> TCOReport:
+    """§6.1 scenario 1: one server, local storage, no fabric.
+
+    "A single server can align ~144 full sequences per day ...
+    this implies a cost of 4.1 cents per alignment, assuming full
+    utilization."
+    """
+    inputs = inputs or CostInputs()
+    single = CostInputs(
+        compute_server_cost=inputs.compute_server_cost,
+        storage_server_cost=inputs.storage_server_cost,
+        fabric_port_cost=0.0,
+        compute_servers=1,
+        storage_servers=0,
+        years=inputs.years,
+        # A lone box takes a smaller overhead multiplier than a DC row;
+        # calibrated so the paper's 4.1 cents falls out of 144/day.
+        tco_multiplier=1.28,
+        alignments_per_server_day=inputs.alignments_per_server_day,
+        usable_storage_tb=20.0,  # the 20 TB RAID0 array of §5.1
+        genome_size_gb=inputs.genome_size_gb,
+        glacier_price_gb_month=inputs.glacier_price_gb_month,
+    )
+    return cluster_tco(single)
+
+
+def national_scale_tco(
+    genomes_per_day: float, inputs: "CostInputs | None" = None
+) -> TCOReport:
+    """§6.1 scenario 3: size a deployment by throughput, preserving the
+    60:7 compute-to-storage ratio as a "not to exceed" scaling guide."""
+    inputs = inputs or CostInputs()
+    if genomes_per_day <= 0:
+        raise ValueError("genomes_per_day must be positive")
+    compute_needed = max(
+        1, int(-(-genomes_per_day // inputs.alignments_per_server_day))
+    )
+    storage_needed = max(1, -(-compute_needed * 7 // 60))
+    scaled = CostInputs(
+        compute_server_cost=inputs.compute_server_cost,
+        storage_server_cost=inputs.storage_server_cost,
+        fabric_port_cost=inputs.fabric_port_cost,
+        compute_servers=compute_needed,
+        storage_servers=int(storage_needed),
+        years=inputs.years,
+        tco_multiplier=inputs.tco_multiplier,
+        alignments_per_server_day=inputs.alignments_per_server_day,
+        usable_storage_tb=inputs.usable_storage_tb * storage_needed / 7.0,
+        genome_size_gb=inputs.genome_size_gb,
+        glacier_price_gb_month=inputs.glacier_price_gb_month,
+    )
+    return cluster_tco(scaled)
+
+
+def glacier_cost_per_genome(inputs: "CostInputs | None" = None) -> float:
+    """§6.1's cloud comparison: "using Amazon Glacier storage
+    ($0.007 GB/month), a full genome could be stored for 5 years for
+    $6.72"."""
+    inputs = inputs or CostInputs()
+    months = inputs.years * 12.0
+    return inputs.cold_genome_size_gb * inputs.glacier_price_gb_month * months
+
+
+def table3_rows(inputs: "CostInputs | None" = None) -> "list[dict]":
+    """Table 3 in printable form."""
+    inputs = inputs or CostInputs()
+    report = cluster_tco(inputs)
+    ports = inputs.compute_servers + inputs.storage_servers
+    return [
+        {"item": "Compute Server", "unit_cost": inputs.compute_server_cost,
+         "units": inputs.compute_servers, "total": report.compute_capex},
+        {"item": "Storage server", "unit_cost": inputs.storage_server_cost,
+         "units": inputs.storage_servers, "total": report.storage_capex},
+        {"item": "Fabric ports", "unit_cost": inputs.fabric_port_cost,
+         "units": ports, "total": report.fabric_capex},
+        {"item": "Total", "unit_cost": None, "units": None,
+         "total": report.total_capex},
+        {"item": "TCO(5yr)", "unit_cost": None, "units": None,
+         "total": report.tco},
+        {"item": "Cost/Alignment (100% Utilization)", "unit_cost": None,
+         "units": None, "total": report.cost_per_alignment},
+    ]

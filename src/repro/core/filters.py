@@ -1,0 +1,113 @@
+"""Dataset filtering (§1, §8: "comprehensive data filtering" is part of
+Persona's goal set; "Once data is aligned, sorted and indexed, further
+filtering of data may take place", §2.1).
+
+Filters are row predicates evaluated — columnar-style — against only the
+columns they need (usually just results), then materialized as a new
+row-consistent dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.agd.dataset import AGDDataset
+from repro.agd.manifest import ManifestError
+from repro.align.result import AlignmentResult
+from repro.storage.base import ChunkStore
+
+
+@dataclass
+class FilterStats:
+    examined: int = 0
+    kept: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.examined - self.kept
+
+
+ResultPredicate = Callable[[AlignmentResult], bool]
+
+
+def by_min_mapq(threshold: int) -> ResultPredicate:
+    """Keep reads with mapping quality >= threshold."""
+    def predicate(result: AlignmentResult) -> bool:
+        return result.is_aligned and result.mapq >= threshold
+    return predicate
+
+
+def mapped_only() -> ResultPredicate:
+    """Keep only aligned reads."""
+    return lambda result: result.is_aligned
+
+
+def drop_duplicates() -> ResultPredicate:
+    """Remove reads flagged as duplicates."""
+    return lambda result: not result.is_duplicate
+
+
+def by_region(contig_index: int, start: int, end: int) -> ResultPredicate:
+    """Keep reads whose alignment start falls in [start, end)."""
+    if start >= end:
+        raise ValueError("empty region")
+
+    def predicate(result: AlignmentResult) -> bool:
+        return (
+            result.is_aligned
+            and result.contig_index == contig_index
+            and start <= result.position < end
+        )
+    return predicate
+
+
+def all_of(*predicates: ResultPredicate) -> ResultPredicate:
+    """Conjunction of predicates."""
+    def predicate(result: AlignmentResult) -> bool:
+        return all(p(result) for p in predicates)
+    return predicate
+
+
+def filter_dataset(
+    dataset: AGDDataset,
+    predicate: ResultPredicate,
+    output_store: ChunkStore,
+    name: "str | None" = None,
+    chunk_size: "int | None" = None,
+    stats: "FilterStats | None" = None,
+) -> AGDDataset:
+    """Materialize the rows passing ``predicate`` as a new dataset.
+
+    The predicate is evaluated on the results column only; the other
+    columns are then gathered for surviving rows — selective field access
+    doing its job (§3).
+    """
+    if not dataset.manifest.has_column("results"):
+        raise ValueError("filtering needs a results column; align first")
+    stats = stats if stats is not None else FilterStats()
+    keep_masks: list[list[bool]] = []
+    for chunk_index in range(dataset.num_chunks):
+        results = dataset.read_chunk("results", chunk_index).records
+        mask = [bool(predicate(r)) for r in results]
+        stats.examined += len(mask)
+        stats.kept += sum(mask)
+        keep_masks.append(mask)
+    if stats.kept == 0:
+        raise ManifestError("filter kept no records")
+    columns: dict[str, list] = {c: [] for c in dataset.columns}
+    for chunk_index, mask in enumerate(keep_masks):
+        for column in dataset.columns:
+            records = dataset.read_chunk(column, chunk_index).records
+            columns[column].extend(
+                record for record, keep in zip(records, mask) if keep
+            )
+    out_chunk = chunk_size or dataset.manifest.chunks[0].record_count
+    return AGDDataset.create(
+        name or f"{dataset.manifest.name}-filtered",
+        columns,
+        output_store,
+        chunk_size=out_chunk,
+        reference=dataset.manifest.reference,
+        sort_order=dataset.manifest.sort_order,
+    )

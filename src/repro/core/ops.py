@@ -1,0 +1,361 @@
+"""Persona dataflow operators (§4.1–§4.4, Figure 3).
+
+"Persona consists of two layers: a set of TensorFlow dataflow operators
+that read, parse, write, and operate on AGD chunks, and a thin Python
+library that stitches these nodes together" — this module is the first
+layer.  Each class is one kernel from Figure 3: chunk-name sources,
+disk/Ceph readers, AGD parsers, aligner nodes backed by the fine-grain
+executor, and writers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.agd.chunk import read_chunk, write_chunk
+from repro.agd.manifest import ChunkEntry, Manifest
+from repro.align.result import AlignmentResult
+from repro.dataflow.executor import Executor
+from repro.dataflow.node import Node
+from repro.dataflow.queues import Queue
+from repro.dataflow.errors import QueueClosed
+from repro.dataflow.session import NodeContext
+from repro.formats.sam import SamHeader, record_from_alignment
+from repro.genome.reads import ReadRecord
+from repro.storage.base import ChunkStore
+
+
+@dataclass
+class ChunkWorkItem:
+    """One AGD chunk moving through a Persona pipeline."""
+
+    entry: ChunkEntry
+    raw: dict[str, bytes] = field(default_factory=dict)
+    columns: dict[str, list] = field(default_factory=dict)
+    results: "list[AlignmentResult] | None" = None
+
+    @property
+    def record_count(self) -> int:
+        return self.entry.record_count
+
+
+class ChunkNameSource(Node):
+    """Emits chunk entries from a manifest (Figure 3's filename queue)."""
+
+    def __init__(self, manifest: Manifest, name: str = "chunk_names"):
+        super().__init__(name, parallelism=1)
+        self.manifest = manifest
+
+    def generate(self, ctx: NodeContext) -> Iterator[ChunkEntry]:
+        yield from self.manifest.chunks
+
+
+class QueueNameSource(Node):
+    """Emits chunk entries pulled from a shared queue.
+
+    This is the cluster mode of §5.2: "the first stage in the TensorFlow
+    graph fetches a chunk name from the manifest server; the latter is
+    implemented as a simple message queue."  Many servers pulling from one
+    queue self-balance at chunk granularity.
+    """
+
+    def __init__(self, source_queue: Queue, name: str = "manifest_client"):
+        super().__init__(name, parallelism=1)
+        self.source_queue = source_queue
+
+    def generate(self, ctx: NodeContext) -> Iterator[ChunkEntry]:
+        while True:
+            try:
+                yield self.source_queue.get()
+            except QueueClosed:
+                return
+
+
+class ChunkReaderNode(Node):
+    """Reads one or more column files per chunk from a store (§4.2).
+
+    "Reader nodes are implementations that read AGD chunks from storage.
+    Currently, Persona supports a local disk or the Ceph object store —
+    other storage systems can be supported simply by writing the interface
+    into a new Reader dataflow node."  Here any :class:`ChunkStore` works.
+    """
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        columns: "tuple[str, ...]",
+        name: str = "reader",
+        parallelism: int = 2,
+    ):
+        super().__init__(name, parallelism)
+        self.store = store
+        self.columns = columns
+
+    def process(self, entry: ChunkEntry, ctx: NodeContext):
+        raw = {
+            column: self.store.get(entry.chunk_file(column))
+            for column in self.columns
+        }
+        return [ChunkWorkItem(entry=entry, raw=raw)]
+
+
+class AGDParserNode(Node):
+    """Decompresses and parses raw chunk blobs into record lists (§4.2)."""
+
+    def __init__(self, name: str = "parser", parallelism: int = 2):
+        super().__init__(name, parallelism)
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        for column, blob in item.raw.items():
+            chunk = read_chunk(blob)
+            if len(chunk) != item.record_count:
+                raise ValueError(
+                    f"chunk {item.entry.path!r} column {column!r} has "
+                    f"{len(chunk)} records, manifest says {item.record_count}"
+                )
+            item.columns[column] = chunk.records
+        item.raw = {}
+        return [item]
+
+
+class AlignerNode(Node):
+    """Aligns a chunk by delegating subchunks to the executor (§4.3).
+
+    "The chunk object and output buffer are logically divided into
+    subchunks and placed in the executor task queue as (subchunk, buffer)
+    pairs.  Once a full chunk is completed, the originating aligner node
+    is notified, and the result buffer is placed in the subgraph output
+    queue."
+    """
+
+    def __init__(
+        self,
+        aligner_handle: str,
+        executor_handle: str,
+        subchunk_size: int = 512,
+        name: str = "aligner",
+        parallelism: int = 2,
+    ):
+        super().__init__(name, parallelism)
+        if subchunk_size <= 0:
+            raise ValueError("subchunk_size must be positive")
+        self.aligner_handle = aligner_handle
+        self.executor_handle = executor_handle
+        self.subchunk_size = subchunk_size
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        aligner = ctx.resources.get(self.aligner_handle)
+        executor: Executor = ctx.resources.get(self.executor_handle)
+        bases = item.columns["bases"]
+        output: list = [None] * len(bases)
+
+        def make_task(start: int, end: int):
+            def task() -> None:
+                for i in range(start, end):
+                    output[i] = aligner.align_read(bases[i])
+            return task
+
+        tasks = [
+            make_task(start, min(start + self.subchunk_size, len(bases)))
+            for start in range(0, len(bases), self.subchunk_size)
+        ]
+        executor.run_chunk(tasks)
+        item.results = output
+        return [item]
+
+
+class PairedAlignerNode(Node):
+    """Paired-end variant: consecutive records are mates (R1, R2)."""
+
+    def __init__(
+        self,
+        paired_handle: str,
+        executor_handle: str,
+        subchunk_size: int = 256,
+        name: str = "paired_aligner",
+        parallelism: int = 2,
+    ):
+        super().__init__(name, parallelism)
+        self.paired_handle = paired_handle
+        self.executor_handle = executor_handle
+        self.subchunk_size = subchunk_size
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        paired = ctx.resources.get(self.paired_handle)
+        executor: Executor = ctx.resources.get(self.executor_handle)
+        bases = item.columns["bases"]
+        if len(bases) % 2:
+            raise ValueError(
+                f"paired chunk {item.entry.path!r} has odd record count"
+            )
+        output: list = [None] * len(bases)
+
+        def make_task(start: int, end: int):
+            def task() -> None:
+                for i in range(start, end, 2):
+                    r1, r2 = paired.align_pair(bases[i], bases[i + 1])
+                    output[i] = r1
+                    output[i + 1] = r2
+            return task
+
+        step = self.subchunk_size * 2
+        tasks = [
+            make_task(start, min(start + step, len(bases)))
+            for start in range(0, len(bases), step)
+        ]
+        executor.run_chunk(tasks)
+        item.results = output
+        return [item]
+
+
+class ColumnWriterNode(Node):
+    """Writes one column of each chunk back to a store (§4.4).
+
+    "The output subgraph mirrors the input subgraph, with Writer nodes
+    writing AGD chunks to disk or a Ceph object store, with an optional
+    compression stage."
+    """
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        column: str,
+        record_type: str,
+        codec: str = "gzip",
+        name: str = "writer",
+        parallelism: int = 1,
+    ):
+        super().__init__(name, parallelism)
+        self.store = store
+        self.column = column
+        self.record_type = record_type
+        self.codec = codec
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        if self.column == "results":
+            records = item.results
+            if records is None:
+                raise ValueError(
+                    f"chunk {item.entry.path!r} reached the results writer "
+                    f"without results"
+                )
+        else:
+            records = item.columns[self.column]
+        blob = write_chunk(
+            records,
+            self.record_type,
+            first_ordinal=item.entry.first_ordinal,
+            codec=self.codec,
+        )
+        self.store.put(item.entry.chunk_file(self.column), blob)
+        return [item]
+
+
+class SamWriterNode(Node):
+    """Writes chunks as SAM text (the standalone-tool output path, §4.4).
+
+    Persona uses this "for compatibility with tools that have not been
+    integrated"; the Table 1 baseline uses it as its only output path,
+    which is where the 16.75x write amplification comes from.
+    """
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        contig_names: "list[str]",
+        header: "SamHeader | None" = None,
+        name: str = "sam_writer",
+        parallelism: int = 1,
+    ):
+        super().__init__(name, parallelism)
+        self.store = store
+        self.contig_names = contig_names
+        self.header = header
+        self._header_lock = threading.Lock()
+        self._wrote_header = False
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        if item.results is None:
+            raise ValueError("SAM writer needs aligned chunks")
+        lines = []
+        if self.header is not None:
+            with self._header_lock:
+                if not self._wrote_header:
+                    lines.append(self.header.to_bytes())
+                    self._wrote_header = True
+        metas = item.columns["metadata"]
+        bases = item.columns["bases"]
+        quals = item.columns["qual"]
+        for meta, base, qual, result in zip(metas, bases, quals, item.results):
+            record = record_from_alignment(
+                ReadRecord(meta, base, qual), result, self.contig_names
+            )
+            lines.append(record.to_line())
+        blob = b"".join(lines)
+        self.store.put(f"{item.entry.path}.sam", blob)
+        return [item]
+
+
+class GzipFastqReaderNode(Node):
+    """Reads gzip-compressed FASTQ shards (the standalone baseline input).
+
+    SNAP standalone consumes "GZIP'd FASTQ" (Fig. 5): a row-oriented read
+    of all three fields at once, with decompression on the critical path.
+    """
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        name: str = "fastq_reader",
+        parallelism: int = 2,
+    ):
+        super().__init__(name, parallelism)
+        self.store = store
+
+    def process(self, entry: ChunkEntry, ctx: NodeContext):
+        blob = self.store.get(f"{entry.path}.fastq.gz")
+        return [ChunkWorkItem(entry=entry, raw={"fastq.gz": blob})]
+
+
+class FastqParserNode(Node):
+    """Parses gzip'd FASTQ shards into the three read fields."""
+
+    def __init__(self, name: str = "fastq_parser", parallelism: int = 2):
+        super().__init__(name, parallelism)
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        import gzip
+        import io
+
+        from repro.formats.fastq import parse_fastq
+
+        blob = gzip.decompress(item.raw["fastq.gz"])
+        reads = list(parse_fastq(io.BytesIO(blob)))
+        if len(reads) != item.record_count:
+            raise ValueError(
+                f"FASTQ shard {item.entry.path!r} has {len(reads)} reads, "
+                f"expected {item.record_count}"
+            )
+        item.columns = {
+            "bases": [r.bases for r in reads],
+            "qual": [r.qualities for r in reads],
+            "metadata": [r.metadata for r in reads],
+        }
+        item.raw = {}
+        return [item]
+
+
+class NullSinkNode(Node):
+    """Terminal sink counting completed chunks (Figure 3's sink node)."""
+
+    def __init__(self, name: str = "sink"):
+        super().__init__(name, parallelism=1)
+        self.chunks = 0
+        self.records = 0
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        self.chunks += 1
+        self.records += item.record_count
+        return None

@@ -1,0 +1,187 @@
+"""High-level Persona pipelines: the public API most users touch.
+
+Wraps graph construction (``repro.core.subgraphs``) and the session
+runtime into one-call operations: align a dataset, sort it, mark
+duplicates, call variants — returning throughput statistics in the
+paper's units ("alignment throughput is measured in bases aligned per
+second, a read-length agnostic measure", §2.1).
+"""
+
+from __future__ import annotations
+
+import gzip
+import time
+from dataclasses import dataclass, field
+
+from repro.agd.dataset import AGDDataset
+from repro.agd.manifest import Manifest
+from repro.align.bwa import BwaConfig, BwaMemAligner, FMIndex
+from repro.align.snap import SeedIndex, SnapAligner, SnapConfig
+from repro.core.dupmark import DupmarkStats, mark_duplicates
+from repro.core.sort import SortConfig, sort_dataset
+from repro.core.subgraphs import (
+    AlignGraphConfig,
+    build_align_graph,
+    build_standalone_graph,
+)
+from repro.core.varcall import VarCallConfig, call_variants
+from repro.dataflow.queues import Queue
+from repro.dataflow.session import Session
+from repro.formats.fastq import format_fastq_record
+from repro.genome.reads import ReadRecord
+from repro.genome.reference import ReferenceGenome
+from repro.storage.base import ChunkStore
+
+__all__ = [
+    "AlignOutcome",
+    "align_dataset",
+    "align_standalone",
+    "build_snap_aligner",
+    "build_bwa_aligner",
+    "mark_duplicates",
+    "sort_dataset",
+    "SortConfig",
+    "DupmarkStats",
+    "call_variants",
+    "VarCallConfig",
+    "stage_fastq_shards",
+]
+
+
+@dataclass
+class AlignOutcome:
+    """Result of one alignment run."""
+
+    wall_seconds: float
+    total_reads: int
+    total_bases: int
+    chunks: int
+    report: dict = field(default_factory=dict)
+
+    @property
+    def bases_per_second(self) -> float:
+        return self.total_bases / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def reads_per_second(self) -> float:
+        return self.total_reads / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def build_snap_aligner(
+    reference: ReferenceGenome,
+    seed_length: int = 16,
+    config: "SnapConfig | None" = None,
+) -> SnapAligner:
+    """Construct the shared SNAP aligner resource (index built once)."""
+    return SnapAligner(SeedIndex(reference, seed_length=seed_length), config)
+
+
+def build_bwa_aligner(
+    reference: ReferenceGenome,
+    config: "BwaConfig | None" = None,
+) -> BwaMemAligner:
+    """Construct the shared BWA-MEM aligner resource (FM-index built once)."""
+    return BwaMemAligner(FMIndex(reference), config)
+
+
+def _count_dataset_bases(dataset: AGDDataset) -> int:
+    """Total base count from chunk indices alone (no data decompression —
+    the relative index stores per-record base counts, §3)."""
+    from repro.agd.chunk import read_chunk_index
+
+    total = 0
+    for chunk_index in range(dataset.num_chunks):
+        entry = dataset.manifest.chunks[chunk_index]
+        blob = dataset.store.get(entry.chunk_file("bases"))
+        _header, index = read_chunk_index(blob)
+        total += int(index.lengths.sum())
+    return total
+
+
+def align_dataset(
+    dataset: AGDDataset,
+    aligner,
+    config: "AlignGraphConfig | None" = None,
+    output_store: "ChunkStore | None" = None,
+    name_queue: "Queue | None" = None,
+    session_timeout: "float | None" = 600.0,
+) -> AlignOutcome:
+    """Align a dataset, appending a results column (Figure 3 end to end).
+
+    When ``output_store`` is omitted, results land next to the input
+    columns and the manifest gains a ``results`` column — the paper's
+    "unified storage of all genomic data for a given patient" (§1).
+    """
+    output_store = output_store if output_store is not None else dataset.store
+    built = build_align_graph(
+        dataset.manifest,
+        dataset.store,
+        output_store,
+        aligner,
+        config=config,
+        name_queue=name_queue,
+    )
+    total_bases = _count_dataset_bases(dataset)
+    start = time.monotonic()
+    result = Session(built.graph).run(timeout=session_timeout)
+    built.executor.shutdown()
+    wall = time.monotonic() - start
+    if output_store is dataset.store and not dataset.manifest.has_column("results"):
+        dataset.manifest.add_column("results")
+    return AlignOutcome(
+        wall_seconds=wall,
+        total_reads=built.sink.records,
+        total_bases=total_bases,
+        chunks=built.sink.chunks,
+        report=result.report,
+    )
+
+
+def stage_fastq_shards(
+    dataset: AGDDataset, shard_store: ChunkStore
+) -> int:
+    """Write the dataset's reads as per-chunk gzip'd FASTQ shards.
+
+    This is the input the standalone-tool baseline consumes (Fig. 5 runs
+    SNAP on "GZIP'd FASTQ"); returns total staged bytes.
+    """
+    total = 0
+    for chunk_index in range(dataset.num_chunks):
+        entry = dataset.manifest.chunks[chunk_index]
+        bases = dataset.read_chunk("bases", chunk_index).records
+        quals = dataset.read_chunk("qual", chunk_index).records
+        metas = dataset.read_chunk("metadata", chunk_index).records
+        lines = b"".join(
+            format_fastq_record(ReadRecord(m, b, q))
+            for m, b, q in zip(metas, bases, quals)
+        )
+        blob = gzip.compress(lines, compresslevel=6)
+        shard_store.put(f"{entry.path}.fastq.gz", blob)
+        total += len(blob)
+    return total
+
+
+def align_standalone(
+    manifest: Manifest,
+    shard_store: ChunkStore,
+    output_store: ChunkStore,
+    aligner,
+    contigs: "list[dict]",
+    config: "AlignGraphConfig | None" = None,
+    session_timeout: "float | None" = 600.0,
+) -> AlignOutcome:
+    """Run the standalone-tool baseline: gzip'd FASTQ in, SAM text out."""
+    built = build_standalone_graph(
+        manifest, shard_store, output_store, aligner, contigs, config=config
+    )
+    start = time.monotonic()
+    result = Session(built.graph).run(timeout=session_timeout)
+    built.executor.shutdown()
+    wall = time.monotonic() - start
+    return AlignOutcome(
+        wall_seconds=wall,
+        total_reads=built.sink.records,
+        total_bases=0,
+        chunks=built.sink.chunks,
+        report=result.report,
+    )

@@ -1,0 +1,159 @@
+"""Genomic region index over sorted AGD datasets (§1, §2.1).
+
+The paper's pipeline includes "sorting, indexing": "Downstream processing
+usually requires datasets to be sorted by read ID or aligned location on
+the genome.  In addition, some downstream steps are more efficient with
+random access to the dataset."  AGD already offers random access *by
+record ordinal*; this module adds random access *by genomic region* — the
+role BAI indexes play for BAM — by recording each chunk's location span.
+On a location-sorted dataset a region query then touches only the chunks
+whose spans overlap the region (binary search over span starts), reading
+just the columns the caller asks for.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+
+from repro.agd.dataset import AGDDataset
+from repro.align.result import AlignmentResult, cigar_reference_span
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """One chunk's genomic coverage: [start, end) on one or more contigs."""
+
+    chunk_index: int
+    first_contig: int
+    first_position: int
+    last_contig: int
+    last_end: int  # exclusive end of the furthest-reaching alignment
+
+    def overlaps(self, contig: int, start: int, end: int) -> bool:
+        if (self.last_contig, self.last_end) <= (contig, start):
+            return False
+        if (contig, end) <= (self.first_contig, self.first_position):
+            return False
+        return True
+
+
+class RegionIndex:
+    """Per-chunk location spans for a location-sorted dataset."""
+
+    def __init__(self, spans: "list[ChunkSpan]"):
+        self.spans = spans
+        self._starts = [(s.first_contig, s.first_position) for s in spans]
+
+    @classmethod
+    def build(cls, dataset: AGDDataset) -> "RegionIndex":
+        """Scan the results column once and record each chunk's span.
+
+        Requires a location-sorted dataset — the §2.1 precondition for
+        indexed access ("Once data is aligned, sorted and indexed...").
+        """
+        if dataset.manifest.sort_order != "location":
+            raise ValueError(
+                f"region index needs a location-sorted dataset "
+                f"(sort_order is {dataset.manifest.sort_order!r})"
+            )
+        spans: list[ChunkSpan] = []
+        for chunk_index in range(dataset.num_chunks):
+            results = dataset.read_chunk("results", chunk_index).records
+            aligned = [r for r in results if r.is_aligned]
+            if not aligned:
+                continue
+            first = aligned[0]
+            last_contig = max(r.contig_index for r in aligned)
+            last_end = max(
+                r.position + max(1, cigar_reference_span(r.cigar))
+                for r in aligned
+                if r.contig_index == last_contig
+            )
+            spans.append(
+                ChunkSpan(
+                    chunk_index=chunk_index,
+                    first_contig=first.contig_index,
+                    first_position=first.position,
+                    last_contig=last_contig,
+                    last_end=last_end,
+                )
+            )
+        return cls(spans)
+
+    # ------------------------------------------------------------- queries
+
+    def chunks_for_region(
+        self, contig: int, start: int, end: int
+    ) -> list[int]:
+        """Chunk indices whose spans overlap [start, end) on ``contig``."""
+        if start >= end:
+            raise ValueError("empty region")
+        # Spans are ordered by first location; find the window cheaply.
+        hi = bisect.bisect_right(self._starts, (contig, end))
+        candidates = self.spans[:hi]
+        return [
+            s.chunk_index for s in candidates if s.overlaps(contig, start, end)
+        ]
+
+    def fetch_region(
+        self,
+        dataset: AGDDataset,
+        contig: int,
+        start: int,
+        end: int,
+        columns: "tuple[str, ...]" = ("results",),
+    ) -> "list[tuple]":
+        """Rows overlapping the region, reading only overlapping chunks.
+
+        Returns tuples ordered as ``columns``; the results column (which
+        must be included or is implicitly prepended) determines overlap.
+        """
+        wanted = list(columns)
+        if "results" not in wanted:
+            wanted.insert(0, "results")
+        rows: list[tuple] = []
+        for chunk_index in self.chunks_for_region(contig, start, end):
+            column_data = [
+                dataset.read_chunk(column, chunk_index).records
+                for column in wanted
+            ]
+            for row in zip(*column_data):
+                result: AlignmentResult = row[wanted.index("results")]
+                if not result.is_aligned or result.contig_index != contig:
+                    continue
+                span = max(1, cigar_reference_span(result.cigar))
+                if result.position < end and result.position + span > start:
+                    rows.append(
+                        tuple(row[wanted.index(c)] for c in columns)
+                    )
+        return rows
+
+    # --------------------------------------------------------- persistence
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {
+                    "chunk": s.chunk_index,
+                    "first": [s.first_contig, s.first_position],
+                    "last": [s.last_contig, s.last_end],
+                }
+                for s in self.spans
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RegionIndex":
+        spans = [
+            ChunkSpan(
+                chunk_index=doc["chunk"],
+                first_contig=doc["first"][0],
+                first_position=doc["first"][1],
+                last_contig=doc["last"][0],
+                last_end=doc["last"][1],
+            )
+            for doc in json.loads(text)
+        ]
+        return cls(spans)

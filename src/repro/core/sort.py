@@ -1,0 +1,215 @@
+"""Dataset sorting: external merge sort with superchunks (§4.3).
+
+"Persona also integrates full dataset sorting by various parameters,
+including mapped read location and read ID.  The sort implementation is a
+simple external merge sort, where several chunks at a time are sorted and
+merged into temporary file 'superchunks'.  A final merge stage merges
+superchunks into the final sorted dataset."
+
+Sorting reorders *rows*, so all row-grouped columns move together; but —
+unlike row-oriented SAM/BAM sorting — only the key column plus compact
+row payloads travel through the sort, and records never leave their
+columnar encoding (Table 2's advantage).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.agd.chunk import read_chunk, write_chunk
+from repro.agd.dataset import AGDDataset
+from repro.agd.manifest import ChunkEntry, Manifest
+from repro.agd.records import record_type_for_column
+from repro.align.result import AlignmentResult
+from repro.storage.base import ChunkStore, MemoryStore
+
+
+@dataclass
+class SortConfig:
+    """External sort parameters."""
+
+    chunks_per_superchunk: int = 4
+    output_chunk_size: "int | None" = None  # default: input chunk size
+    order: str = "location"  # or "metadata"
+
+
+def sort_key_for(order: str) -> Callable:
+    """Key extractor over a row tuple (results, metadata, ...)."""
+    if order == "location":
+        def location_key(row: tuple) -> tuple:
+            result: AlignmentResult = row[0]
+            return result.location_key()
+        return location_key
+    if order == "metadata":
+        def metadata_key(row: tuple) -> bytes:
+            return row[1]
+        return metadata_key
+    raise ValueError(f"unknown sort order {order!r} (location|metadata)")
+
+
+def sort_dataset(
+    dataset: AGDDataset,
+    output_store: ChunkStore,
+    config: "SortConfig | None" = None,
+    scratch_store: "ChunkStore | None" = None,
+) -> AGDDataset:
+    """Sort a dataset into ``output_store``; returns the sorted dataset.
+
+    Phase 1 reads ``chunks_per_superchunk`` chunks at a time, sorts their
+    rows, and writes each sorted run as a *superchunk* into the scratch
+    store.  Phase 2 k-way-merges the runs and emits final chunks.
+    """
+    config = config or SortConfig()
+    if config.chunks_per_superchunk <= 0:
+        raise ValueError("chunks_per_superchunk must be positive")
+    manifest = dataset.manifest
+    columns = list(manifest.columns)
+    if config.order == "location" and "results" not in columns:
+        raise ValueError("location sort needs a results column; align first")
+    key_fn = sort_key_for(config.order)
+    scratch = scratch_store if scratch_store is not None else MemoryStore()
+    # Row layout: (results, metadata, bases, qual, <extra...>) so the key
+    # function can address results/metadata positionally.
+    ordered_columns = _key_first_columns(columns)
+
+    # ---------------------------------------------------- phase 1: runs
+    runs: list[list[ChunkEntry]] = []
+    group: list[int] = []
+    for chunk_index in range(manifest.num_chunks):
+        group.append(chunk_index)
+        if len(group) == config.chunks_per_superchunk:
+            runs.append(_write_run(dataset, group, ordered_columns, key_fn,
+                                   scratch, len(runs)))
+            group = []
+    if group:
+        runs.append(_write_run(dataset, group, ordered_columns, key_fn,
+                               scratch, len(runs)))
+
+    # --------------------------------------------------- phase 2: merge
+    out_chunk_size = config.output_chunk_size or (
+        manifest.chunks[0].record_count if manifest.chunks else 1
+    )
+    streams = [
+        _RunReader(scratch, run_entries, ordered_columns)
+        for run_entries in runs
+    ]
+    merged = heapq.merge(*streams, key=key_fn)
+    out_columns: dict[str, list] = {c: [] for c in ordered_columns}
+    sorted_name = f"{manifest.name}-sorted"
+    entries: list[ChunkEntry] = []
+    buffered = 0
+    total = 0
+
+    def flush() -> None:
+        nonlocal buffered
+        if not buffered:
+            return
+        entry = ChunkEntry(
+            f"{sorted_name}-{len(entries)}", total - buffered, buffered
+        )
+        for column in ordered_columns:
+            blob = write_chunk(
+                out_columns[column][:],
+                record_type_for_column(column),
+                first_ordinal=entry.first_ordinal,
+            )
+            output_store.put(entry.chunk_file(column), blob)
+            out_columns[column].clear()
+        entries.append(entry)
+        buffered = 0
+
+    for row in merged:
+        for column, value in zip(ordered_columns, row):
+            out_columns[column].append(value)
+        buffered += 1
+        total += 1
+        if buffered == out_chunk_size:
+            flush()
+    flush()
+    sorted_manifest = Manifest(
+        name=sorted_name,
+        columns=sorted(columns),
+        chunks=entries,
+        reference=manifest.reference,
+        sort_order=config.order,
+    )
+    return AGDDataset(sorted_manifest, output_store)
+
+
+def _key_first_columns(columns: list[str]) -> list[str]:
+    """Order columns so rows are (results, metadata, rest...)."""
+    rest = [c for c in columns if c not in ("results", "metadata")]
+    ordered = []
+    if "results" in columns:
+        ordered.append("results")
+    if "metadata" in columns:
+        ordered.append("metadata")
+    return ordered + sorted(rest)
+
+
+def _write_run(
+    dataset: AGDDataset,
+    chunk_indices: list[int],
+    ordered_columns: list[str],
+    key_fn: Callable,
+    scratch: ChunkStore,
+    run_index: int,
+) -> list[ChunkEntry]:
+    """Sort a group of chunks into one superchunk (a sorted run)."""
+    rows: list[tuple] = []
+    for chunk_index in chunk_indices:
+        column_data = [
+            dataset.read_chunk(column, chunk_index).records
+            for column in ordered_columns
+        ]
+        rows.extend(zip(*column_data))
+    rows.sort(key=key_fn)
+    # A superchunk is stored as one jumbo chunk per column.
+    entry = ChunkEntry(f"superchunk-{run_index}", 0, len(rows))
+    for c_index, column in enumerate(ordered_columns):
+        records = [row[c_index] for row in rows]
+        blob = write_chunk(records, record_type_for_column(column))
+        scratch.put(entry.chunk_file(column), blob)
+    return [entry]
+
+
+class _RunReader:
+    """Streams rows of one sorted run for the merge heap."""
+
+    def __init__(
+        self,
+        scratch: ChunkStore,
+        entries: list[ChunkEntry],
+        ordered_columns: list[str],
+    ):
+        self._scratch = scratch
+        self._entries = entries
+        self._columns = ordered_columns
+
+    def __iter__(self):
+        for entry in self._entries:
+            column_data = [
+                read_chunk(self._scratch.get(entry.chunk_file(column))).records
+                for column in self._columns
+            ]
+            yield from zip(*column_data)
+
+
+def verify_sorted(dataset: AGDDataset, order: str = "location") -> bool:
+    """Check a dataset's rows are in the claimed order (test helper)."""
+    key_fn = sort_key_for(order)
+    ordered_columns = _key_first_columns(list(dataset.manifest.columns))
+    previous = None
+    for chunk_index in range(dataset.num_chunks):
+        column_data = [
+            dataset.read_chunk(column, chunk_index).records
+            for column in ordered_columns
+        ]
+        for row in zip(*column_data):
+            key = key_fn(row)
+            if previous is not None and key < previous:
+                return False
+            previous = key
+    return True

@@ -1,0 +1,218 @@
+"""Prebuilt Persona subgraphs (§4.1): "a thin Python library that stitches
+these nodes together into optimized subgraphs for common I/O patterns and
+bioinformatics functions."
+
+The standard alignment graph (Figure 3):
+
+    chunk names -> reader -> AGD parser -> [central queue] -> aligner
+    -> writer -> sink
+
+Queue capacities follow §4.5: "default queue lengths are set to the
+number of parallel downstream nodes they feed" — shallow queues bound
+memory and avoid stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agd.manifest import Manifest
+from repro.core.ops import (
+    AGDParserNode,
+    AlignerNode,
+    ChunkNameSource,
+    ChunkReaderNode,
+    ColumnWriterNode,
+    FastqParserNode,
+    GzipFastqReaderNode,
+    NullSinkNode,
+    PairedAlignerNode,
+    QueueNameSource,
+    SamWriterNode,
+)
+from repro.dataflow.executor import BusyCounter, Executor
+from repro.dataflow.graph import Graph
+from repro.dataflow.queues import Queue
+from repro.formats.sam import SamHeader
+from repro.storage.base import ChunkStore
+
+
+@dataclass
+class AlignGraphConfig:
+    """Knobs for the standard alignment graph."""
+
+    executor_threads: int = 4
+    aligner_nodes: int = 2
+    reader_nodes: int = 2
+    parser_nodes: int = 2
+    writer_nodes: int = 1
+    subchunk_size: int = 512
+    queue_depth: "int | None" = None  # default: downstream parallelism
+    paired: bool = False
+
+
+@dataclass
+class AlignGraph:
+    """A wired alignment graph plus the handles its caller may inspect."""
+
+    graph: Graph
+    sink: NullSinkNode
+    executor: Executor
+    busy_counter: BusyCounter
+
+
+def build_align_graph(
+    manifest: Manifest,
+    input_store: ChunkStore,
+    output_store: ChunkStore,
+    aligner,
+    config: "AlignGraphConfig | None" = None,
+    name_queue: "Queue | None" = None,
+    graph_name: str = "align",
+) -> AlignGraph:
+    """Assemble the Figure 3 alignment pipeline over AGD input.
+
+    ``aligner`` is a shared read-only aligner object (SNAP- or BWA-style);
+    ``name_queue`` switches the source from the local manifest to a shared
+    manifest-server queue (cluster mode, §5.2).
+    """
+    config = config or AlignGraphConfig()
+    g = Graph(graph_name)
+    busy = BusyCounter()
+    executor = Executor(
+        config.executor_threads,
+        name=f"{graph_name}.executor",
+        busy_counter=busy,
+    )
+    aligner_handle = g.register_resource("aligner", aligner)
+    executor_handle = g.register_resource("executor", executor)
+
+    depth = config.queue_depth
+    q_names = g.queue("chunk_names", depth or max(2, config.reader_nodes))
+    q_raw = g.queue("raw_chunks", depth or max(2, config.parser_nodes))
+    q_parsed = g.queue("parsed_chunks", depth or max(2, config.aligner_nodes))
+    q_aligned = g.queue("aligned_chunks", depth or max(2, config.writer_nodes))
+    q_written = g.queue("written_chunks", depth or 2)
+
+    if name_queue is not None:
+        g.add(QueueNameSource(name_queue), output=q_names)
+    else:
+        g.add(ChunkNameSource(manifest), output=q_names)
+    g.add(
+        ChunkReaderNode(
+            input_store,
+            columns=("bases", "qual"),
+            parallelism=config.reader_nodes,
+        ),
+        input=q_names,
+        output=q_raw,
+    )
+    g.add(
+        AGDParserNode(parallelism=config.parser_nodes),
+        input=q_raw,
+        output=q_parsed,
+    )
+    if config.paired:
+        g.add(
+            PairedAlignerNode(
+                aligner_handle,
+                executor_handle,
+                subchunk_size=max(1, config.subchunk_size // 2),
+                parallelism=config.aligner_nodes,
+            ),
+            input=q_parsed,
+            output=q_aligned,
+        )
+    else:
+        g.add(
+            AlignerNode(
+                aligner_handle,
+                executor_handle,
+                subchunk_size=config.subchunk_size,
+                parallelism=config.aligner_nodes,
+            ),
+            input=q_parsed,
+            output=q_aligned,
+        )
+    g.add(
+        ColumnWriterNode(
+            output_store,
+            column="results",
+            record_type="results",
+            parallelism=config.writer_nodes,
+        ),
+        input=q_aligned,
+        output=q_written,
+    )
+    sink = NullSinkNode()
+    g.add(sink, input=q_written)
+    return AlignGraph(graph=g, sink=sink, executor=executor, busy_counter=busy)
+
+
+def build_standalone_graph(
+    manifest: Manifest,
+    input_store: ChunkStore,
+    output_store: ChunkStore,
+    aligner,
+    contigs: "list[dict]",
+    config: "AlignGraphConfig | None" = None,
+    graph_name: str = "standalone",
+) -> AlignGraph:
+    """The Table 1 baseline: gzip'd FASTQ in, SAM text out.
+
+    Structurally the same pipeline, but the reader pulls whole row-
+    oriented FASTQ shards and the writer re-emits every field as SAM —
+    the extra read and (especially) write volume Table 1 quantifies.
+    """
+    config = config or AlignGraphConfig()
+    g = Graph(graph_name)
+    busy = BusyCounter()
+    executor = Executor(
+        config.executor_threads,
+        name=f"{graph_name}.executor",
+        busy_counter=busy,
+    )
+    aligner_handle = g.register_resource("aligner", aligner)
+    executor_handle = g.register_resource("executor", executor)
+
+    q_names = g.queue("chunk_names", max(2, config.reader_nodes))
+    q_raw = g.queue("raw_chunks", max(2, config.parser_nodes))
+    q_parsed = g.queue("parsed_chunks", max(2, config.aligner_nodes))
+    q_aligned = g.queue("aligned_chunks", max(2, config.writer_nodes))
+    q_written = g.queue("written_chunks", 2)
+
+    g.add(ChunkNameSource(manifest), output=q_names)
+    g.add(
+        GzipFastqReaderNode(input_store, parallelism=config.reader_nodes),
+        input=q_names,
+        output=q_raw,
+    )
+    g.add(
+        FastqParserNode(parallelism=config.parser_nodes),
+        input=q_raw,
+        output=q_parsed,
+    )
+    g.add(
+        AlignerNode(
+            aligner_handle,
+            executor_handle,
+            subchunk_size=config.subchunk_size,
+            parallelism=config.aligner_nodes,
+        ),
+        input=q_parsed,
+        output=q_aligned,
+    )
+    contig_names = [c["name"] for c in contigs]
+    g.add(
+        SamWriterNode(
+            output_store,
+            contig_names,
+            header=SamHeader(contigs=contigs),
+            parallelism=config.writer_nodes,
+        ),
+        input=q_aligned,
+        output=q_written,
+    )
+    sink = NullSinkNode()
+    g.add(sink, input=q_written)
+    return AlignGraph(graph=g, sink=sink, executor=executor, busy_counter=busy)

@@ -1,0 +1,132 @@
+"""Pileup-based variant calling (§8: "work ongoing to integrate
+comprehensive data filtering and variant calling").
+
+The paper lists variant calling as Persona's next integration target, so
+this module implements the classic pileup caller the background section
+describes (§2.1: variant calling "compares the reassembled genome to the
+reference and attempts [to] identify mutations"): pile up aligned bases
+per reference position, then call a site when the non-reference evidence
+clears depth/fraction/quality thresholds.  SNP calls only — indel calling
+is out of scope, as it is for GATK's basic pileup mode.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.agd.dataset import AGDDataset
+from repro.align.result import cigar_operations
+from repro.formats.vcf import VariantRecord
+from repro.genome.reference import ReferenceGenome
+from repro.genome.sequence import reverse_complement
+
+
+@dataclass
+class VarCallConfig:
+    """Calling thresholds."""
+
+    min_depth: int = 4
+    min_alt_fraction: float = 0.6
+    min_base_quality: int = 15
+    min_mapq: int = 20
+    skip_duplicates: bool = True
+
+
+@dataclass
+class PileupColumn:
+    """Base evidence at one reference position."""
+
+    depth: int = 0
+    counts: "Counter[int]" = None  # base byte -> count
+
+    def __post_init__(self) -> None:
+        if self.counts is None:
+            self.counts = Counter()
+
+
+def pileup_dataset(
+    dataset: AGDDataset,
+    config: "VarCallConfig | None" = None,
+) -> "dict[tuple[int, int], PileupColumn]":
+    """Build pileup columns over an aligned (ideally sorted) dataset.
+
+    Soft clips and insertions consume read bases without reference
+    positions; deletions consume reference without read bases — the CIGAR
+    walk handles all three.
+    """
+    config = config or VarCallConfig()
+    columns: dict[tuple[int, int], PileupColumn] = defaultdict(PileupColumn)
+    for chunk_index in range(dataset.num_chunks):
+        results = dataset.read_chunk("results", chunk_index).records
+        bases_col = dataset.read_chunk("bases", chunk_index).records
+        quals_col = dataset.read_chunk("qual", chunk_index).records
+        for result, bases, quals in zip(results, bases_col, quals_col):
+            if not result.is_aligned or result.mapq < config.min_mapq:
+                continue
+            if config.skip_duplicates and result.is_duplicate:
+                continue
+            if result.is_reverse:
+                bases = reverse_complement(bases)
+                quals = quals[::-1]
+            read_pos = 0
+            ref_pos = result.position
+            for length, op in cigar_operations(result.cigar):
+                if op in "M=X":
+                    for offset in range(length):
+                        quality = quals[read_pos + offset] - 33
+                        if quality >= config.min_base_quality:
+                            key = (result.contig_index, ref_pos + offset)
+                            column = columns[key]
+                            column.depth += 1
+                            column.counts[bases[read_pos + offset]] += 1
+                    read_pos += length
+                    ref_pos += length
+                elif op in "IS":
+                    read_pos += length
+                elif op in "DN":
+                    ref_pos += length
+                # H and P consume neither.
+    return columns
+
+
+def call_variants(
+    dataset: AGDDataset,
+    reference: ReferenceGenome,
+    config: "VarCallConfig | None" = None,
+) -> list[VariantRecord]:
+    """Call SNPs against the reference; returns VCF records in order."""
+    config = config or VarCallConfig()
+    columns = pileup_dataset(dataset, config)
+    names = reference.names
+    variants: list[VariantRecord] = []
+    for (contig_index, position), column in sorted(columns.items()):
+        if column.depth < config.min_depth:
+            continue
+        contig = reference.contig(names[contig_index])
+        if position >= len(contig):
+            continue
+        ref_base = contig.sequence[position]
+        alt_base, alt_count = max(
+            column.counts.items(), key=lambda kv: (kv[1], kv[0])
+        )
+        if alt_base == ref_base:
+            continue
+        fraction = alt_count / column.depth
+        if fraction < config.min_alt_fraction:
+            continue
+        quality = min(99.0, 10.0 * alt_count * fraction)
+        variants.append(
+            VariantRecord(
+                chrom=names[contig_index],
+                pos=position + 1,
+                ref=chr(ref_base),
+                alt=chr(alt_base),
+                qual=quality,
+                info={
+                    "DP": column.depth,
+                    "AF": f"{fraction:.3f}",
+                },
+            )
+        )
+    return variants

@@ -1,0 +1,56 @@
+"""Coarse-grain dataflow engine (§4): the TensorFlow substrate analog."""
+
+from repro.dataflow.errors import (
+    PipelineAborted,
+    PipelineError,
+    QueueClosed,
+)
+from repro.dataflow.executor import (
+    BusyCounter,
+    ChunkCompletion,
+    Executor,
+    ExecutorStats,
+    PartitionedExecutor,
+)
+from repro.dataflow.graph import Graph, GraphError
+from repro.dataflow.node import (
+    CollectSink,
+    IterableSource,
+    LambdaNode,
+    Node,
+    NodeStats,
+)
+from repro.dataflow.pools import Buffer, BufferPool, ObjectPool
+from repro.dataflow.queues import Queue
+from repro.dataflow.resources import Handle, ResourceManager
+from repro.dataflow.session import NodeContext, Session, SessionResult
+from repro.dataflow.stealing import StealingStats, WorkStealingExecutor
+
+__all__ = [
+    "Buffer",
+    "BufferPool",
+    "BusyCounter",
+    "ChunkCompletion",
+    "CollectSink",
+    "Executor",
+    "ExecutorStats",
+    "Graph",
+    "GraphError",
+    "Handle",
+    "IterableSource",
+    "LambdaNode",
+    "Node",
+    "NodeContext",
+    "NodeStats",
+    "ObjectPool",
+    "PartitionedExecutor",
+    "PipelineAborted",
+    "PipelineError",
+    "Queue",
+    "QueueClosed",
+    "ResourceManager",
+    "Session",
+    "SessionResult",
+    "StealingStats",
+    "WorkStealingExecutor",
+]

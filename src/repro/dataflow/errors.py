@@ -1,0 +1,23 @@
+"""Dataflow error types."""
+
+from __future__ import annotations
+
+
+class QueueClosed(Exception):
+    """Raised by ``Queue.get`` once a queue is closed and drained."""
+
+
+class PipelineAborted(Exception):
+    """Raised by queue operations after the graph has been aborted."""
+
+
+class PipelineError(RuntimeError):
+    """Raised by ``Session.run`` when any node fails.
+
+    The originating exception is attached as ``__cause__``; ``node_name``
+    identifies the failing kernel.
+    """
+
+    def __init__(self, node_name: str, cause: BaseException):
+        super().__init__(f"node {node_name!r} failed: {cause!r}")
+        self.node_name = node_name

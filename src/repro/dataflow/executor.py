@@ -1,0 +1,234 @@
+"""The fine-grain executor resource (§4.3, Figure 4).
+
+AGD chunk granularity "being optimized for storage, is too coarse for
+threads and produces work imbalance that leads to stragglers.  To remedy
+this, execution of the alignment algorithm is delegated to an executor
+resource that owns all of the threads, and implements a fine-grain task
+queue.  Multiple parallel aligner nodes then feed chunks to this executor,
+and wait for them to be completed."
+
+The executor is registered as a session resource; aligner kernels receive
+its handle, split their chunk into subchunks, enqueue (subchunk, output
+slot) tasks, and block on a per-chunk completion latch.  For BWA-MEM's
+paired mode the executor can partition its threads into named groups,
+reproducing §4.3: "the executor resource for BWA paired alignment divides
+the system threads among these tasks."
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.dataflow.queues import Queue
+from repro.dataflow.errors import QueueClosed
+
+
+class ChunkCompletion:
+    """Countdown latch: one chunk's subchunk tasks, awaited by its node."""
+
+    def __init__(self, count: int):
+        if count <= 0:
+            raise ValueError("completion needs at least one task")
+        self._remaining = count
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._errors: list[BaseException] = []
+
+    def task_done(self, error: "BaseException | None" = None) -> None:
+        with self._lock:
+            if error is not None:
+                self._errors.append(error)
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._done.set()
+
+    def wait(self, timeout: "float | None" = None) -> None:
+        """Block until every task finished; re-raise the first task error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("chunk completion timed out")
+        if self._errors:
+            raise self._errors[0]
+
+    @property
+    def errors(self) -> list[BaseException]:
+        return list(self._errors)
+
+
+@dataclass
+class _Task:
+    fn: Callable[[], None]
+    completion: ChunkCompletion
+
+
+@dataclass
+class ExecutorStats:
+    """Executor-level metrics for utilization analysis (Fig. 5)."""
+
+    tasks_executed: int = 0
+    busy_seconds: float = 0.0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def utilization(self, num_threads: int) -> float:
+        elapsed = time.monotonic() - self.started_at
+        if elapsed <= 0 or num_threads <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed * num_threads))
+
+
+class Executor:
+    """A thread-owning executor with a fine-grain task queue."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        name: str = "executor",
+        queue_depth: "int | None" = None,
+        busy_counter: "BusyCounter | None" = None,
+    ):
+        if num_threads <= 0:
+            raise ValueError("executor needs at least one thread")
+        self.name = name
+        self.num_threads = num_threads
+        depth = queue_depth if queue_depth is not None else 4 * num_threads
+        self._tasks: Queue[_Task] = Queue(f"{name}.tasks", depth)
+        self._tasks.register_producer()
+        self.stats = ExecutorStats()
+        self._stats_lock = threading.Lock()
+        self._busy_counter = busy_counter
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"{name}-{i}", daemon=True
+            )
+            for i in range(num_threads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------- workers
+
+    def _worker(self) -> None:
+        while True:
+            try:
+                task = self._tasks.get()
+            except QueueClosed:
+                return
+            start = time.monotonic()
+            if self._busy_counter is not None:
+                self._busy_counter.enter()
+            error: BaseException | None = None
+            try:
+                task.fn()
+            except BaseException as exc:  # propagate via completion
+                error = exc
+            finally:
+                if self._busy_counter is not None:
+                    self._busy_counter.exit()
+                elapsed = time.monotonic() - start
+                with self._stats_lock:
+                    self.stats.tasks_executed += 1
+                    self.stats.busy_seconds += elapsed
+                task.completion.task_done(error)
+
+    # ----------------------------------------------------------------- API
+
+    def submit_chunk(
+        self, subtasks: Sequence[Callable[[], None]]
+    ) -> ChunkCompletion:
+        """Enqueue one chunk's subchunk tasks; returns its completion latch.
+
+        The calling node blocks on ``completion.wait()`` — meanwhile other
+        aligner nodes keep the task queue full, so "all cores in the
+        system are thus kept running continuously doing meaningful work."
+        """
+        if not subtasks:
+            raise ValueError("chunk produced no subtasks")
+        completion = ChunkCompletion(len(subtasks))
+        for fn in subtasks:
+            self._tasks.put(_Task(fn, completion))
+        return completion
+
+    def run_chunk(
+        self, subtasks: Sequence[Callable[[], None]],
+        timeout: "float | None" = 300.0,
+    ) -> None:
+        """Submit and wait (the common aligner-node pattern)."""
+        self.submit_chunk(subtasks).wait(timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._tasks.producer_done()
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._tasks)
+
+
+class BusyCounter:
+    """Counts concurrently-busy workers; sampled for CPU-utilization traces."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def enter(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def exit(self) -> None:
+        with self._lock:
+            self._count -= 1
+
+    @property
+    def busy(self) -> int:
+        with self._lock:
+            return self._count
+
+
+class PartitionedExecutor:
+    """Thread groups for pipelines with serial + parallel stages (§4.3).
+
+    BWA-MEM paired alignment has a single-threaded inference step between
+    multithreaded batches, so "the executor resource for BWA paired
+    alignment divides the system threads among these tasks.  We find a
+    balance empirically."
+    """
+
+    def __init__(
+        self,
+        partitions: "dict[str, int]",
+        name: str = "partitioned",
+        busy_counter: "BusyCounter | None" = None,
+    ):
+        if not partitions:
+            raise ValueError("need at least one partition")
+        for group, count in partitions.items():
+            if count <= 0:
+                raise ValueError(f"partition {group!r} needs >= 1 thread")
+        self.name = name
+        self._groups = {
+            group: Executor(
+                count, name=f"{name}.{group}", busy_counter=busy_counter
+            )
+            for group, count in partitions.items()
+        }
+
+    def group(self, name: str) -> Executor:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise KeyError(
+                f"no thread group {name!r} (groups: {sorted(self._groups)})"
+            ) from None
+
+    @property
+    def total_threads(self) -> int:
+        return sum(e.num_threads for e in self._groups.values())
+
+    def shutdown(self, wait: bool = True) -> None:
+        for executor in self._groups.values():
+            executor.shutdown(wait=wait)

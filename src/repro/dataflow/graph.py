@@ -1,0 +1,124 @@
+"""Dataflow graph assembly (§4.1).
+
+"Individual dataflow nodes and queues can be stitched together using the
+Python API however the user desires."  A :class:`Graph` owns nodes, the
+queues between them, and shared resources; :class:`repro.dataflow.session.
+Session` executes it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dataflow.node import Node
+from repro.dataflow.queues import Queue
+from repro.dataflow.resources import Handle, ResourceManager
+
+
+class GraphError(ValueError):
+    """Raised for malformed graph wiring."""
+
+
+class Graph:
+    """A set of kernels wired by bounded queues."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.nodes: list[Node] = []
+        self.queues: list[Queue] = []
+        self.resources = ResourceManager()
+        self._node_names: set[str] = set()
+        self._queue_names: set[str] = set()
+
+    # --------------------------------------------------------------- build
+
+    def queue(self, name: str, capacity: int) -> Queue:
+        """Create a bounded queue.
+
+        §4.5 guidance on capacity: "default queue lengths are set to the
+        number of parallel downstream nodes they feed" — callers pass that
+        number here.
+        """
+        if name in self._queue_names:
+            raise GraphError(f"duplicate queue name {name!r}")
+        q: Queue = Queue(name, capacity)
+        self._queue_names.add(name)
+        self.queues.append(q)
+        return q
+
+    def add(
+        self,
+        node: Node,
+        input: "Queue | None" = None,
+        output: "Queue | None" = None,
+    ) -> Node:
+        """Add a kernel, wiring its input/output queues."""
+        if node.name in self._node_names:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        for q, label in ((input, "input"), (output, "output")):
+            if q is not None and q not in self.queues:
+                raise GraphError(
+                    f"node {node.name!r} {label} queue {q.name!r} "
+                    f"does not belong to this graph"
+                )
+        node.input = input
+        node.output = output
+        if output is not None:
+            # Every replica is a producer; the queue closes when all done.
+            for _ in range(node.parallelism):
+                output.register_producer()
+        self._node_names.add(node.name)
+        self.nodes.append(node)
+        return node
+
+    def register_resource(self, name: str, resource: Any) -> Handle:
+        return self.resources.register(name, resource)
+
+    # ---------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Check wiring invariants before execution."""
+        if not self.nodes:
+            raise GraphError("graph has no nodes")
+        produced = {
+            q.name for node in self.nodes if node.output is not None
+            for q in [node.output]
+        }
+        consumed = {
+            q.name for node in self.nodes if node.input is not None
+            for q in [node.input]
+        }
+        for q in self.queues:
+            if q.name not in produced:
+                raise GraphError(f"queue {q.name!r} has no producer")
+            if q.name not in consumed:
+                raise GraphError(f"queue {q.name!r} has no consumer")
+        sources = [n for n in self.nodes if n.input is None]
+        if not sources:
+            raise GraphError("graph has no source node")
+
+    # ------------------------------------------------------------- control
+
+    def abort(self) -> None:
+        """Error path: wake every blocked kernel."""
+        for q in self.queues:
+            q.abort()
+
+    def stats_report(self) -> "dict[str, dict]":
+        """Per-node and per-queue metrics (§4.6 runtime statistics)."""
+        report: dict[str, dict] = {"nodes": {}, "queues": {}}
+        for node in self.nodes:
+            report["nodes"][node.name] = {
+                "items_in": node.stats.items_in,
+                "items_out": node.stats.items_out,
+                "busy_seconds": round(node.stats.busy_seconds, 6),
+                "wait_seconds": round(node.stats.wait_seconds, 6),
+                "replicas": node.parallelism,
+            }
+        for q in self.queues:
+            report["queues"][q.name] = {
+                "capacity": q.capacity,
+                "total_enqueued": q.total_enqueued,
+                "max_depth": q.max_depth,
+            }
+        return report

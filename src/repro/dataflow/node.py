@@ -1,0 +1,179 @@
+"""Dataflow kernels (§4).
+
+"The major functions of the system — I/O, computation, and system
+management — are separated into dataflow kernels.  Each kernel can be
+mapped to available hardware resources."  A :class:`Node` is one kernel;
+the session runs ``parallelism`` replicas of it, each pulling items from
+the node's input queue and pushing results downstream.  "Dataflow
+semantics mean that independent tasks always execute in parallel."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.dataflow.errors import QueueClosed
+from repro.dataflow.queues import Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.session import NodeContext
+
+
+@dataclass
+class NodeStats:
+    """Per-node runtime statistics (TF-style node-level profiling, §4.6)."""
+
+    items_in: int = 0
+    items_out: int = 0
+    busy_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    replicas: int = 1
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.busy_seconds + self.wait_seconds
+
+    def busy_fraction(self) -> float:
+        total = self.total_seconds
+        return self.busy_seconds / total if total > 0 else 0.0
+
+
+class Node:
+    """Base dataflow kernel.
+
+    Subclasses implement :meth:`generate` (sources) or :meth:`process`
+    (transforms); :meth:`finalize` runs once per replica after the input
+    is exhausted (for flush/merge stages); :meth:`setup` runs before any
+    items flow and may acquire resources by handle.
+    """
+
+    def __init__(self, name: str, parallelism: int = 1):
+        if parallelism <= 0:
+            raise ValueError(f"node {name!r} parallelism must be positive")
+        self.name = name
+        self.parallelism = parallelism
+        self.input: "Queue | None" = None
+        self.output: "Queue | None" = None
+        self.stats = NodeStats(replicas=parallelism)
+
+    # --------------------------------------------------------- subclass API
+
+    def setup(self, ctx: "NodeContext") -> None:
+        """Per-replica initialization (resource lookup, file opening)."""
+
+    def generate(self, ctx: "NodeContext") -> Iterator[Any]:
+        """Source kernels yield items here."""
+        raise NotImplementedError(
+            f"node {self.name!r} has no input queue and no generate()"
+        )
+
+    def process(self, item: Any, ctx: "NodeContext") -> "Iterable[Any] | None":
+        """Transform one item into zero or more output items."""
+        raise NotImplementedError(
+            f"node {self.name!r} has an input queue but no process()"
+        )
+
+    def finalize(self, ctx: "NodeContext") -> "Iterable[Any] | None":
+        """Flush stage run once per replica after input exhaustion."""
+        return None
+
+    # ----------------------------------------------------------- run loops
+
+    def run_replica(self, ctx: "NodeContext") -> None:
+        """One replica's main loop (invoked on a session thread)."""
+        self.setup(ctx)
+        if self.input is None:
+            self._run_source(ctx)
+        else:
+            self._run_transform(ctx)
+
+    def _emit(self, ctx: "NodeContext", items: "Iterable[Any] | None") -> None:
+        if items is None:
+            return
+        for item in items:
+            if self.output is None:
+                raise RuntimeError(
+                    f"node {self.name!r} emitted an item but has no output"
+                )
+            wait_start = time.monotonic()
+            self.output.put(item)
+            self._add_wait(time.monotonic() - wait_start)
+            with ctx.stats_lock:
+                self.stats.items_out += 1
+
+    def _add_busy(self, seconds: float) -> None:
+        self.stats.busy_seconds += seconds
+
+    def _add_wait(self, seconds: float) -> None:
+        self.stats.wait_seconds += seconds
+
+    def _run_source(self, ctx: "NodeContext") -> None:
+        for item in self.generate(ctx):
+            self._emit(ctx, [item])
+            with ctx.stats_lock:
+                self.stats.items_in += 1
+
+    def _run_transform(self, ctx: "NodeContext") -> None:
+        assert self.input is not None
+        while True:
+            wait_start = time.monotonic()
+            try:
+                item = self.input.get()
+            except QueueClosed:
+                self._add_wait(time.monotonic() - wait_start)
+                break
+            self._add_wait(time.monotonic() - wait_start)
+            with ctx.stats_lock:
+                self.stats.items_in += 1
+            busy_start = time.monotonic()
+            ctx.busy_counter.enter()
+            try:
+                out = self.process(item, ctx)
+            finally:
+                ctx.busy_counter.exit()
+                self._add_busy(time.monotonic() - busy_start)
+            self._emit(ctx, out)
+        busy_start = time.monotonic()
+        try:
+            tail = self.finalize(ctx)
+        finally:
+            self._add_busy(time.monotonic() - busy_start)
+        self._emit(ctx, tail)
+
+
+class LambdaNode(Node):
+    """A transform kernel from a plain function (testing / glue)."""
+
+    def __init__(self, name: str, fn, parallelism: int = 1):
+        super().__init__(name, parallelism)
+        self._fn = fn
+
+    def process(self, item: Any, ctx: "NodeContext") -> "Iterable[Any] | None":
+        result = self._fn(item)
+        return None if result is None else [result]
+
+
+class IterableSource(Node):
+    """A source kernel yielding the items of a Python iterable."""
+
+    def __init__(self, name: str, items: Iterable[Any]):
+        super().__init__(name, parallelism=1)
+        self._items = items
+
+    def generate(self, ctx: "NodeContext") -> Iterator[Any]:
+        yield from self._items
+
+
+class CollectSink(Node):
+    """A sink kernel that gathers all inputs into ``self.collected``."""
+
+    def __init__(self, name: str = "sink"):
+        super().__init__(name, parallelism=1)
+        self.collected: list[Any] = []
+
+    def process(self, item: Any, ctx: "NodeContext") -> None:
+        self.collected.append(item)
+        return None

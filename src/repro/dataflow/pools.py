@@ -1,0 +1,126 @@
+"""Recyclable object and buffer pools (§4, §4.5, §4.6).
+
+Persona's zero-copy architecture: "Uses pools of reusable objects to
+buffer data" because storing genomic byte strings in framework tensors
+"led to large amounts of small memory allocations, and constant data
+copying".  Pools are bounded, so together with queue capacities they cap
+total memory: "The total quantity of objects is the sum of the queue
+lengths and the number of dataflow nodes that use an object."
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Buffer:
+    """A recyclable byte buffer handed out by a :class:`BufferPool`."""
+
+    __slots__ = ("data", "_pool")
+
+    def __init__(self, pool: "BufferPool | None" = None):
+        self.data = bytearray()
+        self._pool = pool
+
+    def set(self, payload: "bytes | bytearray") -> "Buffer":
+        self.data[:] = payload
+        return self
+
+    def clear(self) -> None:
+        # Keep the allocation; recycling it is the entire point.
+        del self.data[:]
+
+    def release(self) -> None:
+        """Return this buffer to its pool (no-op for pool-less buffers)."""
+        if self._pool is not None:
+            self._pool.release(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __bytes__(self) -> bytes:
+        return bytes(self.data)
+
+
+class ObjectPool(Generic[T]):
+    """A bounded pool of recyclable objects.
+
+    ``acquire`` blocks when all objects are in flight — this is the
+    memory-pressure backstop: a producer cannot run ahead of consumers by
+    more than the pool size.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], T],
+        capacity: int,
+        name: str = "pool",
+        reset: "Callable[[T], None] | None" = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"pool {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._factory = factory
+        self._reset = reset
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._free: list[T] = []
+        self._created = 0
+        self._in_use = 0
+        self.peak_in_use = 0
+
+    def acquire(self, timeout: "float | None" = None) -> T:
+        with self._available:
+            while not self._free and self._created >= self.capacity:
+                if not self._available.wait(timeout):
+                    raise TimeoutError(
+                        f"pool {self.name!r} exhausted "
+                        f"({self.capacity} objects all in flight)"
+                    )
+            if self._free:
+                obj = self._free.pop()
+            else:
+                obj = self._factory()
+                self._created += 1
+            self._in_use += 1
+            if self._in_use > self.peak_in_use:
+                self.peak_in_use = self._in_use
+            return obj
+
+    def release(self, obj: T) -> None:
+        if self._reset is not None:
+            self._reset(obj)
+        with self._available:
+            if self._in_use <= 0:
+                raise RuntimeError(
+                    f"pool {self.name!r}: release without matching acquire"
+                )
+            self._in_use -= 1
+            self._free.append(obj)
+            self._available.notify()
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self._in_use
+
+    @property
+    def created(self) -> int:
+        with self._lock:
+            return self._created
+
+
+class BufferPool(ObjectPool[Buffer]):
+    """Pool of recyclable byte buffers (Figure 3's "Recycleable Buffer Pool")."""
+
+    def __init__(self, capacity: int, name: str = "buffers"):
+        super().__init__(
+            factory=lambda: Buffer(self),
+            capacity=capacity,
+            name=name,
+            reset=lambda b: b.clear(),
+        )

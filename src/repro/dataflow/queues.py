@@ -1,0 +1,142 @@
+"""Bounded queues between dataflow kernels (§4, §4.5).
+
+Queues are the explicit flow-control and load-balancing mechanism of
+Persona: "Persona controls memory pressure by limiting the queue length
+and therefore the number of objects passed around" and keeps capacity "at
+a level that ensures there is always data to feed the process subgraph,
+but the individual servers do not have too many AGD chunks in their
+pipelines, which can lead to stragglers."
+
+Queues support multi-producer close semantics: each producer registers,
+and the queue closes for consumers only when every producer is done.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Generic, Iterator, TypeVar
+
+from repro.dataflow.errors import PipelineAborted, QueueClosed
+
+T = TypeVar("T")
+
+
+class Queue(Generic[T]):
+    """A bounded, closable, thread-safe FIFO queue with depth metrics."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"queue {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._producers = 0
+        self._closed = False
+        self._aborted = False
+        # Metrics (§4.6: TF exposes "current queue states"; so do we).
+        self.total_enqueued = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def register_producer(self) -> None:
+        """Declare one more producer; the queue closes when all finish."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"queue {self.name!r} already closed")
+            self._producers += 1
+
+    def producer_done(self) -> None:
+        """Signal one producer's completion; last one closes the queue."""
+        with self._lock:
+            if self._producers <= 0:
+                raise RuntimeError(
+                    f"queue {self.name!r}: producer_done without producer"
+                )
+            self._producers -= 1
+            if self._producers == 0:
+                self._closed = True
+                self._not_empty.notify_all()
+                self._not_full.notify_all()
+
+    def close(self) -> None:
+        """Force-close regardless of outstanding producers."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def abort(self) -> None:
+        """Error path: wake all waiters with PipelineAborted."""
+        with self._lock:
+            self._aborted = True
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------ I/O
+
+    def put(self, item: T, timeout: "float | None" = None) -> None:
+        with self._not_full:
+            while len(self._items) >= self.capacity:
+                if self._aborted:
+                    raise PipelineAborted(self.name)
+                if self._closed:
+                    raise QueueClosed(self.name)
+                if not self._not_full.wait(timeout):
+                    raise TimeoutError(
+                        f"put on full queue {self.name!r} timed out"
+                    )
+            if self._aborted:
+                raise PipelineAborted(self.name)
+            if self._closed:
+                raise QueueClosed(self.name)
+            self._items.append(item)
+            self.total_enqueued += 1
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
+            self._not_empty.notify()
+
+    def get(self, timeout: "float | None" = None) -> T:
+        with self._not_empty:
+            while not self._items:
+                if self._aborted:
+                    raise PipelineAborted(self.name)
+                if self._closed:
+                    raise QueueClosed(self.name)
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError(
+                        f"get on empty queue {self.name!r} timed out"
+                    )
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        """Drain the queue until closed (the standard consumer loop)."""
+        while True:
+            try:
+                yield self.get()
+            except QueueClosed:
+                return
+
+    def drain(self) -> list:
+        """Non-blocking removal of everything currently queued."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return items

@@ -1,0 +1,58 @@
+"""Shared resources and handle passing (§4.5).
+
+"We avoid using TensorFlow tensors directly for storing data ... Instead,
+we pass tensors of handles, which are identifiers for resources stored in
+the TensorFlow Session."  Our analog: kernels exchange lightweight string
+handles; the actual objects (buffer pools, reference indexes, executors)
+live in a :class:`ResourceManager` owned by the session, so large shared
+state — e.g. "the multi-gigabyte reference indexes required for some
+aligners" — is materialized exactly once per server.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+
+class Handle(str):
+    """An identifier naming a resource in a :class:`ResourceManager`."""
+
+    __slots__ = ()
+
+
+class ResourceManager:
+    """Session-scoped registry of shared objects, addressed by handle."""
+
+    def __init__(self) -> None:
+        self._resources: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, resource: Any) -> Handle:
+        with self._lock:
+            if name in self._resources:
+                raise ValueError(f"resource {name!r} already registered")
+            self._resources[name] = resource
+        return Handle(name)
+
+    def get_or_create(self, name: str, factory: Callable[[], Any]) -> Handle:
+        """Register lazily; concurrent callers share one instance."""
+        with self._lock:
+            if name not in self._resources:
+                self._resources[name] = factory()
+        return Handle(name)
+
+    def get(self, handle: "Handle | str") -> Any:
+        with self._lock:
+            try:
+                return self._resources[str(handle)]
+            except KeyError:
+                raise KeyError(f"no resource for handle {handle!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._resources
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._resources)

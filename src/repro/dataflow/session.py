@@ -1,0 +1,112 @@
+"""Session: executes a dataflow graph on worker threads (§4, §5.2).
+
+"All execution uses the TensorFlow direct session, unmodified."  Our
+direct-session analog maps every kernel replica onto a thread, propagates
+queue closure from sources to sinks, aborts the whole graph on the first
+kernel error, and returns per-node statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.dataflow.errors import PipelineAborted, PipelineError, QueueClosed
+from repro.dataflow.executor import BusyCounter
+from repro.dataflow.graph import Graph
+from repro.dataflow.node import Node
+from repro.dataflow.resources import ResourceManager
+
+
+@dataclass
+class NodeContext:
+    """What a kernel replica sees while running."""
+
+    resources: ResourceManager
+    busy_counter: BusyCounter
+    stats_lock: threading.Lock
+    replica: int = 0
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one graph execution."""
+
+    wall_seconds: float
+    report: dict
+
+
+class Session:
+    """Runs a graph to completion."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.busy_counter = BusyCounter()
+        self._failure: "tuple[str, BaseException] | None" = None
+        self._failure_lock = threading.Lock()
+
+    def _replica_main(self, node: Node, ctx: NodeContext) -> None:
+        try:
+            node.run_replica(ctx)
+        except (QueueClosed, PipelineAborted):
+            # Normal shutdown (downstream closed first) or abort in
+            # progress; producer_done below still runs.
+            pass
+        except BaseException as exc:
+            with self._failure_lock:
+                if self._failure is None:
+                    self._failure = (node.name, exc)
+            node.stats.errors.append(repr(exc))
+            self.graph.abort()
+        finally:
+            if node.output is not None:
+                try:
+                    node.output.producer_done()
+                except RuntimeError:
+                    pass  # queue force-closed during abort
+
+    def run(self, timeout: "float | None" = None) -> SessionResult:
+        """Execute until all kernels finish; raises PipelineError on failure."""
+        self.graph.validate()
+        stats_lock = threading.Lock()
+        threads: list[threading.Thread] = []
+        start = time.monotonic()
+        for node in self.graph.nodes:
+            for replica in range(node.parallelism):
+                ctx = NodeContext(
+                    resources=self.graph.resources,
+                    busy_counter=self.busy_counter,
+                    stats_lock=stats_lock,
+                    replica=replica,
+                )
+                thread = threading.Thread(
+                    target=self._replica_main,
+                    args=(node, ctx),
+                    name=f"{self.graph.name}.{node.name}.{replica}",
+                    daemon=True,
+                )
+                threads.append(thread)
+        for thread in threads:
+            thread.start()
+        deadline = None if timeout is None else start + timeout
+        for thread in threads:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                self.graph.abort()
+                raise TimeoutError(
+                    f"session {self.graph.name!r} exceeded {timeout}s"
+                )
+            thread.join(remaining)
+            if thread.is_alive():
+                self.graph.abort()
+                thread.join(5.0)
+                raise TimeoutError(
+                    f"session {self.graph.name!r} exceeded {timeout}s "
+                    f"(stuck in {thread.name})"
+                )
+        wall = time.monotonic() - start
+        if self._failure is not None:
+            node_name, cause = self._failure
+            raise PipelineError(node_name, cause) from cause
+        return SessionResult(wall_seconds=wall, report=self.graph.stats_report())

@@ -1,0 +1,134 @@
+"""Work-stealing executor: the §4.5 alternative Persona rejected.
+
+"A server can become a straggler if its queue contains 'expensive' chunks
+with high compute latency.  Work stealing [5] is an alternative to avoid
+stragglers, but the approach of bounding the queues is simpler and incurs
+less communication in a distributed system."
+
+This module implements that alternative — per-worker deques with steal-
+from-the-back semantics (Blumofe & Leiserson) — so the claim can be
+examined: under chunk-granularity skew, stealing and shallow shared
+queues reach similar balance, but stealing performs strictly more
+cross-worker coordination (counted in ``steal_attempts``).
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.dataflow.executor import ChunkCompletion
+
+
+@dataclass
+class StealingStats:
+    tasks_executed: int = 0
+    steals: int = 0
+    steal_attempts: int = 0
+
+
+class WorkStealingExecutor:
+    """Per-worker deques with victim stealing (cf. :class:`Executor`)."""
+
+    def __init__(self, num_threads: int, name: str = "stealing", seed: int = 0):
+        if num_threads <= 0:
+            raise ValueError("need at least one thread")
+        self.name = name
+        self.num_threads = num_threads
+        self.stats = StealingStats()
+        self._stats_lock = threading.Lock()
+        self._deques = [collections.deque() for _ in range(num_threads)]
+        self._locks = [threading.Lock() for _ in range(num_threads)]
+        self._work_available = threading.Condition()
+        self._shutdown = False
+        self._rng = random.Random(seed)
+        self._next_worker = 0
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,),
+                             name=f"{name}-{i}", daemon=True)
+            for i in range(num_threads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------ interface
+
+    def submit_chunk(
+        self, subtasks: Sequence[Callable[[], None]]
+    ) -> ChunkCompletion:
+        """Push one chunk's tasks onto a single worker's deque.
+
+        Deliberately imbalanced placement — the straggler scenario —
+        which stealing must then repair.
+        """
+        if not subtasks:
+            raise ValueError("chunk produced no subtasks")
+        completion = ChunkCompletion(len(subtasks))
+        with self._work_available:
+            worker = self._next_worker
+            self._next_worker = (self._next_worker + 1) % self.num_threads
+            with self._locks[worker]:
+                for fn in subtasks:
+                    self._deques[worker].append((fn, completion))
+            self._work_available.notify_all()
+        return completion
+
+    def run_chunk(
+        self, subtasks: Sequence[Callable[[], None]],
+        timeout: "float | None" = 300.0,
+    ) -> None:
+        self.submit_chunk(subtasks).wait(timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._work_available:
+            self._shutdown = True
+            self._work_available.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    # ------------------------------------------------------------- workers
+
+    def _pop_own(self, worker: int):
+        with self._locks[worker]:
+            if self._deques[worker]:
+                return self._deques[worker].popleft()
+        return None
+
+    def _steal(self, worker: int):
+        victims = [i for i in range(self.num_threads) if i != worker]
+        self._rng.shuffle(victims)
+        for victim in victims:
+            with self._stats_lock:
+                self.stats.steal_attempts += 1
+            with self._locks[victim]:
+                if self._deques[victim]:
+                    task = self._deques[victim].pop()  # steal from the back
+                    with self._stats_lock:
+                        self.stats.steals += 1
+                    return task
+        return None
+
+    def _worker(self, worker: int) -> None:
+        while True:
+            task = self._pop_own(worker)
+            if task is None and self.num_threads > 1:
+                task = self._steal(worker)
+            if task is None:
+                with self._work_available:
+                    if self._shutdown and not any(self._deques):
+                        return
+                    self._work_available.wait(timeout=0.01)
+                continue
+            fn, completion = task
+            error: BaseException | None = None
+            try:
+                fn()
+            except BaseException as exc:
+                error = exc
+            with self._stats_lock:
+                self.stats.tasks_executed += 1
+            completion.task_done(error)

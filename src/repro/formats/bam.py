@@ -1,0 +1,295 @@
+"""BAM-like binary format: blocked, compressed SAM (§2.2).
+
+BAM is SAM's "binary, compressed version".  This codec reproduces BAM's
+essential structure — a stream of independently-deflated blocks (BGZF
+style) containing binary-packed alignment records with 4-bit encoded
+sequences and packed CIGAR ops — without claiming byte-compatibility with
+htslib (see DESIGN.md non-goals).  What matters for the experiments is the
+*cost structure*: row-oriented records that must be fully serialized,
+compressed, and parsed as units.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.formats.sam import SamHeader, SamRecord
+from repro.align.result import cigar_operations
+
+BLOCK_MAGIC = b"BGZB"
+FILE_MAGIC = b"BAM\x01"
+#: Target uncompressed block payload (BGZF uses <=64 KiB blocks).
+BLOCK_SIZE = 60_000
+
+_BLOCK_HEADER = struct.Struct("<4sII")  # magic, compressed len, raw len
+_REC_FIXED = struct.Struct("<iiBBHHIiii")
+
+_CIGAR_OPS = "MIDNSHP=X"
+_CIGAR_OP_CODE = {op: i for i, op in enumerate(_CIGAR_OPS)}
+
+# BAM 4-bit base codes ("=ACMGRSVTWYHKDBN").
+_SEQ_NIBBLES = "=ACMGRSVTWYHKDBN"
+_BASE_TO_NIBBLE = {ord(b): i for i, b in enumerate(_SEQ_NIBBLES)}
+_NIBBLE_TO_BASE = {i: ord(b) for i, b in enumerate(_SEQ_NIBBLES)}
+
+
+class BamFormatError(ValueError):
+    """Raised for malformed BAM-like input."""
+
+
+# --------------------------------------------------------------- records
+
+
+def encode_record(record: SamRecord, contig_index: "dict[str, int]") -> bytes:
+    """Binary-encode one alignment record (BAM-style layout)."""
+    name = record.qname.encode() + b"\0"
+    if len(name) > 255:
+        raise BamFormatError(f"read name too long: {record.qname[:40]!r}")
+    cigar = cigar_operations(record.cigar.encode())
+    packed_cigar = b"".join(
+        struct.pack("<I", (length << 4) | _CIGAR_OP_CODE[op])
+        for length, op in cigar
+    )
+    seq = record.seq
+    packed_seq = bytearray((len(seq) + 1) // 2)
+    for i, base in enumerate(seq):
+        nibble = _BASE_TO_NIBBLE.get(base, 15)  # unknown -> N
+        if i % 2 == 0:
+            packed_seq[i // 2] = nibble << 4
+        else:
+            packed_seq[i // 2] |= nibble
+    qual = bytes(q - 33 for q in record.qual) if record.qual else b"\xff" * len(seq)
+    refid = contig_index.get(record.rname, -1)
+    next_refid = (
+        refid if record.rnext == "=" else contig_index.get(record.rnext, -1)
+    )
+    body = (
+        _REC_FIXED.pack(
+            refid,
+            record.pos - 1,
+            len(name),
+            record.mapq,
+            len(cigar),
+            record.flag,
+            len(seq),
+            next_refid,
+            record.pnext - 1,
+            record.tlen,
+        )
+        + name
+        + packed_cigar
+        + bytes(packed_seq)
+        + qual
+    )
+    return struct.pack("<I", len(body)) + body
+
+
+def decode_record(body: bytes, contig_names: "list[str]") -> SamRecord:
+    """Inverse of :func:`encode_record` (without the length prefix)."""
+    if len(body) < _REC_FIXED.size:
+        raise BamFormatError("record truncated")
+    (refid, pos, name_len, mapq, n_cigar, flag, seq_len,
+     next_refid, next_pos, tlen) = _REC_FIXED.unpack_from(body)
+    offset = _REC_FIXED.size
+    name = body[offset : offset + name_len]
+    if not name.endswith(b"\0"):
+        raise BamFormatError("record name not NUL-terminated")
+    offset += name_len
+    cigar_parts = []
+    for _ in range(n_cigar):
+        (word,) = struct.unpack_from("<I", body, offset)
+        cigar_parts.append(f"{word >> 4}{_CIGAR_OPS[word & 0xF]}")
+        offset += 4
+    packed_len = (seq_len + 1) // 2
+    packed_seq = body[offset : offset + packed_len]
+    offset += packed_len
+    qual_raw = body[offset : offset + seq_len]
+    if len(qual_raw) != seq_len:
+        raise BamFormatError("record qualities truncated")
+    seq = bytearray(seq_len)
+    for i in range(seq_len):
+        nibble = (
+            packed_seq[i // 2] >> 4 if i % 2 == 0 else packed_seq[i // 2] & 0xF
+        )
+        seq[i] = _NIBBLE_TO_BASE[nibble]
+    qual = (
+        b""
+        if qual_raw == b"\xff" * seq_len
+        else bytes(q + 33 for q in qual_raw)
+    )
+    def ref_name(i: int) -> str:
+        return contig_names[i] if 0 <= i < len(contig_names) else "*"
+    return SamRecord(
+        qname=name[:-1].decode(),
+        flag=flag,
+        rname=ref_name(refid),
+        pos=pos + 1,
+        mapq=mapq,
+        cigar="".join(cigar_parts),
+        rnext=ref_name(next_refid),
+        pnext=next_pos + 1,
+        tlen=tlen,
+        seq=bytes(seq),
+        qual=qual,
+    )
+
+
+# ---------------------------------------------------------------- blocks
+
+
+def _write_block(stream: BinaryIO, payload: bytes) -> int:
+    compressed = zlib.compress(payload, 6)
+    stream.write(_BLOCK_HEADER.pack(BLOCK_MAGIC, len(compressed), len(payload)))
+    stream.write(compressed)
+    return _BLOCK_HEADER.size + len(compressed)
+
+
+def _read_block(stream: BinaryIO) -> "bytes | None":
+    header = stream.read(_BLOCK_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _BLOCK_HEADER.size:
+        raise BamFormatError("block header truncated")
+    magic, clen, ulen = _BLOCK_HEADER.unpack(header)
+    if magic != BLOCK_MAGIC:
+        raise BamFormatError(f"bad block magic {magic!r}")
+    compressed = stream.read(clen)
+    if len(compressed) != clen:
+        raise BamFormatError("block payload truncated")
+    payload = zlib.decompress(compressed)
+    if len(payload) != ulen:
+        raise BamFormatError("block decompressed to unexpected size")
+    return payload
+
+
+# ------------------------------------------------------------ file level
+
+
+class BamWriter:
+    """Streaming BAM-like writer with BGZF-style blocking."""
+
+    def __init__(self, stream: BinaryIO, header: SamHeader):
+        self._stream = stream
+        self._buffer = bytearray()
+        self._contig_index = {
+            c["name"]: i for i, c in enumerate(header.contigs)
+        }
+        self.bytes_written = 0
+        header_text = header.to_bytes()
+        payload = (
+            FILE_MAGIC
+            + struct.pack("<I", len(header_text))
+            + header_text
+            + struct.pack("<I", len(header.contigs))
+        )
+        for contig in header.contigs:
+            name = contig["name"].encode() + b"\0"
+            payload += struct.pack("<I", len(name)) + name
+            payload += struct.pack("<i", contig["length"])
+        self.bytes_written += _write_block(self._stream, payload)
+
+    def write(self, record: SamRecord) -> None:
+        self._buffer += encode_record(record, self._contig_index)
+        if len(self._buffer) >= BLOCK_SIZE:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self.bytes_written += _write_block(self._stream, bytes(self._buffer))
+            self._buffer.clear()
+
+    def close(self) -> None:
+        self.flush()
+
+
+def write_bam(
+    header: SamHeader,
+    records: Iterable[SamRecord],
+    path_or_stream: "str | Path | BinaryIO",
+) -> int:
+    """Write a BAM-like file; returns bytes written."""
+    own = isinstance(path_or_stream, (str, Path))
+    stream: BinaryIO = (
+        open(path_or_stream, "wb") if own else path_or_stream  # type: ignore[arg-type]
+    )
+    try:
+        writer = BamWriter(stream, header)
+        for record in records:
+            writer.write(record)
+        writer.close()
+        return writer.bytes_written
+    finally:
+        if own:
+            stream.close()
+
+
+def read_bam(
+    path_or_stream: "str | Path | BinaryIO",
+) -> tuple[SamHeader, list[SamRecord]]:
+    """Read an entire BAM-like file."""
+    own = isinstance(path_or_stream, (str, Path))
+    stream: BinaryIO = (
+        open(path_or_stream, "rb") if own else path_or_stream  # type: ignore[arg-type]
+    )
+    try:
+        header, names = _read_header_block(stream)
+        records = list(_iter_records(stream, names))
+        return header, records
+    finally:
+        if own:
+            stream.close()
+
+
+def iter_bam(stream: BinaryIO) -> Iterator[SamRecord]:
+    """Stream records from a BAM-like file."""
+    _, names = _read_header_block(stream)
+    yield from _iter_records(stream, names)
+
+
+def _read_header_block(stream: BinaryIO) -> tuple[SamHeader, list[str]]:
+    payload = _read_block(stream)
+    if payload is None or not payload.startswith(FILE_MAGIC):
+        raise BamFormatError("missing BAM header block")
+    offset = len(FILE_MAGIC)
+    (text_len,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    header_text = payload[offset : offset + text_len]
+    offset += text_len
+    (n_ref,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    names: list[str] = []
+    contigs: list[dict] = []
+    for _ in range(n_ref):
+        (name_len,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        name = payload[offset : offset + name_len - 1].decode()
+        offset += name_len
+        (length,) = struct.unpack_from("<i", payload, offset)
+        offset += 4
+        names.append(name)
+        contigs.append({"name": name, "length": length})
+    header = SamHeader.from_lines(header_text.splitlines())
+    header.contigs = contigs
+    return header, names
+
+
+def _iter_records(stream: BinaryIO, names: "list[str]") -> Iterator[SamRecord]:
+    pending = b""
+    while True:
+        payload = _read_block(stream)
+        if payload is None:
+            if pending:
+                raise BamFormatError("trailing partial record")
+            return
+        data = pending + payload
+        offset = 0
+        while offset + 4 <= len(data):
+            (size,) = struct.unpack_from("<I", data, offset)
+            if offset + 4 + size > len(data):
+                break
+            yield decode_record(data[offset + 4 : offset + 4 + size], names)
+            offset += 4 + size
+        pending = data[offset:]

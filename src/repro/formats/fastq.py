@@ -1,0 +1,104 @@
+"""FASTQ parsing and writing (§2.2).
+
+FASTQ is "an ASCII text format containing a delimited list of reads" where
+"@" delimits reads — "which makes parsing nontrivial as @ is also an
+encoded quality score value" (Phred+33 score 31).  This parser therefore
+never scans for delimiters: it consumes strict four-line records, which is
+the only unambiguous way to read FASTQ.
+
+Files may be gzip-compressed ("FASTQ files are usually distributed in a
+compressed format to save disk space"); compression is detected from the
+gzip magic bytes.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.genome.reads import ReadRecord
+
+GZIP_MAGIC = b"\x1f\x8b"
+
+
+class FastqFormatError(ValueError):
+    """Raised for structurally invalid FASTQ input."""
+
+
+def parse_fastq(stream: BinaryIO) -> Iterator[ReadRecord]:
+    """Yield reads from an uncompressed binary FASTQ stream."""
+    record_index = 0
+    while True:
+        header = stream.readline()
+        if not header:
+            return
+        header = header.rstrip(b"\r\n")
+        if not header:
+            continue  # tolerate trailing blank lines
+        if not header.startswith(b"@"):
+            raise FastqFormatError(
+                f"record {record_index}: header {header[:40]!r} "
+                f"does not start with '@'"
+            )
+        bases = stream.readline().rstrip(b"\r\n")
+        plus = stream.readline().rstrip(b"\r\n")
+        qual = stream.readline().rstrip(b"\r\n")
+        if not qual and not plus:
+            raise FastqFormatError(
+                f"record {record_index}: truncated record"
+            )
+        if not plus.startswith(b"+"):
+            raise FastqFormatError(
+                f"record {record_index}: separator line {plus[:40]!r} "
+                f"does not start with '+'"
+            )
+        if len(bases) != len(qual):
+            raise FastqFormatError(
+                f"record {record_index}: {len(bases)} bases but "
+                f"{len(qual)} quality values"
+            )
+        yield ReadRecord(metadata=header[1:], bases=bases, qualities=qual)
+        record_index += 1
+
+
+def read_fastq(path: "str | Path") -> Iterator[ReadRecord]:
+    """Yield reads from a FASTQ file, transparently ungzipping."""
+    path = Path(path)
+    with open(path, "rb") as raw:
+        magic = raw.read(2)
+        raw.seek(0)
+        if magic == GZIP_MAGIC:
+            with gzip.open(raw, "rb") as fh:
+                yield from parse_fastq(fh)
+        else:
+            yield from parse_fastq(raw)
+
+
+def format_fastq_record(read: ReadRecord) -> bytes:
+    """Serialize one read as a four-line FASTQ record."""
+    return b"@" + read.metadata + b"\n" + read.bases + b"\n+\n" + read.qualities + b"\n"
+
+
+def write_fastq(
+    reads: Iterable[ReadRecord],
+    path: "str | Path",
+    compress: bool = False,
+) -> int:
+    """Write reads to a FASTQ file; returns the number of reads written."""
+    count = 0
+    opener = gzip.open if compress else open
+    with opener(path, "wb") as fh:
+        for read in reads:
+            fh.write(format_fastq_record(read))
+            count += 1
+    return count
+
+
+def fastq_bytes(reads: Iterable[ReadRecord]) -> bytes:
+    """Serialize reads to an in-memory FASTQ image."""
+    buf = io.BytesIO()
+    for read in reads:
+        buf.write(format_fastq_record(read))
+    return buf.getvalue()

@@ -1,0 +1,330 @@
+"""SAM format: records, reader, writer (§2.2).
+
+SAM is "the de facto standard for read and aligned data" — a row-oriented
+tab-separated text format storing "both the read and alignment data".
+Persona emits SAM/BAM "for compatibility with tools that have not been
+integrated" (§4.4).  This implementation covers the core 11 mandatory
+fields plus simple typed tags (enough for samtools-style sorting, duplicate
+marking, and interchange in our experiments).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.align.result import (
+    FLAG_REVERSE,
+    FLAG_UNMAPPED,
+    AlignmentResult,
+    cigar_operations,
+)
+from repro.genome.reads import ReadRecord
+from repro.genome.sequence import reverse_complement
+
+
+class SamFormatError(ValueError):
+    """Raised for malformed SAM input."""
+
+
+@dataclass
+class SamRecord:
+    """One SAM alignment line (the 11 mandatory fields plus tags)."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 1-based; 0 means unavailable, per spec
+    mapq: int
+    cigar: str
+    rnext: str
+    pnext: int
+    tlen: int
+    seq: bytes
+    qual: bytes
+    tags: dict[str, "int | float | str"] = field(default_factory=dict)
+
+    @property
+    def is_unmapped(self) -> bool:
+        return bool(self.flag & FLAG_UNMAPPED)
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.flag & FLAG_REVERSE)
+
+    def location_key(self) -> tuple[str, int]:
+        """samtools-compatible coordinate sort key (unmapped sorts last)."""
+        if self.is_unmapped or self.rname == "*":
+            return ("\x7f", 1 << 62)
+        return (self.rname, self.pos)
+
+    # ------------------------------------------------------------- to text
+
+    def to_line(self) -> bytes:
+        fields = [
+            self.qname,
+            str(self.flag),
+            self.rname,
+            str(self.pos),
+            str(self.mapq),
+            self.cigar or "*",
+            self.rnext,
+            str(self.pnext),
+            str(self.tlen),
+            self.seq.decode() if self.seq else "*",
+            self.qual.decode() if self.qual else "*",
+        ]
+        for key, value in sorted(self.tags.items()):
+            if isinstance(value, int):
+                fields.append(f"{key}:i:{value}")
+            elif isinstance(value, float):
+                fields.append(f"{key}:f:{value}")
+            else:
+                fields.append(f"{key}:Z:{value}")
+        return "\t".join(fields).encode() + b"\n"
+
+    @classmethod
+    def from_line(cls, line: bytes) -> "SamRecord":
+        parts = line.rstrip(b"\r\n").split(b"\t")
+        if len(parts) < 11:
+            raise SamFormatError(
+                f"SAM line has {len(parts)} fields, expected >= 11: "
+                f"{line[:60]!r}"
+            )
+        try:
+            flag = int(parts[1])
+            pos = int(parts[3])
+            mapq = int(parts[4])
+            pnext = int(parts[7])
+            tlen = int(parts[8])
+        except ValueError as exc:
+            raise SamFormatError(f"non-numeric SAM field: {exc}") from exc
+        tags: dict[str, int | float | str] = {}
+        for blob in parts[11:]:
+            try:
+                key, typ, value = blob.decode().split(":", 2)
+            except ValueError as exc:
+                raise SamFormatError(f"malformed tag {blob!r}") from exc
+            if typ == "i":
+                tags[key] = int(value)
+            elif typ == "f":
+                tags[key] = float(value)
+            else:
+                tags[key] = value
+        seq = b"" if parts[9] == b"*" else parts[9]
+        qual = b"" if parts[10] == b"*" else parts[10]
+        return cls(
+            qname=parts[0].decode(),
+            flag=flag,
+            rname=parts[2].decode(),
+            pos=pos,
+            mapq=mapq,
+            cigar="" if parts[5] == b"*" else parts[5].decode(),
+            rnext=parts[6].decode(),
+            pnext=pnext,
+            tlen=tlen,
+            seq=seq,
+            qual=qual,
+            tags=tags,
+        )
+
+
+@dataclass
+class SamHeader:
+    """SAM header: @HD line plus @SQ reference sequence dictionary."""
+
+    contigs: list[dict] = field(default_factory=list)
+    sort_order: str = "unknown"
+    program: str = "persona-repro"
+
+    def to_bytes(self) -> bytes:
+        lines = [f"@HD\tVN:1.6\tSO:{self.sort_order}".encode()]
+        for contig in self.contigs:
+            lines.append(
+                f"@SQ\tSN:{contig['name']}\tLN:{contig['length']}".encode()
+            )
+        lines.append(f"@PG\tID:1\tPN:{self.program}".encode())
+        return b"\n".join(lines) + b"\n"
+
+    @classmethod
+    def from_lines(cls, lines: "list[bytes]") -> "SamHeader":
+        header = cls()
+        for line in lines:
+            fields = line.rstrip(b"\r\n").split(b"\t")
+            tag = fields[0]
+            if tag == b"@HD":
+                for f in fields[1:]:
+                    if f.startswith(b"SO:"):
+                        header.sort_order = f[3:].decode()
+            elif tag == b"@SQ":
+                entry: dict = {}
+                for f in fields[1:]:
+                    if f.startswith(b"SN:"):
+                        entry["name"] = f[3:].decode()
+                    elif f.startswith(b"LN:"):
+                        entry["length"] = int(f[3:])
+                if "name" in entry:
+                    header.contigs.append(entry)
+        return header
+
+
+def record_from_alignment(
+    read: ReadRecord,
+    result: AlignmentResult,
+    contig_names: "list[str]",
+) -> SamRecord:
+    """Build a SAM record from an AGD (read, result) pair.
+
+    SAM mandates that reverse-strand alignments store the reverse
+    complement of the read, so row conversion is not a straight copy —
+    one of the costs Table 1 exposes for SAM output.
+    """
+    if result.is_aligned:
+        rname = contig_names[result.contig_index]
+        pos = result.position + 1  # SAM is 1-based
+        seq = (
+            reverse_complement(read.bases)
+            if result.is_reverse
+            else read.bases
+        )
+        qual = read.qualities[::-1] if result.is_reverse else read.qualities
+        cigar = result.cigar.decode()
+    else:
+        rname, pos, cigar = "*", 0, ""
+        seq, qual = read.bases, read.qualities
+    if result.next_contig_index >= 0:
+        rnext = contig_names[result.next_contig_index]
+        if result.is_aligned and result.next_contig_index == result.contig_index:
+            rnext = "="
+        pnext = result.next_position + 1
+    else:
+        rnext, pnext = "*", 0
+    return SamRecord(
+        qname=read.name,
+        flag=result.flag,
+        rname=rname,
+        pos=pos,
+        mapq=result.mapq,
+        cigar=cigar,
+        rnext=rnext,
+        pnext=pnext,
+        tlen=result.template_length,
+        seq=seq,
+        qual=qual,
+        tags={"NM": result.edit_distance},
+    )
+
+
+def alignment_from_record(
+    record: SamRecord, contig_names: "list[str]"
+) -> tuple[ReadRecord, AlignmentResult]:
+    """Inverse of :func:`record_from_alignment` (SAM -> AGD import)."""
+    index = {name: i for i, name in enumerate(contig_names)}
+    if record.is_unmapped or record.rname == "*":
+        contig, pos = -1, -1
+    else:
+        try:
+            contig = index[record.rname]
+        except KeyError:
+            raise SamFormatError(
+                f"record {record.qname!r} references unknown contig "
+                f"{record.rname!r}"
+            ) from None
+        pos = record.pos - 1
+    if record.rnext == "=":
+        next_contig = contig
+        next_pos = record.pnext - 1
+    elif record.rnext == "*" or record.pnext == 0:
+        next_contig, next_pos = -1, -1
+    else:
+        next_contig = index.get(record.rnext, -1)
+        next_pos = record.pnext - 1
+    seq = record.seq
+    qual = record.qual or b"I" * len(seq)
+    if record.is_reverse and not record.is_unmapped:
+        seq = reverse_complement(seq)
+        qual = qual[::-1]
+    result = AlignmentResult(
+        flag=record.flag,
+        mapq=record.mapq,
+        contig_index=contig,
+        position=pos,
+        next_contig_index=next_contig,
+        next_position=next_pos,
+        template_length=record.tlen,
+        edit_distance=int(record.tags.get("NM", 0)),
+        cigar=record.cigar.encode(),
+    )
+    read = ReadRecord(record.qname.encode(), seq, qual)
+    return read, result
+
+
+def write_sam(
+    header: SamHeader,
+    records: Iterable[SamRecord],
+    path_or_stream: "str | Path | BinaryIO",
+) -> int:
+    """Write a SAM file; returns the record count."""
+    own = isinstance(path_or_stream, (str, Path))
+    stream: BinaryIO = (
+        open(path_or_stream, "wb") if own else path_or_stream  # type: ignore[arg-type]
+    )
+    try:
+        stream.write(header.to_bytes())
+        count = 0
+        for record in records:
+            stream.write(record.to_line())
+            count += 1
+        return count
+    finally:
+        if own:
+            stream.close()
+
+
+def read_sam(
+    path_or_stream: "str | Path | BinaryIO",
+) -> tuple[SamHeader, list[SamRecord]]:
+    """Read an entire SAM file into memory."""
+    own = isinstance(path_or_stream, (str, Path))
+    stream: BinaryIO = (
+        open(path_or_stream, "rb") if own else path_or_stream  # type: ignore[arg-type]
+    )
+    try:
+        header_lines: list[bytes] = []
+        records: list[SamRecord] = []
+        for line in stream:
+            if line.startswith(b"@"):
+                header_lines.append(line)
+            elif line.strip():
+                records.append(SamRecord.from_line(line))
+        return SamHeader.from_lines(header_lines), records
+    finally:
+        if own:
+            stream.close()
+
+
+def iter_sam(stream: BinaryIO) -> Iterator[SamRecord]:
+    """Stream SAM records, skipping header lines."""
+    for line in stream:
+        if not line.startswith(b"@") and line.strip():
+            yield SamRecord.from_line(line)
+
+
+def sam_bytes(header: SamHeader, records: Iterable[SamRecord]) -> bytes:
+    buf = io.BytesIO()
+    write_sam(header, records, buf)
+    return buf.getvalue()
+
+
+def cigar_matches_sequence(record: SamRecord) -> bool:
+    """Consistency check: CIGAR read span equals sequence length."""
+    if not record.cigar or not record.seq:
+        return True
+    span = sum(
+        length
+        for length, op in cigar_operations(record.cigar.encode())
+        if op in "MIS=X"
+    )
+    return span == len(record.seq)

@@ -1,0 +1,115 @@
+"""Minimal VCF (Variant Call Format) support (§2.2).
+
+"Variant calling results use the standard VCF format."  Persona's variant
+calling is listed as ongoing work in the paper (§8); our pileup caller
+(``repro.core.varcall``) emits VCF through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterable
+
+VCF_VERSION = "VCFv4.2"
+
+
+class VcfFormatError(ValueError):
+    """Raised for malformed VCF input."""
+
+
+@dataclass(frozen=True)
+class VariantRecord:
+    """One VCF data line."""
+
+    chrom: str
+    pos: int  # 1-based
+    ref: str
+    alt: str
+    qual: float
+    info: dict = field(default_factory=dict)
+    id: str = "."
+    filter: str = "PASS"
+
+    def to_line(self) -> bytes:
+        info = (
+            ";".join(
+                f"{k}={v}" if v is not True else k
+                for k, v in sorted(self.info.items())
+            )
+            or "."
+        )
+        return (
+            f"{self.chrom}\t{self.pos}\t{self.id}\t{self.ref}\t{self.alt}"
+            f"\t{self.qual:.1f}\t{self.filter}\t{info}\n"
+        ).encode()
+
+    @classmethod
+    def from_line(cls, line: bytes) -> "VariantRecord":
+        parts = line.rstrip(b"\r\n").split(b"\t")
+        if len(parts) < 8:
+            raise VcfFormatError(f"VCF line has {len(parts)} fields: {line[:60]!r}")
+        info: dict = {}
+        if parts[7] != b".":
+            for item in parts[7].decode().split(";"):
+                if "=" in item:
+                    key, value = item.split("=", 1)
+                    info[key] = value
+                else:
+                    info[item] = True
+        return cls(
+            chrom=parts[0].decode(),
+            pos=int(parts[1]),
+            id=parts[2].decode(),
+            ref=parts[3].decode(),
+            alt=parts[4].decode(),
+            qual=float(parts[5]) if parts[5] != b"." else 0.0,
+            filter=parts[6].decode(),
+            info=info,
+        )
+
+
+def write_vcf(
+    variants: Iterable[VariantRecord],
+    path_or_stream: "str | Path | BinaryIO",
+    contigs: "list[dict] | None" = None,
+    sample_name: str = "sample",
+) -> int:
+    """Write a VCF file; returns the variant count."""
+    own = isinstance(path_or_stream, (str, Path))
+    stream: BinaryIO = (
+        open(path_or_stream, "wb") if own else path_or_stream  # type: ignore[arg-type]
+    )
+    try:
+        stream.write(f"##fileformat={VCF_VERSION}\n".encode())
+        stream.write(f"##source=persona-repro ({sample_name})\n".encode())
+        for contig in contigs or []:
+            stream.write(
+                f"##contig=<ID={contig['name']},length={contig['length']}>\n".encode()
+            )
+        stream.write(b"#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n")
+        count = 0
+        for variant in variants:
+            stream.write(variant.to_line())
+            count += 1
+        return count
+    finally:
+        if own:
+            stream.close()
+
+
+def read_vcf(path_or_stream: "str | Path | BinaryIO") -> list[VariantRecord]:
+    """Read all variant records from a VCF file."""
+    own = isinstance(path_or_stream, (str, Path))
+    stream: BinaryIO = (
+        open(path_or_stream, "rb") if own else path_or_stream  # type: ignore[arg-type]
+    )
+    try:
+        return [
+            VariantRecord.from_line(line)
+            for line in stream
+            if line.strip() and not line.startswith(b"#")
+        ]
+    finally:
+        if own:
+            stream.close()

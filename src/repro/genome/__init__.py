@@ -1,0 +1,52 @@
+"""Genome substrate: sequences, references, reads, synthetic data."""
+
+from repro.genome.reads import ReadOrigin, ReadRecord
+from repro.genome.reference import (
+    Contig,
+    ReferenceGenome,
+    parse_fasta,
+    read_fasta,
+    reference_from_sequences,
+    write_fasta,
+)
+from repro.genome.sequence import (
+    BASES,
+    InvalidBaseError,
+    complement,
+    decode_bases,
+    encode_bases,
+    gc_content,
+    hamming_distance,
+    is_valid_sequence,
+    reverse_complement,
+)
+from repro.genome.synthetic import (
+    ErrorModel,
+    ReadSimulator,
+    synthetic_dataset,
+    synthetic_reference,
+)
+
+__all__ = [
+    "BASES",
+    "Contig",
+    "ErrorModel",
+    "InvalidBaseError",
+    "ReadOrigin",
+    "ReadRecord",
+    "ReadSimulator",
+    "ReferenceGenome",
+    "complement",
+    "decode_bases",
+    "encode_bases",
+    "gc_content",
+    "hamming_distance",
+    "is_valid_sequence",
+    "parse_fasta",
+    "read_fasta",
+    "reference_from_sequences",
+    "reverse_complement",
+    "synthetic_dataset",
+    "synthetic_reference",
+    "write_fasta",
+]

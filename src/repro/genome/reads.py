@@ -1,0 +1,46 @@
+"""Read records: the unit of genomic data flowing through Persona.
+
+A read from a sequencing machine carries three fields (§2.1): the bases,
+a per-base quality string, and metadata uniquely identifying the read.
+AGD stores each field in its own column; this module defines the in-memory
+record used between parsing and processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One sequencing read (bases + Phred+33 qualities + metadata)."""
+
+    metadata: bytes
+    bases: bytes
+    qualities: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.bases) != len(self.qualities):
+            raise ValueError(
+                f"bases/qualities length mismatch: "
+                f"{len(self.bases)} vs {len(self.qualities)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    @property
+    def name(self) -> str:
+        """The read name: metadata up to the first whitespace."""
+        return self.metadata.split()[0].decode() if self.metadata else ""
+
+
+@dataclass(frozen=True)
+class ReadOrigin:
+    """Ground truth for a synthetic read (used by tests and accuracy checks)."""
+
+    global_pos: int
+    reverse: bool
+    is_duplicate: bool = False
+    mate_pos: int = -1
+    errors: int = 0

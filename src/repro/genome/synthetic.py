@@ -1,0 +1,284 @@
+"""Synthetic genome and read-set generation.
+
+The paper evaluates on half of Illumina dataset ERR174324 (223 million
+101-bp reads) aligned against hg19.  Neither is available offline, so this
+module generates seeded synthetic equivalents: a random reference genome
+with hg19-like base composition, and a shotgun read simulator with a
+configurable error model, coverage, paired-end geometry, and a PCR
+duplicate fraction.  Ground-truth origins are retained so tests can verify
+aligner correctness — something the real dataset cannot offer.
+
+All generation is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.genome.reads import ReadOrigin, ReadRecord
+from repro.genome.reference import Contig, ReferenceGenome
+from repro.genome.sequence import reverse_complement
+
+_ACGT = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def synthetic_reference(
+    total_length: int,
+    num_contigs: int = 1,
+    seed: int = 0,
+    gc_bias: float = 0.41,
+    name_prefix: str = "chr",
+) -> ReferenceGenome:
+    """Generate a random reference genome.
+
+    ``gc_bias`` defaults to the human genome's ~41% GC content.  Contig
+    lengths are equal except the last, which absorbs the remainder.
+    """
+    if total_length <= 0:
+        raise ValueError("total_length must be positive")
+    if num_contigs <= 0:
+        raise ValueError("num_contigs must be positive")
+    if num_contigs > total_length:
+        raise ValueError("more contigs than bases")
+    rng = np.random.default_rng(seed)
+    at = (1.0 - gc_bias) / 2.0
+    gc = gc_bias / 2.0
+    probs = np.array([at, gc, gc, at])  # A, C, G, T
+    contigs = []
+    base_len = total_length // num_contigs
+    produced = 0
+    for i in range(num_contigs):
+        length = base_len if i < num_contigs - 1 else total_length - produced
+        seq = _ACGT[rng.choice(4, size=length, p=probs)].tobytes()
+        contigs.append(Contig(f"{name_prefix}{i + 1}", seq))
+        produced += length
+    return ReferenceGenome(contigs)
+
+
+@dataclass
+class ErrorModel:
+    """Sequencing error model applied to simulated reads.
+
+    ``substitution_rate`` is the per-base probability of reading the wrong
+    base (Illumina machines regularly misread bases, §2.1), ``indel_rate``
+    the per-read probability of one short insertion or deletion, and
+    ``n_rate`` the per-base probability of an ambiguous ``N`` call.
+    """
+
+    substitution_rate: float = 0.005
+    indel_rate: float = 0.001
+    max_indel_length: int = 3
+    n_rate: float = 0.0005
+    quality_mean: int = 35
+    quality_sd: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("substitution_rate", "indel_rate", "n_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class ReadSimulator:
+    """Shotgun read simulator over a reference genome (§2: NGS machines
+    chop long DNA strands into short snippets read in arbitrary order)."""
+
+    reference: ReferenceGenome
+    read_length: int = 101
+    error_model: ErrorModel = field(default_factory=ErrorModel)
+    duplicate_fraction: float = 0.0
+    paired: bool = False
+    insert_size_mean: int = 350
+    insert_size_sd: int = 30
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read_length <= 0:
+            raise ValueError("read_length must be positive")
+        if len(self.reference) < self.read_length:
+            raise ValueError("reference shorter than read length")
+        if not 0.0 <= self.duplicate_fraction < 1.0:
+            raise ValueError("duplicate_fraction must be in [0, 1)")
+        if self.paired:
+            min_insert = 2 * self.read_length
+            if self.insert_size_mean < min_insert:
+                raise ValueError(
+                    f"insert_size_mean {self.insert_size_mean} below "
+                    f"2 x read_length ({min_insert})"
+                )
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------ API
+
+    def reads_for_coverage(self, coverage: float) -> int:
+        """Number of reads giving the requested coverage (30-50x typical)."""
+        return max(1, int(round(coverage * len(self.reference) / self.read_length)))
+
+    def simulate(
+        self, num_reads: int, sample_name: str = "sample"
+    ) -> tuple[list[ReadRecord], list[ReadOrigin]]:
+        """Generate ``num_reads`` reads with ground-truth origins.
+
+        For paired mode ``num_reads`` must be even; mates are adjacent in
+        the output (R1 then R2), mirroring interleaved FASTQ.
+        """
+        if num_reads <= 0:
+            raise ValueError("num_reads must be positive")
+        if self.paired and num_reads % 2:
+            raise ValueError("paired simulation needs an even read count")
+        reads: list[ReadRecord] = []
+        origins: list[ReadOrigin] = []
+        num_fragments = num_reads // 2 if self.paired else num_reads
+        fragment_index = 0
+        last_fragment: "tuple[int, bool, int] | None" = None
+        while fragment_index < num_fragments:
+            duplicate = bool(
+                last_fragment is not None
+                and self._rng.random() < self.duplicate_fraction
+            )
+            if duplicate:
+                # A PCR duplicate re-reads the *same physical fragment*:
+                # identical coordinates (including insert length),
+                # independent sequencing errors.
+                pos, reverse, insert = last_fragment
+            else:
+                pos, reverse = self._random_origin()
+                insert = min(self._fragment_span(),
+                             len(self.reference) - pos)
+            self._emit_fragment(
+                fragment_index, pos, reverse, duplicate, insert,
+                reads, origins, sample_name,
+            )
+            last_fragment = (pos, reverse, insert)
+            fragment_index += 1
+        return reads, origins
+
+    # ------------------------------------------------------------- internals
+
+    def _random_origin(self) -> tuple[int, bool]:
+        span = self._fragment_span()
+        limit = len(self.reference) - span
+        pos = int(self._rng.integers(0, limit + 1))
+        reverse = bool(self._rng.integers(0, 2))
+        return pos, reverse
+
+    def _fragment_span(self) -> int:
+        if not self.paired:
+            return self.read_length
+        return max(
+            2 * self.read_length,
+            int(self._rng.normal(self.insert_size_mean, self.insert_size_sd)),
+        )
+
+    def _emit_fragment(
+        self,
+        fragment_index: int,
+        pos: int,
+        reverse: bool,
+        duplicate: bool,
+        insert: int,
+        reads: list[ReadRecord],
+        origins: list[ReadOrigin],
+        sample_name: str,
+    ) -> None:
+        if not self.paired:
+            record, errors = self._sequence_read(pos, reverse,
+                                                 f"{sample_name}.{fragment_index}")
+            reads.append(record)
+            origins.append(ReadOrigin(pos, reverse, duplicate, -1, errors))
+            return
+        # Illumina FR geometry: the leftmost read is always forward, the
+        # rightmost reverse (mates face inward).  ``reverse`` selects which
+        # fragment strand R1 was sequenced from, i.e. whether R1 is the
+        # left/forward or right/reverse read.
+        left_pos = pos
+        right_pos = pos + insert - self.read_length
+        name = f"{sample_name}.{fragment_index}"
+        if not reverse:
+            r1_pos, r1_rev = left_pos, False
+            r2_pos, r2_rev = right_pos, True
+        else:
+            r1_pos, r1_rev = right_pos, True
+            r2_pos, r2_rev = left_pos, False
+        r1, e1 = self._sequence_read(r1_pos, r1_rev, f"{name}/1")
+        r2, e2 = self._sequence_read(r2_pos, r2_rev, f"{name}/2")
+        reads.extend((r1, r2))
+        origins.append(ReadOrigin(r1_pos, r1_rev, duplicate, r2_pos, e1))
+        origins.append(ReadOrigin(r2_pos, r2_rev, duplicate, r1_pos, e2))
+
+    def _sequence_read(
+        self, pos: int, reverse: bool, name: str
+    ) -> tuple[ReadRecord, int]:
+        fragment = bytearray(self.reference.fetch(pos, self.read_length))
+        model = self.error_model
+        errors = 0
+        # One optional short indel per read.
+        if model.indel_rate and self._rng.random() < model.indel_rate:
+            errors += self._apply_indel(fragment, pos)
+        arr = np.frombuffer(bytes(fragment), dtype=np.uint8).copy()
+        sub_mask = self._rng.random(arr.size) < model.substitution_rate
+        if sub_mask.any():
+            shifts = self._rng.integers(1, 4, size=int(sub_mask.sum()))
+            originals = arr[sub_mask]
+            # Rotate within ACGT so the substituted base always differs.
+            idx = np.searchsorted(_ACGT, originals)
+            arr[sub_mask] = _ACGT[(idx + shifts) % 4]
+            errors += int(sub_mask.sum())
+        n_mask = self._rng.random(arr.size) < model.n_rate
+        if n_mask.any():
+            arr[n_mask] = ord("N")
+            errors += int(n_mask.sum())
+        bases = arr.tobytes()
+        if reverse:
+            bases = reverse_complement(bases)
+        quals = self._qualities(arr.size)
+        return ReadRecord(name.encode(), bases, quals), errors
+
+    def _apply_indel(self, fragment: bytearray, pos: int) -> int:
+        length = int(self._rng.integers(1, self.error_model.max_indel_length + 1))
+        at = int(self._rng.integers(1, max(2, len(fragment) - length)))
+        if self._rng.integers(0, 2):  # insertion of random bases
+            insert = _ACGT[self._rng.integers(0, 4, size=length)].tobytes()
+            fragment[at:at] = insert
+            del fragment[self.read_length:]
+        else:  # deletion; re-fill from downstream reference
+            del fragment[at : at + length]
+            tail = self.reference.fetch(pos + self.read_length, length)
+            fragment.extend(tail)
+            # Near the genome end the refill may come up short; pad with A.
+            fragment.extend(b"A" * (self.read_length - len(fragment)))
+        return length
+
+    def _qualities(self, n: int) -> bytes:
+        model = self.error_model
+        scores = self._rng.normal(model.quality_mean, model.quality_sd, size=n)
+        scores = np.clip(np.round(scores), 2, 41).astype(np.uint8)
+        return (scores + 33).tobytes()
+
+
+def synthetic_dataset(
+    genome_length: int = 100_000,
+    coverage: float = 5.0,
+    read_length: int = 101,
+    seed: int = 0,
+    num_contigs: int = 1,
+    duplicate_fraction: float = 0.0,
+    paired: bool = False,
+) -> tuple[ReferenceGenome, list[ReadRecord], list[ReadOrigin]]:
+    """One-call convenience: reference + reads + ground truth."""
+    reference = synthetic_reference(genome_length, num_contigs, seed=seed)
+    simulator = ReadSimulator(
+        reference,
+        read_length=read_length,
+        duplicate_fraction=duplicate_fraction,
+        paired=paired,
+        seed=seed + 1,
+    )
+    count = simulator.reads_for_coverage(coverage)
+    if paired and count % 2:
+        count += 1
+    reads, origins = simulator.simulate(count)
+    return reference, reads, origins

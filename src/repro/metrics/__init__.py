@@ -1,0 +1,32 @@
+"""Metrics: utilization tracing, op-mix microarch profiling, throughput."""
+
+from repro.metrics.cputrace import UtilizationSampler, UtilizationTrace
+from repro.metrics.microarch import (
+    OP_WEIGHTS,
+    SPEC_REFERENCE,
+    OpClassWeights,
+    TopDownProfile,
+    hyperthreading_shift,
+    profile_bwa,
+    profile_snap,
+)
+from repro.metrics.throughput import (
+    RateMeter,
+    format_bases_rate,
+    format_bytes_rate,
+)
+
+__all__ = [
+    "OP_WEIGHTS",
+    "OpClassWeights",
+    "RateMeter",
+    "SPEC_REFERENCE",
+    "TopDownProfile",
+    "UtilizationSampler",
+    "UtilizationTrace",
+    "format_bases_rate",
+    "format_bytes_rate",
+    "hyperthreading_shift",
+    "profile_bwa",
+    "profile_snap",
+]

@@ -1,0 +1,80 @@
+"""Throughput accounting helpers.
+
+"Alignment throughput is measured in bases aligned per second, a
+read-length agnostic measure" (§2.1).  These helpers keep the unit
+conversions (bases/s, Mbases/s, Gbases/s, MB/s) in one place so benchmark
+output matches the paper's units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class RateMeter:
+    """Accumulates work units against elapsed wall time."""
+
+    units: str = "bases"
+
+    def __post_init__(self) -> None:
+        self._count = 0
+        self._started: "float | None" = None
+        self._elapsed = 0.0
+
+    def start(self) -> "RateMeter":
+        if self._started is not None:
+            raise RuntimeError("meter already running")
+        self._started = time.monotonic()
+        return self
+
+    def stop(self) -> None:
+        if self._started is None:
+            raise RuntimeError("meter not running")
+        self._elapsed += time.monotonic() - self._started
+        self._started = None
+
+    def __enter__(self) -> "RateMeter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def add(self, count: int) -> None:
+        self._count += count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def elapsed(self) -> float:
+        running = (
+            time.monotonic() - self._started if self._started is not None else 0.0
+        )
+        return self._elapsed + running
+
+    @property
+    def rate(self) -> float:
+        elapsed = self.elapsed
+        return self._count / elapsed if elapsed > 0 else 0.0
+
+
+def format_bases_rate(bases_per_second: float) -> str:
+    """Human units matching the paper's axes."""
+    if bases_per_second >= 1e9:
+        return f"{bases_per_second / 1e9:.3f} Gbases/s"
+    if bases_per_second >= 1e6:
+        return f"{bases_per_second / 1e6:.2f} Mbases/s"
+    if bases_per_second >= 1e3:
+        return f"{bases_per_second / 1e3:.1f} Kbases/s"
+    return f"{bases_per_second:.0f} bases/s"
+
+
+def format_bytes_rate(bytes_per_second: float) -> str:
+    if bytes_per_second >= 1e9:
+        return f"{bytes_per_second / 1e9:.2f} GB/s"
+    if bytes_per_second >= 1e6:
+        return f"{bytes_per_second / 1e6:.1f} MB/s"
+    return f"{bytes_per_second / 1e3:.1f} KB/s"

@@ -1,0 +1,34 @@
+"""Storage substrate: chunk stores, disk models, Ceph-like object store."""
+
+from repro.storage.base import (
+    ChunkStore,
+    DirectoryStore,
+    MemoryStore,
+    StorageError,
+)
+from repro.storage.ceph import CephConfig, CephStore, SimulatedCephCluster
+from repro.storage.diskmodel import (
+    BandwidthLimiter,
+    DiskModel,
+    IOCounters,
+    WritebackDiskModel,
+    raid0,
+)
+from repro.storage.local import CountingStore, ModeledDiskStore
+
+__all__ = [
+    "BandwidthLimiter",
+    "CephConfig",
+    "CephStore",
+    "ChunkStore",
+    "CountingStore",
+    "DirectoryStore",
+    "DiskModel",
+    "IOCounters",
+    "MemoryStore",
+    "ModeledDiskStore",
+    "SimulatedCephCluster",
+    "StorageError",
+    "WritebackDiskModel",
+    "raid0",
+]

@@ -1,0 +1,182 @@
+"""Simulated Ceph-like distributed object store (§5.1, §5.5, §7).
+
+The paper stores cluster datasets "in a Ceph distributed object store
+spread over 7 servers ... configured to use 3-way replication and each of
+its 7 nodes has 10 disks", accessed "via the Rados API", with a measured
+peak read throughput of 6 GB/s.  AGD needs nothing Ceph-specific — "only
+a way to store keyed chunks of data" (§7) — so this simulation provides:
+
+* hash-based placement of each object onto ``replication`` OSD nodes
+  (a CRUSH stand-in);
+* per-node disk bandwidth plus a cluster-wide network bandwidth ceiling —
+  the resource whose saturation produces the ~60-client knee in Fig. 7;
+* a rados-bench-style measurement helper mirroring §5.1's methodology.
+
+Aggregate bandwidth is what saturates first in the paper's setup, so the
+network limiter is the load-bearing part of the model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.storage.base import MemoryStore
+from repro.storage.diskmodel import BandwidthLimiter
+
+
+@dataclass
+class CephConfig:
+    """Cluster geometry and bandwidths (defaults mirror §5.1's testbed,
+    expressed in *modeled* bytes/second chosen by the caller)."""
+
+    num_nodes: int = 7
+    disks_per_node: int = 10
+    replication: int = 3
+    disk_bandwidth: float = 100e6
+    network_bandwidth: float = 6e9  # measured peak read throughput, §5.1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.disks_per_node <= 0:
+            raise ValueError("cluster needs nodes and disks")
+        if not 1 <= self.replication <= self.num_nodes:
+            raise ValueError(
+                f"replication {self.replication} impossible with "
+                f"{self.num_nodes} nodes"
+            )
+
+
+class SimulatedCephCluster:
+    """A replicated object store with modeled bandwidth contention."""
+
+    def __init__(self, config: "CephConfig | None" = None):
+        self.config = config or CephConfig()
+        cfg = self.config
+        node_bandwidth = cfg.disk_bandwidth * cfg.disks_per_node
+        self._nodes = [
+            BandwidthLimiter(node_bandwidth, name=f"osd-node-{i}")
+            for i in range(cfg.num_nodes)
+        ]
+        self._network = BandwidthLimiter(cfg.network_bandwidth, name="fabric")
+        self._objects = MemoryStore()
+        self._lock = threading.Lock()
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ----------------------------------------------------------- placement
+
+    def placement(self, key: str) -> list[int]:
+        """The OSD nodes holding ``key`` (primary first)."""
+        digest = hashlib.blake2s(key.encode(), digest_size=8).digest()
+        primary = int.from_bytes(digest, "little") % self.config.num_nodes
+        return [
+            (primary + i) % self.config.num_nodes
+            for i in range(self.config.replication)
+        ]
+
+    # ------------------------------------------------------------ data I/O
+
+    def get(self, key: str) -> bytes:
+        data = self._objects.get(key)  # raises StorageError when absent
+        primary = self.placement(key)[0]
+        # Network and source-node time overlap; the slower dominates, and
+        # both reservations queue behind earlier traffic.
+        self._network.acquire(len(data))
+        self._nodes[primary].acquire(len(data))
+        with self._lock:
+            self.bytes_read += len(data)
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        self._network.acquire(len(data))
+        for node in self.placement(key):
+            self._nodes[node].acquire(len(data))
+        self._objects.put(key, data)
+        with self._lock:
+            self.bytes_written += len(data)
+
+    def exists(self, key: str) -> bool:
+        return self._objects.exists(key)
+
+    def delete(self, key: str) -> None:
+        self._objects.delete(key)
+
+    def keys(self) -> Iterator[str]:
+        return self._objects.keys()
+
+    def flush(self) -> None:
+        """Object stores complete writes synchronously; nothing buffered."""
+
+    # ------------------------------------------------------------- tooling
+
+    def rados_bench(
+        self, object_size: int = 4 * 1024 * 1024, objects: int = 16,
+        concurrency: int = 8,
+    ) -> float:
+        """Measure sequential read throughput (bytes/s of modeled time),
+        mirroring §5.1: "Using the rados bench tool, we measure the peak
+        Ceph read throughput of our configuration"."""
+        for i in range(objects):
+            self._objects.put(f"__bench-{i}", b"\0" * object_size)
+        start = time.monotonic()
+        errors: list[BaseException] = []
+
+        def reader(worker: int) -> None:
+            try:
+                for i in range(worker, objects, concurrency):
+                    self.get(f"__bench-{i}")
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(w,)) for w in range(concurrency)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.monotonic() - start
+        for i in range(objects):
+            self._objects.delete(f"__bench-{i}")
+        if errors:
+            raise errors[0]
+        return objects * object_size / elapsed if elapsed > 0 else float("inf")
+
+
+class CephStore:
+    """ChunkStore facade over a shared cluster, with optional key prefix.
+
+    Multiple compute servers share one :class:`SimulatedCephCluster`; each
+    holds its own facade (as each Persona server holds a Rados connection).
+    """
+
+    def __init__(self, cluster: SimulatedCephCluster, prefix: str = ""):
+        self.cluster = cluster
+        self.prefix = prefix
+
+    def _key(self, key: str) -> str:
+        return self.prefix + key
+
+    def get(self, key: str) -> bytes:
+        return self.cluster.get(self._key(key))
+
+    def put(self, key: str, data: bytes) -> None:
+        self.cluster.put(self._key(key), data)
+
+    def exists(self, key: str) -> bool:
+        return self.cluster.exists(self._key(key))
+
+    def delete(self, key: str) -> None:
+        self.cluster.delete(self._key(key))
+
+    def keys(self) -> Iterator[str]:
+        prefix = self.prefix
+        for key in self.cluster.keys():
+            if key.startswith(prefix):
+                yield key[len(prefix):]
+
+    def flush(self) -> None:
+        self.cluster.flush()

@@ -1,0 +1,201 @@
+"""Bandwidth-modeled storage devices (§5.1, §5.3).
+
+The paper's single-node experiments (Table 1, Fig. 5) contrast three
+storage configurations: one SATA disk, a 6-disk RAID0 array, and Ceph over
+10 GbE.  We model a device as a serially-shared resource with a byte
+bandwidth: each operation reserves a time slot (queueing behind earlier
+operations) and sleeps until its slot completes.  Sleeps release the GIL,
+so compute threads genuinely overlap I/O — the mechanism Persona exploits
+("overlapping I/O with compute to hide latency", §1) works for real in
+these experiments, not just on paper.
+
+:class:`WritebackDiskModel` additionally reproduces the §5.3 observation
+that "the operating system's buffer cache writeback policy competes with
+the application-driven data reads; during periods of writeback, the
+application is unable to read input data fast enough and threads go
+idle" — the cyclical CPU pattern of Fig. 5a.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+
+def _sleep_until(deadline: float) -> None:
+    delay = deadline - time.monotonic()
+    if delay > 0:
+        time.sleep(delay)
+
+
+@dataclass
+class IOCounters:
+    """Byte and operation counters for one device."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    busy_seconds: float = 0.0
+
+
+class BandwidthLimiter:
+    """A serially-shared resource with fixed byte bandwidth.
+
+    Reservations queue: an operation's slot starts when the previous one
+    ends, which models both service time and queueing delay with one lock.
+    """
+
+    def __init__(self, bandwidth: float, latency: float = 0.0, name: str = "dev"):
+        if bandwidth <= 0:
+            raise ValueError(f"{name}: bandwidth must be positive")
+        if latency < 0:
+            raise ValueError(f"{name}: latency must be non-negative")
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._lock = threading.Lock()
+        self._next_free = 0.0
+
+    def acquire(self, nbytes: int) -> float:
+        """Reserve a slot for ``nbytes``; blocks until the transfer "completes".
+
+        Returns the service duration (seconds) including queueing.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        duration = self.latency + nbytes / self.bandwidth
+        with self._lock:
+            now = time.monotonic()
+            start = max(now, self._next_free)
+            end = start + duration
+            self._next_free = end
+        _sleep_until(end)
+        return end - now if (end - now) > 0 else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._next_free = 0.0
+
+
+class DiskModel:
+    """A disk (or array) with separate read/write bandwidth sharing one
+    actuator — reads and writes contend, as on a real spindle."""
+
+    def __init__(
+        self,
+        read_bandwidth: float,
+        write_bandwidth: "float | None" = None,
+        seek_time: float = 0.0,
+        name: str = "disk",
+    ):
+        if read_bandwidth <= 0 or (write_bandwidth or read_bandwidth) <= 0:
+            raise ValueError(f"{name}: bandwidth must be positive")
+        self.name = name
+        self.read_bandwidth = read_bandwidth
+        self.write_bandwidth = write_bandwidth or read_bandwidth
+        self.seek_time = seek_time
+        self.counters = IOCounters()
+        self._counter_lock = threading.Lock()
+        self._actuator_lock = threading.Lock()
+        self._next_free = 0.0
+
+    def _transfer(self, nbytes: int, bandwidth: float) -> float:
+        duration = self.seek_time + nbytes / bandwidth
+        with self._actuator_lock:
+            now = time.monotonic()
+            start = max(now, self._next_free)
+            end = start + duration
+            self._next_free = end
+        _sleep_until(end)
+        return max(0.0, end - now)
+
+    def read(self, nbytes: int) -> None:
+        elapsed = self._transfer(nbytes, self.read_bandwidth)
+        with self._counter_lock:
+            self.counters.bytes_read += nbytes
+            self.counters.read_ops += 1
+            self.counters.busy_seconds += elapsed
+
+    def write(self, nbytes: int) -> None:
+        elapsed = self._transfer(nbytes, self.write_bandwidth)
+        with self._counter_lock:
+            self.counters.bytes_written += nbytes
+            self.counters.write_ops += 1
+            self.counters.busy_seconds += elapsed
+
+    def flush(self) -> None:
+        """Synchronize with any buffered state (no-op for the plain model)."""
+
+
+def raid0(
+    disks: int, disk_read_bandwidth: float,
+    disk_write_bandwidth: "float | None" = None,
+    seek_time: float = 0.0,
+    name: str = "raid0",
+) -> DiskModel:
+    """A hardware RAID0 array: aggregate bandwidth scales with stripes.
+
+    §5.1: "6 SATA disks ... a hardware RAID controller"; §5.3 finds that
+    with RAID0's bandwidth "the performance of SNAP and Persona are nearly
+    identical" — ample bandwidth removes the I/O bottleneck.
+    """
+    if disks <= 0:
+        raise ValueError("need at least one disk")
+    return DiskModel(
+        read_bandwidth=disks * disk_read_bandwidth,
+        write_bandwidth=disks * (disk_write_bandwidth or disk_read_bandwidth),
+        seek_time=seek_time,
+        name=name,
+    )
+
+
+class WritebackDiskModel(DiskModel):
+    """Disk with an OS buffer cache and periodic writeback storms.
+
+    Writes land in the cache "for free" until the dirty threshold is hit;
+    the flush then owns the actuator until the cache drains, starving
+    concurrent reads (Fig. 5a's cyclical idle periods).
+    """
+
+    def __init__(
+        self,
+        read_bandwidth: float,
+        write_bandwidth: "float | None" = None,
+        dirty_limit: int = 8 * 1024 * 1024,
+        seek_time: float = 0.0,
+        name: str = "writeback-disk",
+    ):
+        super().__init__(read_bandwidth, write_bandwidth, seek_time, name)
+        if dirty_limit <= 0:
+            raise ValueError("dirty_limit must be positive")
+        self.dirty_limit = dirty_limit
+        self._dirty = 0
+        self._dirty_lock = threading.Lock()
+        self.writeback_storms = 0
+
+    def write(self, nbytes: int) -> None:
+        flush_bytes = 0
+        with self._dirty_lock:
+            self._dirty += nbytes
+            if self._dirty >= self.dirty_limit:
+                flush_bytes = self._dirty
+                self._dirty = 0
+        with self._counter_lock:
+            self.counters.bytes_written += nbytes
+            self.counters.write_ops += 1
+        if flush_bytes:
+            self.writeback_storms += 1
+            elapsed = self._transfer(flush_bytes, self.write_bandwidth)
+            with self._counter_lock:
+                self.counters.busy_seconds += elapsed
+
+    def flush(self) -> None:
+        with self._dirty_lock:
+            flush_bytes = self._dirty
+            self._dirty = 0
+        if flush_bytes:
+            elapsed = self._transfer(flush_bytes, self.write_bandwidth)
+            with self._counter_lock:
+                self.counters.busy_seconds += elapsed

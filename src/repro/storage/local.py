@@ -1,0 +1,90 @@
+"""Local storage: a chunk store behind a modeled disk (§4.2, §5.3).
+
+"For disk files, Reader nodes mmap AGD chunk files, producing a handle to
+a read-only mapped file memory region."  Our analog keeps blobs in memory
+(or on the real filesystem) and charges the modeled device for every byte
+moved, so experiments see single-disk vs RAID0 behavior regardless of the
+machine they run on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.storage.base import ChunkStore, MemoryStore
+from repro.storage.diskmodel import DiskModel
+
+
+class ModeledDiskStore:
+    """A :class:`ChunkStore` that pays a disk model for each access."""
+
+    def __init__(
+        self,
+        disk: DiskModel,
+        backing: "ChunkStore | None" = None,
+    ):
+        self.disk = disk
+        self.backing = backing if backing is not None else MemoryStore()
+
+    def get(self, key: str) -> bytes:
+        data = self.backing.get(key)
+        self.disk.read(len(data))
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        self.disk.write(len(data))
+        self.backing.put(key, data)
+
+    def exists(self, key: str) -> bool:
+        return self.backing.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.backing.delete(key)
+
+    def keys(self) -> Iterator[str]:
+        return self.backing.keys()
+
+    def flush(self) -> None:
+        """Drain any buffered writes (writeback models)."""
+        self.disk.flush()
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def bytes_read(self) -> int:
+        return self.disk.counters.bytes_read
+
+    @property
+    def bytes_written(self) -> int:
+        return self.disk.counters.bytes_written
+
+
+class CountingStore:
+    """A pass-through store that only counts traffic (no timing model).
+
+    Used where an experiment needs Table 1's "Data Read"/"Data Written"
+    accounting without timing effects.
+    """
+
+    def __init__(self, backing: "ChunkStore | None" = None):
+        self.backing = backing if backing is not None else MemoryStore()
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def get(self, key: str) -> bytes:
+        data = self.backing.get(key)
+        self.bytes_read += len(data)
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        self.bytes_written += len(data)
+        self.backing.put(key, data)
+
+    def exists(self, key: str) -> bool:
+        return self.backing.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.backing.delete(key)
+
+    def keys(self) -> Iterator[str]:
+        return self.backing.keys()

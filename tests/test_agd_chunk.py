@@ -1,0 +1,138 @@
+"""Tests for the AGD chunk codec, including corruption handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.agd.chunk import (
+    HEADER_SIZE,
+    ChunkFormatError,
+    ChunkHeader,
+    chunk_record_count,
+    read_chunk,
+    read_chunk_header,
+    read_chunk_index,
+    write_chunk,
+)
+from repro.agd.compression import available_codecs
+from repro.align.result import AlignmentResult
+
+sequences = st.binary(max_size=120).map(
+    lambda b: bytes(b"ACGTN"[x % 5] for x in b)
+)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        header = ChunkHeader(
+            record_type="bases", codec_name="gzip", record_count=7,
+            first_ordinal=100, compressed_size=50, uncompressed_size=80,
+            data_crc=123, index_crc=456,
+        )
+        raw = header.to_bytes()
+        assert len(raw) == HEADER_SIZE
+        assert ChunkHeader.from_bytes(raw) == header
+
+    def test_bad_magic(self):
+        with pytest.raises(ChunkFormatError):
+            ChunkHeader.from_bytes(b"X" * HEADER_SIZE)
+
+    def test_truncated(self):
+        with pytest.raises(ChunkFormatError):
+            ChunkHeader.from_bytes(b"AGDC")
+
+    def test_bad_version(self):
+        header = ChunkHeader("bases", "gzip", 1, 0, 1, 1, 0, 0)
+        raw = bytearray(header.to_bytes())
+        raw[4] = 99  # version field
+        with pytest.raises(ChunkFormatError):
+            ChunkHeader.from_bytes(bytes(raw))
+
+
+class TestRoundTrip:
+    def test_bases_chunk(self):
+        records = [b"ACGT", b"GGGG", b"N" * 25]
+        blob = write_chunk(records, "bases", first_ordinal=10)
+        chunk = read_chunk(blob)
+        assert chunk.records == records
+        assert chunk.record_type == "bases"
+        assert chunk.first_ordinal == 10
+
+    def test_text_chunk(self):
+        records = [b"read.1", b"", b"read.3 extra"]
+        blob = write_chunk(records, "text")
+        assert read_chunk(blob).records == records
+
+    def test_results_chunk(self):
+        records = [
+            AlignmentResult(flag=0, mapq=60, contig_index=0, position=5,
+                            cigar=b"10M"),
+            AlignmentResult(),  # unmapped
+        ]
+        blob = write_chunk(records, "results")
+        assert read_chunk(blob).records == records
+
+    @pytest.mark.parametrize("codec", available_codecs())
+    def test_all_codecs(self, codec):
+        records = [b"ACGT" * 30] * 5
+        blob = write_chunk(records, "bases", codec=codec)
+        assert read_chunk(blob).records == records
+        assert read_chunk_header(blob).codec_name == codec
+
+    def test_header_only_read(self):
+        blob = write_chunk([b"x"] * 42, "text", first_ordinal=7)
+        assert chunk_record_count(blob) == 42
+        header = read_chunk_header(blob)
+        assert header.first_ordinal == 7
+
+    def test_index_only_read(self):
+        blob = write_chunk([b"ab", b"cde"], "text")
+        header, index = read_chunk_index(blob)
+        assert [index[i] for i in range(len(index))] == [2, 3]
+
+    @given(st.lists(sequences, min_size=1, max_size=30))
+    def test_roundtrip_property(self, records):
+        blob = write_chunk(records, "bases")
+        assert read_chunk(blob).records == records
+
+    def test_unknown_record_type(self):
+        from repro.agd.records import UnknownRecordTypeError
+
+        with pytest.raises(UnknownRecordTypeError):
+            write_chunk([b"x"], "nonsense")
+
+
+class TestCorruption:
+    """Failure injection: every corruption mode must be detected."""
+
+    @pytest.fixture()
+    def blob(self):
+        return write_chunk([b"ACGT" * 10] * 20, "bases")
+
+    def test_truncated_index(self, blob):
+        with pytest.raises(ChunkFormatError, match="index"):
+            read_chunk(blob[: HEADER_SIZE + 10])
+
+    def test_truncated_data(self, blob):
+        with pytest.raises(ChunkFormatError, match="truncated|decompress"):
+            read_chunk(blob[:-5])
+
+    def test_flipped_data_byte(self, blob):
+        corrupted = bytearray(blob)
+        corrupted[-1] ^= 0xFF
+        with pytest.raises(ChunkFormatError):
+            read_chunk(bytes(corrupted))
+
+    def test_flipped_index_byte(self, blob):
+        corrupted = bytearray(blob)
+        corrupted[HEADER_SIZE] ^= 0xFF
+        with pytest.raises(ChunkFormatError, match="CRC"):
+            read_chunk(bytes(corrupted))
+
+    def test_not_a_chunk(self):
+        with pytest.raises(ChunkFormatError):
+            read_chunk(b"this is not an AGD chunk at all, not even close....")
+
+    def test_empty(self):
+        with pytest.raises(ChunkFormatError):
+            read_chunk(b"")

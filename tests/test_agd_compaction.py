@@ -1,0 +1,94 @@
+"""Property tests for AGD 3-bit base compaction (§3: 21 bases/u64)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.agd.compaction import (
+    BASES_PER_WORD,
+    pack_bases,
+    pack_column,
+    packed_size,
+    unpack_bases,
+    unpack_column,
+)
+
+sequences = st.binary(max_size=400).map(
+    lambda b: bytes(b"ACGTN"[x % 5] for x in b)
+)
+
+
+class TestPackedSize:
+    def test_zero(self):
+        assert packed_size(0) == 0
+
+    def test_one_word(self):
+        assert packed_size(1) == 8
+        assert packed_size(21) == 8
+
+    def test_two_words(self):
+        assert packed_size(22) == 16
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            packed_size(-1)
+
+    def test_constant(self):
+        assert BASES_PER_WORD == 21
+
+
+class TestPackUnpack:
+    def test_empty(self):
+        assert pack_bases(b"") == b""
+        assert unpack_bases(b"", 0) == b""
+
+    def test_simple(self):
+        packed = pack_bases(b"ACGTN")
+        assert len(packed) == 8
+        assert unpack_bases(packed, 5) == b"ACGTN"
+
+    def test_exactly_21(self):
+        seq = b"ACGTN" * 4 + b"A"
+        packed = pack_bases(seq)
+        assert len(packed) == 8
+        assert unpack_bases(packed, 21) == seq
+
+    def test_compression_ratio(self):
+        # 3 bits vs 8 bits: a 101-base read fits in 40 bytes.
+        assert packed_size(101) == 40
+
+    def test_wrong_length_rejected(self):
+        packed = pack_bases(b"ACGT")
+        with pytest.raises(ValueError):
+            unpack_bases(packed, 25)
+
+    @given(sequences)
+    def test_roundtrip(self, seq):
+        assert unpack_bases(pack_bases(seq), len(seq)) == seq
+
+    @given(sequences)
+    def test_size_formula(self, seq):
+        assert len(pack_bases(seq)) == packed_size(len(seq))
+
+
+class TestColumn:
+    def test_roundtrip_column(self):
+        seqs = [b"ACGT", b"", b"N" * 30, b"A"]
+        data, lengths = pack_column(seqs)
+        assert lengths == [4, 0, 30, 1]
+        assert unpack_column(data, lengths) == seqs
+
+    def test_truncated_rejected(self):
+        data, lengths = pack_column([b"ACGT" * 10])
+        with pytest.raises(ValueError):
+            unpack_column(data[:-1], lengths)
+
+    def test_trailing_rejected(self):
+        data, lengths = pack_column([b"ACGT"])
+        with pytest.raises(ValueError):
+            unpack_column(data + b"\0" * 8, lengths)
+
+    @given(st.lists(sequences, max_size=20))
+    def test_roundtrip_property(self, seqs):
+        data, lengths = pack_column(seqs)
+        assert unpack_column(data, lengths) == seqs

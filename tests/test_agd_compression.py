@@ -1,0 +1,68 @@
+"""Tests for AGD per-column compression codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.agd.compression import (
+    GZIP,
+    LZMA,
+    NONE,
+    Codec,
+    UnknownCodecError,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", [GZIP, LZMA, NONE])
+    def test_roundtrip(self, codec):
+        data = b"ACGT" * 1000 + b"some incompressible \x00\xff tail"
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_gzip_compresses_repetitive(self):
+        data = b"ACGT" * 10_000
+        assert len(GZIP.compress(data)) < len(data) / 5
+
+    def test_lzma_beats_gzip_on_text(self):
+        # The §3 tradeoff: lzma smaller, slower.
+        data = (b"read.%d some metadata here\n" * 500) % tuple(range(500))
+        assert len(LZMA.compress(data)) <= len(GZIP.compress(data))
+
+    def test_none_is_identity(self):
+        data = b"anything"
+        assert NONE.compress(data) == data
+
+    def test_lookup(self):
+        assert get_codec("gzip") is GZIP
+        assert get_codec("lzma") is LZMA
+        assert get_codec("none") is NONE
+
+    def test_unknown(self):
+        with pytest.raises(UnknownCodecError):
+            get_codec("zstd")
+
+    def test_available(self):
+        assert set(available_codecs()) >= {"gzip", "lzma", "none"}
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_codec(Codec("gzip", bytes, bytes))
+
+    def test_register_new(self):
+        name = "xor-test-codec"
+        if name not in available_codecs():
+            xor = Codec(
+                name,
+                lambda d: bytes(b ^ 0x55 for b in d),
+                lambda d: bytes(b ^ 0x55 for b in d),
+            )
+            register_codec(xor)
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(b"hello")) == b"hello"
+
+    @given(st.binary(max_size=5000))
+    def test_gzip_roundtrip_property(self, data):
+        assert GZIP.decompress(GZIP.compress(data)) == data

@@ -1,0 +1,184 @@
+"""Tests for the high-level AGD dataset API."""
+
+import pytest
+
+from repro.agd.compression import LZMA
+from repro.agd.dataset import AGDDataset
+from repro.agd.manifest import ManifestError
+from repro.align.result import AlignmentResult
+from repro.storage.base import DirectoryStore, MemoryStore
+
+
+@pytest.fixture()
+def small_dataset():
+    store = MemoryStore()
+    n = 25
+    return AGDDataset.create(
+        "small",
+        {
+            "bases": [b"ACGT" * (i % 5 + 1) for i in range(n)],
+            "qual": [b"I" * 4 * (i % 5 + 1) for i in range(n)],
+            "metadata": [f"r{i}".encode() for i in range(n)],
+        },
+        store,
+        chunk_size=10,
+    )
+
+
+class TestCreate:
+    def test_chunking(self, small_dataset):
+        assert small_dataset.num_chunks == 3
+        assert small_dataset.total_records == 25
+        counts = [e.record_count for e in small_dataset.manifest.chunks]
+        assert counts == [10, 10, 5]
+
+    def test_row_grouping_enforced(self):
+        with pytest.raises(ManifestError):
+            AGDDataset.create(
+                "bad", {"bases": [b"A"], "qual": [b"I", b"I"]}, MemoryStore()
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ManifestError):
+            AGDDataset.create("bad", {"bases": []}, MemoryStore())
+        with pytest.raises(ManifestError):
+            AGDDataset.create("bad", {}, MemoryStore())
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            AGDDataset.create("bad", {"bases": [b"A"]}, MemoryStore(),
+                              chunk_size=0)
+
+    def test_per_column_codec(self):
+        """§3: 'a user may compress the bases column with gzip while using
+        LZMA for the metadata'."""
+        store = MemoryStore()
+        ds = AGDDataset.create(
+            "codecs",
+            {"bases": [b"ACGT" * 100] * 10, "metadata": [b"m" * 50] * 10},
+            store,
+            codecs={"metadata": LZMA},
+        )
+        from repro.agd.chunk import read_chunk_header
+
+        bases_header = read_chunk_header(store.get("codecs-0.bases"))
+        meta_header = read_chunk_header(store.get("codecs-0.metadata"))
+        assert bases_header.codec_name == "gzip"
+        assert meta_header.codec_name == "lzma"
+        assert ds.read_column("metadata") == [b"m" * 50] * 10
+
+
+class TestRead:
+    def test_read_column(self, small_dataset):
+        bases = small_dataset.read_column("bases")
+        assert len(bases) == 25
+        assert bases[7] == b"ACGT" * 3
+
+    def test_iter_chunks(self, small_dataset):
+        chunks = list(small_dataset.iter_chunks("metadata"))
+        assert [len(c) for c in chunks] == [10, 10, 5]
+        assert chunks[1].first_ordinal == 10
+
+    def test_random_access(self, small_dataset):
+        for ordinal in (0, 9, 10, 24):
+            assert small_dataset.read_record("metadata", ordinal) == (
+                f"r{ordinal}".encode()
+            )
+
+    def test_random_access_bases(self, small_dataset):
+        assert small_dataset.read_record("bases", 13) == b"ACGT" * 4
+
+    def test_missing_column(self, small_dataset):
+        with pytest.raises(ManifestError):
+            small_dataset.read_chunk("results", 0)
+
+    def test_selective_column_read_touches_one_file_per_chunk(self):
+        """Column independence (§3): reading qual must not read bases."""
+        class SpyStore(MemoryStore):
+            def __init__(self):
+                super().__init__()
+                self.gets = []
+
+            def get(self, key):
+                self.gets.append(key)
+                return super().get(key)
+
+        store = SpyStore()
+        ds = AGDDataset.create(
+            "spy", {"bases": [b"A"] * 4, "qual": [b"I"] * 4}, store,
+            chunk_size=2,
+        )
+        store.gets.clear()
+        ds.read_column("qual")
+        assert all(key.endswith(".qual") for key in store.gets)
+
+
+class TestExtend:
+    def test_append_results_column(self, small_dataset):
+        results = [AlignmentResult() for _ in range(25)]
+        small_dataset.append_column("results", results)
+        assert small_dataset.manifest.has_column("results")
+        assert small_dataset.read_column("results") == results
+
+    def test_append_wrong_count(self, small_dataset):
+        with pytest.raises(ManifestError):
+            small_dataset.append_column("results", [AlignmentResult()])
+
+    def test_replace_chunk(self, small_dataset):
+        new_metas = [f"x{i}".encode() for i in range(10)]
+        small_dataset.replace_column_chunk("metadata", 1, new_metas)
+        column = small_dataset.read_column("metadata")
+        assert column[10:20] == new_metas
+        assert column[0] == b"r0"
+
+    def test_replace_chunk_wrong_count(self, small_dataset):
+        with pytest.raises(ManifestError):
+            small_dataset.replace_column_chunk("metadata", 1, [b"x"])
+
+
+class TestPersistence:
+    def test_directory_roundtrip(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        ds = AGDDataset.create(
+            "disk", {"bases": [b"ACGT"] * 5, "qual": [b"IIII"] * 5},
+            store, chunk_size=2,
+        )
+        ds.save_manifest(tmp_path)
+        back = AGDDataset.open(tmp_path)
+        assert back.total_records == 5
+        assert back.read_column("bases") == [b"ACGT"] * 5
+
+    def test_size_accounting(self, small_dataset):
+        per_column = sum(
+            small_dataset.column_bytes(c) for c in small_dataset.columns
+        )
+        assert small_dataset.total_bytes() == per_column
+        assert per_column > 0
+
+
+class TestRechunk:
+    def test_rechunk_preserves_rows(self, small_dataset):
+        rechunked = small_dataset.rechunk(7)
+        assert rechunked.total_records == small_dataset.total_records
+        assert rechunked.num_chunks == 4  # 25 records / 7
+        for column in small_dataset.columns:
+            assert rechunked.read_column(column) == (
+                small_dataset.read_column(column)
+            )
+
+    def test_rechunk_metadata_propagates(self, small_dataset):
+        small_dataset.manifest.reference = [{"name": "c", "length": 9}]
+        rechunked = small_dataset.rechunk(50)
+        assert rechunked.manifest.reference == [{"name": "c", "length": 9}]
+        assert rechunked.num_chunks == 1
+
+    def test_rechunk_invalid(self, small_dataset):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            small_dataset.rechunk(0)
+
+    def test_rechunk_original_untouched(self, small_dataset):
+        before = small_dataset.num_chunks
+        small_dataset.rechunk(3)
+        assert small_dataset.num_chunks == before

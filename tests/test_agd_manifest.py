@@ -1,0 +1,148 @@
+"""Tests for the AGD manifest (§3, Figure 2)."""
+
+import pytest
+
+from repro.agd.chunk import write_chunk
+from repro.agd.manifest import (
+    ChunkEntry,
+    Manifest,
+    ManifestError,
+    reconstruct_manifest,
+)
+
+
+def make_manifest() -> Manifest:
+    return Manifest(
+        name="test",
+        columns=["bases", "metadata", "qual"],
+        chunks=[
+            ChunkEntry("test-0", 0, 100),
+            ChunkEntry("test-1", 100, 100),
+            ChunkEntry("test-2", 200, 31),
+        ],
+        reference=[{"name": "chr1", "length": 5000}],
+    )
+
+
+class TestManifest:
+    def test_totals(self):
+        m = make_manifest()
+        assert m.total_records == 231
+        assert m.num_chunks == 3
+
+    def test_chunk_files(self):
+        m = make_manifest()
+        assert m.chunk_files("bases") == [
+            "test-0.bases", "test-1.bases", "test-2.bases"
+        ]
+
+    def test_missing_column(self):
+        with pytest.raises(ManifestError):
+            make_manifest().chunk_files("results")
+
+    def test_add_column(self):
+        m = make_manifest()
+        m.add_column("results")
+        assert m.has_column("results")
+        with pytest.raises(ManifestError):
+            m.add_column("results")
+
+    def test_gap_in_ordinals_rejected(self):
+        with pytest.raises(ManifestError):
+            Manifest(
+                name="bad",
+                columns=["bases"],
+                chunks=[ChunkEntry("b-0", 0, 10), ChunkEntry("b-1", 11, 10)],
+            )
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(ManifestError):
+            Manifest(name="bad", columns=["bases"],
+                     chunks=[ChunkEntry("b-0", 0, 0)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ManifestError):
+            Manifest(name="bad", columns=["bases", "bases"], chunks=[])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ManifestError):
+            Manifest(name="", columns=["bases"], chunks=[])
+
+    def test_chunk_for_record(self):
+        m = make_manifest()
+        entry, local = m.chunk_for_record(0)
+        assert entry.path == "test-0" and local == 0
+        entry, local = m.chunk_for_record(150)
+        assert entry.path == "test-1" and local == 50
+        entry, local = m.chunk_for_record(230)
+        assert entry.path == "test-2" and local == 30
+
+    def test_chunk_for_record_bounds(self):
+        m = make_manifest()
+        with pytest.raises(IndexError):
+            m.chunk_for_record(231)
+        with pytest.raises(IndexError):
+            m.chunk_for_record(-1)
+
+
+class TestJson:
+    def test_roundtrip(self):
+        m = make_manifest()
+        back = Manifest.from_json(m.to_json())
+        assert back.name == m.name
+        assert back.columns == m.columns
+        assert back.chunks == m.chunks
+        assert back.reference == m.reference
+        assert back.sort_order == m.sort_order
+
+    def test_save_load(self, tmp_path):
+        m = make_manifest()
+        m.save(tmp_path)
+        assert (tmp_path / "manifest.json").exists()
+        back = Manifest.load(tmp_path)
+        assert back.chunks == m.chunks
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ManifestError):
+            Manifest.load(tmp_path)
+
+    def test_malformed_json(self):
+        with pytest.raises(ManifestError):
+            Manifest.from_json("{not json")
+
+    def test_missing_field(self):
+        with pytest.raises(ManifestError):
+            Manifest.from_json('{"name": "x"}')
+
+
+class TestReconstruction:
+    """§3: the manifest 'can be reconstructed from the set of chunk files
+    it describes'."""
+
+    def test_reconstruct(self, tmp_path):
+        for i, (first, count) in enumerate([(0, 3), (3, 2)]):
+            records = [b"ACGT"] * count
+            (tmp_path / f"demo-{i}.bases").write_bytes(
+                write_chunk(records, "bases", first_ordinal=first)
+            )
+            (tmp_path / f"demo-{i}.qual").write_bytes(
+                write_chunk([b"IIII"] * count, "text", first_ordinal=first)
+            )
+        m = reconstruct_manifest(tmp_path)
+        assert m.name == "demo"
+        assert m.columns == ["bases", "qual"]
+        assert m.total_records == 5
+
+    def test_reconstruct_empty_dir(self, tmp_path):
+        with pytest.raises(ManifestError):
+            reconstruct_manifest(tmp_path)
+
+    def test_reconstruct_mismatched_layout(self, tmp_path):
+        (tmp_path / "d-0.bases").write_bytes(
+            write_chunk([b"AC"], "bases", first_ordinal=0)
+        )
+        (tmp_path / "d-0.qual").write_bytes(
+            write_chunk([b"II", b"II"], "text", first_ordinal=0)
+        )
+        with pytest.raises(ManifestError):
+            reconstruct_manifest(tmp_path)

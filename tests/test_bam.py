@@ -1,0 +1,152 @@
+"""Tests for the BAM-like binary codec."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.bam import (
+    BamFormatError,
+    decode_record,
+    encode_record,
+    iter_bam,
+    read_bam,
+    write_bam,
+)
+from repro.formats.sam import SamHeader, SamRecord
+
+
+def make_record(**overrides) -> SamRecord:
+    fields = dict(
+        qname="r1", flag=0, rname="chr1", pos=100, mapq=60, cigar="4M",
+        rnext="*", pnext=0, tlen=0, seq=b"ACGT", qual=b"IIII",
+    )
+    fields.update(overrides)
+    return SamRecord(**fields)
+
+
+HEADER = SamHeader(contigs=[{"name": "chr1", "length": 10_000},
+                            {"name": "chr2", "length": 5_000}])
+CONTIGS = ["chr1", "chr2"]
+INDEX = {"chr1": 0, "chr2": 1}
+
+records_strategy = st.lists(
+    st.builds(
+        lambda name, pos, flag, seq: make_record(
+            qname=name, pos=pos, flag=flag,
+            seq=seq, qual=b"I" * len(seq), cigar=f"{len(seq)}M",
+        ),
+        name=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=20,
+        ),
+        pos=st.integers(min_value=1, max_value=9_000),
+        flag=st.sampled_from([0, 16, 1024, 1040]),
+        seq=st.binary(min_size=1, max_size=50).map(
+            lambda b: bytes(b"ACGT"[x % 4] for x in b)
+        ),
+    ),
+    max_size=30,
+)
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = make_record(cigar="2M1I1M", tlen=-300, pnext=50, rnext="chr2")
+        body = encode_record(record, INDEX)
+        back = decode_record(body[4:], CONTIGS)
+        assert back.qname == record.qname
+        assert back.pos == record.pos
+        assert back.cigar == record.cigar
+        assert back.seq == record.seq
+        assert back.qual == record.qual
+        assert back.tlen == record.tlen
+
+    def test_odd_length_sequence(self):
+        record = make_record(seq=b"ACGTA", qual=b"IIIII", cigar="5M")
+        back = decode_record(encode_record(record, INDEX)[4:], CONTIGS)
+        assert back.seq == b"ACGTA"
+
+    def test_unmapped(self):
+        record = make_record(rname="*", pos=0, flag=4, cigar="")
+        back = decode_record(encode_record(record, INDEX)[4:], CONTIGS)
+        assert back.rname == "*" and back.is_unmapped
+
+    def test_missing_qualities(self):
+        record = make_record(qual=b"")
+        back = decode_record(encode_record(record, INDEX)[4:], CONTIGS)
+        assert back.qual == b""
+
+    def test_name_too_long(self):
+        with pytest.raises(BamFormatError):
+            encode_record(make_record(qname="x" * 300), INDEX)
+
+    def test_truncated(self):
+        body = encode_record(make_record(), INDEX)[4:]
+        with pytest.raises(BamFormatError):
+            decode_record(body[:10], CONTIGS)
+
+
+class TestFile:
+    def test_roundtrip(self):
+        records = [make_record(qname=f"r{i}", pos=i + 1) for i in range(100)]
+        buf = io.BytesIO()
+        nbytes = write_bam(HEADER, records, buf)
+        assert nbytes == len(buf.getvalue())
+        buf.seek(0)
+        header, back = read_bam(buf)
+        assert back == records
+        assert [c["name"] for c in header.contigs] == CONTIGS
+
+    def test_multiblock(self):
+        # Force multiple BGZF-style blocks with many records.
+        records = [
+            make_record(qname=f"read-{i}", seq=b"ACGT" * 25,
+                        qual=b"I" * 100, cigar="100M")
+            for i in range(3000)
+        ]
+        buf = io.BytesIO()
+        write_bam(HEADER, records, buf)
+        buf.seek(0)
+        _, back = read_bam(buf)
+        assert len(back) == 3000
+        assert back[0] == records[0]
+        assert back[-1] == records[-1]
+
+    def test_iter_streaming(self):
+        records = [make_record(qname=f"r{i}") for i in range(50)]
+        buf = io.BytesIO()
+        write_bam(HEADER, records, buf)
+        buf.seek(0)
+        assert list(iter_bam(buf)) == records
+
+    def test_compression_effective(self):
+        records = [make_record(qname=f"r{i}") for i in range(1000)]
+        buf = io.BytesIO()
+        write_bam(HEADER, records, buf)
+        from repro.formats.sam import sam_bytes
+
+        sam_size = len(sam_bytes(HEADER, records))
+        assert len(buf.getvalue()) < sam_size
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(BamFormatError):
+            read_bam(io.BytesIO(b"junk data not a bam file"))
+
+    def test_truncated_block_rejected(self):
+        records = [make_record()]
+        buf = io.BytesIO()
+        write_bam(HEADER, records, buf)
+        blob = buf.getvalue()
+        with pytest.raises(BamFormatError):
+            read_bam(io.BytesIO(blob[: len(blob) - 3]))
+
+    @given(records_strategy)
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, records):
+        buf = io.BytesIO()
+        write_bam(HEADER, records, buf)
+        buf.seek(0)
+        _, back = read_bam(buf)
+        assert back == records

@@ -1,0 +1,107 @@
+"""Tests for the baseline aligners: Smith-Waterman and BLAST-like."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.baseline import (
+    BlastLikeAligner,
+    SWScores,
+    smith_waterman,
+    sw_score_only,
+)
+from repro.genome.synthetic import ReadSimulator, synthetic_reference
+
+dna = st.binary(min_size=1, max_size=30).map(
+    lambda b: bytes(b"ACGT"[x % 4] for x in b)
+)
+
+
+class TestSmithWaterman:
+    def test_exact_substring(self):
+        al = smith_waterman(b"ACGTACGT", b"TTTACGTACGTTTT")
+        assert al.score == 16
+        assert al.ref_start == 3
+        assert al.cigar == b"8M"
+
+    def test_with_mismatch(self):
+        al = smith_waterman(b"ACGAACGT", b"TTTACGTACGTTTT")
+        assert al.score > 0
+        assert al.read_end - al.read_start >= 4
+
+    def test_with_gap(self):
+        al = smith_waterman(b"ACGTCCACGT", b"ACGTCCGGACGTAA")
+        assert al.score > 0
+
+    def test_no_alignment(self):
+        assert smith_waterman(b"AAAA", b"TTTT") is None
+
+    def test_empty_inputs(self):
+        assert smith_waterman(b"", b"ACGT") is None
+        assert smith_waterman(b"ACGT", b"") is None
+
+    def test_soft_clips_in_cigar(self):
+        al = smith_waterman(b"TTTTACGTACGTACG", b"CCACGTACGTACGCC")
+        assert al.cigar.startswith(b"4S") or al.read_start == 0
+
+    def test_score_only(self):
+        assert sw_score_only(b"ACGT", b"ACGT") == 8
+        assert sw_score_only(b"AAAA", b"TTTT") == 0
+
+    @given(dna)
+    @settings(max_examples=60)
+    def test_self_alignment_maximal(self, seq):
+        scores = SWScores()
+        assert sw_score_only(seq, seq) == len(seq) * scores.match
+
+    @given(dna, dna)
+    @settings(max_examples=60)
+    def test_score_bounded(self, a, b):
+        scores = SWScores()
+        assert sw_score_only(a, b) <= min(len(a), len(b)) * scores.match
+
+    @given(dna, dna)
+    @settings(max_examples=40)
+    def test_cigar_read_consistency(self, read, ref):
+        from repro.align.result import cigar_read_span
+
+        al = smith_waterman(read, ref)
+        if al is not None:
+            assert cigar_read_span(al.cigar) == len(read)
+
+
+class TestBlastLike:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ref = synthetic_reference(5_000, seed=401)
+        sim = ReadSimulator(ref, read_length=80, seed=402)
+        reads, origins = sim.simulate(40)
+        return ref, reads, origins, BlastLikeAligner(ref)
+
+    def test_planted_reads(self, setup):
+        ref, reads, origins, aligner = setup
+        exact = 0
+        for read, origin in zip(reads, origins):
+            result = aligner.align_read(read.bases)
+            if result.is_aligned:
+                _, local = ref.to_local(origin.global_pos)
+                if result.position == local:
+                    exact += 1
+        assert exact >= 35
+
+    def test_reverse_strand(self, setup):
+        from repro.genome.sequence import reverse_complement
+
+        ref, _, _, aligner = setup
+        genome = ref.concatenated()
+        result = aligner.align_read(reverse_complement(genome[1000:1080]))
+        assert result.is_aligned and result.is_reverse
+
+    def test_unrelated_unmapped(self, setup):
+        _, _, _, aligner = setup
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        junk = bytes(b"ACGT"[x] for x in rng.integers(0, 4, size=80))
+        result = aligner.align_read(junk)
+        assert not result.is_aligned or result.edit_distance > 5

@@ -1,0 +1,138 @@
+"""Tests for the BWA-MEM-like aligner: seeding, chaining, paired mode."""
+
+import pytest
+
+from repro.align.bwa import BwaConfig, BwaMemAligner, FMIndex
+from repro.genome.sequence import reverse_complement
+from repro.genome.synthetic import ReadSimulator, synthetic_reference
+
+
+class TestSeeding:
+    def test_seeds_found_for_genomic_read(self, bwa_aligner, reference):
+        genome = reference.concatenated()
+        read = genome[4000:4101]
+        seeds = bwa_aligner.find_seeds(read)
+        assert seeds
+        # Each seed's positions must truly match the read substring.
+        for seed in seeds:
+            fragment = read[seed.read_offset : seed.read_offset + seed.length]
+            for pos in seed.positions:
+                assert genome[pos : pos + seed.length] == fragment
+
+    def test_min_seed_length_respected(self, bwa_aligner):
+        for seed in bwa_aligner.find_seeds(b"ACGT" * 26):
+            assert seed.length >= bwa_aligner.config.min_seed_length
+
+    def test_no_seeds_for_garbage(self, fm_index):
+        aligner = BwaMemAligner(fm_index, BwaConfig(min_seed_length=30))
+        # With a high seed threshold a random read finds nothing.
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        read = bytes(b"ACGT"[x] for x in rng.integers(0, 4, size=101))
+        assert aligner.find_seeds(read) == []
+
+
+class TestSingleEnd:
+    def test_planted_reads(self, bwa_aligner, reference, reads, origins):
+        exact = 0
+        for read, origin in zip(reads[:100], origins[:100]):
+            result = bwa_aligner.align_read(read.bases)
+            assert result.is_aligned
+            contig, local = reference.to_local(origin.global_pos)
+            if result.position == local and result.is_reverse == origin.reverse:
+                exact += 1
+        assert exact >= 97
+
+    def test_reverse_strand(self, bwa_aligner, reference):
+        genome = reference.concatenated()
+        result = bwa_aligner.align_read(reverse_complement(genome[3000:3101]))
+        assert result.is_aligned and result.is_reverse
+
+    def test_agrees_with_snap(self, bwa_aligner, snap_aligner, reads):
+        agree = total = 0
+        for read in reads[:80]:
+            b = bwa_aligner.align_read(read.bases)
+            s = snap_aligner.align_read(read.bases)
+            if b.is_aligned and s.is_aligned:
+                total += 1
+                if (b.contig_index, b.position) == (s.contig_index, s.position):
+                    agree += 1
+        assert total > 70
+        assert agree / total > 0.95
+
+    def test_mutated_read(self, bwa_aligner, reference):
+        genome = reference.concatenated()
+        read = bytearray(genome[8000:8101])
+        read[30] = ord("A") if read[30] != ord("A") else ord("C")
+        result = bwa_aligner.align_read(bytes(read))
+        assert result.is_aligned
+        assert result.position == reference.to_local(8000)[1]
+
+
+class TestPaired:
+    @pytest.fixture(scope="class")
+    def paired_setup(self):
+        ref = synthetic_reference(25_000, seed=201)
+        sim = ReadSimulator(ref, paired=True, insert_size_mean=320,
+                            insert_size_sd=25, seed=202)
+        reads, origins = sim.simulate(120)
+        aligner = BwaMemAligner(FMIndex(ref))
+        return ref, reads, origins, aligner
+
+    def test_insert_inference(self, paired_setup):
+        _, reads, _, aligner = paired_setup
+        pairs = [(reads[i].bases, reads[i + 1].bases) for i in range(0, 60, 2)]
+        model = aligner.infer_insert_size(pairs)
+        assert model.samples >= 20
+        assert 280 < model.mean < 360
+        assert model.std < 80
+
+    def test_insert_window(self, paired_setup):
+        _, reads, _, aligner = paired_setup
+        pairs = [(reads[i].bases, reads[i + 1].bases) for i in range(0, 40, 2)]
+        model = aligner.infer_insert_size(pairs)
+        lo, hi = model.window()
+        assert lo < model.mean < hi
+
+    def test_pair_flags(self, paired_setup):
+        from repro.align.result import (
+            FLAG_FIRST_IN_PAIR,
+            FLAG_PAIRED,
+            FLAG_PROPER_PAIR,
+            FLAG_SECOND_IN_PAIR,
+        )
+
+        ref, reads, origins, aligner = paired_setup
+        aligner.infer_insert_size(
+            [(reads[i].bases, reads[i + 1].bases) for i in range(0, 40, 2)]
+        )
+        proper = 0
+        for i in range(0, 60, 2):
+            r1, r2 = aligner.align_pair(reads[i].bases, reads[i + 1].bases)
+            assert r1.flag & FLAG_PAIRED and r2.flag & FLAG_PAIRED
+            assert r1.flag & FLAG_FIRST_IN_PAIR
+            assert r2.flag & FLAG_SECOND_IN_PAIR
+            if r1.flag & FLAG_PROPER_PAIR:
+                proper += 1
+        assert proper >= 25  # at least ~83% proper pairs
+
+    def test_template_length_signs(self, paired_setup):
+        ref, reads, origins, aligner = paired_setup
+        aligner.infer_insert_size(
+            [(reads[i].bases, reads[i + 1].bases) for i in range(0, 40, 2)]
+        )
+        r1, r2 = aligner.align_pair(reads[0].bases, reads[1].bases)
+        if r1.is_aligned and r2.is_aligned:
+            assert r1.template_length == -r2.template_length
+            assert abs(r1.template_length) > 0
+
+    def test_mate_linkage(self, paired_setup):
+        ref, reads, origins, aligner = paired_setup
+        aligner.infer_insert_size(
+            [(reads[i].bases, reads[i + 1].bases) for i in range(0, 40, 2)]
+        )
+        r1, r2 = aligner.align_pair(reads[2].bases, reads[3].bases)
+        if r1.is_aligned and r2.is_aligned:
+            assert r1.next_position == r2.position
+            assert r2.next_position == r1.position

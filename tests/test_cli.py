@@ -1,0 +1,127 @@
+"""End-to-end tests for the persona CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.formats.fastq import write_fastq
+from repro.genome.reference import write_fasta
+from repro.genome.synthetic import synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    ref, reads, origins = synthetic_dataset(
+        genome_length=15_000, coverage=2.0, seed=555, duplicate_fraction=0.1
+    )
+    write_fasta(ref, root / "ref.fasta")
+    write_fastq(reads, root / "reads.fastq")
+    return root, ref, reads
+
+
+@pytest.fixture(scope="module")
+def imported(workspace):
+    root, ref, reads = workspace
+    dataset_dir = root / "dataset"
+    rc = main([
+        "import-fastq", str(root / "reads.fastq"), str(dataset_dir),
+        "--chunk-size", "100",
+    ])
+    assert rc == 0
+    return root, ref, reads, dataset_dir
+
+
+class TestCLI:
+    def test_import(self, imported):
+        _, _, reads, dataset_dir = imported
+        assert (dataset_dir / "manifest.json").exists()
+        from repro.agd.dataset import AGDDataset
+
+        ds = AGDDataset.open(dataset_dir)
+        assert ds.total_records == len(reads)
+
+    def test_align(self, imported):
+        root, _, _, dataset_dir = imported
+        rc = main([
+            "align", str(dataset_dir),
+            "--reference", str(root / "ref.fasta"),
+            "--threads", "2",
+        ])
+        assert rc == 0
+        from repro.agd.dataset import AGDDataset
+
+        ds = AGDDataset.open(dataset_dir)
+        assert "results" in ds.columns
+
+    def test_sort_and_dupmark(self, imported):
+        root, _, _, dataset_dir = imported
+        sorted_dir = root / "sorted"
+        assert main(["sort", str(dataset_dir), str(sorted_dir)]) == 0
+        from repro.agd.dataset import AGDDataset
+        from repro.core.sort import verify_sorted
+
+        ds = AGDDataset.open(sorted_dir)
+        assert verify_sorted(ds)
+        assert main(["dupmark", str(sorted_dir)]) == 0
+        results = ds.read_column("results")
+        assert any(r.is_duplicate for r in results)
+
+    def test_exports(self, imported, capsys):
+        root, _, reads, dataset_dir = imported
+        for suffix in ("sam", "bam", "fastq"):
+            out = root / f"out.{suffix}"
+            assert main(["export", str(dataset_dir), str(out)]) == 0
+            assert out.exists() and out.stat().st_size > 0
+
+    def test_export_unknown_format(self, imported):
+        root, _, _, dataset_dir = imported
+        assert main(["export", str(dataset_dir), str(root / "x.xyz")]) == 2
+
+    def test_varcall(self, imported):
+        root, _, _, dataset_dir = imported
+        out = root / "calls.vcf"
+        rc = main([
+            "varcall", str(dataset_dir), str(out),
+            "--reference", str(root / "ref.fasta"),
+        ])
+        assert rc == 0
+        assert out.read_text().startswith("##fileformat")
+
+    def test_stats(self, imported, capsys):
+        _, _, reads, dataset_dir = imported
+        assert main(["stats", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert str(len(reads)) in out
+        assert "bases" in out
+
+
+class TestImportSamAndRechunk:
+    def test_import_sam_roundtrip(self, imported, workspace):
+        root, ref, reads = workspace
+        _, _, _, dataset_dir = imported
+        sam_out = root / "roundtrip.sam"
+        assert main(["export", str(dataset_dir), str(sam_out)]) == 0
+        sam_ds_dir = root / "from-sam"
+        assert main([
+            "import-sam", str(sam_out), str(sam_ds_dir),
+            "--chunk-size", "100",
+        ]) == 0
+        from repro.agd.dataset import AGDDataset
+
+        back = AGDDataset.open(sam_ds_dir)
+        assert back.total_records == len(reads)
+        assert "results" in back.columns
+
+    def test_rechunk(self, imported, workspace):
+        root, _, reads = workspace
+        _, _, _, dataset_dir = imported
+        out_dir = root / "rechunked"
+        assert main([
+            "rechunk", str(dataset_dir), str(out_dir),
+            "--chunk-size", "37",
+        ]) == 0
+        from repro.agd.dataset import AGDDataset
+
+        rechunked = AGDDataset.open(out_dir)
+        assert rechunked.total_records == len(reads)
+        assert rechunked.manifest.chunks[0].record_count == 37

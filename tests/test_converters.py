@@ -1,0 +1,113 @@
+"""Tests for AGD <-> FASTQ/SAM/BAM converters (§5.7 operations)."""
+
+import io
+
+import pytest
+
+from repro.formats.converters import (
+    export_bam,
+    export_fastq,
+    export_sam,
+    import_bam,
+    import_fastq_stream,
+    import_reads,
+    import_sam,
+    iter_read_records,
+)
+from repro.formats.fastq import fastq_bytes
+from repro.formats.sam import read_sam
+from repro.formats.bam import read_bam
+from repro.storage.base import MemoryStore
+
+
+class TestImportFastq:
+    def test_import(self, reads):
+        blob = fastq_bytes(reads)
+        ds = import_fastq_stream(io.BytesIO(blob), "imp", MemoryStore(),
+                                 chunk_size=64)
+        assert ds.total_records == len(reads)
+        assert ds.columns == ["bases", "metadata", "qual"]
+        assert ds.read_column("bases") == [r.bases for r in reads]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            import_fastq_stream(io.BytesIO(b""), "x", MemoryStore())
+
+    def test_roundtrip_through_agd(self, reads):
+        ds = import_reads(reads, "rt", MemoryStore(), chunk_size=50)
+        assert list(iter_read_records(ds)) == list(reads)
+
+    def test_export_fastq(self, reads):
+        ds = import_reads(reads, "exp", MemoryStore(), chunk_size=50)
+        buf = io.BytesIO()
+        assert export_fastq(ds, buf) == len(reads)
+        assert buf.getvalue() == fastq_bytes(reads)
+
+
+class TestExportAligned:
+    def test_export_sam(self, aligned_dataset, reads):
+        buf = io.BytesIO()
+        count = export_sam(aligned_dataset, buf)
+        assert count == len(reads)
+        buf.seek(0)
+        header, records = read_sam(buf)
+        assert len(records) == len(reads)
+        assert {c["name"] for c in header.contigs} == {"chr1", "chr2"}
+        mapped = [r for r in records if not r.is_unmapped]
+        assert len(mapped) > 0.95 * len(records)
+
+    def test_export_bam(self, aligned_dataset, reads):
+        buf = io.BytesIO()
+        nbytes = export_bam(aligned_dataset, buf)
+        assert nbytes == len(buf.getvalue())
+        buf.seek(0)
+        _, records = read_bam(buf)
+        assert len(records) == len(reads)
+
+    def test_export_without_reference_rejected(self, reads):
+        ds = import_reads(reads, "noref", MemoryStore(), chunk_size=50)
+        with pytest.raises(ValueError):
+            export_sam(ds, io.BytesIO())
+
+    def test_sam_bam_record_parity(self, aligned_dataset):
+        sam_buf, bam_buf = io.BytesIO(), io.BytesIO()
+        export_sam(aligned_dataset, sam_buf)
+        export_bam(aligned_dataset, bam_buf)
+        sam_buf.seek(0)
+        bam_buf.seek(0)
+        _, sam_records = read_sam(sam_buf)
+        _, bam_records = read_bam(bam_buf)
+        for s, b in zip(sam_records, bam_records):
+            assert (s.qname, s.pos, s.flag, s.cigar, s.seq) == (
+                b.qname, b.pos, b.flag, b.cigar, b.seq
+            )
+
+    def test_agd_results_smaller_than_sam(self, aligned_dataset):
+        """The Table 1 write-volume claim at dataset scale."""
+        buf = io.BytesIO()
+        export_sam(aligned_dataset, buf)
+        results_bytes = aligned_dataset.column_bytes("results")
+        assert len(buf.getvalue()) > 8 * results_bytes
+
+
+class TestImportAligned:
+    def test_sam_import_roundtrip(self, aligned_dataset):
+        buf = io.BytesIO()
+        export_sam(aligned_dataset, buf)
+        buf.seek(0)
+        back = import_sam(buf, "back", MemoryStore(), chunk_size=100)
+        assert back.total_records == aligned_dataset.total_records
+        original = aligned_dataset.read_column("results")
+        imported = back.read_column("results")
+        matched = sum(
+            1 for o, i in zip(original, imported)
+            if o.position == i.position and o.flag == i.flag
+        )
+        assert matched == len(original)
+
+    def test_bam_import_roundtrip(self, aligned_dataset):
+        buf = io.BytesIO()
+        export_bam(aligned_dataset, buf)
+        buf.seek(0)
+        back = import_bam(buf, "back", MemoryStore(), chunk_size=100)
+        assert back.total_records == aligned_dataset.total_records

@@ -1,0 +1,175 @@
+"""Tests for the fine-grain executor resource (§4.3, Figure 4)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.dataflow.executor import (
+    BusyCounter,
+    ChunkCompletion,
+    Executor,
+    PartitionedExecutor,
+)
+
+
+class TestChunkCompletion:
+    def test_countdown(self):
+        completion = ChunkCompletion(2)
+        completion.task_done()
+        completion.task_done()
+        completion.wait(timeout=0.1)  # returns immediately
+
+    def test_timeout(self):
+        completion = ChunkCompletion(1)
+        with pytest.raises(TimeoutError):
+            completion.wait(timeout=0.05)
+
+    def test_error_propagates(self):
+        completion = ChunkCompletion(2)
+        completion.task_done(ValueError("boom"))
+        completion.task_done()
+        with pytest.raises(ValueError, match="boom"):
+            completion.wait(timeout=0.1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkCompletion(0)
+
+
+class TestExecutor:
+    def test_runs_all_subtasks(self):
+        executor = Executor(3)
+        results = [None] * 20
+
+        def make(i):
+            def task():
+                results[i] = i * i
+            return task
+
+        executor.run_chunk([make(i) for i in range(20)])
+        assert results == [i * i for i in range(20)]
+        executor.shutdown()
+
+    def test_multiple_feeding_nodes(self):
+        """Multiple aligner nodes feed one executor (Figure 4)."""
+        executor = Executor(4)
+        counters = [0, 0, 0]
+        lock = threading.Lock()
+
+        def feeder(which):
+            for _ in range(10):
+                def task():
+                    with lock:
+                        counters[which] += 1
+                executor.run_chunk([task] * 5)
+
+        threads = [threading.Thread(target=feeder, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20.0)
+        assert counters == [50, 50, 50]
+        assert executor.stats.tasks_executed == 150
+        executor.shutdown()
+
+    def test_error_reaches_waiter(self):
+        executor = Executor(2)
+
+        def bad():
+            raise RuntimeError("kernel failure")
+
+        with pytest.raises(RuntimeError, match="kernel failure"):
+            executor.run_chunk([bad])
+        executor.shutdown()
+
+    def test_error_does_not_kill_workers(self):
+        executor = Executor(1)
+
+        def bad():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            executor.run_chunk([bad])
+        done = []
+        executor.run_chunk([lambda: done.append(1)])
+        assert done == [1]
+        executor.shutdown()
+
+    def test_empty_chunk_rejected(self):
+        executor = Executor(1)
+        with pytest.raises(ValueError):
+            executor.submit_chunk([])
+        executor.shutdown()
+
+    def test_stats(self):
+        executor = Executor(2)
+        executor.run_chunk([lambda: time.sleep(0.01)] * 4)
+        assert executor.stats.tasks_executed == 4
+        assert executor.stats.busy_seconds > 0
+        assert 0 <= executor.stats.utilization(2) <= 1.0
+        executor.shutdown()
+
+    def test_busy_counter_integration(self):
+        counter = BusyCounter()
+        executor = Executor(2, busy_counter=counter)
+        peak = []
+
+        def task():
+            peak.append(counter.busy)
+            time.sleep(0.01)
+
+        executor.run_chunk([task] * 4)
+        assert max(peak) >= 1
+        assert counter.busy == 0  # all exited
+        executor.shutdown()
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            Executor(0)
+
+    def test_shutdown_waits(self):
+        executor = Executor(2)
+        executor.run_chunk([lambda: time.sleep(0.01)] * 2)
+        executor.shutdown(wait=True)  # must not hang
+
+
+class TestPartitionedExecutor:
+    def test_groups(self):
+        executor = PartitionedExecutor({"serial": 1, "parallel": 3})
+        assert executor.total_threads == 4
+        assert executor.group("serial").num_threads == 1
+        assert executor.group("parallel").num_threads == 3
+        executor.shutdown()
+
+    def test_unknown_group(self):
+        executor = PartitionedExecutor({"a": 1})
+        with pytest.raises(KeyError):
+            executor.group("b")
+        executor.shutdown()
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionedExecutor({})
+        with pytest.raises(ValueError):
+            PartitionedExecutor({"a": 0})
+
+    def test_groups_run_independently(self):
+        """The BWA paired pattern: serial inference + parallel alignment."""
+        executor = PartitionedExecutor({"serial": 1, "parallel": 2})
+        order = []
+        lock = threading.Lock()
+
+        def serial_task():
+            with lock:
+                order.append("serial")
+
+        def parallel_task():
+            with lock:
+                order.append("parallel")
+
+        executor.group("serial").run_chunk([serial_task])
+        executor.group("parallel").run_chunk([parallel_task] * 4)
+        assert order.count("serial") == 1
+        assert order.count("parallel") == 4
+        executor.shutdown()

@@ -1,0 +1,114 @@
+"""Tests for FASTQ parsing/writing, including the '@-in-quality' hazard."""
+
+import gzip
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formats.fastq import (
+    FastqFormatError,
+    fastq_bytes,
+    format_fastq_record,
+    parse_fastq,
+    read_fastq,
+    write_fastq,
+)
+from repro.genome.reads import ReadRecord
+
+reads_strategy = st.lists(
+    st.tuples(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=30,
+        ),
+        st.binary(min_size=1, max_size=60).map(
+            lambda b: bytes(b"ACGTN"[x % 5] for x in b)
+        ),
+    ).map(
+        lambda t: ReadRecord(t[0].encode(), t[1], b"I" * len(t[1]))
+    ),
+    max_size=20,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        blob = b"@r1\nACGT\n+\nIIII\n@r2\nGG\n+\nII\n"
+        reads = list(parse_fastq(io.BytesIO(blob)))
+        assert len(reads) == 2
+        assert reads[0] == ReadRecord(b"r1", b"ACGT", b"IIII")
+
+    def test_at_sign_in_quality(self):
+        """'@' is quality score 31 — a delimiter-scanning parser breaks."""
+        blob = b"@r1\nACGT\n+\n@@@@\n@r2\nGG\n+\n@I\n"
+        reads = list(parse_fastq(io.BytesIO(blob)))
+        assert len(reads) == 2
+        assert reads[0].qualities == b"@@@@"
+
+    def test_plus_line_with_repeat(self):
+        blob = b"@r1\nACGT\n+r1\nIIII\n"
+        reads = list(parse_fastq(io.BytesIO(blob)))
+        assert reads[0].name == "r1"
+
+    def test_metadata_preserved(self):
+        blob = b"@read.1 extra info here\nAC\n+\nII\n"
+        reads = list(parse_fastq(io.BytesIO(blob)))
+        assert reads[0].metadata == b"read.1 extra info here"
+        assert reads[0].name == "read.1"
+
+    def test_empty_stream(self):
+        assert list(parse_fastq(io.BytesIO(b""))) == []
+
+    def test_trailing_blank_lines(self):
+        blob = b"@r\nAC\n+\nII\n\n\n"
+        assert len(list(parse_fastq(io.BytesIO(blob)))) == 1
+
+    def test_bad_header(self):
+        with pytest.raises(FastqFormatError):
+            list(parse_fastq(io.BytesIO(b"r1\nACGT\n+\nIIII\n")))
+
+    def test_bad_separator(self):
+        with pytest.raises(FastqFormatError):
+            list(parse_fastq(io.BytesIO(b"@r1\nACGT\nIIII\n@r2\n")))
+
+    def test_length_mismatch(self):
+        with pytest.raises(FastqFormatError):
+            list(parse_fastq(io.BytesIO(b"@r1\nACGT\n+\nII\n")))
+
+    def test_truncated_record(self):
+        with pytest.raises(FastqFormatError):
+            list(parse_fastq(io.BytesIO(b"@r1\nACGT\n")))
+
+
+class TestWrite:
+    def test_format_record(self):
+        read = ReadRecord(b"r1", b"ACGT", b"IIII")
+        assert format_fastq_record(read) == b"@r1\nACGT\n+\nIIII\n"
+
+    def test_file_roundtrip(self, tmp_path):
+        reads = [ReadRecord(f"r{i}".encode(), b"ACGT", b"IIII") for i in range(5)]
+        path = tmp_path / "x.fastq"
+        assert write_fastq(reads, path) == 5
+        assert list(read_fastq(path)) == reads
+
+    def test_gzip_roundtrip(self, tmp_path):
+        reads = [ReadRecord(b"r", b"ACGT", b"IIII")]
+        path = tmp_path / "x.fastq.gz"
+        write_fastq(reads, path, compress=True)
+        # File must really be gzip.
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+        assert list(read_fastq(path)) == reads
+
+    def test_gzip_detection_without_extension(self, tmp_path):
+        reads = [ReadRecord(b"r", b"AC", b"II")]
+        path = tmp_path / "mystery"
+        path.write_bytes(gzip.compress(fastq_bytes(reads)))
+        assert list(read_fastq(path)) == reads
+
+    @given(reads_strategy)
+    def test_roundtrip_property(self, reads):
+        blob = fastq_bytes(reads)
+        assert list(parse_fastq(io.BytesIO(blob))) == reads

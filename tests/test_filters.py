@@ -1,0 +1,101 @@
+"""Tests for dataset filtering."""
+
+import pytest
+
+from repro.agd.manifest import ManifestError
+from repro.core.filters import (
+    FilterStats,
+    all_of,
+    by_min_mapq,
+    by_region,
+    drop_duplicates,
+    filter_dataset,
+    mapped_only,
+)
+from repro.core.dupmark import mark_duplicates
+from repro.storage.base import MemoryStore
+
+
+class TestPredicates:
+    def test_by_min_mapq(self, aligned_results):
+        predicate = by_min_mapq(40)
+        kept = [r for r in aligned_results if predicate(r)]
+        assert kept
+        assert all(r.mapq >= 40 for r in kept)
+
+    def test_mapped_only(self, aligned_results):
+        predicate = mapped_only()
+        assert all(predicate(r) == r.is_aligned for r in aligned_results)
+
+    def test_by_region(self, aligned_results):
+        predicate = by_region(0, 0, 5000)
+        for r in aligned_results:
+            if predicate(r):
+                assert r.contig_index == 0 and 0 <= r.position < 5000
+
+    def test_by_region_empty_rejected(self):
+        with pytest.raises(ValueError):
+            by_region(0, 10, 10)
+
+    def test_all_of(self, aligned_results):
+        combined = all_of(mapped_only(), by_min_mapq(30))
+        for r in aligned_results:
+            assert combined(r) == (r.is_aligned and r.mapq >= 30)
+
+
+class TestFilterDataset:
+    def test_filter_by_mapq(self, aligned_dataset):
+        stats = FilterStats()
+        out = filter_dataset(
+            aligned_dataset, by_min_mapq(30), MemoryStore(), stats=stats
+        )
+        assert stats.examined == aligned_dataset.total_records
+        assert out.total_records == stats.kept
+        assert stats.dropped == stats.examined - stats.kept
+        for r in out.read_column("results"):
+            assert r.mapq >= 30
+
+    def test_rows_stay_aligned(self, aligned_dataset):
+        out = filter_dataset(
+            aligned_dataset, by_region(0, 0, 10_000), MemoryStore()
+        )
+        results = out.read_column("results")
+        bases = out.read_column("bases")
+        metas = out.read_column("metadata")
+        assert len(results) == len(bases) == len(metas)
+        # Each surviving row must carry the same (metadata, bases, result)
+        # triple it had in the input — keyed by the unique read name.
+        original = {
+            m: (b, r.to_bytes())
+            for m, b, r in zip(
+                aligned_dataset.read_column("metadata"),
+                aligned_dataset.read_column("bases"),
+                aligned_dataset.read_column("results"),
+            )
+        }
+        for m, b, r in zip(metas, bases, results):
+            assert original[m] == (b, r.to_bytes())
+
+    def test_drop_duplicates_filter(self, aligned_dataset):
+        mark_duplicates(aligned_dataset)
+        before = aligned_dataset.read_column("results")
+        dup_count = sum(r.is_duplicate for r in before)
+        assert dup_count > 0
+        out = filter_dataset(
+            aligned_dataset, drop_duplicates(), MemoryStore()
+        )
+        assert out.total_records == len(before) - dup_count
+
+    def test_requires_results(self, dataset):
+        with pytest.raises(ValueError):
+            filter_dataset(dataset, mapped_only(), MemoryStore())
+
+    def test_empty_result_rejected(self, aligned_dataset):
+        with pytest.raises(ManifestError):
+            filter_dataset(
+                aligned_dataset, lambda r: False, MemoryStore()
+            )
+
+    def test_reference_propagated(self, aligned_dataset):
+        out = filter_dataset(aligned_dataset, mapped_only(), MemoryStore())
+        assert out.manifest.reference == aligned_dataset.manifest.reference

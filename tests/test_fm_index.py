@@ -1,0 +1,133 @@
+"""Tests for the FM-index: suffix array, BWT, count, locate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.bwa.fm_index import FMIndex, suffix_array
+from repro.genome.reference import reference_from_sequences
+from repro.genome.synthetic import synthetic_reference
+
+texts = st.binary(min_size=1, max_size=120).map(
+    lambda b: bytes(b"ACGT"[x % 4] for x in b)
+)
+patterns = st.binary(min_size=1, max_size=8).map(
+    lambda b: bytes(b"ACGT"[x % 4] for x in b)
+)
+
+
+def naive_count(text: bytes, pattern: bytes) -> int:
+    count = start = 0
+    while True:
+        at = text.find(pattern, start)
+        if at < 0:
+            return count
+        count += 1
+        start = at + 1
+
+
+class TestSuffixArray:
+    def test_known(self):
+        # banana with sentinel: codes b=2,a=1,n=3 + 0
+        codes = np.array([2, 1, 3, 1, 3, 1, 0], dtype=np.uint8)
+        sa = suffix_array(codes)
+        suffixes = sorted(range(7), key=lambda i: codes[i:].tobytes())
+        assert list(sa) == suffixes
+
+    @given(texts)
+    @settings(max_examples=80)
+    def test_matches_naive(self, text):
+        codes = np.frombuffer(text, dtype=np.uint8).astype(np.uint8)
+        # Map to 1..4 and append sentinel 0.
+        mapped = (codes % 4 + 1).astype(np.uint8)
+        full = np.append(mapped, 0)
+        sa = suffix_array(full)
+        expected = sorted(range(len(full)), key=lambda i: full[i:].tobytes())
+        assert list(sa) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            suffix_array(np.array([], dtype=np.uint8))
+
+
+class TestFMIndex:
+    @pytest.fixture(scope="class")
+    def small_index(self):
+        ref = reference_from_sequences([("c", b"ACGTACGTTTACGGACGT")])
+        return FMIndex(ref, occ_checkpoint=4, sa_sample=2)
+
+    def test_count_exact(self, small_index):
+        text = b"ACGTACGTTTACGGACGT"
+        for pattern in (b"ACGT", b"TT", b"GG", b"ACG", b"T"):
+            assert small_index.count(pattern) == naive_count(text, pattern)
+
+    def test_count_absent(self, small_index):
+        assert small_index.count(b"AAAA") == 0
+        assert small_index.search(b"AAAA") is None
+
+    def test_empty_pattern_full_interval(self, small_index):
+        lo, hi = small_index.search(b"")
+        assert hi - lo == small_index.length
+
+    def test_locate(self, small_index):
+        text = b"ACGTACGTTTACGGACGT"
+        interval = small_index.search(b"ACGT")
+        positions = sorted(small_index.locate(interval))
+        expected = sorted(
+            i for i in range(len(text) - 3) if text[i : i + 4] == b"ACGT"
+        )
+        assert positions == expected
+
+    def test_locate_limit(self, small_index):
+        interval = small_index.search(b"ACG")
+        limited = small_index.locate(interval, limit=2)
+        assert len(limited) == 2
+
+    def test_occ_prefix_sums(self, small_index):
+        # occ(c, i) must be monotone and end at total counts.
+        for symbol in range(5):
+            last = 0
+            for i in range(small_index.length + 1):
+                value = small_index.occ(symbol, i)
+                assert value >= last
+                last = value
+            total = int((small_index.bwt == symbol).sum())
+            assert small_index.occ(symbol, small_index.length) == total
+
+    def test_lf_is_permutation(self, small_index):
+        rows = [small_index.lf(r) for r in range(small_index.length)]
+        assert sorted(rows) == list(range(small_index.length))
+
+    def test_invalid_params(self):
+        ref = reference_from_sequences([("c", b"ACGT")])
+        with pytest.raises(ValueError):
+            FMIndex(ref, occ_checkpoint=0)
+        with pytest.raises(ValueError):
+            FMIndex(ref, sa_sample=0)
+
+    @given(patterns)
+    @settings(max_examples=60)
+    def test_count_property(self, pattern):
+        ref = reference_from_sequences(
+            [("c", b"ACGTACGTTTACGGACGTAACCGGTTACGTACGT")]
+        )
+        index = FMIndex(ref, occ_checkpoint=8, sa_sample=4)
+        text = b"ACGTACGTTTACGGACGTAACCGGTTACGTACGT"
+        assert index.count(pattern) == naive_count(text, pattern)
+
+    def test_synthetic_genome_substrings(self, fm_index, reference):
+        genome = reference.concatenated()
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            start = int(rng.integers(0, len(genome) - 30))
+            pattern = genome[start : start + 25]
+            interval = fm_index.search(pattern)
+            assert interval is not None
+            positions = fm_index.locate(interval, limit=50)
+            assert start in positions
+            for p in positions:
+                assert genome[p : p + 25] == pattern
+
+    def test_memory_accounting(self, fm_index):
+        assert fm_index.memory_bytes() > 0

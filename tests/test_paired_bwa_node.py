@@ -1,0 +1,99 @@
+"""Tests for the partitioned-executor BWA paired node (§4.3)."""
+
+import threading
+
+import pytest
+
+from repro.align.bwa import BwaMemAligner, FMIndex
+from repro.core.paired_bwa import BwaPairedAlignerNode, make_bwa_paired_executor
+from repro.core.ops import ChunkWorkItem
+from repro.agd.manifest import ChunkEntry
+from repro.dataflow.executor import BusyCounter
+from repro.dataflow.resources import ResourceManager
+from repro.dataflow.session import NodeContext
+from repro.genome.synthetic import ReadSimulator, synthetic_reference
+
+
+@pytest.fixture(scope="module")
+def paired_world():
+    ref = synthetic_reference(25_000, seed=611)
+    sim = ReadSimulator(ref, paired=True, insert_size_mean=310,
+                        insert_size_sd=20, seed=612)
+    reads, origins = sim.simulate(200)
+    return ref, reads, origins
+
+
+def make_ctx(resources):
+    return NodeContext(
+        resources=resources,
+        busy_counter=BusyCounter(),
+        stats_lock=threading.Lock(),
+    )
+
+
+class TestMakeExecutor:
+    def test_partition_sizes(self):
+        executor = make_bwa_paired_executor(4, serial_threads=1)
+        assert executor.group("serial").num_threads == 1
+        assert executor.group("parallel").num_threads == 3
+        executor.shutdown()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_bwa_paired_executor(1)
+        with pytest.raises(ValueError):
+            make_bwa_paired_executor(4, serial_threads=4)
+        with pytest.raises(ValueError):
+            make_bwa_paired_executor(4, serial_threads=0)
+
+
+class TestBwaPairedNode:
+    def test_aligns_pairs_with_inference(self, paired_world):
+        ref, reads, origins = paired_world
+        aligner = BwaMemAligner(FMIndex(ref))
+        assert aligner.insert_model is None
+        executor = make_bwa_paired_executor(3)
+        resources = ResourceManager()
+        resources.register("aligner", aligner)
+        resources.register("executor", executor)
+        node = BwaPairedAlignerNode("aligner", "executor",
+                                    subchunk_pairs=16)
+        item = ChunkWorkItem(
+            entry=ChunkEntry("p-0", 0, len(reads)),
+            columns={"bases": [r.bases for r in reads]},
+        )
+        [out] = node.process(item, make_ctx(resources))
+        # The serial inference step ran.
+        assert aligner.insert_model is not None
+        assert aligner.insert_model.samples > 0
+        # All pairs aligned; mates carry pair flags.
+        assert all(r is not None for r in out.results)
+        proper = sum(1 for r in out.results if r.flag & 0x2)
+        assert proper >= 0.85 * len(out.results)
+        exact = 0
+        for r, o in zip(out.results, origins):
+            _, local = ref.to_local(o.global_pos)
+            if r.is_aligned and r.position == local:
+                exact += 1
+        assert exact >= 0.95 * len(out.results)
+        executor.shutdown()
+
+    def test_odd_chunk_rejected(self, paired_world):
+        ref, reads, _ = paired_world
+        aligner = BwaMemAligner(FMIndex(ref))
+        executor = make_bwa_paired_executor(2)
+        resources = ResourceManager()
+        resources.register("aligner", aligner)
+        resources.register("executor", executor)
+        node = BwaPairedAlignerNode("aligner", "executor")
+        item = ChunkWorkItem(
+            entry=ChunkEntry("p-0", 0, 3),
+            columns={"bases": [reads[0].bases] * 3},
+        )
+        with pytest.raises(ValueError, match="odd"):
+            node.process(item, make_ctx(resources))
+        executor.shutdown()
+
+    def test_invalid_subchunk(self):
+        with pytest.raises(ValueError):
+            BwaPairedAlignerNode("a", "e", subchunk_pairs=0)

@@ -1,0 +1,127 @@
+"""Tests for recyclable object/buffer pools (§4.5 zero-copy architecture)."""
+
+import threading
+
+import pytest
+
+from repro.dataflow.pools import Buffer, BufferPool, ObjectPool
+
+
+class TestObjectPool:
+    def test_acquire_release(self):
+        pool = ObjectPool(factory=list, capacity=2)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert pool.in_use == 2
+        pool.release(a)
+        assert pool.in_use == 1
+        pool.release(b)
+        assert pool.in_use == 0
+
+    def test_objects_recycled(self):
+        pool = ObjectPool(factory=list, capacity=1)
+        a = pool.acquire()
+        pool.release(a)
+        b = pool.acquire()
+        assert a is b  # same object handed back
+        assert pool.created == 1
+
+    def test_exhaustion_blocks(self):
+        pool = ObjectPool(factory=list, capacity=1)
+        pool.acquire()
+        with pytest.raises(TimeoutError):
+            pool.acquire(timeout=0.05)
+
+    def test_release_unblocks(self):
+        pool = ObjectPool(factory=list, capacity=1)
+        obj = pool.acquire()
+        acquired = []
+
+        def waiter():
+            acquired.append(pool.acquire(timeout=2.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        pool.release(obj)
+        t.join(3.0)
+        assert acquired == [obj]
+
+    def test_release_without_acquire(self):
+        pool = ObjectPool(factory=list, capacity=1)
+        with pytest.raises(RuntimeError):
+            pool.release([])
+
+    def test_reset_hook(self):
+        pool = ObjectPool(factory=list, capacity=1,
+                          reset=lambda lst: lst.clear())
+        obj = pool.acquire()
+        obj.extend([1, 2, 3])
+        pool.release(obj)
+        assert pool.acquire() == []
+
+    def test_peak_tracking(self):
+        pool = ObjectPool(factory=list, capacity=4)
+        objs = [pool.acquire() for _ in range(3)]
+        for o in objs:
+            pool.release(o)
+        assert pool.peak_in_use == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ObjectPool(factory=list, capacity=0)
+
+    def test_memory_bound_invariant(self):
+        """The §4.5 claim: in-flight objects never exceed the pool size."""
+        pool = ObjectPool(factory=list, capacity=3)
+        errors = []
+
+        def worker():
+            for _ in range(200):
+                try:
+                    obj = pool.acquire(timeout=5.0)
+                    if pool.peak_in_use > 3:
+                        errors.append("exceeded capacity")
+                    pool.release(obj)
+                except TimeoutError:
+                    errors.append("timeout")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20.0)
+        assert not errors
+        assert pool.created <= 3
+
+
+class TestBuffer:
+    def test_set_and_bytes(self):
+        buf = Buffer()
+        buf.set(b"hello")
+        assert bytes(buf) == b"hello"
+        assert len(buf) == 5
+
+    def test_clear_keeps_capacity(self):
+        buf = Buffer()
+        buf.set(b"x" * 1000)
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_release_without_pool_is_noop(self):
+        Buffer().release()
+
+
+class TestBufferPool:
+    def test_buffers_cleared_on_release(self):
+        pool = BufferPool(capacity=1)
+        buf = pool.acquire()
+        buf.set(b"dirty data")
+        pool.release(buf)
+        recycled = pool.acquire()
+        assert len(recycled) == 0
+
+    def test_release_via_buffer(self):
+        pool = BufferPool(capacity=1)
+        buf = pool.acquire()
+        buf.release()
+        assert pool.in_use == 0

@@ -1,0 +1,194 @@
+"""Concurrency tests for bounded dataflow queues (§4.5)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.dataflow.errors import PipelineAborted, QueueClosed
+from repro.dataflow.queues import Queue
+
+
+class TestBasics:
+    def test_fifo(self):
+        q = Queue("q", 4)
+        q.register_producer()
+        for i in range(3):
+            q.put(i)
+        assert [q.get(), q.get(), q.get()] == [0, 1, 2]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Queue("q", 0)
+
+    def test_len(self):
+        q = Queue("q", 4)
+        q.register_producer()
+        q.put("a")
+        assert len(q) == 1
+
+    def test_put_blocks_when_full(self):
+        q = Queue("q", 1)
+        q.register_producer()
+        q.put(1)
+        with pytest.raises(TimeoutError):
+            q.put(2, timeout=0.05)
+
+    def test_get_blocks_when_empty(self):
+        q = Queue("q", 1)
+        q.register_producer()
+        with pytest.raises(TimeoutError):
+            q.get(timeout=0.05)
+
+    def test_metrics(self):
+        q = Queue("q", 4)
+        q.register_producer()
+        q.put(1)
+        q.put(2)
+        q.get()
+        assert q.total_enqueued == 2
+        assert q.max_depth == 2
+
+
+class TestCloseSemantics:
+    def test_drain_then_closed(self):
+        q = Queue("q", 4)
+        q.register_producer()
+        q.put(1)
+        q.producer_done()
+        assert q.get() == 1
+        with pytest.raises(QueueClosed):
+            q.get()
+
+    def test_multi_producer_close(self):
+        q = Queue("q", 4)
+        q.register_producer()
+        q.register_producer()
+        q.producer_done()
+        assert not q.closed
+        q.producer_done()
+        assert q.closed
+
+    def test_put_after_close_rejected(self):
+        q = Queue("q", 4)
+        q.register_producer()
+        q.producer_done()
+        with pytest.raises(QueueClosed):
+            q.put(1)
+
+    def test_producer_done_without_register(self):
+        q = Queue("q", 4)
+        with pytest.raises(RuntimeError):
+            q.producer_done()
+
+    def test_register_after_close_rejected(self):
+        q = Queue("q", 4)
+        q.close()
+        with pytest.raises(RuntimeError):
+            q.register_producer()
+
+    def test_iteration_drains(self):
+        q = Queue("q", 10)
+        q.register_producer()
+        for i in range(5):
+            q.put(i)
+        q.producer_done()
+        assert list(q) == [0, 1, 2, 3, 4]
+
+    def test_close_wakes_blocked_getter(self):
+        q = Queue("q", 1)
+        q.register_producer()
+        seen = []
+
+        def consumer():
+            try:
+                q.get()
+            except QueueClosed:
+                seen.append("closed")
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.02)
+        q.producer_done()
+        t.join(1.0)
+        assert seen == ["closed"]
+
+
+class TestAbort:
+    def test_abort_wakes_everyone(self):
+        q = Queue("q", 1)
+        q.register_producer()
+        q.put(1)  # full
+        outcomes = []
+
+        def blocked_putter():
+            try:
+                q.put(2)
+            except PipelineAborted:
+                outcomes.append("aborted")
+
+        t = threading.Thread(target=blocked_putter)
+        t.start()
+        time.sleep(0.02)
+        q.abort()
+        t.join(1.0)
+        assert outcomes == ["aborted"]
+
+    def test_get_after_abort(self):
+        q = Queue("q", 2)
+        q.register_producer()
+        q.abort()
+        with pytest.raises(PipelineAborted):
+            q.get()
+
+
+class TestConcurrency:
+    def test_many_producers_consumers(self):
+        q = Queue("q", 8)
+        n_producers, items_each = 4, 250
+        for _ in range(n_producers):
+            q.register_producer()
+        received = []
+        received_lock = threading.Lock()
+
+        def producer(base):
+            for i in range(items_each):
+                q.put(base + i)
+            q.producer_done()
+
+        def consumer():
+            while True:
+                try:
+                    item = q.get()
+                except QueueClosed:
+                    return
+                with received_lock:
+                    received.append(item)
+
+        producers = [
+            threading.Thread(target=producer, args=(p * 1000,))
+            for p in range(n_producers)
+        ]
+        consumers = [threading.Thread(target=consumer) for _ in range(3)]
+        for t in producers + consumers:
+            t.start()
+        for t in producers + consumers:
+            t.join(10.0)
+        assert len(received) == n_producers * items_each
+        assert len(set(received)) == len(received)
+
+    def test_bounded_depth_under_pressure(self):
+        q = Queue("q", 3)
+        q.register_producer()
+
+        def producer():
+            for i in range(100):
+                q.put(i)
+            q.producer_done()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        got = list(q)
+        t.join(5.0)
+        assert got == list(range(100))
+        assert q.max_depth <= 3

@@ -1,0 +1,113 @@
+"""Tests for the genomic region index (§2.1's 'indexing' step)."""
+
+import pytest
+
+from repro.core.region_index import ChunkSpan, RegionIndex
+from repro.core.sort import SortConfig, sort_dataset
+from repro.storage.base import MemoryStore
+
+
+@pytest.fixture()
+def sorted_dataset(aligned_dataset):
+    return sort_dataset(
+        aligned_dataset, MemoryStore(), SortConfig(chunks_per_superchunk=3)
+    )
+
+
+class TestBuild:
+    def test_requires_sorted(self, aligned_dataset):
+        with pytest.raises(ValueError, match="sorted"):
+            RegionIndex.build(aligned_dataset)
+
+    def test_spans_ordered_and_consistent(self, sorted_dataset):
+        index = RegionIndex.build(sorted_dataset)
+        assert index.spans
+        starts = [(s.first_contig, s.first_position) for s in index.spans]
+        assert starts == sorted(starts)
+        for span in index.spans:
+            assert (span.first_contig, span.first_position) <= (
+                span.last_contig, span.last_end
+            )
+
+
+class TestQueries:
+    def test_fetch_matches_full_scan(self, sorted_dataset, reference):
+        index = RegionIndex.build(sorted_dataset)
+        contig, start, end = 0, 2_000, 6_000
+        fetched = index.fetch_region(
+            sorted_dataset, contig, start, end, columns=("results",)
+        )
+        # Oracle: brute-force scan of every record.
+        from repro.align.result import cigar_reference_span
+
+        expected = [
+            r
+            for r in sorted_dataset.read_column("results")
+            if r.is_aligned
+            and r.contig_index == contig
+            and r.position < end
+            and r.position + max(1, cigar_reference_span(r.cigar)) > start
+        ]
+        assert [row[0] for row in fetched] == expected
+        assert len(expected) > 0
+
+    def test_touches_only_overlapping_chunks(self, sorted_dataset):
+        index = RegionIndex.build(sorted_dataset)
+        store = sorted_dataset.store
+        gets = []
+        original_get = store.get
+
+        def spy_get(key):
+            gets.append(key)
+            return original_get(key)
+
+        store.get = spy_get
+        overlapping = index.chunks_for_region(0, 0, 500)
+        index.fetch_region(sorted_dataset, 0, 0, 500)
+        store.get = original_get
+        assert 0 < len(overlapping) < sorted_dataset.num_chunks
+        touched_chunks = {key.rsplit(".", 1)[0] for key in gets}
+        assert len(touched_chunks) == len(overlapping)
+
+    def test_multi_column_fetch(self, sorted_dataset):
+        index = RegionIndex.build(sorted_dataset)
+        rows = index.fetch_region(
+            sorted_dataset, 0, 1_000, 4_000,
+            columns=("metadata", "bases", "results"),
+        )
+        assert rows
+        for metadata, bases, result in rows:
+            assert isinstance(metadata, bytes)
+            assert isinstance(bases, bytes)
+            assert result.contig_index == 0
+
+    def test_empty_region_rejected(self, sorted_dataset):
+        index = RegionIndex.build(sorted_dataset)
+        with pytest.raises(ValueError):
+            index.chunks_for_region(0, 10, 10)
+
+    def test_region_beyond_data_is_empty(self, sorted_dataset):
+        index = RegionIndex.build(sorted_dataset)
+        assert index.chunks_for_region(5, 0, 100) == []
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, sorted_dataset):
+        index = RegionIndex.build(sorted_dataset)
+        back = RegionIndex.from_json(index.to_json())
+        assert back.spans == index.spans
+        assert back.chunks_for_region(0, 0, 10_000) == (
+            index.chunks_for_region(0, 0, 10_000)
+        )
+
+
+class TestChunkSpan:
+    def test_overlap_logic(self):
+        span = ChunkSpan(0, first_contig=0, first_position=100,
+                         last_contig=0, last_end=200)
+        assert span.overlaps(0, 150, 160)
+        assert span.overlaps(0, 0, 101)
+        assert span.overlaps(0, 199, 300)
+        assert not span.overlaps(0, 200, 300)
+        assert not span.overlaps(0, 0, 100)
+        assert not span.overlaps(1, 100, 200)

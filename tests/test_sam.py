@@ -1,0 +1,165 @@
+"""Tests for SAM records, headers, and AGD conversion."""
+
+import io
+
+import pytest
+
+from repro.align.result import (
+    FLAG_REVERSE,
+    FLAG_UNMAPPED,
+    AlignmentResult,
+)
+from repro.formats.sam import (
+    SamFormatError,
+    SamHeader,
+    SamRecord,
+    alignment_from_record,
+    cigar_matches_sequence,
+    read_sam,
+    record_from_alignment,
+    sam_bytes,
+    write_sam,
+)
+from repro.genome.reads import ReadRecord
+from repro.genome.sequence import reverse_complement
+
+
+def make_record(**overrides) -> SamRecord:
+    fields = dict(
+        qname="r1", flag=0, rname="chr1", pos=100, mapq=60, cigar="4M",
+        rnext="*", pnext=0, tlen=0, seq=b"ACGT", qual=b"IIII",
+    )
+    fields.update(overrides)
+    return SamRecord(**fields)
+
+
+class TestSamRecord:
+    def test_line_roundtrip(self):
+        record = make_record(tags={"NM": 2, "XA": "alt"})
+        back = SamRecord.from_line(record.to_line())
+        assert back == record
+
+    def test_star_fields(self):
+        record = make_record(seq=b"", qual=b"", cigar="")
+        line = record.to_line()
+        assert b"\t*\t" in line
+        back = SamRecord.from_line(line)
+        assert back.seq == b"" and back.cigar == ""
+
+    def test_too_few_fields(self):
+        with pytest.raises(SamFormatError):
+            SamRecord.from_line(b"a\tb\tc\n")
+
+    def test_non_numeric_field(self):
+        line = make_record().to_line().replace(b"\t100\t", b"\tabc\t")
+        with pytest.raises(SamFormatError):
+            SamRecord.from_line(line)
+
+    def test_malformed_tag(self):
+        with pytest.raises(SamFormatError):
+            SamRecord.from_line(
+                b"q\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\tbadtag\n"
+            )
+
+    def test_float_tag(self):
+        record = make_record(tags={"AS": 1.5})
+        assert SamRecord.from_line(record.to_line()).tags["AS"] == 1.5
+
+    def test_location_key(self):
+        mapped = make_record()
+        unmapped = make_record(flag=FLAG_UNMAPPED, rname="*", pos=0)
+        assert mapped.location_key() < unmapped.location_key()
+
+    def test_cigar_matches_sequence(self):
+        assert cigar_matches_sequence(make_record())
+        assert not cigar_matches_sequence(make_record(cigar="3M"))
+        assert cigar_matches_sequence(make_record(cigar=""))
+
+
+class TestSamHeader:
+    def test_roundtrip(self):
+        header = SamHeader(
+            contigs=[{"name": "chr1", "length": 1000}],
+            sort_order="coordinate",
+        )
+        parsed = SamHeader.from_lines(header.to_bytes().splitlines())
+        assert parsed.contigs == [{"name": "chr1", "length": 1000}]
+        assert parsed.sort_order == "coordinate"
+
+
+class TestConversion:
+    def test_forward_alignment(self):
+        read = ReadRecord(b"r1 desc", b"ACGT", b"IIII")
+        result = AlignmentResult(
+            flag=0, mapq=55, contig_index=0, position=99, cigar=b"4M",
+            edit_distance=1,
+        )
+        record = record_from_alignment(read, result, ["chr1"])
+        assert record.qname == "r1"
+        assert record.pos == 100  # 1-based
+        assert record.seq == b"ACGT"
+        assert record.tags["NM"] == 1
+
+    def test_reverse_alignment_rc(self):
+        """SAM stores reverse-strand reads reverse-complemented."""
+        read = ReadRecord(b"r1", b"AACC", b"ABCD")
+        result = AlignmentResult(
+            flag=FLAG_REVERSE, mapq=50, contig_index=0, position=10,
+            cigar=b"4M",
+        )
+        record = record_from_alignment(read, result, ["chr1"])
+        assert record.seq == reverse_complement(b"AACC")
+        assert record.qual == b"DCBA"
+
+    def test_unmapped(self):
+        read = ReadRecord(b"r1", b"ACGT", b"IIII")
+        record = record_from_alignment(read, AlignmentResult(), ["chr1"])
+        assert record.rname == "*" and record.pos == 0
+        assert record.seq == b"ACGT"
+
+    def test_mate_same_contig_uses_equals(self):
+        read = ReadRecord(b"r1", b"ACGT", b"IIII")
+        result = AlignmentResult(
+            flag=0x1 | 0x40, mapq=50, contig_index=0, position=10,
+            next_contig_index=0, next_position=200, cigar=b"4M",
+        )
+        record = record_from_alignment(read, result, ["chr1"])
+        assert record.rnext == "=" and record.pnext == 201
+
+    def test_roundtrip_via_sam(self):
+        read = ReadRecord(b"r9", b"ACGTACGT", b"IIIIIIII")
+        result = AlignmentResult(
+            flag=FLAG_REVERSE, mapq=44, contig_index=1, position=77,
+            cigar=b"8M", edit_distance=2,
+        )
+        contigs = ["chr1", "chr2"]
+        record = record_from_alignment(read, result, contigs)
+        read2, result2 = alignment_from_record(record, contigs)
+        assert read2.bases == read.bases
+        assert read2.qualities == read.qualities
+        assert result2.position == result.position
+        assert result2.flag == result.flag
+        assert result2.cigar == result.cigar
+
+    def test_unknown_contig_rejected(self):
+        record = make_record(rname="chrX")
+        with pytest.raises(SamFormatError):
+            alignment_from_record(record, ["chr1"])
+
+
+class TestFileIO:
+    def test_write_read(self, tmp_path):
+        header = SamHeader(contigs=[{"name": "chr1", "length": 500}])
+        records = [make_record(qname=f"r{i}", pos=i + 1) for i in range(10)]
+        path = tmp_path / "x.sam"
+        assert write_sam(header, records, path) == 10
+        header2, records2 = read_sam(path)
+        assert records2 == records
+        assert header2.contigs == header.contigs
+
+    def test_sam_bytes(self):
+        header = SamHeader(contigs=[{"name": "c", "length": 5}])
+        blob = sam_bytes(header, [make_record(rname="c")])
+        assert blob.startswith(b"@HD")
+        header2, records = read_sam(io.BytesIO(blob))
+        assert len(records) == 1

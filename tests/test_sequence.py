@@ -1,0 +1,135 @@
+"""Unit and property tests for repro.genome.sequence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genome.sequence import (
+    InvalidBaseError,
+    complement,
+    decode_bases,
+    encode_bases,
+    gc_content,
+    hamming_distance,
+    is_valid_sequence,
+    phred_to_quality_string,
+    quality_string_to_phred,
+    reverse_complement,
+)
+
+sequences = st.binary(max_size=300).map(
+    lambda b: bytes(b"ACGTN"[x % 5] for x in b)
+)
+
+
+class TestComplement:
+    def test_basic(self):
+        assert complement(b"ACGT") == b"TGCA"
+
+    def test_n_maps_to_n(self):
+        assert complement(b"N") == b"N"
+
+    def test_lowercase_preserved(self):
+        assert complement(b"acgt") == b"tgca"
+
+    def test_reverse_complement(self):
+        assert reverse_complement(b"ACGT") == b"ACGT"
+        assert reverse_complement(b"AACC") == b"GGTT"
+
+    def test_empty(self):
+        assert reverse_complement(b"") == b""
+
+    @given(sequences)
+    def test_reverse_complement_involution(self, seq):
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    @given(sequences)
+    def test_reverse_complement_length(self, seq):
+        assert len(reverse_complement(seq)) == len(seq)
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        codes = encode_bases(b"ACGTN")
+        assert list(codes) == [0, 1, 2, 3, 4]
+        assert decode_bases(codes) == b"ACGTN"
+
+    def test_lowercase_accepted(self):
+        assert decode_bases(encode_bases(b"acgt")) == b"ACGT"
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(InvalidBaseError):
+            encode_bases(b"ACGX")
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(InvalidBaseError):
+            decode_bases(np.array([7], dtype=np.uint8))
+
+    @given(sequences)
+    def test_roundtrip_property(self, seq):
+        assert decode_bases(encode_bases(seq)) == seq.upper()
+
+
+class TestValidation:
+    def test_valid(self):
+        assert is_valid_sequence(b"ACGTNacgtn")
+
+    def test_invalid(self):
+        assert not is_valid_sequence(b"ACG-T")
+
+    def test_empty_is_valid(self):
+        assert is_valid_sequence(b"")
+
+
+class TestGCContent:
+    def test_empty(self):
+        assert gc_content(b"") == 0.0
+
+    def test_all_gc(self):
+        assert gc_content(b"GCGC") == 1.0
+
+    def test_half(self):
+        assert gc_content(b"ACGT") == pytest.approx(0.5)
+
+
+class TestHamming:
+    def test_equal(self):
+        assert hamming_distance(b"ACGT", b"ACGT") == 0
+
+    def test_all_diff(self):
+        assert hamming_distance(b"AAAA", b"TTTT") == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(b"A", b"AA")
+
+    def test_empty(self):
+        assert hamming_distance(b"", b"") == 0
+
+    @given(sequences, sequences)
+    def test_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        assert hamming_distance(a[:n], b[:n]) == hamming_distance(b[:n], a[:n])
+
+
+class TestQuality:
+    def test_phred_roundtrip_shape(self):
+        qual = phred_to_quality_string([0.001, 0.01, 0.1])
+        scores = quality_string_to_phred(qual)
+        assert list(scores) == [30, 20, 10]
+
+    def test_phred_caps_at_60(self):
+        qual = phred_to_quality_string([1e-12])
+        assert quality_string_to_phred(qual)[0] == 60
+
+    def test_rejects_unprintable(self):
+        with pytest.raises(ValueError):
+            quality_string_to_phred(b"\x01\x02")
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=50))
+    def test_phred_monotonic(self, probs):
+        qual = phred_to_quality_string(probs)
+        scores = quality_string_to_phred(qual)
+        assert len(scores) == len(probs)
+        assert all(0 <= s <= 60 for s in scores)

@@ -1,0 +1,172 @@
+"""Tests for the synthetic genome/read generator."""
+
+import pytest
+
+from repro.genome.reads import ReadRecord
+from repro.genome.sequence import gc_content, is_valid_sequence, reverse_complement
+from repro.genome.synthetic import (
+    ErrorModel,
+    ReadSimulator,
+    synthetic_dataset,
+    synthetic_reference,
+)
+
+
+class TestSyntheticReference:
+    def test_length(self):
+        ref = synthetic_reference(10_000, seed=1)
+        assert len(ref) == 10_000
+
+    def test_contig_split(self):
+        ref = synthetic_reference(10_001, num_contigs=3, seed=1)
+        assert len(ref.contigs) == 3
+        assert sum(len(c) for c in ref.contigs) == 10_001
+
+    def test_deterministic(self):
+        a = synthetic_reference(5000, seed=7)
+        b = synthetic_reference(5000, seed=7)
+        assert a.concatenated() == b.concatenated()
+
+    def test_seed_changes_content(self):
+        a = synthetic_reference(5000, seed=7)
+        b = synthetic_reference(5000, seed=8)
+        assert a.concatenated() != b.concatenated()
+
+    def test_gc_bias(self):
+        ref = synthetic_reference(200_000, seed=3, gc_bias=0.41)
+        assert 0.38 < gc_content(ref.concatenated()) < 0.44
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthetic_reference(0)
+        with pytest.raises(ValueError):
+            synthetic_reference(10, num_contigs=0)
+        with pytest.raises(ValueError):
+            synthetic_reference(2, num_contigs=3)
+
+
+class TestErrorModel:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ErrorModel(substitution_rate=1.5)
+        with pytest.raises(ValueError):
+            ErrorModel(indel_rate=-0.1)
+
+
+class TestReadSimulator:
+    @pytest.fixture()
+    def sim(self):
+        ref = synthetic_reference(20_000, seed=11)
+        return ReadSimulator(ref, read_length=101, seed=12)
+
+    def test_read_geometry(self, sim):
+        reads, origins = sim.simulate(50)
+        assert len(reads) == len(origins) == 50
+        for read in reads:
+            assert isinstance(read, ReadRecord)
+            assert len(read.bases) == 101
+            assert len(read.qualities) == 101
+            assert is_valid_sequence(read.bases)
+
+    def test_unique_metadata(self, sim):
+        reads, _ = sim.simulate(100)
+        names = {r.metadata for r in reads}
+        assert len(names) == 100
+
+    def test_origins_in_bounds(self, sim):
+        _, origins = sim.simulate(100)
+        for origin in origins:
+            assert 0 <= origin.global_pos <= 20_000 - 101
+
+    def test_forward_reads_match_reference_mostly(self):
+        ref = synthetic_reference(20_000, seed=21)
+        sim = ReadSimulator(
+            ref, read_length=101,
+            error_model=ErrorModel(substitution_rate=0.0, indel_rate=0.0,
+                                   n_rate=0.0),
+            seed=22,
+        )
+        reads, origins = sim.simulate(40)
+        for read, origin in zip(reads, origins):
+            window = ref.fetch(origin.global_pos, 101)
+            expected = reverse_complement(window) if origin.reverse else window
+            assert read.bases == expected
+
+    def test_error_counting(self):
+        ref = synthetic_reference(20_000, seed=31)
+        sim = ReadSimulator(
+            ref, read_length=101,
+            error_model=ErrorModel(substitution_rate=0.02, indel_rate=0.0,
+                                   n_rate=0.0),
+            seed=32,
+        )
+        reads, origins = sim.simulate(100)
+        total_errors = sum(o.errors for o in origins)
+        # ~2% of 10100 bases, wide tolerance.
+        assert 80 < total_errors < 350
+
+    def test_coverage_formula(self, sim):
+        n = sim.reads_for_coverage(10.0)
+        assert n == pytest.approx(10.0 * 20_000 / 101, rel=0.01)
+
+    def test_duplicates_fraction(self):
+        ref = synthetic_reference(20_000, seed=41)
+        sim = ReadSimulator(ref, duplicate_fraction=0.3, seed=42)
+        _, origins = sim.simulate(400)
+        dups = sum(1 for o in origins if o.is_duplicate)
+        assert 0.2 < dups / 400 < 0.4
+
+    def test_duplicates_share_origin(self):
+        ref = synthetic_reference(20_000, seed=51)
+        sim = ReadSimulator(ref, duplicate_fraction=0.5, seed=52)
+        _, origins = sim.simulate(100)
+        positions = [o.global_pos for o in origins]
+        for i, origin in enumerate(origins):
+            if origin.is_duplicate:
+                assert origin.global_pos in positions[:i]
+
+    def test_paired_geometry(self):
+        ref = synthetic_reference(20_000, seed=61)
+        sim = ReadSimulator(ref, paired=True, insert_size_mean=300,
+                            insert_size_sd=10, seed=62)
+        reads, origins = sim.simulate(100)
+        assert len(reads) == 100
+        for i in range(0, 100, 2):
+            r1o, r2o = origins[i], origins[i + 1]
+            assert r1o.reverse != r2o.reverse
+            assert r1o.mate_pos == r2o.global_pos
+            assert r2o.mate_pos == r1o.global_pos
+
+    def test_paired_odd_count_rejected(self):
+        ref = synthetic_reference(20_000, seed=71)
+        sim = ReadSimulator(ref, paired=True, seed=72)
+        with pytest.raises(ValueError):
+            sim.simulate(3)
+
+    def test_insert_too_small_rejected(self):
+        ref = synthetic_reference(20_000, seed=81)
+        with pytest.raises(ValueError):
+            ReadSimulator(ref, read_length=101, paired=True,
+                          insert_size_mean=100)
+
+    def test_determinism(self):
+        ref = synthetic_reference(20_000, seed=91)
+        a, _ = ReadSimulator(ref, seed=92).simulate(20)
+        b, _ = ReadSimulator(ref, seed=92).simulate(20)
+        assert a == b
+
+
+class TestSyntheticDataset:
+    def test_one_call(self):
+        ref, reads, origins = synthetic_dataset(
+            genome_length=10_000, coverage=2.0, seed=5
+        )
+        assert len(ref) == 10_000
+        assert len(reads) == len(origins)
+        assert len(reads) == pytest.approx(2.0 * 10_000 / 101, rel=0.02)
+
+    def test_paired_even(self):
+        _, reads, _ = synthetic_dataset(
+            genome_length=10_000, coverage=1.0, paired=True, seed=6
+        )
+        assert len(reads) % 2 == 0

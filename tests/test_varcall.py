@@ -1,0 +1,111 @@
+"""Tests for the pileup variant caller: planted SNPs must be recovered."""
+
+import pytest
+
+from repro.core.pipelines import align_dataset, build_snap_aligner
+from repro.core.varcall import VarCallConfig, call_variants, pileup_dataset
+from repro.formats.converters import import_reads
+from repro.genome.reference import reference_from_sequences
+from repro.genome.synthetic import ErrorModel, ReadSimulator, synthetic_reference
+from repro.storage.base import MemoryStore
+
+
+def _mutate(base: int) -> int:
+    return {65: 67, 67: 71, 71: 84, 84: 65}[base]  # A->C->G->T->A
+
+
+@pytest.fixture(scope="module")
+def snp_setup():
+    """A 'patient' genome with 5 planted SNPs, sequenced error-free and
+    aligned against the unmutated reference."""
+    reference = synthetic_reference(12_000, seed=771)
+    patient_seq = bytearray(reference.concatenated())
+    snp_positions = [1000, 3000, 5000, 7000, 9000]
+    truth = {}
+    for pos in snp_positions:
+        original = patient_seq[pos]
+        patient_seq[pos] = _mutate(original)
+        truth[pos] = (chr(original), chr(patient_seq[pos]))
+    patient = reference_from_sequences([("chr1", bytes(patient_seq))])
+    sim = ReadSimulator(
+        patient,
+        read_length=101,
+        error_model=ErrorModel(substitution_rate=0.0, indel_rate=0.0,
+                               n_rate=0.0),
+        seed=772,
+    )
+    reads, _ = sim.simulate(sim.reads_for_coverage(12.0))
+    dataset = import_reads(
+        reads, "patient", MemoryStore(), chunk_size=200,
+        reference=reference.manifest_entry(),
+    )
+    align_dataset(dataset, build_snap_aligner(reference))
+    return reference, dataset, truth
+
+
+class TestPileup:
+    def test_depth_roughly_coverage(self, snp_setup):
+        reference, dataset, _ = snp_setup
+        columns = pileup_dataset(dataset)
+        # Averaged over the genome interior, depth must be near 12x.
+        # (Narrow windows fluctuate wildly — coverage is spatially
+        # correlated — so sample broadly.)
+        depths = [
+            columns[(0, pos)].depth
+            for pos in range(1000, 11000, 13)
+            if (0, pos) in columns
+        ]
+        assert depths
+        mean_depth = sum(depths) / len(depths)
+        assert 9 < mean_depth < 15
+
+    def test_counts_sum_to_depth(self, snp_setup):
+        _, dataset, _ = snp_setup
+        columns = pileup_dataset(dataset)
+        for key in list(columns)[:200]:
+            column = columns[key]
+            assert sum(column.counts.values()) == column.depth
+
+
+class TestCalling:
+    def test_planted_snps_called(self, snp_setup):
+        reference, dataset, truth = snp_setup
+        variants = call_variants(dataset, reference)
+        called = {v.pos - 1: (v.ref, v.alt) for v in variants}
+        for pos, (ref_base, alt_base) in truth.items():
+            assert pos in called, f"missed SNP at {pos}"
+            assert called[pos] == (ref_base, alt_base)
+
+    def test_no_false_positives_far_from_snps(self, snp_setup):
+        reference, dataset, truth = snp_setup
+        variants = call_variants(dataset, reference)
+        for v in variants:
+            assert any(abs((v.pos - 1) - p) <= 2 for p in truth), (
+                f"unexpected variant at {v.pos - 1}"
+            )
+
+    def test_clean_data_calls_nothing(self, aligned_dataset, reference):
+        variants = call_variants(aligned_dataset, reference,
+                                 VarCallConfig(min_depth=3))
+        # Reads have a 0.5% error rate; the 60% fraction threshold keeps
+        # scattered errors out.
+        assert len(variants) <= 2
+
+    def test_min_depth_threshold(self, snp_setup):
+        reference, dataset, _ = snp_setup
+        strict = call_variants(
+            dataset, reference, VarCallConfig(min_depth=1000)
+        )
+        assert strict == []
+
+    def test_variants_sorted(self, snp_setup):
+        reference, dataset, _ = snp_setup
+        variants = call_variants(dataset, reference)
+        keys = [(v.chrom, v.pos) for v in variants]
+        assert keys == sorted(keys)
+
+    def test_duplicates_skipped(self, snp_setup):
+        reference, dataset, truth = snp_setup
+        config = VarCallConfig(skip_duplicates=True)
+        variants = call_variants(dataset, reference, config)
+        assert len(variants) >= len(truth)

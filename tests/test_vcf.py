@@ -1,0 +1,58 @@
+"""Tests for the minimal VCF reader/writer."""
+
+import io
+
+import pytest
+
+from repro.formats.vcf import VariantRecord, VcfFormatError, read_vcf, write_vcf
+
+
+class TestVariantRecord:
+    def test_line_roundtrip(self):
+        v = VariantRecord(
+            chrom="chr1", pos=100, ref="A", alt="T", qual=42.0,
+            info={"DP": 30, "AF": "0.900"},
+        )
+        back = VariantRecord.from_line(v.to_line())
+        assert back.chrom == "chr1"
+        assert back.pos == 100
+        assert back.ref == "A" and back.alt == "T"
+        assert back.qual == pytest.approx(42.0)
+        assert back.info == {"DP": "30", "AF": "0.900"}
+
+    def test_flag_info(self):
+        v = VariantRecord(chrom="c", pos=1, ref="A", alt="G", qual=1.0,
+                          info={"VALIDATED": True})
+        back = VariantRecord.from_line(v.to_line())
+        assert back.info["VALIDATED"] is True
+
+    def test_empty_info(self):
+        v = VariantRecord(chrom="c", pos=1, ref="A", alt="G", qual=1.0)
+        assert b"\t.\n" in v.to_line()
+
+    def test_malformed(self):
+        with pytest.raises(VcfFormatError):
+            VariantRecord.from_line(b"chr1\t100\n")
+
+
+class TestFileIO:
+    def test_write_read(self, tmp_path):
+        variants = [
+            VariantRecord(chrom="chr1", pos=i, ref="A", alt="C", qual=10.0)
+            for i in (5, 50, 500)
+        ]
+        path = tmp_path / "x.vcf"
+        count = write_vcf(variants, path,
+                          contigs=[{"name": "chr1", "length": 1000}])
+        assert count == 3
+        text = path.read_text()
+        assert text.startswith("##fileformat=VCF")
+        assert "##contig=<ID=chr1,length=1000>" in text
+        back = read_vcf(path)
+        assert [v.pos for v in back] == [5, 50, 500]
+
+    def test_stream(self):
+        buf = io.BytesIO()
+        write_vcf([VariantRecord("c", 1, "A", "G", 5.0)], buf)
+        buf.seek(0)
+        assert len(read_vcf(buf)) == 1
