@@ -1,0 +1,126 @@
+"""Backend scaling smoke — serial vs process on the reduced Table 1 run.
+
+The tentpole claim of the pluggable-backend work: with compute kernels
+expressed as picklable task payloads, a ``ProcessBackend`` with >= 2
+workers beats ``SerialBackend`` wall-clock on real multi-core hardware —
+the first configuration of this reproduction where Python *compute*
+(not just I/O overlap) scales past one core.
+
+This driver is deliberately small (it runs in CI on every push):
+
+* same reduced synthetic workload as the Table 1 benchmark, alignment
+  compute only (in-memory stores, no disk models);
+* the three backends must produce byte-identical alignment results;
+* the speedup assertion only arms on hosts with >= 2 CPUs — on a
+  single-core runner there is no physical parallelism to measure, so
+  the check is reported but not enforced (slow-runner tolerance).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.pipelines import align_dataset
+from repro.core.subgraphs import AlignGraphConfig
+from repro.formats.converters import import_reads
+from repro.storage.base import MemoryStore
+
+WORKERS = 2
+SUBCHUNK = 250
+CHUNK = 1000
+
+
+@pytest.fixture(scope="module")
+def smoke_world(bench_reads, bench_reference):
+    # 3x the Table 1 read set: enough compute per run that the process
+    # pool's one-time startup cost cannot mask a real 2-worker speedup.
+    reads = list(bench_reads) * 3
+
+    def fresh_dataset():
+        return import_reads(
+            reads, "backend-smoke", MemoryStore(), chunk_size=CHUNK,
+            reference=bench_reference.manifest_entry(),
+        )
+
+    return fresh_dataset
+
+
+def _run(fresh_dataset, aligner, backend_kind, workers, batch_size=None,
+         rounds=1):
+    """Align the workload; with rounds > 1, keep the best wall-clock.
+
+    Best-of-N damps scheduling noise on oversubscribed CI runners so
+    the hard process-vs-serial assertion measures the backends, not a
+    neighbor's workload.
+    """
+    config = AlignGraphConfig(
+        executor_threads=workers,
+        aligner_nodes=2,
+        reader_nodes=1,
+        parser_nodes=1,
+        writer_nodes=1,
+        subchunk_size=SUBCHUNK,
+        backend=backend_kind,
+        batch_size=batch_size,
+    )
+    best_wall, results = None, None
+    for _ in range(rounds):
+        dataset = fresh_dataset()
+        start = time.monotonic()
+        align_dataset(dataset, aligner, config=config)
+        wall = time.monotonic() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            results = dataset.read_column("results")
+    return best_wall, results
+
+
+def test_backend_scaling_smoke(
+    benchmark, smoke_world, bench_aligner, bench_batch_size, report,
+):
+    cpus = os.cpu_count() or 1
+    timed_rounds = 2 if cpus >= 2 else 1  # best-of-2 when asserting
+    serial_wall, serial_results = _run(
+        smoke_world, bench_aligner, "serial", 1, rounds=timed_rounds
+    )
+    thread_wall, thread_results = _run(
+        smoke_world, bench_aligner, "thread", WORKERS
+    )
+    process_wall, process_results = _run(
+        smoke_world, bench_aligner, "process", WORKERS,
+        batch_size=bench_batch_size, rounds=timed_rounds,
+    )
+
+    rep = report("backend_scaling",
+                 "Backend scaling smoke — serial vs thread vs process")
+    rep.add(f"host CPUs: {cpus}; workers: {WORKERS}; "
+            f"reads: {len(serial_results)}")
+    rep.row("serial backend", "baseline", f"{serial_wall:.2f} s")
+    rep.row("thread backend", "~1x (GIL)",
+            f"{thread_wall:.2f} s ({serial_wall / thread_wall:.2f}x)")
+    rep.row("process backend", ">1x on multi-core",
+            f"{process_wall:.2f} s ({serial_wall / process_wall:.2f}x)")
+    rep.add()
+    rep.add("shape checks:")
+    rep.check("serial and thread backends produce identical results",
+              serial_results == thread_results)
+    rep.check("serial and process backends produce identical results",
+              serial_results == process_results)
+    if cpus >= 2:
+        rep.check(
+            f"process backend beats serial wall-clock "
+            f"({WORKERS} workers, {cpus} CPUs)",
+            process_wall < serial_wall,
+        )
+    else:
+        rep.add("  [SKIPPED] process-vs-serial speedup needs >= 2 CPUs "
+                f"(host has {cpus}); no physical parallelism to measure")
+    rep.finish()
+
+    benchmark.pedantic(
+        lambda: _run(smoke_world, bench_aligner, "serial", 1),
+        rounds=1, iterations=1,
+    )

@@ -31,18 +31,23 @@ CONFIG = AlignGraphConfig(
 )
 
 
+@pytest.fixture(scope="module")
+def fig5_config(backendize):
+    return backendize(CONFIG)
+
+
 def _run_with_trace(build_fn):
     built = build_fn()
     with UtilizationSampler(
         [built.busy_counter], capacity=1, interval=0.01
     ) as sampler:
         Session(built.graph).run(timeout=300)
-    built.executor.shutdown(wait=False)
+    built.close(wait=False)
     return sampler.trace
 
 
 @pytest.fixture(scope="module")
-def world(bench_reads, bench_reference, bench_aligner):
+def world(bench_reads, bench_reference, bench_aligner, fig5_config):
     from repro.formats.converters import import_reads
 
     dataset = import_reads(
@@ -55,7 +60,7 @@ def world(bench_reads, bench_reference, bench_aligner):
     counting = CountingStore(staging)
     pure = align_standalone(
         dataset.manifest, counting, counting, bench_aligner,
-        bench_reference.manifest_entry(), config=CONFIG,
+        bench_reference.manifest_entry(), config=fig5_config,
     )
     io_bytes = counting.bytes_read + counting.bytes_written
     single_bw = io_bytes / (1.8 * pure.wall_seconds)
@@ -63,7 +68,7 @@ def world(bench_reads, bench_reference, bench_aligner):
 
 
 def test_fig5_cpu_utilization(
-    benchmark, world, bench_aligner, bench_reference, report,
+    benchmark, world, bench_aligner, bench_reference, report, fig5_config,
 ):
     dataset, fastq_staging, single_bw, sam_bytes = world
     contigs = bench_reference.manifest_entry()
@@ -81,14 +86,14 @@ def test_fig5_cpu_utilization(
     traces["standalone/single"] = _run_with_trace(
         lambda: build_standalone_graph(
             dataset.manifest, store, store, bench_aligner, contigs,
-            config=CONFIG,
+            config=fig5_config,
         )
     )
     # Persona, single disk.
     pstore = ModeledDiskStore(single_disk(), backing=dataset.store)
     traces["persona/single"] = _run_with_trace(
         lambda: build_align_graph(
-            dataset.manifest, pstore, pstore, bench_aligner, config=CONFIG,
+            dataset.manifest, pstore, pstore, bench_aligner, config=fig5_config,
         )
     )
     # Standalone, RAID0.
@@ -96,14 +101,14 @@ def test_fig5_cpu_utilization(
     traces["standalone/raid0"] = _run_with_trace(
         lambda: build_standalone_graph(
             dataset.manifest, rstore, rstore, bench_aligner, contigs,
-            config=CONFIG,
+            config=fig5_config,
         )
     )
     # Persona, RAID0.
     prstore = ModeledDiskStore(raid0(6, single_bw), backing=dataset.store)
     traces["persona/raid0"] = _run_with_trace(
         lambda: build_align_graph(
-            dataset.manifest, prstore, prstore, bench_aligner, config=CONFIG,
+            dataset.manifest, prstore, prstore, bench_aligner, config=fig5_config,
         )
     )
 
@@ -117,7 +122,6 @@ def test_fig5_cpu_utilization(
     sa_single = traces["standalone/single"]
     pe_single = traces["persona/single"]
     sa_raid = traces["standalone/raid0"]
-    pe_raid = traces["persona/raid0"]
     rep.add()
     rep.add("shape checks:")
     rep.check("standalone/single shows cyclical starvation (>=2 dips)",

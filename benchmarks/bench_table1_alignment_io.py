@@ -41,11 +41,17 @@ from repro.storage.local import CountingStore, ModeledDiskStore
 # Single-threaded kernels: pure-Python compute gains nothing from more
 # threads (GIL), and fewer runnable threads keeps timing noise low.  The
 # I/O-overlap machinery (separate reader/aligner/writer threads, bounded
-# queues) still operates exactly as in the paper.
+# queues) still operates exactly as in the paper.  ``--backend`` swaps
+# the compute substrate (see conftest) without touching this shape.
 CONFIG = AlignGraphConfig(
     executor_threads=1, aligner_nodes=1, reader_nodes=1, parser_nodes=1,
     writer_nodes=1,
 )
+
+
+@pytest.fixture(scope="module")
+def table1_config(backendize):
+    return backendize(CONFIG)
 
 
 def _agd_input_keys(dataset):
@@ -56,22 +62,22 @@ def _agd_input_keys(dataset):
     ]
 
 
-def _persona_run(dataset, aligner, store):
+def _persona_run(dataset, aligner, store, config=CONFIG):
     modeled = AGDDataset(dataset.manifest, store)
-    outcome = align_dataset(modeled, aligner, config=CONFIG,
+    outcome = align_dataset(modeled, aligner, config=config,
                             output_store=store)
     return outcome
 
 
-def _standalone_run(dataset, aligner, reference, store):
+def _standalone_run(dataset, aligner, reference, store, config=CONFIG):
     return align_standalone(
         dataset.manifest, store, store, aligner,
-        reference.manifest_entry(), config=CONFIG,
+        reference.manifest_entry(), config=config,
     )
 
 
 @pytest.fixture(scope="module")
-def calibration(bench_reads, bench_reference, bench_aligner):
+def calibration(bench_reads, bench_reference, bench_aligner, table1_config):
     """Unmetered reference runs: compute walls and true byte volumes."""
     from repro.formats.converters import import_reads
 
@@ -81,13 +87,15 @@ def calibration(bench_reads, bench_reference, bench_aligner):
     )
     # Persona pure-compute run (counting I/O volumes as a side effect).
     persona_store = CountingStore(dataset.store)
-    persona_pure = _persona_run(dataset, bench_aligner, persona_store)
+    persona_pure = _persona_run(dataset, bench_aligner, persona_store,
+                                table1_config)
     # Standalone pure-compute run.
     staging = MemoryStore()
     staged_bytes = stage_fastq_shards(dataset, staging)
     standalone_store = CountingStore(staging)
     standalone_pure = _standalone_run(
-        dataset, bench_aligner, bench_reference, standalone_store
+        dataset, bench_aligner, bench_reference, standalone_store,
+        table1_config,
     )
     return {
         "dataset": dataset,
@@ -103,6 +111,7 @@ def calibration(bench_reads, bench_reference, bench_aligner):
 
 def test_table1_single_server_alignment(
     benchmark, bench_aligner, bench_reference, calibration, report,
+    table1_config,
 ):
     cal = calibration
     dataset = cal["dataset"]
@@ -124,10 +133,11 @@ def test_table1_single_server_alignment(
     staging = MemoryStore()
     stage_fastq_shards(dataset, staging)
     sa_store = ModeledDiskStore(single_disk(), backing=staging)
-    sa = _standalone_run(dataset, bench_aligner, bench_reference, sa_store)
+    sa = _standalone_run(dataset, bench_aligner, bench_reference, sa_store,
+                         table1_config)
     sa_store.flush()
     pe_store = ModeledDiskStore(single_disk(), backing=dataset.store)
-    pe = _persona_run(dataset, bench_aligner, pe_store)
+    pe = _persona_run(dataset, bench_aligner, pe_store, table1_config)
     pe_store.flush()
     results["single"] = (sa.wall_seconds, pe.wall_seconds)
 
@@ -135,9 +145,10 @@ def test_table1_single_server_alignment(
     staging = MemoryStore()
     stage_fastq_shards(dataset, staging)
     sa_store = ModeledDiskStore(raid0(6, single_bw), backing=staging)
-    sa = _standalone_run(dataset, bench_aligner, bench_reference, sa_store)
+    sa = _standalone_run(dataset, bench_aligner, bench_reference, sa_store,
+                         table1_config)
     pe_store = ModeledDiskStore(raid0(6, single_bw), backing=dataset.store)
-    pe = _persona_run(dataset, bench_aligner, pe_store)
+    pe = _persona_run(dataset, bench_aligner, pe_store, table1_config)
     results["raid"] = (sa.wall_seconds, pe.wall_seconds)
 
     # --- Network (Ceph-like object store) -----------------------------------
@@ -154,11 +165,12 @@ def test_table1_single_server_alignment(
     for key in staging.keys():
         c1._objects.put("sa/" + key, staging.get(key))
     sa = _standalone_run(dataset, bench_aligner, bench_reference,
-                         CephStore(c1, prefix="sa/"))
+                         CephStore(c1, prefix="sa/"), table1_config)
     c2 = cluster()
     for key in _agd_input_keys(dataset):
         c2._objects.put("pe/" + key, dataset.store.get(key))
-    pe = _persona_run(dataset, bench_aligner, CephStore(c2, prefix="pe/"))
+    pe = _persona_run(dataset, bench_aligner, CephStore(c2, prefix="pe/"),
+                      table1_config)
     results["network"] = (sa.wall_seconds, pe.wall_seconds)
 
     # ---------------------------------------------------------------- report
@@ -195,6 +207,7 @@ def test_table1_single_server_alignment(
         lambda: _persona_run(
             dataset, bench_aligner,
             ModeledDiskStore(raid0(6, single_bw), backing=dataset.store),
+            table1_config,
         ),
         rounds=1, iterations=1,
     )

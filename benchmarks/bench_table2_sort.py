@@ -43,13 +43,15 @@ def aligned_world(bench_reads, bench_reference, bench_aligner):
     return dataset, sam_buf.getvalue()
 
 
-def test_table2_sort_comparison(benchmark, aligned_world, report):
+def test_table2_sort_comparison(benchmark, aligned_world, report,
+                                bench_compute_backend):
     dataset, sam_blob = aligned_world
     timings = {}
 
     start = time.monotonic()
     sorted_ds = sort_dataset(dataset, MemoryStore(),
-                             SortConfig(chunks_per_superchunk=4))
+                             SortConfig(chunks_per_superchunk=4),
+                             backend=bench_compute_backend)
     timings["persona"] = time.monotonic() - start
     assert verify_sorted(sorted_ds)
 

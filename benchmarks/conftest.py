@@ -12,16 +12,87 @@ our measured value, and the *shape* property that must hold.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
 
 from repro.align.snap import SeedIndex, SnapAligner
+from repro.dataflow.backends import BACKEND_CHOICES, make_backend, noop_task
 from repro.formats.converters import import_reads
 from repro.genome.synthetic import ReadSimulator, synthetic_reference
 from repro.storage.base import MemoryStore
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("persona", "Persona execution backends")
+    group.addoption(
+        "--backend",
+        default="thread",
+        choices=BACKEND_CHOICES,
+        help="execution backend the benchmark pipelines use "
+             "(default: thread)",
+    )
+    group.addoption(
+        "--bench-batch-size",
+        type=int,
+        default=None,
+        help="process-backend payloads per IPC message",
+    )
+    group.addoption(
+        "--bench-workers",
+        type=int,
+        default=2,
+        help="worker count for thread/process benchmark backends",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_backend_kind(request) -> str:
+    return request.config.getoption("--backend")
+
+
+@pytest.fixture(scope="session")
+def bench_batch_size(request) -> "int | None":
+    return request.config.getoption("--bench-batch-size")
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> int:
+    return request.config.getoption("--bench-workers")
+
+
+@pytest.fixture(scope="session")
+def backendize(bench_backend_kind, bench_batch_size):
+    """Rewrite an AlignGraphConfig to the backend selected on the CLI."""
+
+    def apply(config):
+        return replace(
+            config, backend=bench_backend_kind, batch_size=bench_batch_size
+        )
+
+    return apply
+
+
+@pytest.fixture()
+def bench_compute_backend(bench_backend_kind, bench_batch_size, bench_workers):
+    """A standalone Backend for kernels invoked outside a graph (sort,
+    dupmark); None for the serial default so the sequential path runs."""
+    if bench_backend_kind == "serial":
+        yield None
+        return
+    backend = make_backend(
+        bench_backend_kind,
+        workers=bench_workers,
+        batch_size=bench_batch_size,
+    )
+    # Warm the worker pool so one-time startup cost (fork + shared-state
+    # pickling) stays out of every benchmark's timed region.
+    backend.run_chunk(noop_task, [None])
+    yield backend
+    backend.shutdown()
 
 BENCH_GENOME = 150_000
 BENCH_READS = 4_000

@@ -125,7 +125,6 @@ def main() -> None:
 
     # ----------------------------------------------------------- varcall
     variants = call_variants(filtered, reference)
-    called = {v.pos - 1 for v in variants}
     planted_global = set(SNP_POSITIONS)
     # Variant positions are per-contig; map planted globals to local.
     planted_local = set()

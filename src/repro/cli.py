@@ -113,15 +113,33 @@ def _cmd_align(args: argparse.Namespace) -> int:
     config = AlignGraphConfig(
         executor_threads=args.threads,
         aligner_nodes=max(1, args.threads // 2),
+        backend=args.backend,
+        batch_size=args.batch_size,
     )
     outcome = align_dataset(dataset, aligner, config=config)
     dataset.save_manifest(args.dataset_dir)
     print(
         f"aligned {outcome.total_reads} reads "
         f"({outcome.total_bases} bases) in {outcome.wall_seconds:.2f}s "
+        f"[{args.backend} backend] "
         f"= {format_bases_rate(outcome.bases_per_second)}"
     )
     return 0
+
+
+def _make_cli_backend(args: argparse.Namespace):
+    """Build the compute backend a sort/dupmark subcommand asked for.
+
+    Returns ``None`` for the serial default (the sequential in-line code
+    path needs no backend object at all).
+    """
+    from repro.dataflow.backends import make_backend
+
+    if args.backend == "serial":
+        return None
+    return make_backend(
+        args.backend, workers=args.workers, batch_size=args.batch_size
+    )
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
@@ -129,12 +147,18 @@ def _cmd_sort(args: argparse.Namespace) -> int:
 
     dataset = AGDDataset.open(args.dataset_dir)
     out_store = DirectoryStore(args.output_dir)
+    backend = _make_cli_backend(args)
     start = time.monotonic()
-    sorted_ds = sort_dataset(
-        dataset,
-        out_store,
-        SortConfig(order=args.order, chunks_per_superchunk=args.superchunk),
-    )
+    try:
+        sorted_ds = sort_dataset(
+            dataset,
+            out_store,
+            SortConfig(order=args.order, chunks_per_superchunk=args.superchunk),
+            backend=backend,
+        )
+    finally:
+        if backend is not None:
+            backend.shutdown()
     sorted_ds.save_manifest(args.output_dir)
     elapsed = time.monotonic() - start
     print(
@@ -148,8 +172,13 @@ def _cmd_dupmark(args: argparse.Namespace) -> int:
     from repro.core.dupmark import mark_duplicates
 
     dataset = AGDDataset.open(args.dataset_dir)
+    backend = _make_cli_backend(args)
     start = time.monotonic()
-    stats = mark_duplicates(dataset)
+    try:
+        stats = mark_duplicates(dataset, backend=backend)
+    finally:
+        if backend is not None:
+            backend.shutdown()
     elapsed = time.monotonic() - start
     rate = stats.records / elapsed if elapsed > 0 else 0.0
     print(
@@ -179,7 +208,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"records:    {manifest.total_records}")
     print(f"chunks:     {manifest.num_chunks}")
     print(f"sort order: {manifest.sort_order}")
-    print(f"columns:")
+    print("columns:")
     for column in manifest.columns:
         nbytes = dataset.column_bytes(column)
         print(f"  {column:<10} {nbytes:>12,} bytes")
@@ -188,6 +217,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for contig in manifest.reference:
             print(f"  {contig['name']:<10} {contig['length']:>12,} bp")
     return 0
+
+
+def _add_backend_options(
+    p: argparse.ArgumentParser,
+    default: str = "thread",
+    with_workers: bool = False,
+) -> None:
+    """Attach the shared execution-backend flags to a subcommand."""
+    from repro.dataflow.backends import BACKEND_CHOICES
+
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=default,
+        help="execution backend for compute kernels "
+             f"(default: {default})",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="task payloads per IPC message (process backend)",
+    )
+    if with_workers:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=4,
+            help="worker count for thread/process backends",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -227,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reference", required=True)
     p.add_argument("--aligner", choices=("snap", "bwa"), default="snap")
     p.add_argument("--threads", type=int, default=4)
+    _add_backend_options(p)
     p.set_defaults(fn=_cmd_align)
 
     p = sub.add_parser("sort", help="external-merge sort a dataset")
@@ -234,10 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output_dir")
     p.add_argument("--order", choices=("location", "metadata"), default="location")
     p.add_argument("--superchunk", type=int, default=4)
+    _add_backend_options(p, default="serial", with_workers=True)
     p.set_defaults(fn=_cmd_sort)
 
     p = sub.add_parser("dupmark", help="mark duplicate reads in place")
     p.add_argument("dataset_dir")
+    _add_backend_options(p, default="serial", with_workers=True)
     p.set_defaults(fn=_cmd_dupmark)
 
     p = sub.add_parser("varcall", help="call variants to VCF")

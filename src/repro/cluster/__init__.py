@@ -52,4 +52,5 @@ __all__ = [
     "single_server_tco",
     "snap_standalone_rate",
     "table3_rows",
+    "thread_scaling_table",
 ]

@@ -96,7 +96,7 @@ def run_multi_server_alignment(
                 errors.append(exc)
             return
         finally:
-            built.executor.shutdown(wait=False)
+            built.close(wait=False)
         wall = time.monotonic() - start
         with lock:
             outcome.servers.append(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.agd.chunk import read_chunk
 from repro.agd.dataset import AGDDataset
 from repro.align.result import (
     FLAG_DUPLICATE,
@@ -116,24 +117,42 @@ def mark_duplicates_results(
     return out
 
 
+def chunk_signatures_task(shared, payload) -> "list[tuple | None]":
+    """Backend task: decode one results-column blob into signatures.
+
+    Signature extraction (decompression + CIGAR parsing) is the
+    parallelizable part of duplicate marking; the seen-set pass itself
+    is inherently sequential (Samblaster semantics: first fragment with
+    a signature wins), so it stays on the caller.
+    """
+    return [fragment_signature(r) for r in read_chunk(payload).records]
+
+
 def mark_duplicates(
     dataset: AGDDataset,
     stats: "DupmarkStats | None" = None,
+    backend=None,
 ) -> DupmarkStats:
     """Mark duplicates in-place on a dataset's results column.
 
     Reads and rewrites *only* the results column, chunk by chunk — the
     I/O-efficiency property §5.6 highlights.
+
+    ``backend`` (a :class:`~repro.dataflow.backends.Backend`) computes
+    per-chunk signatures in parallel before the sequential marking pass;
+    output is identical to the default sequential path.
     """
     if not dataset.manifest.has_column("results"):
         raise ValueError("dataset has no results column; align first")
     stats = stats if stats is not None else DupmarkStats()
     seen: set = set()
+    if backend is not None:
+        return _mark_duplicates_backend(dataset, stats, seen, backend)
     for chunk_index in range(dataset.num_chunks):
-        chunk = dataset.read_chunk("results", chunk_index)
+        records = dataset.read_chunk("results", chunk_index).records
         updated: list[AlignmentResult] = []
         dirty = False
-        for result in chunk.records:
+        for result in records:
             stats.records += 1
             sig = fragment_signature(result)
             if sig is None:
@@ -147,5 +166,48 @@ def mark_duplicates(
                 seen.add(sig)
                 updated.append(result)
         if dirty:
+            dataset.replace_column_chunk("results", chunk_index, updated)
+    return stats
+
+
+def _mark_duplicates_backend(
+    dataset: AGDDataset,
+    stats: DupmarkStats,
+    seen: set,
+    backend,
+) -> DupmarkStats:
+    """Backend path: signature extraction fans out in bounded waves.
+
+    A wave holds ~2 chunk blobs per worker in flight (same bound as the
+    parallel sort's phase 1), and a chunk is only decoded a second time
+    when it actually contains duplicates to rewrite — the common clean
+    chunk costs one decode, in a worker.
+    """
+    from repro.dataflow.backends import run_in_waves
+
+    def results_blob(chunk_index: int) -> bytes:
+        return dataset.store.get(
+            dataset.manifest.chunks[chunk_index].chunk_file("results"))
+
+    for chunk_index, blob, sigs in run_in_waves(
+        backend, chunk_signatures_task,
+        range(dataset.num_chunks), results_blob,
+    ):
+        dup_positions: list[int] = []
+        for position, sig in enumerate(sigs):
+            stats.records += 1
+            if sig is None:
+                stats.unmapped += 1
+            elif sig in seen:
+                stats.duplicates_marked += 1
+                dup_positions.append(position)
+            else:
+                seen.add(sig)
+        if dup_positions:
+            updated = list(read_chunk(blob).records)
+            for position in dup_positions:
+                updated[position] = updated[position].with_flag(
+                    FLAG_DUPLICATE
+                )
             dataset.replace_column_chunk("results", chunk_index, updated)
     return stats

@@ -17,7 +17,6 @@ from typing import Iterator
 from repro.agd.chunk import read_chunk, write_chunk
 from repro.agd.manifest import ChunkEntry, Manifest
 from repro.align.result import AlignmentResult
-from repro.dataflow.executor import Executor
 from repro.dataflow.node import Node
 from repro.dataflow.queues import Queue
 from repro.dataflow.errors import QueueClosed
@@ -120,20 +119,48 @@ class AGDParserNode(Node):
         return [item]
 
 
+def align_subchunk_task(shared, payload) -> "list[AlignmentResult]":
+    """Backend task: align one subchunk of single-end reads.
+
+    Module-level (hence picklable) so the process backend can ship it to
+    workers; ``shared`` resolves the aligner by handle on whichever side
+    of the process boundary the task runs.
+    """
+    aligner_handle, bases = payload
+    aligner = shared[aligner_handle]
+    return [aligner.align_read(read_bases) for read_bases in bases]
+
+
+def align_pairs_task(shared, payload) -> "list[AlignmentResult]":
+    """Backend task: align one subchunk of mate pairs (R1, R2, R1, ...)."""
+    aligner_handle, bases = payload
+    paired = shared[aligner_handle]
+    output: list = [None] * len(bases)
+    for i in range(0, len(bases), 2):
+        r1, r2 = paired.align_pair(bases[i], bases[i + 1])
+        output[i] = r1
+        output[i + 1] = r2
+    return output
+
+
 class AlignerNode(Node):
-    """Aligns a chunk by delegating subchunks to the executor (§4.3).
+    """Aligns a chunk by delegating subchunks to an execution backend (§4.3).
 
     "The chunk object and output buffer are logically divided into
     subchunks and placed in the executor task queue as (subchunk, buffer)
     pairs.  Once a full chunk is completed, the originating aligner node
     is notified, and the result buffer is placed in the subgraph output
     queue."
+
+    The backend (serial, thread, or process) comes from the session
+    resource registry; a legacy raw :class:`Executor` resource is
+    adapted transparently.
     """
 
     def __init__(
         self,
         aligner_handle: str,
-        executor_handle: str,
+        backend_handle: str,
         subchunk_size: int = 512,
         name: str = "aligner",
         parallelism: int = 2,
@@ -142,27 +169,25 @@ class AlignerNode(Node):
         if subchunk_size <= 0:
             raise ValueError("subchunk_size must be positive")
         self.aligner_handle = aligner_handle
-        self.executor_handle = executor_handle
+        self.backend_handle = backend_handle
         self.subchunk_size = subchunk_size
 
+    @property
+    def executor_handle(self) -> str:
+        """Pre-backend name for :attr:`backend_handle` (compatibility)."""
+        return self.backend_handle
+
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
-        aligner = ctx.resources.get(self.aligner_handle)
-        executor: Executor = ctx.resources.get(self.executor_handle)
+        backend = ctx.backend(self.backend_handle)
         bases = item.columns["bases"]
-        output: list = [None] * len(bases)
-
-        def make_task(start: int, end: int):
-            def task() -> None:
-                for i in range(start, end):
-                    output[i] = aligner.align_read(bases[i])
-            return task
-
-        tasks = [
-            make_task(start, min(start + self.subchunk_size, len(bases)))
+        payloads = [
+            (self.aligner_handle, bases[start:start + self.subchunk_size])
             for start in range(0, len(bases), self.subchunk_size)
         ]
-        executor.run_chunk(tasks)
-        item.results = output
+        subchunk_results = backend.run_chunk(
+            align_subchunk_task, payloads, shared=ctx.resources
+        )
+        item.results = [r for sub in subchunk_results for r in sub]
         return [item]
 
 
@@ -172,41 +197,32 @@ class PairedAlignerNode(Node):
     def __init__(
         self,
         paired_handle: str,
-        executor_handle: str,
+        backend_handle: str,
         subchunk_size: int = 256,
         name: str = "paired_aligner",
         parallelism: int = 2,
     ):
         super().__init__(name, parallelism)
         self.paired_handle = paired_handle
-        self.executor_handle = executor_handle
+        self.backend_handle = backend_handle
         self.subchunk_size = subchunk_size
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
-        paired = ctx.resources.get(self.paired_handle)
-        executor: Executor = ctx.resources.get(self.executor_handle)
+        backend = ctx.backend(self.backend_handle)
         bases = item.columns["bases"]
         if len(bases) % 2:
             raise ValueError(
                 f"paired chunk {item.entry.path!r} has odd record count"
             )
-        output: list = [None] * len(bases)
-
-        def make_task(start: int, end: int):
-            def task() -> None:
-                for i in range(start, end, 2):
-                    r1, r2 = paired.align_pair(bases[i], bases[i + 1])
-                    output[i] = r1
-                    output[i + 1] = r2
-            return task
-
         step = self.subchunk_size * 2
-        tasks = [
-            make_task(start, min(start + step, len(bases)))
+        payloads = [
+            (self.paired_handle, bases[start:start + step])
             for start in range(0, len(bases), step)
         ]
-        executor.run_chunk(tasks)
-        item.results = output
+        subchunk_results = backend.run_chunk(
+            align_pairs_task, payloads, shared=ctx.resources
+        )
+        item.results = [r for sub in subchunk_results for r in sub]
         return [item]
 
 

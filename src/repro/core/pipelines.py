@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import gzip
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.agd.dataset import AGDDataset
 from repro.agd.manifest import Manifest
@@ -25,6 +25,7 @@ from repro.core.subgraphs import (
     build_standalone_graph,
 )
 from repro.core.varcall import VarCallConfig, call_variants
+from repro.dataflow.backends import Backend
 from repro.dataflow.queues import Queue
 from repro.dataflow.session import Session
 from repro.formats.fastq import format_fastq_record
@@ -98,6 +99,22 @@ def _count_dataset_bases(dataset: AGDDataset) -> int:
     return total
 
 
+def _apply_backend_choice(
+    config: "AlignGraphConfig | None",
+    backend: "str | Backend | None",
+    batch_size: "int | None",
+) -> "AlignGraphConfig | None":
+    """Fold explicit ``backend=`` / ``batch_size=`` args into a config."""
+    if backend is None and batch_size is None:
+        return config
+    config = replace(config) if config is not None else AlignGraphConfig()
+    if backend is not None:
+        config.backend = backend
+    if batch_size is not None:
+        config.batch_size = batch_size
+    return config
+
+
 def align_dataset(
     dataset: AGDDataset,
     aligner,
@@ -105,13 +122,21 @@ def align_dataset(
     output_store: "ChunkStore | None" = None,
     name_queue: "Queue | None" = None,
     session_timeout: "float | None" = 600.0,
+    backend: "str | Backend | None" = None,
+    batch_size: "int | None" = None,
 ) -> AlignOutcome:
     """Align a dataset, appending a results column (Figure 3 end to end).
 
     When ``output_store`` is omitted, results land next to the input
     columns and the manifest gains a ``results`` column — the paper's
     "unified storage of all genomic data for a given patient" (§1).
+
+    ``backend`` selects the compute substrate (``"serial"``,
+    ``"thread"``, ``"process"``, or a :class:`Backend` instance) and
+    overrides ``config.backend``; ``batch_size`` likewise tunes the
+    process backend's IPC batching.
     """
+    config = _apply_backend_choice(config, backend, batch_size)
     output_store = output_store if output_store is not None else dataset.store
     built = build_align_graph(
         dataset.manifest,
@@ -121,10 +146,16 @@ def align_dataset(
         config=config,
         name_queue=name_queue,
     )
-    total_bases = _count_dataset_bases(dataset)
-    start = time.monotonic()
-    result = Session(built.graph).run(timeout=session_timeout)
-    built.executor.shutdown()
+    try:
+        # Outside the timed region: this pre-pass reads the bases-column
+        # index only and is not part of the measured alignment run.
+        total_bases = _count_dataset_bases(dataset)
+        start = time.monotonic()
+        result = Session(built.graph).run(timeout=session_timeout)
+    finally:
+        # Errors must not leak a worker pool (each process backend
+        # worker holds its own copy of the aligner index).
+        built.close()
     wall = time.monotonic() - start
     if output_store is dataset.store and not dataset.manifest.has_column("results"):
         dataset.manifest.add_column("results")
@@ -169,14 +200,19 @@ def align_standalone(
     contigs: "list[dict]",
     config: "AlignGraphConfig | None" = None,
     session_timeout: "float | None" = 600.0,
+    backend: "str | Backend | None" = None,
+    batch_size: "int | None" = None,
 ) -> AlignOutcome:
     """Run the standalone-tool baseline: gzip'd FASTQ in, SAM text out."""
+    config = _apply_backend_choice(config, backend, batch_size)
     built = build_standalone_graph(
         manifest, shard_store, output_store, aligner, contigs, config=config
     )
     start = time.monotonic()
-    result = Session(built.graph).run(timeout=session_timeout)
-    built.executor.shutdown()
+    try:
+        result = Session(built.graph).run(timeout=session_timeout)
+    finally:
+        built.close()
     wall = time.monotonic() - start
     return AlignOutcome(
         wall_seconds=wall,

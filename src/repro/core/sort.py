@@ -49,17 +49,46 @@ def sort_key_for(order: str) -> Callable:
     raise ValueError(f"unknown sort order {order!r} (location|metadata)")
 
 
+def sort_run_task(shared, payload) -> "dict[str, bytes]":
+    """Backend task: sort one superchunk run from raw chunk blobs.
+
+    Picklable both ways — input is the group's compressed column blobs,
+    output is one encoded superchunk blob per column — so phase 1 of the
+    external sort can fan out across processes.  The caller writes the
+    returned blobs to the scratch store (worker processes must not touch
+    caller-side stores).
+    """
+    order, ordered_columns, chunk_blobs = payload
+    key_fn = sort_key_for(order)
+    rows: list[tuple] = []
+    for blobs in chunk_blobs:
+        column_data = [read_chunk(blobs[column]).records
+                       for column in ordered_columns]
+        rows.extend(zip(*column_data))
+    rows.sort(key=key_fn)
+    out: dict[str, bytes] = {}
+    for c_index, column in enumerate(ordered_columns):
+        records = [row[c_index] for row in rows]
+        out[column] = write_chunk(records, record_type_for_column(column))
+    return out
+
+
 def sort_dataset(
     dataset: AGDDataset,
     output_store: ChunkStore,
     config: "SortConfig | None" = None,
     scratch_store: "ChunkStore | None" = None,
+    backend=None,
 ) -> AGDDataset:
     """Sort a dataset into ``output_store``; returns the sorted dataset.
 
     Phase 1 reads ``chunks_per_superchunk`` chunks at a time, sorts their
     rows, and writes each sorted run as a *superchunk* into the scratch
     store.  Phase 2 k-way-merges the runs and emits final chunks.
+
+    ``backend`` (a :class:`~repro.dataflow.backends.Backend`) fans the
+    independent phase-1 run sorts out across workers; ``None`` keeps the
+    sequential path.
     """
     config = config or SortConfig()
     if config.chunks_per_superchunk <= 0:
@@ -75,17 +104,48 @@ def sort_dataset(
     ordered_columns = _key_first_columns(columns)
 
     # ---------------------------------------------------- phase 1: runs
-    runs: list[list[ChunkEntry]] = []
-    group: list[int] = []
-    for chunk_index in range(manifest.num_chunks):
-        group.append(chunk_index)
-        if len(group) == config.chunks_per_superchunk:
-            runs.append(_write_run(dataset, group, ordered_columns, key_fn,
-                                   scratch, len(runs)))
-            group = []
-    if group:
-        runs.append(_write_run(dataset, group, ordered_columns, key_fn,
-                               scratch, len(runs)))
+    groups: list[list[int]] = [
+        list(range(start, min(start + config.chunks_per_superchunk,
+                              manifest.num_chunks)))
+        for start in range(0, manifest.num_chunks,
+                           config.chunks_per_superchunk)
+    ]
+    if backend is None:
+        runs = [
+            _write_run(dataset, group, ordered_columns, key_fn,
+                       scratch, run_index)
+            for run_index, group in enumerate(groups)
+        ]
+    else:
+        from repro.dataflow.backends import run_in_waves
+
+        def group_payload(group: "list[int]"):
+            return (
+                config.order,
+                ordered_columns,
+                [
+                    {column: dataset.store.get(
+                        manifest.chunks[i].chunk_file(column))
+                     for column in ordered_columns}
+                    for i in group
+                ],
+            )
+
+        # Waved dispatch keeps the external sort's bounded memory: only
+        # a couple of chunk groups per worker are resident at a time.
+        runs = []
+        for group, _payload, blobs in run_in_waves(
+            backend, sort_run_task, groups, group_payload
+        ):
+            record_count = sum(
+                manifest.chunks[i].record_count for i in group
+            )
+            entry = ChunkEntry(
+                f"superchunk-{len(runs)}", 0, record_count
+            )
+            for column, blob in blobs.items():
+                scratch.put(entry.chunk_file(column), blob)
+            runs.append([entry])
 
     # --------------------------------------------------- phase 2: merge
     out_chunk_size = config.output_chunk_size or (

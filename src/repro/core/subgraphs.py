@@ -30,7 +30,8 @@ from repro.core.ops import (
     QueueNameSource,
     SamWriterNode,
 )
-from repro.dataflow.executor import BusyCounter, Executor
+from repro.dataflow.backends import Backend, make_backend
+from repro.dataflow.executor import BusyCounter
 from repro.dataflow.graph import Graph
 from repro.dataflow.queues import Queue
 from repro.formats.sam import SamHeader
@@ -49,6 +50,16 @@ class AlignGraphConfig:
     subchunk_size: int = 512
     queue_depth: "int | None" = None  # default: downstream parallelism
     paired: bool = False
+    #: Execution substrate for the compute kernels: "serial", "thread",
+    #: "process", or a pre-built Backend instance (owned by the caller).
+    #: Instance caveats: a pre-built ProcessBackend must not have started
+    #: its pool yet (the graph ships the aligner to workers at pool
+    #: start), and instance backends bypass the graph's BusyCounter, so
+    #: utilization traces (Fig. 5 machinery) read zero for their work —
+    #: construct them with your own busy_counter if you need traces.
+    backend: "str | Backend" = "thread"
+    #: Payloads per IPC message (process backend only; None = default).
+    batch_size: "int | None" = None
 
 
 @dataclass
@@ -57,8 +68,61 @@ class AlignGraph:
 
     graph: Graph
     sink: NullSinkNode
-    executor: Executor
+    executor: Backend
     busy_counter: BusyCounter
+    #: False when the caller supplied a pre-built Backend instance; the
+    #: pipeline then leaves its lifecycle to the caller.
+    owns_executor: bool = True
+
+    @property
+    def backend(self) -> Backend:
+        """The compute backend (``executor`` predates pluggable backends)."""
+        return self.executor
+
+    def close(self, wait: bool = True) -> None:
+        """Release the compute backend, unless the caller owns it."""
+        if self.owns_executor:
+            self.executor.shutdown(wait=wait)
+
+
+def _build_compute_backend(
+    config: AlignGraphConfig,
+    graph_name: str,
+    busy: BusyCounter,
+    aligner,
+) -> "tuple[Backend, bool]":
+    """Make (or adopt) the graph's compute backend.  Returns
+    ``(backend, owned)``: pre-built instances stay caller-owned.
+
+    In-process backends resolve the aligner through the graph's own
+    resource registry at run time (so a backend shared between graphs
+    never leaks one graph's aligner into another); only backends whose
+    workers cannot see caller memory (the process pool) get the aligner
+    shipped via ``register_shared`` — once, at pool start."""
+    owned = not isinstance(config.backend, Backend)
+    backend = make_backend(
+        config.backend,
+        workers=config.executor_threads,
+        batch_size=config.batch_size,
+        busy_counter=busy,
+        name=f"{graph_name}.backend",
+    )
+    if not backend.shares_caller_memory:
+        try:
+            backend.register_shared("aligner", aligner)
+        except RuntimeError as exc:
+            raise RuntimeError(
+                f"graph {graph_name!r}: a pre-built {backend.name!r} "
+                f"backend must be passed before its worker pool starts "
+                f"(workers receive the aligner at pool start) — build "
+                f"the graph first, or register the aligner yourself "
+                f"before warming the pool"
+            ) from exc
+    # Start workers here, while graph construction is single-threaded:
+    # forking a pool lazily from a node thread of a running session risks
+    # inheriting locks held mid-operation by sibling threads.
+    backend.start()
+    return backend, owned
 
 
 def build_align_graph(
@@ -79,13 +143,11 @@ def build_align_graph(
     config = config or AlignGraphConfig()
     g = Graph(graph_name)
     busy = BusyCounter()
-    executor = Executor(
-        config.executor_threads,
-        name=f"{graph_name}.executor",
-        busy_counter=busy,
+    backend, owns_backend = _build_compute_backend(
+        config, graph_name, busy, aligner
     )
     aligner_handle = g.register_resource("aligner", aligner)
-    executor_handle = g.register_resource("executor", executor)
+    backend_handle = g.register_resource("executor", backend)
 
     depth = config.queue_depth
     q_names = g.queue("chunk_names", depth or max(2, config.reader_nodes))
@@ -116,7 +178,7 @@ def build_align_graph(
         g.add(
             PairedAlignerNode(
                 aligner_handle,
-                executor_handle,
+                backend_handle,
                 subchunk_size=max(1, config.subchunk_size // 2),
                 parallelism=config.aligner_nodes,
             ),
@@ -127,7 +189,7 @@ def build_align_graph(
         g.add(
             AlignerNode(
                 aligner_handle,
-                executor_handle,
+                backend_handle,
                 subchunk_size=config.subchunk_size,
                 parallelism=config.aligner_nodes,
             ),
@@ -146,7 +208,8 @@ def build_align_graph(
     )
     sink = NullSinkNode()
     g.add(sink, input=q_written)
-    return AlignGraph(graph=g, sink=sink, executor=executor, busy_counter=busy)
+    return AlignGraph(graph=g, sink=sink, executor=backend,
+                      busy_counter=busy, owns_executor=owns_backend)
 
 
 def build_standalone_graph(
@@ -167,13 +230,11 @@ def build_standalone_graph(
     config = config or AlignGraphConfig()
     g = Graph(graph_name)
     busy = BusyCounter()
-    executor = Executor(
-        config.executor_threads,
-        name=f"{graph_name}.executor",
-        busy_counter=busy,
+    backend, owns_backend = _build_compute_backend(
+        config, graph_name, busy, aligner
     )
     aligner_handle = g.register_resource("aligner", aligner)
-    executor_handle = g.register_resource("executor", executor)
+    backend_handle = g.register_resource("executor", backend)
 
     q_names = g.queue("chunk_names", max(2, config.reader_nodes))
     q_raw = g.queue("raw_chunks", max(2, config.parser_nodes))
@@ -195,7 +256,7 @@ def build_standalone_graph(
     g.add(
         AlignerNode(
             aligner_handle,
-            executor_handle,
+            backend_handle,
             subchunk_size=config.subchunk_size,
             parallelism=config.aligner_nodes,
         ),
@@ -215,4 +276,5 @@ def build_standalone_graph(
     )
     sink = NullSinkNode()
     g.add(sink, input=q_written)
-    return AlignGraph(graph=g, sink=sink, executor=executor, busy_counter=busy)
+    return AlignGraph(graph=g, sink=sink, executor=backend,
+                      busy_counter=busy, owns_executor=owns_backend)

@@ -1,5 +1,14 @@
 """Coarse-grain dataflow engine (§4): the TensorFlow substrate analog."""
 
+from repro.dataflow.backends import (
+    BACKEND_CHOICES,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    as_backend,
+    make_backend,
+)
 from repro.dataflow.errors import (
     PipelineAborted,
     PipelineError,
@@ -27,6 +36,13 @@ from repro.dataflow.session import NodeContext, Session, SessionResult
 from repro.dataflow.stealing import StealingStats, WorkStealingExecutor
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "Backend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "as_backend",
+    "make_backend",
     "Buffer",
     "BufferPool",
     "BusyCounter",

@@ -1,0 +1,517 @@
+"""Pluggable execution backends for compute kernels (§4.3, Figure 4).
+
+Persona's fine-grain executor keeps "all cores in the system ... running
+continuously doing meaningful work".  A pure-Python thread pool cannot
+deliver that for compute kernels (the GIL serializes them), so the
+execution substrate is swappable: every compute kernel describes its work
+as *picklable task payloads* handed to a :class:`Backend`, and the
+backend decides where they run.
+
+Three backends ship here:
+
+``SerialBackend``
+    Runs payloads inline on the calling thread.  The baseline for
+    correctness tests and the denominator for speedup measurements.
+
+``ThreadBackend``
+    Wraps the fine-grain :class:`~repro.dataflow.executor.Executor`
+    (the paper's design): best when kernels release the GIL (I/O,
+    numpy) and for overlap of I/O with compute.
+
+``ProcessBackend``
+    A ``multiprocessing`` pool with chunk-level *batching* to amortize
+    IPC cost: payloads are grouped into batches, each batch crosses the
+    process boundary as one message.  Shared read-only resources (e.g.
+    a multi-gigabyte aligner index) are pickled **once** per worker at
+    pool start, never per task.  This is the backend that shows real
+    multi-core speedup for pure-Python compute.
+
+The task contract is deliberately data-oriented so every backend can run
+the same work: ``fn(shared, payload) -> result`` where ``fn`` is a
+module-level (importable, hence picklable) function, ``payload`` is a
+picklable value, and ``shared`` is a mapping of pre-registered resources.
+Results come back in payload order; the first task error re-raises in the
+caller via the same :class:`~repro.dataflow.executor.ChunkCompletion`
+latch the thread executor uses — including across process boundaries.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import pickle
+import threading
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.dataflow.executor import BusyCounter, ChunkCompletion, Executor
+
+BACKEND_CHOICES = ("serial", "thread", "process")
+
+#: Payloads per IPC message for the process backend (amortizes pickling
+#: and pipe round-trips; one subchunk payload is typically a few KB).
+DEFAULT_BATCH_SIZE = 4
+
+TaskFn = Callable[[Mapping[str, Any], Any], Any]
+
+
+class Backend(abc.ABC):
+    """Execution substrate for compute kernels.
+
+    Kernels call :meth:`run_chunk` with one chunk's worth of subchunk
+    payloads; the backend returns the per-payload results in order.
+    """
+
+    name: str = "backend"
+    workers: int = 1
+    #: Whether task functions can reach objects in the caller's address
+    #: space (through the ``shared`` fallback mapping).  False for
+    #: backends whose workers live in other processes: they see only
+    #: resources shipped via :meth:`register_shared`.
+    shares_caller_memory: bool = True
+
+    def __init__(self) -> None:
+        self._shared: dict[str, Any] = {}
+
+    # ------------------------------------------------------------ resources
+
+    def register_shared(self, key: str, resource: Any) -> str:
+        """Make ``resource`` visible to task functions under ``key``.
+
+        For in-process backends this is a plain dict entry; for the
+        process backend the registered objects are shipped to each
+        worker exactly once, when the pool starts.  Must therefore be
+        called before the first :meth:`run_chunk`.
+        """
+        self._shared[key] = resource
+        return key
+
+    def shared_view(self, fallback: "Mapping[str, Any] | None") -> Mapping:
+        """The mapping task functions see (registry + optional fallback)."""
+        if fallback is None:
+            return self._shared
+        if not self._shared:
+            return fallback
+        return _ChainLookup(self._shared, fallback)
+
+    # ------------------------------------------------------------------ API
+
+    @abc.abstractmethod
+    def run_chunk(
+        self,
+        fn: TaskFn,
+        payloads: Sequence[Any],
+        shared: "Mapping[str, Any] | None" = None,
+        timeout: "float | None" = 300.0,
+    ) -> list:
+        """Run ``fn(shared, payload)`` for every payload; ordered results.
+
+        ``shared`` is a fallback resource mapping consulted after this
+        backend's own registry — in-process backends typically receive
+        the session's :class:`~repro.dataflow.resources.ResourceManager`
+        here.  The process backend cannot see caller memory, so it uses
+        only resources registered via :meth:`register_shared`.
+        """
+
+    def start(self) -> None:
+        """Bring workers up now instead of on the first chunk (no-op for
+        in-process backends).  Call from a single-threaded context: a
+        process pool forked lazily from inside a running multithreaded
+        graph can inherit locks held mid-operation by other threads."""
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release worker threads/processes (idempotent)."""
+
+    # ---------------------------------------------------------------- sugar
+
+    def map(self, fn: TaskFn, payloads: Sequence[Any], **kwargs) -> list:
+        """Alias for :meth:`run_chunk` (the map-like mental model)."""
+        return self.run_chunk(fn, payloads, **kwargs)
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} workers={self.workers}>"
+
+
+class _ChainLookup:
+    """Two-level mapping lookup without copying either mapping."""
+
+    __slots__ = ("_first", "_second")
+
+    def __init__(self, first: Mapping, second: Mapping):
+        self._first = first
+        self._second = second
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._first[key]
+        except KeyError:
+            return self._second[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._first or key in self._second
+
+
+class SerialBackend(Backend):
+    """Run every payload inline on the calling thread.
+
+    No parallelism, no IPC, no scheduling: the reference semantics the
+    other backends must match, and the baseline wall-clock for speedup
+    claims (Table 1 smoke benchmark).
+    """
+
+    name = "serial"
+    workers = 1
+
+    def __init__(self, busy_counter: "BusyCounter | None" = None):
+        super().__init__()
+        self._busy_counter = busy_counter
+
+    def run_chunk(
+        self,
+        fn: TaskFn,
+        payloads: Sequence[Any],
+        shared: "Mapping[str, Any] | None" = None,
+        timeout: "float | None" = 300.0,
+    ) -> list:
+        view = self.shared_view(shared)
+        results = []
+        for payload in payloads:
+            if self._busy_counter is not None:
+                self._busy_counter.enter()
+            try:
+                results.append(fn(view, payload))
+            finally:
+                if self._busy_counter is not None:
+                    self._busy_counter.exit()
+        return results
+
+
+class ThreadBackend(Backend):
+    """The paper's fine-grain thread executor behind the backend API.
+
+    Either owns a fresh :class:`Executor` or wraps an existing one
+    (``executor=``) without taking ownership — the latter is how legacy
+    code that registered a raw ``Executor`` resource keeps working.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        workers: int = 4,
+        name: str = "thread-backend",
+        executor: "Executor | None" = None,
+        busy_counter: "BusyCounter | None" = None,
+        queue_depth: "int | None" = None,
+    ):
+        super().__init__()
+        if executor is not None:
+            if busy_counter is not None or queue_depth is not None:
+                raise ValueError(
+                    "busy_counter/queue_depth cannot be applied to an "
+                    "existing executor; configure them on the Executor "
+                    "itself"
+                )
+            self.executor = executor
+            self._owns_executor = False
+        else:
+            self.executor = Executor(
+                workers,
+                name=f"{name}.executor",
+                queue_depth=queue_depth,
+                busy_counter=busy_counter,
+            )
+            self._owns_executor = True
+        self.workers = self.executor.num_threads
+
+    @property
+    def stats(self):
+        return self.executor.stats
+
+    def run_chunk(
+        self,
+        fn: TaskFn,
+        payloads: Sequence[Any],
+        shared: "Mapping[str, Any] | None" = None,
+        timeout: "float | None" = 300.0,
+    ) -> list:
+        view = self.shared_view(shared)
+        results: list = [None] * len(payloads)
+
+        def make_task(index: int, payload: Any) -> Callable[[], None]:
+            def task() -> None:
+                results[index] = fn(view, payload)
+            return task
+
+        tasks = [make_task(i, p) for i, p in enumerate(payloads)]
+        if tasks:
+            self.executor.run_chunk(tasks, timeout=timeout)
+        return results
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._owns_executor:
+            self.executor.shutdown(wait=wait)
+
+
+# --------------------------------------------------------------------------
+# Process backend: module-level worker machinery (must be picklable /
+# importable from the child process under both fork and spawn).
+
+_WORKER_SHARED: dict[str, Any] = {}
+
+
+def _process_worker_init(shared_blob: bytes) -> None:
+    """Pool initializer: unpickle the shared registry once per worker."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = pickle.loads(shared_blob)
+
+
+def _run_payload_batch(fn: TaskFn, batch: "list[Any]") -> list:
+    """Execute one batch of payloads inside a worker process."""
+    return [fn(_WORKER_SHARED, payload) for payload in batch]
+
+
+def noop_task(shared, payload):
+    """Identity task: used to warm a process pool before timed regions."""
+    return payload
+
+
+def resolve_start_method(preferred: "str | None" = None) -> str:
+    """Pick a supported multiprocessing start method.
+
+    ``fork`` is preferred where available (cheap, inherits page cache);
+    macOS/Windows runners only offer ``spawn``/``forkserver``, so CI on
+    those platforms must not crash requesting ``fork``.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} unavailable "
+                f"(platform offers: {available})"
+            )
+        return preferred
+    for method in ("fork", "spawn"):
+        if method in available:
+            return method
+    return available[0]
+
+
+class ProcessBackend(Backend):
+    """Compute on a ``multiprocessing`` pool with chunk-level batching.
+
+    Payloads are grouped into batches of ``batch_size``; each batch is
+    one ``apply_async`` call, i.e. one pickled message to a worker and
+    one pickled reply.  Completion and error propagation reuse
+    :class:`ChunkCompletion`: worker exceptions surface through the
+    pool's error callback and re-raise in the waiting kernel thread,
+    exactly like the thread executor — but across a process boundary.
+
+    The pool starts lazily on the first :meth:`run_chunk` so that
+    :meth:`register_shared` can be called first; the registered
+    resources are pickled once and installed in every worker by the
+    pool initializer.
+
+    Workers hold *copies* of shared resources: only task return values
+    travel back.  Caller-side mutable state on a shared object (e.g. an
+    aligner's stats counters) is NOT updated by process-backend runs —
+    use the serial or thread backend when per-aligner instrumentation
+    (the Fig. 8 op-mix profiling) must observe the run.
+    """
+
+    name = "process"
+    shares_caller_memory = False
+
+    def __init__(
+        self,
+        workers: "int | None" = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        name: str = "process-backend",
+        start_method: "str | None" = None,
+        busy_counter: "BusyCounter | None" = None,
+    ):
+        super().__init__()
+        if workers is None:
+            workers = max(1, os.cpu_count() or 1)
+        if workers <= 0:
+            raise ValueError("process backend needs at least one worker")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.workers = workers
+        self.batch_size = batch_size
+        self.start_method = resolve_start_method(start_method)
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._busy_counter = busy_counter
+
+    # ----------------------------------------------------------- pool mgmt
+
+    def _ensure_pool(self):
+        # Multiple kernel replicas share one backend; without the lock
+        # two first-chunk calls would each fork a pool and leak one.
+        with self._pool_lock:
+            if self._pool is None:
+                ctx = multiprocessing.get_context(self.start_method)
+                self._pool = ctx.Pool(
+                    processes=self.workers,
+                    initializer=_process_worker_init,
+                    initargs=(pickle.dumps(self._shared),),
+                )
+            return self._pool
+
+    def register_shared(self, key: str, resource: Any) -> str:
+        # Under the pool lock: a concurrent first run_chunk could fork
+        # the pool mid-registration and silently strand the resource on
+        # the caller side (workers snapshot _shared at pool start).
+        with self._pool_lock:
+            if self._pool is not None:
+                if self._shared.get(key) is resource:
+                    return key  # same object, already shipped to workers
+                raise RuntimeError(
+                    f"backend {self.name!r}: register_shared({key!r}) "
+                    f"after the worker pool started; register all "
+                    f"resources first"
+                )
+            return super().register_shared(key, resource)
+
+    def start(self) -> None:
+        self._ensure_pool()
+
+    # ------------------------------------------------------------------ run
+
+    def run_chunk(
+        self,
+        fn: TaskFn,
+        payloads: Sequence[Any],
+        shared: "Mapping[str, Any] | None" = None,
+        timeout: "float | None" = 300.0,
+    ) -> list:
+        # ``shared`` (caller-side fallback resources) is unreachable from
+        # worker processes by construction; only register_shared state is.
+        if not payloads:
+            return []
+        pool = self._ensure_pool()
+        batches = [
+            list(payloads[start:start + self.batch_size])
+            for start in range(0, len(payloads), self.batch_size)
+        ]
+        batch_results: list = [None] * len(batches)
+        completion = ChunkCompletion(len(batches))
+
+        def make_callbacks(index: int):
+            def on_done(result: list) -> None:
+                batch_results[index] = result
+                completion.task_done()
+
+            def on_error(error: BaseException) -> None:
+                completion.task_done(error)
+
+            return on_done, on_error
+
+        if self._busy_counter is not None:
+            self._busy_counter.enter()
+        try:
+            for index, batch in enumerate(batches):
+                on_done, on_error = make_callbacks(index)
+                pool.apply_async(
+                    _run_payload_batch,
+                    (fn, batch),
+                    callback=on_done,
+                    error_callback=on_error,
+                )
+            completion.wait(timeout)
+        finally:
+            if self._busy_counter is not None:
+                self._busy_counter.exit()
+        return [result for batch in batch_results for result in batch]
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if wait:
+            pool.close()
+        else:
+            pool.terminate()
+        pool.join()
+
+
+def run_in_waves(
+    backend: Backend,
+    fn: TaskFn,
+    items: Sequence[Any],
+    make_payload: Callable[[Any], Any],
+    wave_factor: int = 2,
+):
+    """Yield ``(item, payload, result)``, bounding payloads in flight.
+
+    Building every payload up front would materialize the whole input
+    (defeating bounded-memory kernels like the external sort); a wave
+    holds ``wave_factor`` payloads per worker in flight and drops them
+    before the next wave starts.  The payload is yielded alongside the
+    result so callers can reuse it (e.g. decode an already-fetched
+    blob) without re-reading storage.
+    """
+    wave = max(1, wave_factor * max(1, backend.workers))
+    for start in range(0, len(items), wave):
+        wave_items = items[start:start + wave]
+        payloads = [make_payload(item) for item in wave_items]
+        results = backend.run_chunk(fn, payloads)
+        yield from zip(wave_items, payloads, results)
+
+
+# --------------------------------------------------------------------------
+# Construction helpers
+
+
+def make_backend(
+    kind: "str | Backend",
+    workers: int = 4,
+    batch_size: "int | None" = None,
+    busy_counter: "BusyCounter | None" = None,
+    name: str = "backend",
+) -> Backend:
+    """Build a backend from a CLI-style name (or pass one through)."""
+    if isinstance(kind, Backend):
+        return kind
+    if kind == "serial":
+        return SerialBackend(busy_counter=busy_counter)
+    if kind == "thread":
+        return ThreadBackend(
+            workers=workers, name=name, busy_counter=busy_counter
+        )
+    if kind == "process":
+        return ProcessBackend(
+            workers=workers,
+            # None means default; 0 must reach the validator, not coalesce.
+            batch_size=(DEFAULT_BATCH_SIZE if batch_size is None
+                        else batch_size),
+            name=name,
+            busy_counter=busy_counter,
+        )
+    raise ValueError(
+        f"unknown backend {kind!r} (choices: {', '.join(BACKEND_CHOICES)})"
+    )
+
+
+def as_backend(resource: Any) -> Backend:
+    """Adapt a session resource into a :class:`Backend`.
+
+    Graphs built before the backend abstraction registered a raw
+    :class:`Executor` under the ``"executor"`` handle; kernels adapt it
+    on the fly so both old and new resources work.
+    """
+    if isinstance(resource, Backend):
+        return resource
+    if isinstance(resource, Executor):
+        return ThreadBackend(executor=resource)
+    raise TypeError(
+        f"cannot use {type(resource).__name__} as an execution backend"
+    )

@@ -44,6 +44,17 @@ class Buffer:
     def __bytes__(self) -> bytes:
         return bytes(self.data)
 
+    def __getstate__(self) -> "tuple[bytes]":
+        # A buffer crossing a process boundary (backend task payload)
+        # sheds its pool: the pool's lock is unpicklable and the remote
+        # copy must not release into the origin pool.  State is a tuple
+        # because a falsy state (empty bytes) would skip __setstate__.
+        return (bytes(self.data),)
+
+    def __setstate__(self, state: "tuple[bytes]") -> None:
+        self.data = bytearray(state[0])
+        self._pool = None
+
 
 class ObjectPool(Generic[T]):
     """A bounded pool of recyclable objects.

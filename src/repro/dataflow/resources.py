@@ -49,6 +49,11 @@ class ResourceManager:
             except KeyError:
                 raise KeyError(f"no resource for handle {handle!r}") from None
 
+    def __getitem__(self, handle: "Handle | str") -> Any:
+        """Mapping-style lookup so a ResourceManager can serve as the
+        ``shared`` view of an in-process execution backend."""
+        return self.get(handle)
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._resources

@@ -28,6 +28,20 @@ class NodeContext:
     stats_lock: threading.Lock
     replica: int = 0
 
+    def backend(self, handle: str = "executor"):
+        """Resolve an execution backend from the session resource registry.
+
+        Compute kernels are backend-agnostic: the registry may hold any
+        :class:`~repro.dataflow.backends.Backend` (serial, thread,
+        process) or a legacy raw :class:`~repro.dataflow.executor.
+        Executor`, which is adapted on the fly.  In-process backends
+        additionally see the whole resource registry as their shared
+        mapping, so task functions can look up resources by handle.
+        """
+        from repro.dataflow.backends import as_backend
+
+        return as_backend(self.resources.get(handle))
+
 
 @dataclass
 class SessionResult:

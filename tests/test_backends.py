@@ -1,0 +1,281 @@
+"""Tests for the pluggable execution backends (serial / thread / process).
+
+The contract every backend must honor: ``run_chunk(fn, payloads)``
+returns per-payload results in order, the first task error re-raises in
+the caller (via ChunkCompletion — including across process boundaries),
+and all backends produce identical results for the same task payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.pipelines import align_dataset
+from repro.core.subgraphs import AlignGraphConfig
+from repro.dataflow.backends import (
+    BACKEND_CHOICES,
+    DEFAULT_BATCH_SIZE,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    as_backend,
+    make_backend,
+    resolve_start_method,
+)
+from repro.dataflow.executor import BusyCounter, Executor
+
+ALL_BACKENDS = list(BACKEND_CHOICES)
+
+
+# ---------------------------------------------------------------------------
+# Task functions must be module-level so the process backend can pickle
+# them by reference.
+
+def square_task(shared, payload):
+    return payload * payload
+
+
+def offset_task(shared, payload):
+    return shared["offset"] + payload
+
+
+class ExplodingPayloadError(RuntimeError):
+    pass
+
+
+def explode_on_seven(shared, payload):
+    if payload == 7:
+        raise ExplodingPayloadError(f"payload {payload} exploded")
+    return payload
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def any_backend(request):
+    backend = make_backend(request.param, workers=2, batch_size=2)
+    yield backend
+    backend.shutdown()
+
+
+class TestBackendContract:
+    def test_ordered_results(self, any_backend):
+        assert any_backend.run_chunk(square_task, list(range(10))) == [
+            i * i for i in range(10)
+        ]
+
+    def test_empty_payloads(self, any_backend):
+        assert any_backend.run_chunk(square_task, []) == []
+
+    def test_shared_resources(self, any_backend):
+        any_backend.register_shared("offset", 100)
+        assert any_backend.run_chunk(offset_task, [1, 2, 3]) == [101, 102, 103]
+
+    def test_error_propagates_to_caller(self, any_backend):
+        with pytest.raises(ExplodingPayloadError, match="payload 7"):
+            any_backend.run_chunk(explode_on_seven, list(range(12)))
+
+    def test_usable_after_error(self, any_backend):
+        with pytest.raises(ExplodingPayloadError):
+            any_backend.run_chunk(explode_on_seven, [7])
+        assert any_backend.run_chunk(square_task, [3]) == [9]
+
+    def test_identical_results_across_backends(self):
+        results = {}
+        for kind in ALL_BACKENDS:
+            backend = make_backend(kind, workers=2, batch_size=3)
+            try:
+                results[kind] = backend.run_chunk(square_task, list(range(25)))
+            finally:
+                backend.shutdown()
+        assert results["serial"] == results["thread"] == results["process"]
+
+
+class TestMakeBackend:
+    def test_kinds(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        thread = make_backend("thread", workers=3)
+        try:
+            assert isinstance(thread, ThreadBackend)
+            assert thread.workers == 3
+        finally:
+            thread.shutdown()
+        process = make_backend("process", workers=2)
+        assert isinstance(process, ProcessBackend)
+        assert process.workers == 2
+        process.shutdown()  # never started: must be a no-op
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_passthrough_instance(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_as_backend_wraps_legacy_executor(self):
+        executor = Executor(2)
+        try:
+            backend = as_backend(executor)
+            assert isinstance(backend, ThreadBackend)
+            assert backend.executor is executor
+            assert backend.run_chunk(square_task, [4]) == [16]
+            # Wrapper does not own the executor: shutdown leaves it alive.
+            backend.shutdown()
+            assert backend.run_chunk(square_task, [5]) == [25]
+        finally:
+            executor.shutdown()
+
+    def test_as_backend_passthrough_and_rejection(self):
+        backend = SerialBackend()
+        assert as_backend(backend) is backend
+        with pytest.raises(TypeError):
+            as_backend(object())
+
+
+class TestSerialBackend:
+    def test_busy_counter_balanced(self):
+        counter = BusyCounter()
+        backend = SerialBackend(busy_counter=counter)
+        backend.run_chunk(square_task, [1, 2])
+        assert counter.busy == 0
+
+    def test_shared_fallback_mapping(self):
+        backend = SerialBackend()
+        assert backend.run_chunk(
+            offset_task, [5], shared={"offset": 10}
+        ) == [15]
+
+    def test_registry_shadows_fallback(self):
+        backend = SerialBackend()
+        backend.register_shared("offset", 1)
+        assert backend.run_chunk(
+            offset_task, [5], shared={"offset": 100}
+        ) == [6]
+
+
+class TestProcessBackend:
+    def test_start_method_guard(self):
+        available = multiprocessing.get_all_start_methods()
+        assert resolve_start_method() in available
+        assert ProcessBackend(workers=1).start_method in available
+        with pytest.raises(ValueError, match="unavailable"):
+            resolve_start_method("not-a-method")
+
+    def test_batching_preserves_order(self):
+        # 11 payloads / batch_size 3 -> 4 batches, one partial.
+        backend = ProcessBackend(workers=2, batch_size=3)
+        try:
+            assert backend.run_chunk(square_task, list(range(11))) == [
+                i * i for i in range(11)
+            ]
+        finally:
+            backend.shutdown()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessBackend(batch_size=0)
+        assert ProcessBackend().batch_size == DEFAULT_BATCH_SIZE
+
+    def test_error_crosses_process_boundary(self):
+        """ChunkCompletion error propagation across the process boundary:
+        the worker's exception re-raises in the waiting caller thread."""
+        backend = ProcessBackend(workers=2, batch_size=2)
+        try:
+            with pytest.raises(ExplodingPayloadError, match="exploded"):
+                backend.run_chunk(explode_on_seven, list(range(10)))
+            # Pool survives; later chunks still run.
+            assert backend.run_chunk(square_task, [6]) == [36]
+        finally:
+            backend.shutdown()
+
+    def test_register_shared_after_start_rejected(self):
+        backend = ProcessBackend(workers=1)
+        try:
+            backend.run_chunk(square_task, [1])
+            with pytest.raises(RuntimeError, match="register_shared"):
+                backend.register_shared("late", 1)
+        finally:
+            backend.shutdown()
+
+    def test_shutdown_idempotent(self):
+        backend = ProcessBackend(workers=1)
+        backend.run_chunk(square_task, [1])
+        backend.shutdown()
+        backend.shutdown()
+
+
+@pytest.mark.parametrize("kind", ALL_BACKENDS)
+def test_alignment_pipeline_per_backend(
+    dataset, snap_aligner, aligned_results, kind
+):
+    """The acceptance property: align_dataset(backend=...) produces the
+    same alignment results on the synthetic genome for every backend."""
+    config = AlignGraphConfig(
+        executor_threads=2, aligner_nodes=2, subchunk_size=32, batch_size=2,
+    )
+    outcome = align_dataset(
+        dataset, snap_aligner, config=config, backend=kind
+    )
+    assert outcome.total_reads == dataset.total_records
+    assert dataset.read_column("results") == aligned_results
+
+
+def test_alignment_backend_instance_reuse(dataset, snap_aligner):
+    """A caller-owned Backend instance is honored (and not shut down)."""
+    backend = ThreadBackend(workers=2)
+    try:
+        align_dataset(dataset, snap_aligner, backend=backend)
+        assert "results" in dataset.columns
+        assert backend.run_chunk(square_task, [2]) == [4]
+    finally:
+        backend.shutdown()
+
+
+def test_sort_and_dupmark_backend_equivalence(
+    reads, reference, aligned_results
+):
+    """Sort runs and dupmark signatures through the process backend give
+    byte-identical datasets and identical stats to the sequential path."""
+    from repro.core.dupmark import mark_duplicates
+    from repro.core.sort import sort_dataset, verify_sorted
+    from repro.formats.converters import import_reads
+    from repro.storage.base import MemoryStore
+
+    def make_aligned():
+        ds = import_reads(
+            reads, "beq", MemoryStore(), chunk_size=100,
+            reference=reference.manifest_entry(),
+        )
+        ds.append_column("results", list(aligned_results))
+        return ds
+
+    sequential_ds, backend_ds = make_aligned(), make_aligned()
+    backend = ProcessBackend(workers=2, batch_size=2)
+    try:
+        sorted_seq = sort_dataset(sequential_ds, MemoryStore())
+        sorted_bknd = sort_dataset(backend_ds, MemoryStore(),
+                                   backend=backend)
+        stats_seq = mark_duplicates(sorted_seq)
+        stats_bknd = mark_duplicates(sorted_bknd, backend=backend)
+    finally:
+        backend.shutdown()
+    assert verify_sorted(sorted_bknd)
+    for column in sorted_seq.manifest.columns:
+        assert (sorted_seq.read_column(column)
+                == sorted_bknd.read_column(column))
+    assert (stats_seq.records, stats_seq.duplicates_marked,
+            stats_seq.unmapped) == (stats_bknd.records,
+                                    stats_bknd.duplicates_marked,
+                                    stats_bknd.unmapped)
+
+
+def test_worker_count_defaults():
+    cpus = max(1, os.cpu_count() or 1)
+    backend = ProcessBackend()
+    assert backend.workers == cpus
+    assert isinstance(backend, Backend)

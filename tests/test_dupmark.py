@@ -181,9 +181,7 @@ class TestPairedDupmark:
     @pytest.fixture(scope="class")
     def paired_marked(self):
         from repro.align.bwa import BwaMemAligner, FMIndex
-        from repro.formats.converters import import_reads
         from repro.genome.synthetic import ReadSimulator, synthetic_reference
-        from repro.storage.base import MemoryStore
 
         ref = synthetic_reference(20_000, seed=881)
         sim = ReadSimulator(ref, paired=True, duplicate_fraction=0.2,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.align.bwa.fm_index import FMIndex, suffix_array
 from repro.genome.reference import reference_from_sequences
-from repro.genome.synthetic import synthetic_reference
 
 texts = st.binary(min_size=1, max_size=120).map(
     lambda b: bytes(b"ACGT"[x % 4] for x in b)

@@ -9,7 +9,6 @@ from repro.metrics.cputrace import UtilizationSampler, UtilizationTrace
 from repro.metrics.microarch import (
     OP_WEIGHTS,
     SPEC_REFERENCE,
-    TopDownProfile,
     hyperthreading_shift,
     profile_bwa,
     profile_snap,

@@ -10,7 +10,6 @@ from repro.core.ops import (
     ChunkReaderNode,
     ChunkWorkItem,
     ColumnWriterNode,
-    NullSinkNode,
     QueueNameSource,
     SamWriterNode,
 )
@@ -169,7 +168,7 @@ class TestFullGraph:
             config=AlignGraphConfig(executor_threads=2, aligner_nodes=2),
         )
         Session(built.graph).run(timeout=120)
-        built.executor.shutdown()
+        built.close()
         assert built.sink.chunks == dataset.num_chunks
         assert built.sink.records == dataset.total_records
         for entry in dataset.manifest.chunks:
@@ -183,7 +182,7 @@ class TestFullGraph:
             config=AlignGraphConfig(executor_threads=2),
         )
         Session(built.graph).run(timeout=120)
-        built.executor.shutdown()
+        built.close()
         from repro.agd.chunk import read_chunk
 
         entry = dataset.manifest.chunks[1]

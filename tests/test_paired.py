@@ -9,7 +9,6 @@ from repro.align.result import (
     FLAG_UNMAPPED,
 )
 from repro.align.snap import SeedIndex, SnapAligner
-from repro.genome.sequence import reverse_complement
 from repro.genome.synthetic import ReadSimulator, synthetic_reference
 
 

@@ -1,7 +1,5 @@
 """Tests for the high-level pipelines API."""
 
-import pytest
-
 from repro.core.pipelines import (
     align_dataset,
     align_standalone,

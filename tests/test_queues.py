@@ -108,7 +108,7 @@ class TestCloseSemantics:
 
         t = threading.Thread(target=consumer)
         t.start()
-        time.sleep(0.02)
+        time.sleep(0.05)
         q.producer_done()
         t.join(1.0)
         assert seen == ["closed"]
@@ -129,7 +129,7 @@ class TestAbort:
 
         t = threading.Thread(target=blocked_putter)
         t.start()
-        time.sleep(0.02)
+        time.sleep(0.05)
         q.abort()
         t.join(1.0)
         assert outcomes == ["aborted"]

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.align.result import (
     FLAG_DUPLICATE,
     FLAG_REVERSE,
-    FLAG_UNMAPPED,
     AlignmentResult,
     cigar_operations,
     cigar_read_span,

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.align.snap import SeedIndex, SnapAligner, SnapConfig, compute_mapq
+from repro.align.snap import SeedIndex, SnapAligner, compute_mapq
 from repro.genome.sequence import reverse_complement
-from repro.genome.synthetic import ReadSimulator, synthetic_reference
+from repro.genome.synthetic import synthetic_reference
 
 
 class TestSeedIndex:

@@ -8,7 +8,6 @@ import pytest
 from repro.storage.base import DirectoryStore, MemoryStore, StorageError
 from repro.storage.ceph import CephConfig, CephStore, SimulatedCephCluster
 from repro.storage.diskmodel import (
-    BandwidthLimiter,
     DiskModel,
     WritebackDiskModel,
     raid0,
@@ -74,7 +73,8 @@ class TestDiskModel:
         start = time.monotonic()
         disk.read(500_000)  # 0.05s at 10MB/s
         elapsed = time.monotonic() - start
-        assert 0.04 < elapsed < 0.15
+        # Generous upper bound: shared CI runners oversleep wildly.
+        assert 0.04 < elapsed < 0.6
 
     def test_counters(self):
         disk = DiskModel(read_bandwidth=1e9)
@@ -100,12 +100,12 @@ class TestDiskModel:
         assert elapsed > 0.07  # 2 x 0.04s serialized
 
     def test_raid0_scales_bandwidth(self):
-        single = DiskModel(read_bandwidth=10e6)
         array = raid0(6, 10e6)
         assert array.read_bandwidth == 60e6
         start = time.monotonic()
-        array.read(600_000)
-        assert time.monotonic() - start < 0.05
+        array.read(3_000_000)  # 0.05s striped vs 0.3s on a single disk
+        # Must beat the single-disk time even with CI scheduling noise.
+        assert time.monotonic() - start < 0.2
 
     def test_invalid(self):
         with pytest.raises(ValueError):
@@ -119,7 +119,8 @@ class TestWritebackDiskModel:
         disk = WritebackDiskModel(read_bandwidth=1e6, dirty_limit=1_000_000)
         start = time.monotonic()
         disk.write(1000)
-        assert time.monotonic() - start < 0.01
+        # No storm -> no modeled sleep; bound is lax for slow CI runners.
+        assert time.monotonic() - start < 0.1
         assert disk.writeback_storms == 0
 
     def test_storm_when_dirty_limit_hit(self):
@@ -139,7 +140,7 @@ class TestWritebackDiskModel:
         # Second flush: nothing left.
         start = time.monotonic()
         disk.flush()
-        assert time.monotonic() - start < 0.01
+        assert time.monotonic() - start < 0.1
 
     def test_storm_starves_reads(self):
         """Fig. 5a's mechanism: reads queue behind the writeback storm."""
