@@ -1,11 +1,19 @@
-"""Whole-genome-sequencing pipeline: the paper's motivating workload (§1).
+"""Whole-genome-sequencing pipeline: the paper's motivating workload (§1),
+now as ONE composed dataflow graph (§4.1).
 
 A complete WGS preprocessing run over paired-end reads:
 
     FASTQ import -> paired-end alignment (BWA-MEM-style, with the serial
     insert-size inference step of §4.3) -> coordinate sort (§4.3's
-    external merge sort) -> duplicate marking (§5.6) -> quality filtering
-    -> variant calling -> VCF + sorted SAM export.
+    external merge sort) -> duplicate marking (§5.6) -> variant calling
+    -> VCF + sorted SAM export.
+
+Unlike the original five-pass version of this example, alignment, sort,
+duplicate marking, and variant calling all execute in a SINGLE
+``Session.run``: ``run_pipeline`` fuses the four stage subgraphs sink
+queue to source queue, so AGD chunks stream between stages under §4.5's
+bounded-queue flow control and the dataset never materializes in storage
+between stages.
 
 A handful of SNPs are planted in the "patient" genome so the variant
 caller has something real to find.
@@ -14,21 +22,16 @@ Run:  python examples/wgs_pipeline.py
 """
 
 import io
-import time
 
 from repro.core import (
     AlignGraphConfig,
     SortConfig,
-    align_dataset,
+    VarCallConfig,
     build_bwa_aligner,
-    by_min_mapq,
-    call_variants,
-    filter_dataset,
-    mark_duplicates,
-    sort_dataset,
+    run_pipeline,
     verify_sorted,
 )
-from repro.formats import export_sam, import_fastq_stream, fastq_bytes, write_vcf
+from repro.formats import export_sam, fastq_bytes, import_fastq_stream, write_vcf
 from repro.genome import (
     ErrorModel,
     ReadSimulator,
@@ -84,58 +87,64 @@ def main() -> None:
     print(f"imported: {dataset.num_chunks} chunks, "
           f"{dataset.total_bytes():,} B in AGD")
 
-    # ------------------------------------------------------------- align
+    # ------------------------------------------------ one-graph pipeline
     aligner = build_bwa_aligner(reference)
-    # The single-threaded BWA-MEM inference step (§4.3).
+    # The single-threaded BWA-MEM inference step (§4.3) stays outside the
+    # graph: it must see sample pairs before parallel alignment starts.
     sample_pairs = [
         (reads[i].bases, reads[i + 1].bases) for i in range(0, 80, 2)
     ]
     model = aligner.infer_insert_size(sample_pairs)
     print(f"insert-size model (serial step): mean={model.mean:.0f} "
           f"sd={model.std:.0f} from {model.samples} pairs")
-    outcome = align_dataset(
-        dataset, aligner,
-        config=AlignGraphConfig(executor_threads=2, paired=True,
-                                subchunk_size=128),
+
+    outcome = run_pipeline(
+        dataset,
+        stages=("align", "sort", "dupmark", "varcall"),
+        aligner=aligner,
+        reference=reference,
+        align_config=AlignGraphConfig(executor_threads=2, paired=True,
+                                      subchunk_size=128),
+        sort_config=SortConfig(chunks_per_superchunk=4),
+        varcall_config=VarCallConfig(min_mapq=20),
+        backend="thread",
+        workers=2,
+        name="wgs",
     )
+    print(f"one-graph run: align+sort+dupmark+varcall in "
+          f"{outcome.wall_seconds:.1f}s (single Session.run)")
+    for stage in outcome.stages:
+        print(f"  {stage.name:<8} busy {stage.busy_seconds:7.3f}s  "
+              f"wait {stage.wait_seconds:7.3f}s  "
+              f"{stage.records_per_second:>12,.0f} records/s")
+
+    # ------------------------------------------------------------- align
     results = dataset.read_column("results")
     proper = sum(1 for r in results if r.flag & 0x2)
-    print(f"aligned in {outcome.wall_seconds:.1f}s; proper pairs: "
-          f"{proper}/{len(results)}")
+    print(f"proper pairs: {proper}/{len(results)}")
 
     # -------------------------------------------------------------- sort
-    start = time.monotonic()
-    sorted_ds = sort_dataset(
-        dataset, MemoryStore(), SortConfig(chunks_per_superchunk=4)
-    )
+    sorted_ds = outcome.sorted_dataset
     assert verify_sorted(sorted_ds)
-    print(f"coordinate-sorted in {time.monotonic() - start:.2f}s "
-          f"(external merge, superchunks of 4)")
+    print(f"coordinate-sorted: {sorted_ds.num_chunks} chunks "
+          f"(external merge streamed through the graph)")
 
     # ----------------------------------------------------------- dupmark
-    stats = mark_duplicates(sorted_ds)
+    stats = outcome.dupmark_stats
     true_dups = sum(1 for o in origins if o.is_duplicate)
     print(f"duplicates marked: {stats.duplicates_marked} "
           f"(planted PCR duplicates: {true_dups})")
 
-    # ------------------------------------------------------------ filter
-    filtered = filter_dataset(sorted_ds, by_min_mapq(20), MemoryStore())
-    print(f"filter mapq>=20: kept {filtered.total_records}/"
-          f"{sorted_ds.total_records}")
-
     # ----------------------------------------------------------- varcall
-    variants = call_variants(filtered, reference)
-    planted_global = set(SNP_POSITIONS)
-    # Variant positions are per-contig; map planted globals to local.
+    variants = outcome.variants
     planted_local = set()
-    for pos in planted_global:
+    for pos in set(SNP_POSITIONS):
         contig, local = reference.to_local(pos)
         planted_local.add((contig, local))
-    found = {
-        (v.chrom, v.pos - 1) for v in variants
-    } & planted_local
+    found = {(v.chrom, v.pos - 1) for v in variants} & planted_local
     print(f"variants called: {len(variants)}; planted SNPs recovered: "
           f"{len(found)}/{len(planted_local)}")
+    assert found == planted_local, "one-graph run must recover every SNP"
 
     # ------------------------------------------------------------ export
     vcf_buf = io.BytesIO()

@@ -9,6 +9,8 @@ Subcommands::
     persona sort          <dataset-dir> <out-dir> [--order location|metadata]
     persona dupmark       <dataset-dir>
     persona varcall       <dataset-dir> --reference ref.fasta <out.vcf>
+    persona pipeline      <dataset-dir> <out-dir> --reference ref.fasta
+                          [--stages align,sort,dupmark,varcall] [--vcf out.vcf]
     persona stats         <dataset-dir>
 """
 
@@ -195,9 +197,106 @@ def _cmd_varcall(args: argparse.Namespace) -> int:
 
     dataset = AGDDataset.open(args.dataset_dir)
     reference = read_fasta(args.reference)
-    variants = call_variants(dataset, reference)
+    backend = _make_cli_backend(args)
+    try:
+        variants = call_variants(dataset, reference, backend=backend)
+    finally:
+        if backend is not None:
+            backend.shutdown()
     count = write_vcf(variants, args.output, contigs=reference.manifest_entry())
     print(f"called {count} variants -> {args.output}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.core.pipelines import (
+        PIPELINE_STAGES,
+        build_bwa_aligner,
+        build_snap_aligner,
+        run_pipeline,
+    )
+    from repro.core.sort import SortConfig
+    from repro.core.subgraphs import AlignGraphConfig
+    from repro.formats.vcf import write_vcf
+    from repro.genome.reference import read_fasta
+
+    stages = tuple(s.strip() for s in args.stages.split(",") if s.strip())
+    unknown = [s for s in stages if s not in PIPELINE_STAGES]
+    if unknown:
+        print(f"unknown stages {unknown} "
+              f"(choices: {','.join(PIPELINE_STAGES)})", file=sys.stderr)
+        return 2
+    if "sort" in stages and not args.output_dir:
+        print("an output directory is required when the sort stage runs "
+              "(it receives the sorted dataset)", file=sys.stderr)
+        return 2
+    dataset = AGDDataset.open(args.dataset_dir)
+    aligner = None
+    reference = None
+    if "align" in stages or "varcall" in stages:
+        if not args.reference:
+            print("--reference is required for align/varcall stages",
+                  file=sys.stderr)
+            return 2
+        reference = read_fasta(args.reference)
+    if "align" in stages:
+        builder = {"snap": build_snap_aligner, "bwa": build_bwa_aligner}
+        aligner = builder[args.aligner](reference)
+        dataset.manifest.reference = reference.manifest_entry()
+    output_store = DirectoryStore(args.output_dir) if "sort" in stages \
+        else None
+    try:
+        outcome = run_pipeline(
+            dataset,
+            stages,
+            aligner=aligner,
+            reference=reference,
+            align_config=AlignGraphConfig(
+                executor_threads=args.workers,
+                aligner_nodes=max(1, args.workers // 2),
+            ),
+            sort_config=SortConfig(order=args.order,
+                                   chunks_per_superchunk=args.superchunk),
+            output_store=output_store,
+            backend=args.backend,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            session_timeout=args.timeout,
+        )
+    except ValueError as exc:
+        # Stage-composition errors (order, duplicates, missing results
+        # column, ...) are user input errors, same class as unknown
+        # stage names above.
+        print(str(exc), file=sys.stderr)
+        return 2
+    if "align" in stages:
+        dataset.save_manifest(args.dataset_dir)
+    if outcome.sorted_dataset is not None:
+        outcome.sorted_dataset.save_manifest(args.output_dir)
+    print(
+        f"pipeline [{' -> '.join(stages)}] over {outcome.total_reads} "
+        f"reads ({outcome.chunks} chunks) in {outcome.wall_seconds:.2f}s "
+        f"[{args.backend} backend, one graph]"
+    )
+    for stage in outcome.stages:
+        print(
+            f"  {stage.name:<8} busy {stage.busy_seconds:8.3f}s  "
+            f"wait {stage.wait_seconds:8.3f}s  "
+            f"{stage.records_per_second:>12,.0f} records/s"
+        )
+    if outcome.dupmark_stats is not None:
+        print(f"  duplicates marked: "
+              f"{outcome.dupmark_stats.duplicates_marked}")
+    if outcome.variants is not None:
+        if args.vcf:
+            count = write_vcf(outcome.variants, args.vcf,
+                              contigs=reference.manifest_entry())
+            print(f"  called {count} variants -> {args.vcf}")
+        else:
+            print(f"  called {len(outcome.variants)} variants "
+                  f"(pass --vcf to write them)")
+    if outcome.sorted_dataset is not None:
+        print(f"  sorted dataset -> {args.output_dir}")
     return 0
 
 
@@ -306,7 +405,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset_dir")
     p.add_argument("output")
     p.add_argument("--reference", required=True)
+    _add_backend_options(p, default="serial", with_workers=True)
     p.set_defaults(fn=_cmd_varcall)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="run several stages as one streaming dataflow graph",
+    )
+    p.add_argument("dataset_dir")
+    p.add_argument(
+        "output_dir",
+        nargs="?",
+        default=None,
+        help="directory for the sorted dataset (required with a sort stage)",
+    )
+    p.add_argument("--reference", default=None)
+    p.add_argument(
+        "--stages",
+        default="align,sort,dupmark,varcall",
+        help="comma-separated ordered subset of align,sort,dupmark,varcall",
+    )
+    p.add_argument("--aligner", choices=("snap", "bwa"), default="snap")
+    p.add_argument("--vcf", default=None, help="write called variants here")
+    p.add_argument("--order", choices=("location", "metadata"),
+                   default="location")
+    p.add_argument("--superchunk", type=int, default=4)
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="whole-pipeline deadline in seconds (default: none — the "
+             "budget is shared by every fused stage)",
+    )
+    _add_backend_options(p, with_workers=True)
+    p.set_defaults(fn=_cmd_pipeline)
 
     p = sub.add_parser("stats", help="show dataset statistics")
     p.add_argument("dataset_dir")

@@ -89,6 +89,32 @@ def fragment_signature(
     return ("pair", first, second, strands)
 
 
+def scan_signatures(
+    sigs: "list[tuple | None]",
+    seen: set,
+    stats: DupmarkStats,
+) -> "list[int]":
+    """The Samblaster seen-set pass over one chunk's signatures.
+
+    Updates the counters and the cross-chunk ``seen`` set; returns the
+    positions to mark as duplicates.  First fragment with a signature
+    wins, so successive calls must follow chunk order.  This is the ONE
+    copy of the marking semantics — the eager paths and the streaming
+    :class:`~repro.core.ops.DupmarkNode` all run through it.
+    """
+    dup_positions: list[int] = []
+    for position, sig in enumerate(sigs):
+        stats.records += 1
+        if sig is None:
+            stats.unmapped += 1
+        elif sig in seen:
+            stats.duplicates_marked += 1
+            dup_positions.append(position)
+        else:
+            seen.add(sig)
+    return dup_positions
+
+
 def mark_duplicates_results(
     results: "list[AlignmentResult]",
     stats: "DupmarkStats | None" = None,
@@ -99,22 +125,23 @@ def mark_duplicates_results(
     records are immutable.
     """
     stats = stats if stats is not None else DupmarkStats()
-    seen: set = set()
-    out: list[AlignmentResult] = []
-    for result in results:
-        stats.records += 1
-        sig = fragment_signature(result)
-        if sig is None:
-            stats.unmapped += 1
-            out.append(result)
-            continue
-        if sig in seen:
-            stats.duplicates_marked += 1
-            out.append(result.with_flag(FLAG_DUPLICATE))
-        else:
-            seen.add(sig)
-            out.append(result)
-    return out
+    sigs = [fragment_signature(result) for result in results]
+    dup_positions = set(scan_signatures(sigs, set(), stats))
+    return [
+        result.with_flag(FLAG_DUPLICATE) if position in dup_positions
+        else result
+        for position, result in enumerate(results)
+    ]
+
+
+def results_signatures_task(shared, payload) -> "list[tuple | None]":
+    """Backend task: extract signatures from an in-memory results list.
+
+    The streaming dupmark kernel uses this when records are already
+    parsed (they arrived through a pipeline queue, not from storage);
+    :func:`chunk_signatures_task` is the from-blob variant.
+    """
+    return [fragment_signature(r) for r in payload]
 
 
 def chunk_signatures_task(shared, payload) -> "list[tuple | None]":
@@ -150,22 +177,14 @@ def mark_duplicates(
         return _mark_duplicates_backend(dataset, stats, seen, backend)
     for chunk_index in range(dataset.num_chunks):
         records = dataset.read_chunk("results", chunk_index).records
-        updated: list[AlignmentResult] = []
-        dirty = False
-        for result in records:
-            stats.records += 1
-            sig = fragment_signature(result)
-            if sig is None:
-                stats.unmapped += 1
-                updated.append(result)
-            elif sig in seen:
-                stats.duplicates_marked += 1
-                updated.append(result.with_flag(FLAG_DUPLICATE))
-                dirty = True
-            else:
-                seen.add(sig)
-                updated.append(result)
-        if dirty:
+        sigs = [fragment_signature(result) for result in records]
+        dup_positions = scan_signatures(sigs, seen, stats)
+        if dup_positions:
+            updated = list(records)
+            for position in dup_positions:
+                updated[position] = updated[position].with_flag(
+                    FLAG_DUPLICATE
+                )
             dataset.replace_column_chunk("results", chunk_index, updated)
     return stats
 
@@ -193,16 +212,7 @@ def _mark_duplicates_backend(
         backend, chunk_signatures_task,
         range(dataset.num_chunks), results_blob,
     ):
-        dup_positions: list[int] = []
-        for position, sig in enumerate(sigs):
-            stats.records += 1
-            if sig is None:
-                stats.unmapped += 1
-            elif sig in seen:
-                stats.duplicates_marked += 1
-                dup_positions.append(position)
-            else:
-                seen.add(sig)
+        dup_positions = scan_signatures(sigs, seen, stats)
         if dup_positions:
             updated = list(read_chunk(blob).records)
             for position in dup_positions:

@@ -336,10 +336,17 @@ class GzipFastqReaderNode(Node):
 
 
 class FastqParserNode(Node):
-    """Parses gzip'd FASTQ shards into the three read fields."""
+    """Parses gzip'd FASTQ shards into the three read fields.
+
+    Also tallies parsed bases: row-oriented FASTQ has no per-record index
+    to count from (unlike AGD's relative index), so the parse is the
+    first point the baseline pipeline knows its base volume.
+    """
 
     def __init__(self, name: str = "fastq_parser", parallelism: int = 2):
         super().__init__(name, parallelism)
+        self.total_bases = 0
+        self._bases_lock = threading.Lock()
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
         import gzip
@@ -360,6 +367,9 @@ class FastqParserNode(Node):
             "metadata": [r.metadata for r in reads],
         }
         item.raw = {}
+        parsed = sum(len(r.bases) for r in reads)
+        with self._bases_lock:
+            self.total_bases += parsed
         return [item]
 
 
@@ -374,4 +384,367 @@ class NullSinkNode(Node):
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
         self.chunks += 1
         self.records += item.record_count
+        return None
+
+
+# --------------------------------------------------------------------------
+# Streaming pipeline kernels: sort, dupmark, and varcall as dataflow stages.
+# These promote the eager functions in repro.core.{sort,dupmark,varcall}
+# into nodes so a whole workload runs as ONE composed graph (§4.1): chunks
+# stream between stages through bounded queues instead of the dataset
+# materializing in storage between five sequential passes.
+
+
+def _item_results(item: ChunkWorkItem) -> list:
+    """A work item's alignment results, wherever the pipeline put them."""
+    if "results" in item.columns:
+        return item.columns["results"]
+    if item.results is not None:
+        return item.results
+    raise ValueError(
+        f"chunk {item.entry.path!r} carries no alignment results; "
+        f"run an align stage first or start from an aligned dataset"
+    )
+
+
+def _item_rows(item: ChunkWorkItem, ordered_columns: "list[str]") -> list:
+    """One row tuple per record, in sort column order."""
+    column_data = []
+    for column in ordered_columns:
+        if column in item.columns:
+            column_data.append(item.columns[column])
+        elif column == "results":
+            column_data.append(_item_results(item))
+        else:
+            raise ValueError(
+                f"chunk {item.entry.path!r} lacks column {column!r} "
+                f"needed by the sort stage"
+            )
+    return list(zip(*column_data))
+
+
+class ResequencerNode(Node):
+    """Restores a known chunk order after parallel upstream kernels.
+
+    Parallel readers/aligners emit chunks in completion order; kernels
+    with order-dependent semantics (external-sort run grouping, the
+    first-fragment-wins duplicate scan) need manifest order back.  The
+    buffer holds only chunks that arrived early, which bounded upstream
+    queues keep to a handful.
+    """
+
+    def __init__(self, expected: "list[str]", name: str = "resequencer"):
+        super().__init__(name, parallelism=1)
+        self.expected = list(expected)
+        self._positions = {path: i for i, path in enumerate(self.expected)}
+        self._pending: dict[str, ChunkWorkItem] = {}
+        self._next = 0
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        path = item.entry.path
+        position = self._positions.get(path)
+        if position is None or position < self._next or path in self._pending:
+            raise ValueError(
+                f"resequencer {self.name!r}: unexpected chunk {path!r}"
+            )
+        self._pending[path] = item
+        released: list[ChunkWorkItem] = []
+        while self._next < len(self.expected):
+            upcoming = self.expected[self._next]
+            if upcoming not in self._pending:
+                break
+            released.append(self._pending.pop(upcoming))
+            self._next += 1
+        return released
+
+    def finalize(self, ctx: NodeContext):
+        if self._next != len(self.expected):
+            missing = self.expected[self._next:][:3]
+            raise ValueError(
+                f"resequencer {self.name!r}: input closed with "
+                f"{len(self.expected) - self._next} chunks missing "
+                f"(first: {missing})"
+            )
+        return None
+
+
+@dataclass
+class SortRun:
+    """A sorted superchunk spilled to scratch (phase 1 of §4.3's sort)."""
+
+    entry: ChunkEntry
+    index: int
+
+
+class SortRunNode(Node):
+    """Sort-run producer: groups incoming chunks into superchunk runs.
+
+    The streaming analog of the eager sort's phase 1: every
+    ``chunks_per_superchunk`` chunks, the buffered rows are sorted (the
+    compute dispatched through the execution backend) and spilled to the
+    scratch store as one superchunk, so only a single group of chunks is
+    ever resident.  Parallelism is 1: run grouping must follow arrival
+    order to reproduce the eager path's runs exactly.
+    """
+
+    def __init__(
+        self,
+        ordered_columns: "list[str]",
+        order: str,
+        scratch,
+        backend_handle: str,
+        chunks_per_superchunk: int = 4,
+        name: str = "sort_runs",
+    ):
+        super().__init__(name, parallelism=1)
+        if chunks_per_superchunk <= 0:
+            raise ValueError("chunks_per_superchunk must be positive")
+        self.ordered_columns = list(ordered_columns)
+        self.order = order
+        self.scratch = scratch
+        self.backend_handle = backend_handle
+        self.chunks_per_superchunk = chunks_per_superchunk
+        self._rows: list = []
+        self._chunks_buffered = 0
+        self._runs_emitted = 0
+
+    def _flush_run(self, ctx: NodeContext) -> SortRun:
+        from repro.agd.records import record_type_for_column
+        from repro.core.sort import sort_rows_task
+
+        backend = ctx.backend(self.backend_handle)
+        # One payload by design: a run sort is a single stable sort over
+        # the whole group (splitting it would change the algorithm);
+        # cross-run parallelism comes from the stages up- and downstream
+        # of this kernel running concurrently.
+        [rows] = backend.run_chunk(
+            sort_rows_task, [(self.order, self._rows)], shared=ctx.resources
+        )
+        entry = ChunkEntry(f"superchunk-{self._runs_emitted}", 0, len(rows))
+        for c_index, column in enumerate(self.ordered_columns):
+            records = [row[c_index] for row in rows]
+            self.scratch.put(
+                entry.chunk_file(column),
+                write_chunk(records, record_type_for_column(column)),
+            )
+        run = SortRun(entry=entry, index=self._runs_emitted)
+        self._runs_emitted += 1
+        self._rows = []
+        self._chunks_buffered = 0
+        return run
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        self._rows.extend(_item_rows(item, self.ordered_columns))
+        self._chunks_buffered += 1
+        if self._chunks_buffered >= self.chunks_per_superchunk:
+            return [self._flush_run(ctx)]
+        return None
+
+    def finalize(self, ctx: NodeContext):
+        if self._chunks_buffered:
+            return [self._flush_run(ctx)]
+        return None
+
+
+class SuperchunkMergeNode(Node):
+    """Superchunk merger: phase 2 of the external sort as a kernel.
+
+    Collects run entries, then k-way-merges the spilled runs, writes the
+    final sorted chunks to the output store, and — unlike the eager path
+    — emits each sorted chunk downstream as a parsed work item, so a
+    following dupmark/varcall stage starts while later chunks are still
+    being merged.  After the run, :attr:`manifest` describes the sorted
+    dataset (identical to ``sort_dataset``'s).
+    """
+
+    def __init__(
+        self,
+        scratch,
+        output_store: ChunkStore,
+        ordered_columns: "list[str]",
+        columns: "list[str]",
+        order: str,
+        dataset_name: str,
+        out_chunk_size: int,
+        reference: "list[dict] | None" = None,
+        name: str = "sort_merge",
+    ):
+        super().__init__(name, parallelism=1)
+        if out_chunk_size <= 0:
+            raise ValueError("out_chunk_size must be positive")
+        self.scratch = scratch
+        self.output_store = output_store
+        self.ordered_columns = list(ordered_columns)
+        self.columns = sorted(columns)
+        self.order = order
+        self.dataset_name = dataset_name
+        self.out_chunk_size = out_chunk_size
+        self.reference = reference or []
+        self._runs: list[SortRun] = []
+        self.entries: list[ChunkEntry] = []
+        self.manifest: "Manifest | None" = None
+
+    def process(self, run: SortRun, ctx: NodeContext):
+        self._runs.append(run)
+        return None
+
+    def finalize(self, ctx: NodeContext):
+        # A generator: chunks are written and emitted one at a time, so
+        # downstream stages consume under queue flow control while the
+        # merge is still running.
+        return self._merge_and_emit()
+
+    def _merge_and_emit(self):
+        from repro.core.sort import build_sorted_manifest, iter_merged_chunks
+
+        runs = [
+            [run.entry]
+            for run in sorted(self._runs, key=lambda r: r.index)
+        ]
+        for entry, columns in iter_merged_chunks(
+            self.scratch, runs, self.ordered_columns, self.order,
+            self.out_chunk_size, self.dataset_name, self.output_store,
+        ):
+            self.entries.append(entry)
+            yield ChunkWorkItem(entry=entry, columns=columns)
+        self.manifest = build_sorted_manifest(
+            self.dataset_name, self.columns, self.entries,
+            self.reference, self.order,
+        )
+
+
+class DupmarkNode(Node):
+    """Streaming Samblaster-style duplicate marker (§4.3, §5.6).
+
+    Signature extraction for each chunk is dispatched through the
+    execution backend; the seen-set pass itself is inherently sequential
+    (first fragment with a signature wins), hence parallelism 1 and the
+    requirement that chunks arrive in a deterministic order.  Dirty
+    chunks are rewritten to ``store`` — only the results column, the
+    I/O-efficiency property §5.6 measures.
+    """
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        backend_handle: str,
+        subchunk_size: int = 512,
+        name: str = "dupmark",
+        stats: "object | None" = None,
+    ):
+        from repro.core.dupmark import DupmarkStats
+
+        super().__init__(name, parallelism=1)
+        if subchunk_size <= 0:
+            raise ValueError("subchunk_size must be positive")
+        self.store = store
+        self.backend_handle = backend_handle
+        self.subchunk_size = subchunk_size
+        # Not ``stats`` — that's the base Node's runtime NodeStats.
+        self.dup_stats = stats if stats is not None else DupmarkStats()
+        self._seen: set = set()
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        from repro.agd.records import record_type_for_column
+        from repro.align.result import FLAG_DUPLICATE
+        from repro.core.dupmark import results_signatures_task, scan_signatures
+
+        records = _item_results(item)
+        backend = ctx.backend(self.backend_handle)
+        # Subchunk payloads so signature extraction fans out across the
+        # backend's workers (one payload per chunk would serialize it).
+        payloads = [
+            records[start:start + self.subchunk_size]
+            for start in range(0, len(records), self.subchunk_size)
+        ]
+        sigs = [
+            sig
+            for sub in backend.run_chunk(
+                results_signatures_task, payloads, shared=ctx.resources
+            )
+            for sig in sub
+        ]
+        dup_positions = scan_signatures(sigs, self._seen, self.dup_stats)
+        updated: "list | None" = None
+        if dup_positions:
+            updated = list(records)
+            for position in dup_positions:
+                updated[position] = updated[position].with_flag(
+                    FLAG_DUPLICATE
+                )
+        if updated is not None:
+            blob = write_chunk(
+                updated,
+                record_type_for_column("results"),
+                first_ordinal=item.entry.first_ordinal,
+            )
+            self.store.put(item.entry.chunk_file("results"), blob)
+            item.columns["results"] = updated
+            if item.results is not None:
+                item.results = updated
+        return [item]
+
+
+class VarCallNode(Node):
+    """Streaming pileup + SNP calling (§2.1; §8's integration target).
+
+    Per-chunk pileups are dispatched through the execution backend and
+    merged on the node (commutative, so chunk order is irrelevant);
+    :meth:`finalize` applies the calling thresholds in one sorted sweep.
+    Variants land in :attr:`variants`.  Terminal when unwired; passes
+    items through when something is downstream.
+    """
+
+    def __init__(
+        self,
+        reference,
+        config=None,
+        backend_handle: str = "executor",
+        subchunk_size: int = 512,
+        name: str = "varcall",
+    ):
+        from collections import defaultdict
+
+        from repro.core.varcall import PileupColumn, VarCallConfig
+
+        super().__init__(name, parallelism=1)
+        if subchunk_size <= 0:
+            raise ValueError("subchunk_size must be positive")
+        self.reference = reference
+        self.config = config if config is not None else VarCallConfig()
+        self.backend_handle = backend_handle
+        self.subchunk_size = subchunk_size
+        self._columns: dict = defaultdict(PileupColumn)
+        self.variants: "list | None" = None
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        from repro.core.varcall import merge_pileups, pileup_chunk_task
+
+        results = _item_results(item)
+        bases = item.columns["bases"]
+        quals = item.columns["qual"]
+        # Subchunk payloads so per-chunk pileups fan out across the
+        # backend's workers; merging partials is commutative.
+        payloads = [
+            (
+                self.config,
+                results[start:start + self.subchunk_size],
+                bases[start:start + self.subchunk_size],
+                quals[start:start + self.subchunk_size],
+            )
+            for start in range(0, len(results), self.subchunk_size)
+        ]
+        backend = ctx.backend(self.backend_handle)
+        for partial in backend.run_chunk(
+            pileup_chunk_task, payloads, shared=ctx.resources
+        ):
+            merge_pileups(self._columns, partial)
+        return [item] if self.output is not None else None
+
+    def finalize(self, ctx: NodeContext):
+        from repro.core.varcall import call_from_pileup
+
+        self.variants = call_from_pileup(
+            self._columns, self.reference, self.config
+        )
         return None

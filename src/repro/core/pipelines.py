@@ -21,25 +21,35 @@ from repro.core.dupmark import DupmarkStats, mark_duplicates
 from repro.core.sort import SortConfig, sort_dataset
 from repro.core.subgraphs import (
     AlignGraphConfig,
+    PipelineBuilder,
+    StageGraph,
     build_align_graph,
+    build_align_stage,
+    build_dupmark_graph,
+    build_sort_graph,
     build_standalone_graph,
+    build_varcall_graph,
 )
 from repro.core.varcall import VarCallConfig, call_variants
-from repro.dataflow.backends import Backend
+from repro.dataflow.backends import Backend, make_backend
 from repro.dataflow.queues import Queue
 from repro.dataflow.session import Session
 from repro.formats.fastq import format_fastq_record
 from repro.genome.reads import ReadRecord
 from repro.genome.reference import ReferenceGenome
-from repro.storage.base import ChunkStore
+from repro.storage.base import ChunkStore, MemoryStore
 
 __all__ = [
     "AlignOutcome",
+    "PIPELINE_STAGES",
+    "PipelineOutcome",
+    "StageBreakdown",
     "align_dataset",
     "align_standalone",
     "build_snap_aligner",
     "build_bwa_aligner",
     "mark_duplicates",
+    "run_pipeline",
     "sort_dataset",
     "SortConfig",
     "DupmarkStats",
@@ -214,10 +224,265 @@ def align_standalone(
     finally:
         built.close()
     wall = time.monotonic() - start
+    # Row-oriented FASTQ has no per-record index to pre-count bases from
+    # (AGD does, see _count_dataset_bases); the parse is the first point
+    # the baseline knows its base volume, so the parser tallies it.
+    total_bases = built.parser.total_bases if built.parser is not None else 0
     return AlignOutcome(
         wall_seconds=wall,
         total_reads=built.sink.records,
-        total_bases=0,
+        total_bases=total_bases,
         chunks=built.sink.chunks,
+        report=result.report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# One-graph pipelines: several stages, one Session.run (§4.1, §4.5).
+
+#: Canonical stage order; ``run_pipeline`` accepts any ordered subset.
+PIPELINE_STAGES = ("align", "sort", "dupmark", "varcall")
+
+
+@dataclass
+class StageBreakdown:
+    """One stage's share of a pipeline run.
+
+    Stages of a composed graph execute concurrently — chunks stream
+    through all of them at once — so ``busy_seconds`` is the stage's
+    summed kernel compute time, not a wall-clock slice; the per-stage
+    throughput divides records by it.
+    """
+
+    name: str
+    busy_seconds: float
+    wait_seconds: float
+    items_in: int
+    items_out: int
+    records: int
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records / self.busy_seconds if self.busy_seconds else 0.0
+
+
+@dataclass
+class PipelineOutcome:
+    """Result of one ``run_pipeline`` call."""
+
+    wall_seconds: float
+    total_reads: int
+    chunks: int
+    stages: "list[StageBreakdown]"
+    #: The run's primary output dataset: the sorted dataset when a sort
+    #: stage ran, otherwise the (possibly newly aligned) input dataset.
+    dataset: AGDDataset
+    sorted_dataset: "AGDDataset | None" = None
+    dupmark_stats: "DupmarkStats | None" = None
+    variants: "list | None" = None
+    report: dict = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageBreakdown:
+        for breakdown in self.stages:
+            if breakdown.name == name:
+                return breakdown
+        raise KeyError(f"no stage {name!r} in this pipeline run")
+
+    @property
+    def records_per_second(self) -> float:
+        return self.total_reads / self.wall_seconds if self.wall_seconds \
+            else 0.0
+
+
+def _validate_stages(stages: "tuple[str, ...]") -> None:
+    if not stages:
+        raise ValueError("run_pipeline needs at least one stage")
+    unknown = [s for s in stages if s not in PIPELINE_STAGES]
+    if unknown:
+        raise ValueError(
+            f"unknown pipeline stages {unknown} "
+            f"(choices: {', '.join(PIPELINE_STAGES)})"
+        )
+    if len(set(stages)) != len(stages):
+        raise ValueError(f"duplicate pipeline stages in {list(stages)}")
+    indices = [PIPELINE_STAGES.index(s) for s in stages]
+    if indices != sorted(indices):
+        raise ValueError(
+            f"stages must follow the order {list(PIPELINE_STAGES)}; "
+            f"got {list(stages)}"
+        )
+
+
+def run_pipeline(
+    dataset: AGDDataset,
+    stages: "tuple[str, ...] | list[str]" = PIPELINE_STAGES,
+    aligner=None,
+    reference: "ReferenceGenome | None" = None,
+    align_config: "AlignGraphConfig | None" = None,
+    sort_config: "SortConfig | None" = None,
+    varcall_config: "VarCallConfig | None" = None,
+    output_store: "ChunkStore | None" = None,
+    scratch_store: "ChunkStore | None" = None,
+    backend: "str | Backend" = "thread",
+    workers: int = 4,
+    batch_size: "int | None" = None,
+    session_timeout: "float | None" = None,
+    name: str = "pipeline",
+) -> PipelineOutcome:
+    """Run several workload stages as ONE streaming dataflow graph.
+
+    ``stages`` is any ordered subset of ``("align", "sort", "dupmark",
+    "varcall")``.  Each stage becomes a subgraph; the stages are fused
+    sink-queue-to-source-queue and executed by a single ``Session.run``,
+    so chunks stream between stages through bounded queues (§4.5)
+    instead of the dataset materializing in storage between passes.
+    Outputs are identical to running the eager single-stage functions
+    (``align_dataset`` then ``sort_dataset`` then ``mark_duplicates``
+    then ``call_variants``) one after another.
+
+    One compute backend is shared by every stage: ``backend`` (a name or
+    a pre-built instance; a pre-built process backend must not have
+    started its pool when an align stage is requested), ``workers`` and
+    ``batch_size`` configure it.  ``output_store`` receives the sorted
+    dataset (default: a fresh in-memory store); ``scratch_store`` holds
+    the external sort's superchunk runs.
+
+    Requirements per stage: align needs ``aligner``; varcall needs
+    ``reference``; sort/dupmark/varcall without a preceding align stage
+    need the dataset to already have a results column.
+
+    ``session_timeout`` defaults to None (no deadline): unlike the
+    single-stage calls, one budget here covers every fused stage, so a
+    fixed cap would abort workloads whose individual stages are fine.
+    """
+    stages = tuple(stages)
+    _validate_stages(stages)
+    manifest = dataset.manifest
+    if "align" in stages and aligner is None:
+        raise ValueError("an align stage needs aligner=")
+    if "varcall" in stages and reference is None:
+        raise ValueError("a varcall stage needs reference=")
+    if "align" not in stages and not manifest.has_column("results"):
+        raise ValueError(
+            f"stages {list(stages)} need alignment results; include an "
+            f"align stage or align the dataset first"
+        )
+
+    backend_obj = make_backend(
+        backend, workers=workers, batch_size=batch_size,
+        name=f"{name}.backend",
+    )
+    owns_backend = not isinstance(backend, Backend)
+    if "align" in stages and not backend_obj.shares_caller_memory:
+        backend_obj.register_shared("aligner", aligner)
+    backend_obj.start()
+
+    sort_store = output_store if output_store is not None else MemoryStore()
+    columns_after_align = sorted(set(manifest.columns) | {"results"})
+    built: list[StageGraph] = []
+    sort_stage: "StageGraph | None" = None
+    dupmark_stage: "StageGraph | None" = None
+    varcall_stage: "StageGraph | None" = None
+    start = time.monotonic()
+    try:
+        previous: "str | None" = None
+        for stage in stages:
+            head = previous is None
+            if stage == "align":
+                config = align_config or AlignGraphConfig()
+                config = replace(config, backend=backend_obj)
+                # A following sort stage moves every column, so the
+                # align reader must fetch the ones it skips by default.
+                extra = tuple(
+                    c for c in manifest.columns
+                    if c not in ("bases", "qual", "results")
+                ) if "sort" in stages else ()
+                built.append(build_align_stage(
+                    manifest, dataset.store, dataset.store, aligner,
+                    config=config, extra_columns=extra,
+                ))
+            elif stage == "sort":
+                sort_stage = build_sort_graph(
+                    manifest,
+                    sort_store,
+                    input_store=dataset.store if head else None,
+                    config=sort_config,
+                    columns=(columns_after_align if "align" in stages
+                             else None),
+                    scratch_store=scratch_store,
+                    backend=backend_obj,
+                )
+                built.append(sort_stage)
+            elif stage == "dupmark":
+                store = sort_store if "sort" in stages else dataset.store
+                dupmark_stage = build_dupmark_graph(
+                    manifest if head else None,
+                    store,
+                    # After a parallel align stage (no sort between),
+                    # chunk order is nondeterministic; resequence so the
+                    # first-fragment-wins scan matches the eager path.
+                    reorder=([e.path for e in manifest.chunks]
+                             if previous == "align" else None),
+                    from_queue=not head,
+                    # A fused varcall stage downstream needs read bases
+                    # and qualities alongside the results.
+                    columns=(("results", "bases", "qual")
+                             if "varcall" in stages else ("results",)),
+                    backend=backend_obj,
+                )
+                built.append(dupmark_stage)
+            elif stage == "varcall":
+                varcall_stage = build_varcall_graph(
+                    reference,
+                    manifest=manifest if head else None,
+                    input_store=dataset.store if head else None,
+                    config=varcall_config,
+                    backend=backend_obj,
+                )
+                built.append(varcall_stage)
+            previous = stage
+        pipeline = PipelineBuilder(name)
+        for stage_graph in built:
+            pipeline.add(stage_graph)
+        composed = pipeline.build()
+        result = composed.run(timeout=session_timeout)
+    finally:
+        for stage_graph in built:
+            stage_graph.close()
+        if owns_backend:
+            backend_obj.shutdown()
+    wall = time.monotonic() - start
+
+    if "align" in stages and not manifest.has_column("results"):
+        manifest.add_column("results")
+    sorted_dataset = None
+    if sort_stage is not None:
+        sorted_dataset = AGDDataset(sort_stage.collector.manifest, sort_store)
+    breakdowns = [
+        StageBreakdown(
+            name=stage,
+            busy_seconds=agg["busy_seconds"],
+            wait_seconds=agg["wait_seconds"],
+            items_in=agg["items_in"],
+            items_out=agg["items_out"],
+            records=dataset.total_records,
+        )
+        for stage in stages
+        for agg in [result.report.get("stages", {}).get(stage, {
+            "busy_seconds": 0.0, "wait_seconds": 0.0,
+            "items_in": 0, "items_out": 0,
+        })]
+    ]
+    return PipelineOutcome(
+        wall_seconds=wall,
+        total_reads=dataset.total_records,
+        chunks=dataset.num_chunks,
+        stages=breakdowns,
+        dataset=sorted_dataset if sorted_dataset is not None else dataset,
+        sorted_dataset=sorted_dataset,
+        dupmark_stats=(dupmark_stage.collector.dup_stats
+                       if dupmark_stage is not None else None),
+        variants=(varcall_stage.collector.variants
+                  if varcall_stage is not None else None),
         report=result.report,
     )

@@ -73,6 +73,20 @@ def sort_run_task(shared, payload) -> "dict[str, bytes]":
     return out
 
 
+def sort_rows_task(shared, payload) -> "list[tuple]":
+    """Backend task: sort one run's rows that are already in memory.
+
+    The streaming sort-run kernel uses this when rows arrived through a
+    pipeline queue (no blobs to decode); :func:`sort_run_task` is the
+    from-blob variant the eager path fans out.  ``list.sort`` is stable,
+    so output is identical to sorting the same rows anywhere else.
+    """
+    order, rows = payload
+    rows = list(rows)
+    rows.sort(key=sort_key_for(order))
+    return rows
+
+
 def sort_dataset(
     dataset: AGDDataset,
     output_store: ChunkStore,
@@ -151,51 +165,89 @@ def sort_dataset(
     out_chunk_size = config.output_chunk_size or (
         manifest.chunks[0].record_count if manifest.chunks else 1
     )
+    entries = [
+        entry
+        for entry, _columns in iter_merged_chunks(
+            scratch, runs, ordered_columns, config.order,
+            out_chunk_size, manifest.name, output_store,
+        )
+    ]
+    sorted_manifest = build_sorted_manifest(
+        manifest.name, columns, entries, manifest.reference, config.order
+    )
+    return AGDDataset(sorted_manifest, output_store)
+
+
+def iter_merged_chunks(
+    scratch: ChunkStore,
+    runs: "list[list[ChunkEntry]]",
+    ordered_columns: "list[str]",
+    order: str,
+    out_chunk_size: int,
+    dataset_name: str,
+    output_store: ChunkStore,
+):
+    """Phase 2 of the external sort: k-way merge sorted runs and write
+    final chunks; yields ``(entry, columns)`` per chunk written.
+
+    Shared by the eager :func:`sort_dataset` and the streaming
+    :class:`~repro.core.ops.SuperchunkMergeNode` so the two paths'
+    chunk naming, ordinals, and bytes cannot drift apart.
+    """
+    key_fn = sort_key_for(order)
     streams = [
         _RunReader(scratch, run_entries, ordered_columns)
         for run_entries in runs
     ]
     merged = heapq.merge(*streams, key=key_fn)
-    out_columns: dict[str, list] = {c: [] for c in ordered_columns}
-    sorted_name = f"{manifest.name}-sorted"
-    entries: list[ChunkEntry] = []
-    buffered = 0
+    sorted_name = f"{dataset_name}-sorted"
+    buffer: list[tuple] = []
     total = 0
+    index = 0
 
-    def flush() -> None:
-        nonlocal buffered
-        if not buffered:
-            return
+    def flush() -> "tuple[ChunkEntry, dict[str, list]]":
+        nonlocal index
         entry = ChunkEntry(
-            f"{sorted_name}-{len(entries)}", total - buffered, buffered
+            f"{sorted_name}-{index}", total - len(buffer), len(buffer)
         )
-        for column in ordered_columns:
+        out_columns: dict[str, list] = {}
+        for c_index, column in enumerate(ordered_columns):
+            records = [row[c_index] for row in buffer]
             blob = write_chunk(
-                out_columns[column][:],
+                records,
                 record_type_for_column(column),
                 first_ordinal=entry.first_ordinal,
             )
             output_store.put(entry.chunk_file(column), blob)
-            out_columns[column].clear()
-        entries.append(entry)
-        buffered = 0
+            out_columns[column] = records
+        index += 1
+        buffer.clear()
+        return entry, out_columns
 
     for row in merged:
-        for column, value in zip(ordered_columns, row):
-            out_columns[column].append(value)
-        buffered += 1
+        buffer.append(row)
         total += 1
-        if buffered == out_chunk_size:
-            flush()
-    flush()
-    sorted_manifest = Manifest(
-        name=sorted_name,
+        if len(buffer) == out_chunk_size:
+            yield flush()
+    if buffer:
+        yield flush()
+
+
+def build_sorted_manifest(
+    dataset_name: str,
+    columns: "list[str]",
+    entries: "list[ChunkEntry]",
+    reference: "list[dict] | None",
+    order: str,
+) -> Manifest:
+    """The manifest both sort paths emit for their sorted output."""
+    return Manifest(
+        name=f"{dataset_name}-sorted",
         columns=sorted(columns),
         chunks=entries,
-        reference=manifest.reference,
-        sort_order=config.order,
+        reference=reference or [],
+        sort_order=order,
     )
-    return AGDDataset(sorted_manifest, output_store)
 
 
 def _key_first_columns(columns: list[str]) -> list[str]:

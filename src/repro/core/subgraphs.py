@@ -14,7 +14,8 @@ memory and avoid stragglers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.agd.manifest import Manifest
 from repro.core.ops import (
@@ -23,19 +24,25 @@ from repro.core.ops import (
     ChunkNameSource,
     ChunkReaderNode,
     ColumnWriterNode,
+    DupmarkNode,
     FastqParserNode,
     GzipFastqReaderNode,
     NullSinkNode,
     PairedAlignerNode,
     QueueNameSource,
+    ResequencerNode,
     SamWriterNode,
+    SortRunNode,
+    SuperchunkMergeNode,
+    VarCallNode,
 )
 from repro.dataflow.backends import Backend, make_backend
 from repro.dataflow.executor import BusyCounter
-from repro.dataflow.graph import Graph
+from repro.dataflow.graph import Graph, GraphError
 from repro.dataflow.queues import Queue
+from repro.dataflow.session import Session, SessionResult
 from repro.formats.sam import SamHeader
-from repro.storage.base import ChunkStore
+from repro.storage.base import ChunkStore, MemoryStore
 
 
 @dataclass
@@ -73,6 +80,10 @@ class AlignGraph:
     #: False when the caller supplied a pre-built Backend instance; the
     #: pipeline then leaves its lifecycle to the caller.
     owns_executor: bool = True
+    #: The parser node, when the graph has one worth inspecting (the
+    #: standalone baseline reads row-oriented FASTQ, so parsed-base
+    #: counts exist only on its parser).
+    parser: "FastqParserNode | None" = None
 
     @property
     def backend(self) -> Backend:
@@ -248,11 +259,8 @@ def build_standalone_graph(
         input=q_names,
         output=q_raw,
     )
-    g.add(
-        FastqParserNode(parallelism=config.parser_nodes),
-        input=q_raw,
-        output=q_parsed,
-    )
+    fastq_parser = FastqParserNode(parallelism=config.parser_nodes)
+    g.add(fastq_parser, input=q_raw, output=q_parsed)
     g.add(
         AlignerNode(
             aligner_handle,
@@ -277,4 +285,471 @@ def build_standalone_graph(
     sink = NullSinkNode()
     g.add(sink, input=q_written)
     return AlignGraph(graph=g, sink=sink, executor=backend,
-                      busy_counter=busy, owns_executor=owns_backend)
+                      busy_counter=busy, owns_executor=owns_backend,
+                      parser=fastq_parser)
+
+
+# ---------------------------------------------------------------------------
+# One-graph pipelines (§4.1): sort, dupmark, and varcall as composable
+# stage subgraphs.  Each builder returns a StageGraph — a Graph plus its
+# open "ports" — and compose() stitches consecutive stages together by
+# fusing each stage's sink queue into the next stage's source queue, so
+# a whole workload (align -> sort -> dupmark -> varcall) executes in ONE
+# Session.run with chunks streaming through bounded queues end to end
+# (§4.5 flow control), instead of five sequential passes over the store.
+
+
+@dataclass
+class StageGraph:
+    """One pipeline stage: a subgraph plus its open inlet/outlet queues.
+
+    ``source`` is the open inlet (a queue no stage-internal node feeds;
+    None when the stage generates its own input from a manifest) and
+    ``sink`` the open outlet (None when the stage is terminal).
+    ``collector`` is the stage's result holder — the merge node for
+    sort (its ``manifest``/``entries``), the dupmark node (``stats``),
+    the varcall node (``variants``).
+    """
+
+    name: str
+    graph: Graph
+    source: "Queue | None"
+    sink: "Queue | None"
+    collector: Any = None
+    backend: "Backend | None" = None
+    #: True when the builder created the backend (shut down via close);
+    #: False for a shared instance whose lifecycle the caller owns.
+    owns_backend: bool = False
+
+    def close(self, wait: bool = True) -> None:
+        if self.owns_backend and self.backend is not None:
+            self.backend.shutdown(wait=wait)
+
+
+def _stage_backend(
+    backend: "str | Backend",
+    workers: int,
+    batch_size: "int | None",
+    stage_name: str,
+) -> "tuple[Backend, bool]":
+    """Make (or adopt) a stage's compute backend; instances stay
+    caller-owned (one backend is typically shared by every stage)."""
+    owned = not isinstance(backend, Backend)
+    made = make_backend(
+        backend, workers=workers, batch_size=batch_size,
+        name=f"{stage_name}.backend",
+    )
+    made.start()
+    return made, owned
+
+
+def build_align_stage(
+    manifest: Manifest,
+    input_store: ChunkStore,
+    results_store: ChunkStore,
+    aligner,
+    config: "AlignGraphConfig | None" = None,
+    extra_columns: "tuple[str, ...]" = (),
+    stage_name: str = "align",
+) -> StageGraph:
+    """The Figure 3 alignment pipeline as a composable stage.
+
+    Like :func:`build_align_graph` but ending in an open outlet: aligned
+    chunks (results written to ``results_store``, parsed columns still
+    attached) flow on to whatever stage is fused downstream.
+    ``extra_columns`` widens the read set beyond ``bases``/``qual`` when
+    a downstream stage needs more (a sort stage needs ``metadata``).
+    """
+    config = config or AlignGraphConfig()
+    g = Graph(stage_name)
+    busy = BusyCounter()
+    backend, owns_backend = _build_compute_backend(
+        config, stage_name, busy, aligner
+    )
+    aligner_handle = g.register_resource("aligner", aligner)
+    # Stage-qualified handle: per-stage backends must not collide when
+    # stages merge into one namespace (a shared instance simply gets
+    # registered once per stage under distinct names).
+    backend_handle = g.register_resource(f"{stage_name}.executor", backend)
+
+    depth = config.queue_depth
+    q_names = g.queue("chunk_names", depth or max(2, config.reader_nodes))
+    q_raw = g.queue("raw_chunks", depth or max(2, config.parser_nodes))
+    q_parsed = g.queue("parsed_chunks", depth or max(2, config.aligner_nodes))
+    q_aligned = g.queue("aligned_chunks", depth or max(2, config.writer_nodes))
+    q_out = g.queue("stage_out", depth or 2)
+
+    g.add(ChunkNameSource(manifest), output=q_names)
+    g.add(
+        ChunkReaderNode(
+            input_store,
+            columns=("bases", "qual") + tuple(extra_columns),
+            parallelism=config.reader_nodes,
+        ),
+        input=q_names,
+        output=q_raw,
+    )
+    g.add(
+        AGDParserNode(parallelism=config.parser_nodes),
+        input=q_raw,
+        output=q_parsed,
+    )
+    if config.paired:
+        g.add(
+            PairedAlignerNode(
+                aligner_handle,
+                backend_handle,
+                subchunk_size=max(1, config.subchunk_size // 2),
+                parallelism=config.aligner_nodes,
+            ),
+            input=q_parsed,
+            output=q_aligned,
+        )
+    else:
+        g.add(
+            AlignerNode(
+                aligner_handle,
+                backend_handle,
+                subchunk_size=config.subchunk_size,
+                parallelism=config.aligner_nodes,
+            ),
+            input=q_parsed,
+            output=q_aligned,
+        )
+    g.add(
+        ColumnWriterNode(
+            results_store,
+            column="results",
+            record_type="results",
+            parallelism=config.writer_nodes,
+        ),
+        input=q_aligned,
+        output=q_out,
+    )
+    return StageGraph(
+        name=stage_name, graph=g, source=None, sink=q_out,
+        backend=backend, owns_backend=owns_backend,
+    )
+
+
+def build_sort_graph(
+    manifest: Manifest,
+    output_store: ChunkStore,
+    input_store: "ChunkStore | None" = None,
+    config: "SortConfig | None" = None,
+    columns: "list[str] | None" = None,
+    scratch_store: "ChunkStore | None" = None,
+    backend: "str | Backend" = "serial",
+    workers: int = 4,
+    batch_size: "int | None" = None,
+    reader_nodes: int = 2,
+    parser_nodes: int = 2,
+    stage_name: str = "sort",
+) -> StageGraph:
+    """The external merge sort (§4.3) as a dataflow stage.
+
+    With ``input_store`` the stage reads the dataset itself (head of a
+    pipeline); without it the stage exposes an open inlet and sorts the
+    parsed chunks that stream in.  Either way a resequencer restores
+    manifest order first, so run grouping — and therefore every output
+    byte — matches the eager :func:`repro.core.sort.sort_dataset`.
+
+    The collector is the :class:`SuperchunkMergeNode`; after the run its
+    ``manifest`` describes the sorted dataset in ``output_store``.
+    """
+    from repro.core.sort import SortConfig, _key_first_columns
+
+    config = config or SortConfig()
+    columns = sorted(set(columns if columns is not None
+                         else manifest.columns))
+    if config.order == "location" and "results" not in columns:
+        raise ValueError("location sort needs a results column; align first")
+    ordered_columns = _key_first_columns(columns)
+    out_chunk_size = config.output_chunk_size or (
+        manifest.chunks[0].record_count if manifest.chunks else 1
+    )
+    scratch = scratch_store if scratch_store is not None else MemoryStore()
+
+    g = Graph(stage_name)
+    backend_obj, owns_backend = _stage_backend(
+        backend, workers, batch_size, stage_name
+    )
+    backend_handle = g.register_resource(f"{stage_name}.executor",
+                                         backend_obj)
+
+    source: "Queue | None" = None
+    if input_store is not None:
+        q_names = g.queue("chunk_names", max(2, reader_nodes))
+        q_raw = g.queue("raw_chunks", max(2, parser_nodes))
+        inlet = g.queue("parsed_chunks", 2)
+        g.add(ChunkNameSource(manifest), output=q_names)
+        g.add(
+            ChunkReaderNode(
+                input_store,
+                columns=tuple(ordered_columns),
+                parallelism=reader_nodes,
+            ),
+            input=q_names,
+            output=q_raw,
+        )
+        g.add(AGDParserNode(parallelism=parser_nodes),
+              input=q_raw, output=inlet)
+    else:
+        inlet = g.queue("stage_in", 4)
+        source = inlet
+
+    q_ordered = g.queue("ordered_chunks", 2)
+    g.add(
+        ResequencerNode([entry.path for entry in manifest.chunks]),
+        input=inlet,
+        output=q_ordered,
+    )
+    q_runs = g.queue("runs", 2)
+    g.add(
+        SortRunNode(
+            ordered_columns,
+            config.order,
+            scratch,
+            backend_handle,
+            chunks_per_superchunk=config.chunks_per_superchunk,
+        ),
+        input=q_ordered,
+        output=q_runs,
+    )
+    q_sorted = g.queue("sorted_chunks", 2)
+    merge = SuperchunkMergeNode(
+        scratch,
+        output_store,
+        ordered_columns,
+        columns,
+        config.order,
+        manifest.name,
+        out_chunk_size,
+        reference=manifest.reference,
+    )
+    g.add(merge, input=q_runs, output=q_sorted)
+    return StageGraph(
+        name=stage_name, graph=g, source=source, sink=q_sorted,
+        collector=merge, backend=backend_obj, owns_backend=owns_backend,
+    )
+
+
+def build_dupmark_graph(
+    manifest: "Manifest | None",
+    store: ChunkStore,
+    reorder: "list[str] | None" = None,
+    from_queue: bool = False,
+    columns: "tuple[str, ...]" = ("results",),
+    backend: "str | Backend" = "serial",
+    workers: int = 4,
+    batch_size: "int | None" = None,
+    reader_nodes: int = 2,
+    parser_nodes: int = 2,
+    stage_name: str = "dupmark",
+) -> StageGraph:
+    """Samblaster-style duplicate marking (§5.6) as a dataflow stage.
+
+    Head of a pipeline (``from_queue=False``): reads *only* the results
+    column of ``manifest`` from ``store`` — the selective-column I/O
+    advantage §5.6 measures — and rewrites dirty chunks in place.
+    ``columns`` widens that read set when a downstream stage needs more
+    (a fused varcall stage needs ``bases``/``qual`` too).
+    Fused mode (``from_queue=True``): marks the chunks streaming in;
+    ``reorder`` (a list of expected chunk paths) inserts a resequencer
+    when the upstream emits out of order (e.g. a parallel align stage) —
+    leave it None after a sort stage, whose merge already emits in
+    order.  The collector is the :class:`DupmarkNode` (its ``stats``).
+    """
+    g = Graph(stage_name)
+    backend_obj, owns_backend = _stage_backend(
+        backend, workers, batch_size, stage_name
+    )
+    backend_handle = g.register_resource(f"{stage_name}.executor",
+                                         backend_obj)
+
+    source: "Queue | None" = None
+    if not from_queue:
+        if manifest is None:
+            raise ValueError("head-mode dupmark stage needs a manifest")
+        q_names = g.queue("chunk_names", max(2, reader_nodes))
+        q_raw = g.queue("raw_chunks", max(2, parser_nodes))
+        q_parsed = g.queue("parsed_chunks", 2)
+        g.add(ChunkNameSource(manifest), output=q_names)
+        if "results" not in columns:
+            raise ValueError("dupmark stage must read the results column")
+        g.add(
+            ChunkReaderNode(store, columns=tuple(columns),
+                            parallelism=reader_nodes),
+            input=q_names,
+            output=q_raw,
+        )
+        g.add(AGDParserNode(parallelism=parser_nodes),
+              input=q_raw, output=q_parsed)
+        inlet = q_parsed
+        if reorder is None:
+            reorder = [entry.path for entry in manifest.chunks]
+    else:
+        inlet = g.queue("stage_in", 4)
+        source = inlet
+
+    if reorder is not None:
+        q_ordered = g.queue("ordered_chunks", 2)
+        g.add(ResequencerNode(list(reorder)), input=inlet, output=q_ordered)
+        inlet = q_ordered
+
+    q_out = g.queue("stage_out", 2)
+    node = DupmarkNode(store, backend_handle)
+    g.add(node, input=inlet, output=q_out)
+    return StageGraph(
+        name=stage_name, graph=g, source=source, sink=q_out,
+        collector=node, backend=backend_obj, owns_backend=owns_backend,
+    )
+
+
+def build_varcall_graph(
+    reference,
+    manifest: "Manifest | None" = None,
+    input_store: "ChunkStore | None" = None,
+    config=None,
+    backend: "str | Backend" = "serial",
+    workers: int = 4,
+    batch_size: "int | None" = None,
+    reader_nodes: int = 2,
+    parser_nodes: int = 2,
+    stage_name: str = "varcall",
+) -> StageGraph:
+    """Pileup SNP calling (§2.1) as a terminal dataflow stage.
+
+    Head of a pipeline when ``manifest``/``input_store`` are given;
+    otherwise an open inlet consuming the chunks streaming in.  Pileup
+    merging is commutative, so no resequencer is needed.  The collector
+    is the :class:`VarCallNode`; after the run its ``variants`` holds
+    the calls.
+    """
+    g = Graph(stage_name)
+    backend_obj, owns_backend = _stage_backend(
+        backend, workers, batch_size, stage_name
+    )
+    backend_handle = g.register_resource(f"{stage_name}.executor",
+                                         backend_obj)
+
+    source: "Queue | None" = None
+    if input_store is not None:
+        if manifest is None:
+            raise ValueError("head-mode varcall stage needs a manifest")
+        q_names = g.queue("chunk_names", max(2, reader_nodes))
+        q_raw = g.queue("raw_chunks", max(2, parser_nodes))
+        inlet = g.queue("parsed_chunks", 2)
+        g.add(ChunkNameSource(manifest), output=q_names)
+        g.add(
+            ChunkReaderNode(
+                input_store,
+                columns=("results", "bases", "qual"),
+                parallelism=reader_nodes,
+            ),
+            input=q_names,
+            output=q_raw,
+        )
+        g.add(AGDParserNode(parallelism=parser_nodes),
+              input=q_raw, output=inlet)
+    else:
+        inlet = g.queue("stage_in", 4)
+        source = inlet
+
+    node = VarCallNode(reference, config=config, backend_handle=backend_handle)
+    g.add(node, input=inlet)
+    return StageGraph(
+        name=stage_name, graph=g, source=source, sink=None,
+        collector=node, backend=backend_obj, owns_backend=owns_backend,
+    )
+
+
+@dataclass
+class ComposedPipeline:
+    """Several stages fused into one graph, run by one Session."""
+
+    name: str
+    graph: Graph
+    stages: "list[StageGraph]" = field(default_factory=list)
+    sink: "NullSinkNode | None" = None
+
+    def stage(self, name: str) -> StageGraph:
+        for st in self.stages:
+            if st.name == name:
+                return st
+        raise KeyError(f"no stage {name!r} in pipeline {self.name!r}")
+
+    def run(self, timeout: "float | None" = None) -> SessionResult:
+        return Session(self.graph).run(timeout=timeout)
+
+    def close(self, wait: bool = True) -> None:
+        for st in self.stages:
+            st.close(wait=wait)
+
+
+def compose(*stages: StageGraph, name: str = "pipeline") -> ComposedPipeline:
+    """Fuse stage subgraphs into one executable pipeline graph.
+
+    Each stage's graph is merged into a shared namespace (node and queue
+    names prefixed by the stage name; resources deduplicated — stages
+    typically share one execution backend), then every boundary is fused:
+    the upstream stage's sink queue *becomes* the downstream stage's
+    source queue.  A terminal counting sink is appended when the last
+    stage leaves its outlet open.
+    """
+    if not stages:
+        raise GraphError("compose needs at least one stage")
+    if stages[0].source is not None:
+        raise GraphError(
+            f"first stage {stages[0].name!r} expects an upstream; it "
+            f"cannot head a pipeline"
+        )
+    g = Graph(name)
+    for st in stages:
+        g.merge(st.graph, prefix=st.name, stage=st.name)
+    for prev, nxt in zip(stages, stages[1:]):
+        if prev.sink is None:
+            raise GraphError(
+                f"stage {prev.name!r} is terminal; {nxt.name!r} cannot "
+                f"follow it"
+            )
+        if nxt.source is None:
+            raise GraphError(
+                f"stage {nxt.name!r} has its own source; it can only "
+                f"head a pipeline"
+            )
+        g.fuse(prev.sink, nxt.source)
+    sink: "NullSinkNode | None" = None
+    last = stages[-1]
+    if last.sink is not None:
+        sink = NullSinkNode(name="pipeline_sink")
+        g.add(sink, input=last.sink)
+        g.node_stages[sink.name] = last.name
+    return ComposedPipeline(name=name, graph=g, stages=list(stages),
+                            sink=sink)
+
+
+class PipelineBuilder:
+    """Fluent assembly of stage subgraphs into one composed pipeline.
+
+    The Python-API embodiment of §4.1's "stitched together ... however
+    the user desires"::
+
+        pipeline = (PipelineBuilder("wgs")
+                    .add(build_align_stage(...))
+                    .add(build_sort_graph(...))
+                    .add(build_dupmark_graph(..., from_queue=True))
+                    .build())
+        result = pipeline.run()
+    """
+
+    def __init__(self, name: str = "pipeline"):
+        self.name = name
+        self._stages: list[StageGraph] = []
+
+    def add(self, stage: StageGraph) -> "PipelineBuilder":
+        self._stages.append(stage)
+        return self
+
+    def build(self) -> ComposedPipeline:
+        return compose(*self._stages, name=self.name)

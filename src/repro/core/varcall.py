@@ -45,59 +45,127 @@ class PileupColumn:
             self.counts = Counter()
 
 
-def pileup_dataset(
-    dataset: AGDDataset,
-    config: "VarCallConfig | None" = None,
+def pileup_records(
+    results: list,
+    bases_col: list,
+    quals_col: list,
+    config: VarCallConfig,
+    columns: "dict[tuple[int, int], PileupColumn] | None" = None,
 ) -> "dict[tuple[int, int], PileupColumn]":
-    """Build pileup columns over an aligned (ideally sorted) dataset.
+    """Accumulate pileup evidence for one batch of records.
 
     Soft clips and insertions consume read bases without reference
     positions; deletions consume reference without read bases — the CIGAR
-    walk handles all three.
+    walk handles all three.  Accumulation is commutative (integer depth
+    and base counts), so batches can pile up in any order and merge.
     """
-    config = config or VarCallConfig()
-    columns: dict[tuple[int, int], PileupColumn] = defaultdict(PileupColumn)
-    for chunk_index in range(dataset.num_chunks):
-        results = dataset.read_chunk("results", chunk_index).records
-        bases_col = dataset.read_chunk("bases", chunk_index).records
-        quals_col = dataset.read_chunk("qual", chunk_index).records
-        for result, bases, quals in zip(results, bases_col, quals_col):
-            if not result.is_aligned or result.mapq < config.min_mapq:
-                continue
-            if config.skip_duplicates and result.is_duplicate:
-                continue
-            if result.is_reverse:
-                bases = reverse_complement(bases)
-                quals = quals[::-1]
-            read_pos = 0
-            ref_pos = result.position
-            for length, op in cigar_operations(result.cigar):
-                if op in "M=X":
-                    for offset in range(length):
-                        quality = quals[read_pos + offset] - 33
-                        if quality >= config.min_base_quality:
-                            key = (result.contig_index, ref_pos + offset)
-                            column = columns[key]
-                            column.depth += 1
-                            column.counts[bases[read_pos + offset]] += 1
-                    read_pos += length
-                    ref_pos += length
-                elif op in "IS":
-                    read_pos += length
-                elif op in "DN":
-                    ref_pos += length
-                # H and P consume neither.
+    if columns is None:
+        columns = defaultdict(PileupColumn)
+    for result, bases, quals in zip(results, bases_col, quals_col):
+        if not result.is_aligned or result.mapq < config.min_mapq:
+            continue
+        if config.skip_duplicates and result.is_duplicate:
+            continue
+        if result.is_reverse:
+            bases = reverse_complement(bases)
+            quals = quals[::-1]
+        read_pos = 0
+        ref_pos = result.position
+        for length, op in cigar_operations(result.cigar):
+            if op in "M=X":
+                for offset in range(length):
+                    quality = quals[read_pos + offset] - 33
+                    if quality >= config.min_base_quality:
+                        key = (result.contig_index, ref_pos + offset)
+                        column = columns[key]
+                        column.depth += 1
+                        column.counts[bases[read_pos + offset]] += 1
+                read_pos += length
+                ref_pos += length
+            elif op in "IS":
+                read_pos += length
+            elif op in "DN":
+                ref_pos += length
+            # H and P consume neither.
     return columns
 
 
-def call_variants(
+def merge_pileups(
+    target: "dict[tuple[int, int], PileupColumn]",
+    other: "dict[tuple[int, int], PileupColumn]",
+) -> "dict[tuple[int, int], PileupColumn]":
+    """Fold one pileup into another (order-independent)."""
+    for key, column in other.items():
+        into = target[key] if isinstance(target, defaultdict) else \
+            target.setdefault(key, PileupColumn())
+        into.depth += column.depth
+        into.counts.update(column.counts)
+    return target
+
+
+def pileup_chunk_task(shared, payload) -> "dict[tuple[int, int], PileupColumn]":
+    """Backend task: pile up one chunk's records.
+
+    Module-level (hence picklable) so the process backend can fan per-
+    chunk pileups out across workers; the returned partial pileups merge
+    commutatively on the caller.
+    """
+    config, results, bases_col, quals_col = payload
+    return dict(pileup_records(results, bases_col, quals_col, config))
+
+
+def pileup_dataset(
     dataset: AGDDataset,
+    config: "VarCallConfig | None" = None,
+    backend=None,
+) -> "dict[tuple[int, int], PileupColumn]":
+    """Build pileup columns over an aligned (ideally sorted) dataset.
+
+    ``backend`` (a :class:`~repro.dataflow.backends.Backend`) fans the
+    per-chunk pileups out across workers; ``None`` keeps the sequential
+    path.  Results are identical either way — merging is commutative.
+    """
+    config = config or VarCallConfig()
+    columns: dict[tuple[int, int], PileupColumn] = defaultdict(PileupColumn)
+    if backend is not None:
+        from repro.dataflow.backends import run_in_waves
+
+        def chunk_payload(chunk_index: int):
+            return (
+                config,
+                dataset.read_chunk("results", chunk_index).records,
+                dataset.read_chunk("bases", chunk_index).records,
+                dataset.read_chunk("qual", chunk_index).records,
+            )
+
+        for _index, _payload, partial in run_in_waves(
+            backend, pileup_chunk_task, range(dataset.num_chunks),
+            chunk_payload,
+        ):
+            merge_pileups(columns, partial)
+        return columns
+    for chunk_index in range(dataset.num_chunks):
+        pileup_records(
+            dataset.read_chunk("results", chunk_index).records,
+            dataset.read_chunk("bases", chunk_index).records,
+            dataset.read_chunk("qual", chunk_index).records,
+            config,
+            columns,
+        )
+    return columns
+
+
+def call_from_pileup(
+    columns: "dict[tuple[int, int], PileupColumn]",
     reference: ReferenceGenome,
     config: "VarCallConfig | None" = None,
 ) -> list[VariantRecord]:
-    """Call SNPs against the reference; returns VCF records in order."""
+    """Apply the calling thresholds to accumulated pileup columns.
+
+    Iterates positions in sorted order, so the emitted VCF rows are
+    deterministic regardless of how the pileup was accumulated.
+    """
     config = config or VarCallConfig()
-    columns = pileup_dataset(dataset, config)
     names = reference.names
     variants: list[VariantRecord] = []
     for (contig_index, position), column in sorted(columns.items()):
@@ -130,3 +198,19 @@ def call_variants(
             )
         )
     return variants
+
+
+def call_variants(
+    dataset: AGDDataset,
+    reference: ReferenceGenome,
+    config: "VarCallConfig | None" = None,
+    backend=None,
+) -> list[VariantRecord]:
+    """Call SNPs against the reference; returns VCF records in order.
+
+    ``backend`` fans the pileup phase out per chunk (the calling pass
+    itself is a cheap sorted sweep and stays on the caller).
+    """
+    config = config or VarCallConfig()
+    columns = pileup_dataset(dataset, config, backend=backend)
+    return call_from_pileup(columns, reference, config)

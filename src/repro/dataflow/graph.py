@@ -29,6 +29,10 @@ class Graph:
         self.resources = ResourceManager()
         self._node_names: set[str] = set()
         self._queue_names: set[str] = set()
+        #: Node name -> pipeline stage label; populated by :meth:`merge`
+        #: (and directly by composition layers) so :meth:`stats_report`
+        #: can aggregate per stage.
+        self.node_stages: dict[str, str] = {}
 
     # --------------------------------------------------------------- build
 
@@ -73,6 +77,108 @@ class Graph:
 
     def register_resource(self, name: str, resource: Any) -> Handle:
         return self.resources.register(name, resource)
+
+    # ---------------------------------------------------------- composition
+
+    def merge(
+        self,
+        other: "Graph",
+        prefix: "str | None" = None,
+        stage: "str | None" = None,
+    ) -> None:
+        """Absorb another graph's nodes, queues, and resources.
+
+        Node and queue names are rewritten to ``{prefix}.{name}`` when a
+        prefix is given, so independently-built subgraphs with clashing
+        local names (every alignment stage calls its reader "reader") can
+        coexist in one namespace.  Resource names are *not* rewritten —
+        kernels hold resource handles by value, so renaming would orphan
+        them; instead identical objects registered under the same name
+        (e.g. one execution backend shared by all stages) deduplicate,
+        and a true name collision is an error.
+
+        ``stage`` (default: the prefix) labels the merged nodes for the
+        per-stage section of :meth:`stats_report`.
+
+        Merging consumes the donor: its nodes and queues are renamed in
+        place and now belong to this graph, so a donor cannot be merged
+        twice (no double-prefixed names, no objects shared between two
+        graphs).  All names are validated before anything is mutated, so
+        a failed merge leaves both graphs untouched.
+        """
+        if getattr(other, "_merged_into", None) is not None:
+            raise GraphError(
+                f"graph {other.name!r} was already merged into "
+                f"{other._merged_into!r}; build a fresh stage graph"
+            )
+        stage = stage if stage is not None else prefix
+        renamed_queues = [
+            (q, f"{prefix}.{q.name}" if prefix else q.name)
+            for q in other.queues
+        ]
+        renamed_nodes = [
+            (n, f"{prefix}.{n.name}" if prefix else n.name)
+            for n in other.nodes
+        ]
+        # Validate every name (and resource) before mutating anything.
+        new_queue_names = [name for _, name in renamed_queues]
+        new_node_names = [name for _, name in renamed_nodes]
+        for name in new_queue_names:
+            if name in self._queue_names:
+                raise GraphError(f"merge: duplicate queue name {name!r}")
+        for name in new_node_names:
+            if name in self._node_names:
+                raise GraphError(f"merge: duplicate node name {name!r}")
+        if len(set(new_queue_names)) != len(new_queue_names) or \
+                len(set(new_node_names)) != len(new_node_names):
+            raise GraphError("merge: donor graph has colliding names")
+        self.resources.absorb(other.resources)
+        for q, new_name in renamed_queues:
+            q.name = new_name
+            self._queue_names.add(new_name)
+            self.queues.append(q)
+        for node, new_name in renamed_nodes:
+            node.name = new_name
+            self._node_names.add(new_name)
+            self.nodes.append(node)
+            if stage is not None:
+                self.node_stages[new_name] = stage
+        other._merged_into = self.name
+
+    def fuse(self, upstream: Queue, downstream: Queue) -> Queue:
+        """Splice a stage boundary: consumers of ``downstream`` now read
+        from ``upstream``, and ``downstream`` is removed.
+
+        This is how composed pipelines chain subgraphs — the upstream
+        stage's sink queue becomes the downstream stage's source queue,
+        so chunks stream across the boundary under the upstream queue's
+        flow-control capacity.  ``downstream`` must be an open inlet: no
+        producers and nothing buffered.
+        """
+        for q, label in ((upstream, "upstream"), (downstream, "downstream")):
+            if q not in self.queues:
+                raise GraphError(
+                    f"fuse: {label} queue {q.name!r} is not in this graph"
+                )
+        if upstream is downstream:
+            raise GraphError(f"fuse: cannot fuse queue {upstream.name!r} "
+                             f"with itself")
+        if len(downstream):
+            raise GraphError(
+                f"fuse: downstream queue {downstream.name!r} is not empty"
+            )
+        for node in self.nodes:
+            if node.output is downstream:
+                raise GraphError(
+                    f"fuse: queue {downstream.name!r} already has producer "
+                    f"{node.name!r}; fuse expects an open inlet"
+                )
+        for node in self.nodes:
+            if node.input is downstream:
+                node.input = upstream
+        self.queues.remove(downstream)
+        self._queue_names.discard(downstream.name)
+        return upstream
 
     # ---------------------------------------------------------- validation
 
@@ -121,4 +227,27 @@ class Graph:
                 "total_enqueued": q.total_enqueued,
                 "max_depth": q.max_depth,
             }
+        if self.node_stages:
+            stages: dict[str, dict] = {}
+            for node in self.nodes:
+                stage = self.node_stages.get(node.name)
+                if stage is None:
+                    continue
+                agg = stages.setdefault(stage, {
+                    "nodes": [],
+                    "items_in": 0,
+                    "items_out": 0,
+                    "busy_seconds": 0.0,
+                    "wait_seconds": 0.0,
+                })
+                agg["nodes"].append(node.name)
+                agg["items_in"] += node.stats.items_in
+                agg["items_out"] += node.stats.items_out
+                agg["busy_seconds"] = round(
+                    agg["busy_seconds"] + node.stats.busy_seconds, 6
+                )
+                agg["wait_seconds"] = round(
+                    agg["wait_seconds"] + node.stats.wait_seconds, 6
+                )
+            report["stages"] = stages
         return report

@@ -35,6 +35,27 @@ class ResourceManager:
             self._resources[name] = resource
         return Handle(name)
 
+    def absorb(self, other: "ResourceManager") -> None:
+        """Import another registry's resources (graph composition).
+
+        A name collision is allowed only when both registries hold the
+        *same object* — e.g. one execution backend shared by every stage
+        of a composed pipeline; anything else would silently rebind the
+        handles kernels already hold.  Conflicts are detected before
+        anything is registered, so a failed absorb changes nothing.
+        """
+        with other._lock:
+            incoming = dict(other._resources)
+        with self._lock:
+            for name, resource in incoming.items():
+                if name in self._resources and \
+                        self._resources[name] is not resource:
+                    raise ValueError(
+                        f"resource {name!r} already registered with a "
+                        f"different object"
+                    )
+            self._resources.update(incoming)
+
     def get_or_create(self, name: str, factory: Callable[[], Any]) -> Handle:
         """Register lazily; concurrent callers share one instance."""
         with self._lock:

@@ -50,6 +50,16 @@ class SessionResult:
     wall_seconds: float
     report: dict
 
+    @property
+    def stage_report(self) -> "dict[str, dict]":
+        """Per-stage aggregate node stats (composed pipelines only).
+
+        Stages of a composed graph run concurrently — chunks stream
+        through all of them at once — so a stage's cost is its summed
+        node busy time, not a wall-clock slice.
+        """
+        return self.report.get("stages", {})
+
 
 class Session:
     """Runs a graph to completion."""

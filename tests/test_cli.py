@@ -95,6 +95,127 @@ class TestCLI:
         assert "bases" in out
 
 
+class TestPipelineCommand:
+    """The one-graph `persona pipeline` subcommand."""
+
+    @pytest.fixture(scope="class")
+    def pipelined(self, workspace):
+        root, ref, reads = workspace
+        ds_dir = root / "pipe-ds"
+        rc = main([
+            "import-fastq", str(root / "reads.fastq"), str(ds_dir),
+            "--chunk-size", "100",
+        ])
+        assert rc == 0
+        out_dir = root / "pipe-sorted"
+        vcf = root / "pipe.vcf"
+        rc = main([
+            "pipeline", str(ds_dir), str(out_dir),
+            "--reference", str(root / "ref.fasta"),
+            "--vcf", str(vcf),
+            "--backend", "thread", "--workers", "2",
+            "--superchunk", "2",
+        ])
+        assert rc == 0
+        return root, ds_dir, out_dir, vcf
+
+    def test_writes_sorted_dataset(self, pipelined, workspace):
+        _, _, out_dir, _ = pipelined
+        _, _, reads = workspace
+        from repro.agd.dataset import AGDDataset
+        from repro.core.sort import verify_sorted
+
+        ds = AGDDataset.open(out_dir)
+        assert ds.total_records == len(reads)
+        assert verify_sorted(ds)
+        assert any(r.is_duplicate for r in ds.read_column("results"))
+
+    def test_writes_vcf(self, pipelined):
+        _, _, _, vcf = pipelined
+        assert vcf.read_text().startswith("##fileformat")
+
+    def test_input_dataset_gains_results(self, pipelined):
+        _, ds_dir, _, _ = pipelined
+        from repro.agd.dataset import AGDDataset
+
+        assert "results" in AGDDataset.open(ds_dir).columns
+
+    def test_reports_per_stage_breakdown(self, pipelined, capsys):
+        root, _, out_dir, _ = pipelined
+        rc = main([
+            "pipeline", str(out_dir), str(root / "pipe-unused"),
+            "--stages", "varcall",
+            "--reference", str(root / "ref.fasta"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "one graph" in out
+        assert "varcall" in out
+
+    def test_subset_stages(self, pipelined, workspace, capsys):
+        root, ds_dir, _, _ = pipelined
+        out_dir = root / "pipe-resorted"
+        rc = main([
+            "pipeline", str(ds_dir), str(out_dir),
+            "--stages", "sort,dupmark",
+            "--superchunk", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "duplicates marked" in out
+        from repro.agd.dataset import AGDDataset
+        from repro.core.sort import verify_sorted
+
+        assert verify_sorted(AGDDataset.open(out_dir))
+
+    def test_rejects_unknown_stage(self, pipelined):
+        root, ds_dir, _, _ = pipelined
+        assert main([
+            "pipeline", str(ds_dir), str(root / "x"),
+            "--stages", "align,polish",
+            "--reference", str(root / "ref.fasta"),
+        ]) == 2
+
+    def test_rejects_out_of_order_stages(self, pipelined, capsys):
+        root, ds_dir, _, _ = pipelined
+        assert main([
+            "pipeline", str(ds_dir), str(root / "x"),
+            "--stages", "sort,align",
+            "--reference", str(root / "ref.fasta"),
+        ]) == 2
+        assert "order" in capsys.readouterr().err
+
+    def test_dupmark_varcall_subset(self, pipelined, capsys):
+        root, _, out_dir, _ = pipelined
+        rc = main([
+            "pipeline", str(out_dir), str(root / "unused"),
+            "--stages", "dupmark,varcall",
+            "--reference", str(root / "ref.fasta"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "duplicates marked" in out and "variants" in out
+
+    def test_requires_reference_for_align(self, pipelined):
+        root, ds_dir, _, _ = pipelined
+        assert main([
+            "pipeline", str(ds_dir), str(root / "x"),
+        ]) == 2
+
+    def test_varcall_backend_flags_match_serial(self, pipelined):
+        root, _, out_dir, _ = pipelined
+        serial_vcf = root / "serial.vcf"
+        threaded_vcf = root / "threaded.vcf"
+        base = ["varcall", str(out_dir), "--reference",
+                str(root / "ref.fasta")]
+        assert main(base[:2] + [str(serial_vcf)] + base[2:]) == 0
+        assert main(
+            base[:2] + [str(threaded_vcf)] + base[2:]
+            + ["--backend", "thread", "--workers", "2"]
+        ) == 0
+        assert serial_vcf.read_text() == threaded_vcf.read_text()
+
+
 class TestImportSamAndRechunk:
     def test_import_sam_roundtrip(self, imported, workspace):
         root, ref, reads = workspace

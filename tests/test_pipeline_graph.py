@@ -1,0 +1,408 @@
+"""One-graph pipeline tests: composed stages vs the eager per-stage path.
+
+The acceptance property of the streaming refactor: a single
+``Session.run`` executing align -> sort -> dupmark -> varcall produces
+results byte-identical to running the eager single-stage functions one
+after another — records, duplicate flags, and VCF rows — on every
+execution backend.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.agd.dataset import AGDDataset
+from repro.core.dupmark import mark_duplicates
+from repro.core.pipelines import align_dataset, run_pipeline
+from repro.core.sort import SortConfig, sort_dataset, verify_sorted
+from repro.core.subgraphs import (
+    AlignGraphConfig,
+    PipelineBuilder,
+    build_align_stage,
+    build_dupmark_graph,
+    build_sort_graph,
+    build_varcall_graph,
+    compose,
+)
+from repro.core.varcall import call_variants
+from repro.dataflow.graph import Graph, GraphError
+from repro.dataflow.node import CollectSink, IterableSource, LambdaNode
+from repro.dataflow.session import Session
+from repro.formats.converters import import_reads
+from repro.formats.vcf import write_vcf
+from repro.storage.base import MemoryStore
+
+SORT_CONFIG = SortConfig(chunks_per_superchunk=2)
+
+
+@pytest.fixture()
+def fresh_dataset(reads, reference):
+    def factory():
+        return import_reads(
+            reads, "pg", MemoryStore(), chunk_size=100,
+            reference=reference.manifest_entry(),
+        )
+    return factory
+
+
+@pytest.fixture(scope="module")
+def eager_chain(reads, reference, snap_aligner):
+    """The reference five-pass eager run (align/sort/dupmark/varcall)."""
+    dataset = import_reads(
+        reads, "pg", MemoryStore(), chunk_size=100,
+        reference=reference.manifest_entry(),
+    )
+    align_dataset(dataset, snap_aligner,
+                  config=AlignGraphConfig(executor_threads=2))
+    sorted_ds = sort_dataset(dataset, MemoryStore(), SORT_CONFIG)
+    stats = mark_duplicates(sorted_ds)
+    variants = call_variants(sorted_ds, reference)
+    return sorted_ds, stats, variants
+
+
+def vcf_bytes(variants, reference) -> bytes:
+    buf = io.BytesIO()
+    write_vcf(variants, buf, contigs=reference.manifest_entry())
+    return buf.getvalue()
+
+
+class TestOneGraphEquivalence:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_matches_eager_path(
+        self, backend, fresh_dataset, snap_aligner, reference, eager_chain
+    ):
+        eager_sorted, eager_stats, eager_variants = eager_chain
+        dataset = fresh_dataset()
+        outcome = run_pipeline(
+            dataset,
+            ("align", "sort", "dupmark", "varcall"),
+            aligner=snap_aligner,
+            reference=reference,
+            align_config=AlignGraphConfig(executor_threads=2),
+            sort_config=SORT_CONFIG,
+            backend=backend,
+            workers=2,
+        )
+        assert "results" in dataset.columns
+        graph_sorted = outcome.sorted_dataset
+        assert verify_sorted(graph_sorted)
+        # Records byte-identical: every column of the sorted dataset,
+        # including the duplicate flags dupmark rewrote.
+        assert graph_sorted.manifest.columns == eager_sorted.manifest.columns
+        for column in eager_sorted.columns:
+            assert (graph_sorted.read_column(column)
+                    == eager_sorted.read_column(column)), column
+        # Duplicate-flag accounting identical.
+        stats = outcome.dupmark_stats
+        assert (stats.records, stats.duplicates_marked, stats.unmapped) == (
+            eager_stats.records,
+            eager_stats.duplicates_marked,
+            eager_stats.unmapped,
+        )
+        assert stats.duplicates_marked > 0
+        # VCF rows byte-identical.
+        assert vcf_bytes(outcome.variants, reference) == vcf_bytes(
+            eager_variants, reference
+        )
+
+    def test_stage_breakdowns(self, fresh_dataset, snap_aligner, reference):
+        outcome = run_pipeline(
+            fresh_dataset(),
+            ("align", "sort", "dupmark", "varcall"),
+            aligner=snap_aligner,
+            reference=reference,
+            sort_config=SORT_CONFIG,
+            backend="serial",
+        )
+        assert [b.name for b in outcome.stages] == [
+            "align", "sort", "dupmark", "varcall",
+        ]
+        align = outcome.stage("align")
+        assert align.items_in > 0
+        assert align.records == outcome.total_reads
+        assert align.busy_seconds > 0
+        assert outcome.stage("sort").busy_seconds >= 0
+        assert "stages" in outcome.report
+        assert outcome.report["stages"]["align"]["nodes"]
+
+    def test_sorted_manifest_matches_eager(
+        self, fresh_dataset, snap_aligner, reference, eager_chain
+    ):
+        eager_sorted, _, _ = eager_chain
+        outcome = run_pipeline(
+            fresh_dataset(),
+            ("align", "sort"),
+            aligner=snap_aligner,
+            sort_config=SORT_CONFIG,
+            backend="serial",
+        )
+        graph_manifest = outcome.sorted_dataset.manifest
+        assert graph_manifest.name == eager_sorted.manifest.name
+        assert graph_manifest.sort_order == "location"
+        assert [
+            (e.path, e.first_ordinal, e.record_count)
+            for e in graph_manifest.chunks
+        ] == [
+            (e.path, e.first_ordinal, e.record_count)
+            for e in eager_sorted.manifest.chunks
+        ]
+
+
+class TestSingleStagePipelines:
+    def test_sort_only(self, aligned_dataset, eager_chain):
+        outcome = run_pipeline(
+            aligned_dataset, ("sort",), sort_config=SORT_CONFIG,
+            backend="serial",
+        )
+        assert verify_sorted(outcome.sorted_dataset)
+        assert outcome.dataset is outcome.sorted_dataset
+
+    def test_dupmark_only_matches_eager(self, aligned_dataset, reference):
+        expected = mark_duplicates(
+            import_dataset_copy(aligned_dataset)
+        )
+        outcome = run_pipeline(aligned_dataset, ("dupmark",),
+                               backend="serial")
+        stats = outcome.dupmark_stats
+        assert (stats.records, stats.duplicates_marked) == (
+            expected.records, expected.duplicates_marked
+        )
+        assert outcome.sorted_dataset is None
+
+    def test_dupmark_then_varcall_matches_eager(
+        self, aligned_dataset, reference
+    ):
+        """Head-mode dupmark must widen its read set for a fused varcall."""
+        eager_copy = import_dataset_copy(aligned_dataset)
+        eager_stats = mark_duplicates(eager_copy)
+        eager_variants = call_variants(eager_copy, reference)
+        outcome = run_pipeline(
+            aligned_dataset, ("dupmark", "varcall"), reference=reference,
+            backend="serial",
+        )
+        stats = outcome.dupmark_stats
+        assert (stats.records, stats.duplicates_marked) == (
+            eager_stats.records, eager_stats.duplicates_marked
+        )
+        assert outcome.variants == eager_variants
+
+    def test_varcall_only_matches_eager(self, aligned_dataset, reference):
+        expected = call_variants(aligned_dataset, reference)
+        outcome = run_pipeline(
+            aligned_dataset, ("varcall",), reference=reference,
+            backend="serial",
+        )
+        assert outcome.variants == expected
+
+    def test_align_only(self, fresh_dataset, snap_aligner):
+        dataset = fresh_dataset()
+        outcome = run_pipeline(dataset, ("align",), aligner=snap_aligner,
+                               backend="serial")
+        assert "results" in dataset.columns
+        results = dataset.read_column("results")
+        assert sum(r.is_aligned for r in results) >= 0.95 * len(results)
+        assert outcome.variants is None and outcome.dupmark_stats is None
+
+
+def import_dataset_copy(dataset: AGDDataset) -> AGDDataset:
+    """Deep-copy a dataset into a fresh store (eager-vs-graph isolation)."""
+    store = MemoryStore()
+    for entry in dataset.manifest.chunks:
+        for column in dataset.columns:
+            store.put(entry.chunk_file(column),
+                      dataset.store.get(entry.chunk_file(column)))
+    import copy
+
+    return AGDDataset(copy.deepcopy(dataset.manifest), store)
+
+
+class TestValidation:
+    def test_rejects_out_of_order_stages(self, aligned_dataset, snap_aligner):
+        with pytest.raises(ValueError, match="order"):
+            run_pipeline(aligned_dataset, ("sort", "align"),
+                         aligner=snap_aligner)
+
+    def test_rejects_unknown_stage(self, aligned_dataset):
+        with pytest.raises(ValueError, match="unknown"):
+            run_pipeline(aligned_dataset, ("align", "polish"))
+
+    def test_rejects_empty_stages(self, aligned_dataset):
+        with pytest.raises(ValueError, match="at least one"):
+            run_pipeline(aligned_dataset, ())
+
+    def test_requires_aligner(self, dataset):
+        with pytest.raises(ValueError, match="aligner"):
+            run_pipeline(dataset, ("align",))
+
+    def test_requires_reference_for_varcall(self, aligned_dataset):
+        with pytest.raises(ValueError, match="reference"):
+            run_pipeline(aligned_dataset, ("varcall",))
+
+    def test_requires_results_without_align(self, dataset):
+        with pytest.raises(ValueError, match="results"):
+            run_pipeline(dataset, ("dupmark",))
+
+
+class TestComposePrimitives:
+    """Graph.merge / Graph.fuse / compose at the dataflow level."""
+
+    def test_merge_prefixes_names_and_tags_stages(self):
+        a, b = Graph("a"), Graph("b")
+        qa = a.queue("out", 2)
+        a.add(IterableSource("src", [1, 2, 3]), output=qa)
+        a.add(CollectSink("snk"), input=qa)
+        qb = b.queue("out", 2)
+        b.add(IterableSource("src", [4]), output=qb)
+        b.add(CollectSink("snk"), input=qb)
+        g = Graph("merged")
+        g.merge(a, prefix="first")
+        g.merge(b, prefix="second")
+        assert {n.name for n in g.nodes} == {
+            "first.src", "first.snk", "second.src", "second.snk",
+        }
+        assert {q.name for q in g.queues} == {"first.out", "second.out"}
+        assert g.node_stages["first.src"] == "first"
+        report = g.stats_report()
+        assert set(report["stages"]) == {"first", "second"}
+
+    def test_merge_consumes_donor(self):
+        a = Graph("a")
+        qa = a.queue("out", 2)
+        a.add(IterableSource("src", [1]), output=qa)
+        a.add(CollectSink("snk"), input=qa)
+        g1, g2 = Graph("g1"), Graph("g2")
+        g1.merge(a, prefix="first")
+        with pytest.raises(GraphError, match="already merged"):
+            g2.merge(a, prefix="second")
+        # The failed second merge changed nothing.
+        assert g2.nodes == [] and g2.queues == []
+        assert {n.name for n in g1.nodes} == {"first.src", "first.snk"}
+
+    def test_merge_rejects_duplicate_names(self):
+        a, b = Graph("a"), Graph("b")
+        qa = a.queue("q", 2)
+        a.add(IterableSource("src", []), output=qa)
+        a.add(CollectSink("snk"), input=qa)
+        qb = b.queue("q", 2)
+        b.add(IterableSource("src", []), output=qb)
+        b.add(CollectSink("snk"), input=qb)
+        g = Graph("merged")
+        g.merge(a)
+        with pytest.raises(GraphError, match="duplicate"):
+            g.merge(b)
+
+    def test_merge_deduplicates_shared_resources(self):
+        shared = object()
+        a, b = Graph("a"), Graph("b")
+        qa = a.queue("qa", 2)
+        a.add(IterableSource("sa", []), output=qa)
+        a.add(CollectSink("ka"), input=qa)
+        a.register_resource("executor", shared)
+        qb = b.queue("qb", 2)
+        b.add(IterableSource("sb", []), output=qb)
+        b.add(CollectSink("kb"), input=qb)
+        b.register_resource("executor", shared)
+        g = Graph("merged")
+        g.merge(a, prefix="a")
+        g.merge(b, prefix="b")
+        assert g.resources.get("executor") is shared
+
+    def test_merge_rejects_conflicting_resources(self):
+        a, b = Graph("a"), Graph("b")
+        qa = a.queue("qa", 2)
+        a.add(IterableSource("sa", []), output=qa)
+        a.add(CollectSink("ka"), input=qa)
+        a.register_resource("executor", object())
+        qb = b.queue("qb", 2)
+        b.add(IterableSource("sb", []), output=qb)
+        b.add(CollectSink("kb"), input=qb)
+        b.register_resource("executor", object())
+        g = Graph("merged")
+        g.merge(a, prefix="a")
+        with pytest.raises(ValueError, match="already registered"):
+            g.merge(b, prefix="b")
+
+    def test_fuse_runs_two_stage_graph(self):
+        # Stage 1: source -> double -> [sink queue]
+        s1 = Graph("s1")
+        q_in = s1.queue("in", 2)
+        q_out = s1.queue("out", 2)
+        s1.add(IterableSource("src", [1, 2, 3]), output=q_in)
+        s1.add(LambdaNode("double", lambda x: x * 2),
+               input=q_in, output=q_out)
+        # Stage 2: [open inlet] -> add1 -> sink
+        s2 = Graph("s2")
+        q_src = s2.queue("in", 2)
+        q_done = s2.queue("done", 2)
+        sink = CollectSink("snk")
+        s2.add(LambdaNode("add1", lambda x: x + 1),
+               input=q_src, output=q_done)
+        s2.add(sink, input=q_done)
+        g = Graph("fused")
+        g.merge(s1, prefix="s1")
+        g.merge(s2, prefix="s2")
+        g.fuse(q_out, q_src)
+        assert "s2.in" not in {q.name for q in g.queues}
+        Session(g).run(timeout=30)
+        assert sorted(sink.collected) == [3, 5, 7]
+
+    def test_fuse_rejects_fed_inlet(self):
+        g = Graph("g")
+        q1 = g.queue("q1", 2)
+        q2 = g.queue("q2", 2)
+        g.add(IterableSource("src", []), output=q2)
+        with pytest.raises(GraphError, match="producer"):
+            g.fuse(q1, q2)
+
+    def test_compose_rejects_headless_first_stage(
+        self, aligned_dataset, reference
+    ):
+        stage = build_varcall_graph(reference, backend="serial")
+        try:
+            with pytest.raises(GraphError, match="upstream"):
+                compose(stage)
+        finally:
+            stage.close()
+
+    def test_compose_rejects_stage_after_terminal(
+        self, aligned_dataset, reference
+    ):
+        var = build_varcall_graph(
+            reference, manifest=aligned_dataset.manifest,
+            input_store=aligned_dataset.store, backend="serial",
+        )
+        dup = build_dupmark_graph(None, aligned_dataset.store,
+                                  from_queue=True, backend="serial")
+        try:
+            with pytest.raises(GraphError, match="terminal"):
+                compose(var, dup)
+        finally:
+            var.close()
+            dup.close()
+
+    def test_pipeline_builder_end_to_end(
+        self, aligned_dataset, reference
+    ):
+        out_store = MemoryStore()
+        sort_stage = build_sort_graph(
+            aligned_dataset.manifest, out_store,
+            input_store=aligned_dataset.store,
+            config=SORT_CONFIG, backend="serial",
+        )
+        dup_stage = build_dupmark_graph(None, out_store, from_queue=True,
+                                        backend="serial")
+        pipeline = (PipelineBuilder("mini")
+                    .add(sort_stage)
+                    .add(dup_stage)
+                    .build())
+        try:
+            result = pipeline.run(timeout=120)
+        finally:
+            pipeline.close()
+        assert set(result.stage_report) == {"sort", "dupmark"}
+        sorted_ds = AGDDataset(sort_stage.collector.manifest, out_store)
+        assert verify_sorted(sorted_ds)
+        assert pipeline.stage("dupmark").collector.dup_stats.records == \
+            aligned_dataset.total_records

@@ -79,6 +79,12 @@ class TestStandalone:
             config=AlignGraphConfig(executor_threads=2),
         )
         assert outcome.total_reads == dataset.total_records
+        # The baseline arm must report a real base volume (its FASTQ
+        # parser tallies it), so bases/s comparisons have a denominator.
+        assert outcome.total_bases == sum(
+            len(b) for b in dataset.read_column("bases")
+        )
+        assert outcome.bases_per_second > 0
         sam_keys = [k for k in out_store.backing.keys() if k.endswith(".sam")]
         assert len(sam_keys) == dataset.num_chunks
 
