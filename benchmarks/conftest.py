@@ -146,28 +146,65 @@ def single_thread_rate(bench_aligner, bench_reads):
     return len(sample) * READ_LENGTH / elapsed
 
 
+#: Machine-readable benchmark results land at the repo root as
+#: ``BENCH_<name>.json`` (CI uploads them as artifacts; trend tooling
+#: reads them without parsing the human report).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
 class Report:
-    """Collects lines, prints them, and persists them under results/."""
+    """Collects lines, prints them, and persists them under results/.
+
+    Alongside the human-readable ``benchmarks/results/<name>.txt``,
+    ``finish()`` writes a machine-readable ``BENCH_<name>.json`` at the
+    repo root: every ``row``/``check`` is recorded structurally, and
+    drivers can attach numeric series via :meth:`metric`.
+    """
 
     def __init__(self, name: str, title: str):
         self.name = name
+        self.title = title
         self.lines = [title, "=" * len(title)]
+        self.metrics: dict = {}
+        self.rows: list[dict] = []
+        self.checks: list[dict] = []
 
     def add(self, line: str = "") -> None:
         self.lines.append(line)
 
+    def metric(self, key: str, value) -> None:
+        """Record one machine-readable metric (number, string, list)."""
+        self.metrics[key] = value
+
     def row(self, label: str, paper, measured, note: str = "") -> None:
         self.add(f"{label:<42} paper: {paper:<16} measured: {measured:<16} {note}")
+        self.rows.append(
+            {"label": label, "paper": str(paper), "measured": str(measured),
+             "note": note}
+        )
 
     def check(self, description: str, holds: bool) -> None:
         marker = "HOLDS" if holds else "VIOLATED"
         self.add(f"  [{marker}] {description}")
+        self.checks.append({"description": description, "holds": bool(holds)})
         assert holds, f"shape violated: {description}"
 
     def finish(self) -> str:
+        import json
+
         text = "\n".join(self.lines) + "\n"
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        payload = {
+            "benchmark": self.name,
+            "title": self.title,
+            "metrics": self.metrics,
+            "rows": self.rows,
+            "checks": self.checks,
+        }
+        (REPO_ROOT / f"BENCH_{self.name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
         print("\n" + text)
         return text
 

@@ -154,8 +154,14 @@ def read_chunk_index(blob: bytes) -> tuple[ChunkHeader, RelativeIndex]:
     return header, RelativeIndex.from_bytes(index_bytes, header.record_count)
 
 
-def read_chunk(blob: bytes) -> Chunk:
-    """Decode a full chunk file image into typed records."""
+def read_chunk_data(blob: bytes) -> tuple[ChunkHeader, RelativeIndex, bytes]:
+    """Header, relative index, and decompressed CRC-verified data block.
+
+    The shared validation core of every chunk decode: the object path
+    (:func:`read_chunk`) and the columnar array paths
+    (:mod:`repro.core.columnar`) all read through here, so format and
+    corruption handling cannot drift between them.
+    """
     header, index = read_chunk_index(blob)
     data_start = HEADER_SIZE + header.record_count * 4
     compressed = blob[data_start : data_start + header.compressed_size]
@@ -173,6 +179,12 @@ def read_chunk(blob: bytes) -> Chunk:
         )
     if zlib.crc32(data) != header.data_crc:
         raise ChunkFormatError("chunk data CRC mismatch")
+    return header, index, data
+
+
+def read_chunk(blob: bytes) -> Chunk:
+    """Decode a full chunk file image into typed records."""
+    header, index, data = read_chunk_data(blob)
     record_codec = get_record_codec(header.record_type)
     records = record_codec.decode(data, index)
     return Chunk(header.record_type, records, header.first_ordinal)

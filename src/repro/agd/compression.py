@@ -8,6 +8,7 @@ decompression time."  The default is gzip, "as it has a good compression
 
 from __future__ import annotations
 
+import functools
 import lzma
 import zlib
 from typing import Callable, NamedTuple
@@ -49,6 +50,44 @@ _CODECS = {c.name: c for c in (GZIP, LZMA, NONE)}
 
 #: Default codec for new columns (the paper's implementation uses gzip).
 DEFAULT_CODEC = GZIP
+
+
+def leveled_codec(name: str, level: int) -> Codec:
+    """A built-in codec at an explicit compression level.
+
+    The returned codec keeps the *base name* (``gzip``/``lzma``), so any
+    reader decodes its output — levels only trade write-side CPU for
+    ratio ("tradeoffs between compressed file size and decompression
+    time", §3).  Level 1 gzip is the sort-scratch default: superchunk
+    spills are written once and read back once, so heavy compression on
+    the sort critical path is wasted CPU.
+    """
+    if name == "none":
+        return NONE
+    if name == "gzip":
+        if not 0 <= level <= 9:
+            raise ValueError(f"gzip level {level} out of range 0..9")
+        return Codec(
+            "gzip",
+            functools.partial(zlib.compress, level=level),
+            _gzip_decompress,
+        )
+    if name == "lzma":
+        if not 0 <= level <= 9:
+            raise ValueError(f"lzma preset {level} out of range 0..9")
+        return Codec(
+            "lzma",
+            functools.partial(lzma.compress, preset=level),
+            _lzma_decompress,
+        )
+    raise UnknownCodecError(
+        f"codec {name!r} does not support levels; available: gzip, lzma, none"
+    )
+
+
+#: Codec for externally-sorted superchunk spills (scratch blobs are read
+#: back exactly once; level 6 would waste CPU on the sort critical path).
+SCRATCH_CODEC_LEVEL = 1
 
 
 class UnknownCodecError(KeyError):

@@ -25,13 +25,23 @@ from repro.agd.dataset import AGDDataset
 from repro.storage.base import DirectoryStore
 
 
+def _cli_codec(args: argparse.Namespace):
+    """Column codec from ``--codec-level`` (None keeps the default)."""
+    if getattr(args, "codec_level", None) is None:
+        return None
+    from repro.agd.compression import leveled_codec
+
+    return leveled_codec("gzip", args.codec_level)
+
+
 def _cmd_import_fastq(args: argparse.Namespace) -> int:
     from repro.formats.converters import import_fastq
 
     store = DirectoryStore(args.dataset_dir)
     name = args.name or Path(args.fastq).stem.split(".")[0]
     start = time.monotonic()
-    dataset = import_fastq(args.fastq, name, store, chunk_size=args.chunk_size)
+    dataset = import_fastq(args.fastq, name, store, chunk_size=args.chunk_size,
+                           codec=_cli_codec(args))
     dataset.save_manifest(args.dataset_dir)
     elapsed = time.monotonic() - start
     print(
@@ -50,7 +60,8 @@ def _cmd_import_sam(args: argparse.Namespace) -> int:
     with open(path, "rb") as fh:
         magic = fh.read(4)
     importer = import_bam if magic == b"BGZB" else import_sam
-    dataset = importer(path, name, store, chunk_size=args.chunk_size)
+    dataset = importer(path, name, store, chunk_size=args.chunk_size,
+                       codec=_cli_codec(args))
     dataset.save_manifest(args.dataset_dir)
     print(
         f"imported {dataset.total_records} aligned records into "
@@ -62,7 +73,12 @@ def _cmd_import_sam(args: argparse.Namespace) -> int:
 def _cmd_rechunk(args: argparse.Namespace) -> int:
     dataset = AGDDataset.open(args.dataset_dir)
     out_store = DirectoryStore(args.output_dir)
-    rechunked = dataset.rechunk(args.chunk_size, store=out_store)
+    codec = _cli_codec(args)
+    rechunked = dataset.rechunk(
+        args.chunk_size, store=out_store,
+        codecs=({c: codec for c in dataset.columns}
+                if codec is not None else None),
+    )
     rechunked.save_manifest(args.output_dir)
     print(
         f"rechunked {dataset.num_chunks} -> {rechunked.num_chunks} chunks "
@@ -155,7 +171,13 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         sorted_ds = sort_dataset(
             dataset,
             out_store,
-            SortConfig(order=args.order, chunks_per_superchunk=args.superchunk),
+            SortConfig(
+                order=args.order,
+                chunks_per_superchunk=args.superchunk,
+                output_codec_level=args.codec_level,
+                merge_partitions=args.merge_partitions,
+                vectorized=args.kernels == "vectorized",
+            ),
             backend=backend,
         )
     finally:
@@ -177,7 +199,8 @@ def _cmd_dupmark(args: argparse.Namespace) -> int:
     backend = _make_cli_backend(args)
     start = time.monotonic()
     try:
-        stats = mark_duplicates(dataset, backend=backend)
+        stats = mark_duplicates(dataset, backend=backend,
+                                vectorized=args.kernels == "vectorized")
     finally:
         if backend is not None:
             backend.shutdown()
@@ -199,7 +222,8 @@ def _cmd_varcall(args: argparse.Namespace) -> int:
     reference = read_fasta(args.reference)
     backend = _make_cli_backend(args)
     try:
-        variants = call_variants(dataset, reference, backend=backend)
+        variants = call_variants(dataset, reference, backend=backend,
+                                 vectorized=args.kernels == "vectorized")
     finally:
         if backend is not None:
             backend.shutdown()
@@ -255,13 +279,18 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                 executor_threads=args.workers,
                 aligner_nodes=max(1, args.workers // 2),
             ),
-            sort_config=SortConfig(order=args.order,
-                                   chunks_per_superchunk=args.superchunk),
+            sort_config=SortConfig(
+                order=args.order,
+                chunks_per_superchunk=args.superchunk,
+                output_codec_level=args.codec_level,
+                merge_partitions=args.merge_partitions,
+            ),
             output_store=output_store,
             backend=args.backend,
             workers=args.workers,
             batch_size=args.batch_size,
             session_timeout=args.timeout,
+            vectorized=args.kernels == "vectorized",
         )
     except ValueError as exc:
         # Stage-composition errors (order, duplicates, missing results
@@ -348,6 +377,39 @@ def _add_backend_options(
         )
 
 
+def _add_kernel_options(
+    p: argparse.ArgumentParser,
+    with_merge_partitions: bool = False,
+) -> None:
+    """Attach the columnar fast-path flags to a subcommand."""
+    p.add_argument(
+        "--kernels",
+        choices=("vectorized", "scalar"),
+        default="vectorized",
+        help="compute kernel implementation: the numpy columnar fast "
+             "path (default) or the scalar reference path (identical "
+             "output, used for equivalence testing)",
+    )
+    if with_merge_partitions:
+        p.add_argument(
+            "--merge-partitions",
+            type=int,
+            default=None,
+            help="partitioned sort-merge kernels for phase 2 of the "
+                 "external sort (default: one per backend worker)",
+        )
+
+
+def _add_codec_level_option(p: argparse.ArgumentParser, what: str) -> None:
+    p.add_argument(
+        "--codec-level",
+        type=int,
+        default=None,
+        help=f"gzip compression level (0-9) for {what} "
+             f"(default: library default, level 6)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="persona",
@@ -360,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset_dir")
     p.add_argument("--name", default=None)
     p.add_argument("--chunk-size", type=int, default=10_000)
+    _add_codec_level_option(p, "the imported columns")
     p.set_defaults(fn=_cmd_import_fastq)
 
     p = sub.add_parser("import-sam", help="import SAM/BAM into an AGD dataset")
@@ -367,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset_dir")
     p.add_argument("--name", default=None)
     p.add_argument("--chunk-size", type=int, default=10_000)
+    _add_codec_level_option(p, "the imported columns")
     p.set_defaults(fn=_cmd_import_sam)
 
     p = sub.add_parser("export", help="export AGD to SAM/BAM/FASTQ")
@@ -378,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset_dir")
     p.add_argument("output_dir")
     p.add_argument("--chunk-size", type=int, required=True)
+    _add_codec_level_option(p, "the rewritten columns")
     p.set_defaults(fn=_cmd_rechunk)
 
     p = sub.add_parser("align", help="align a dataset, appending results")
@@ -394,11 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--order", choices=("location", "metadata"), default="location")
     p.add_argument("--superchunk", type=int, default=4)
     _add_backend_options(p, default="serial", with_workers=True)
+    _add_kernel_options(p, with_merge_partitions=True)
+    _add_codec_level_option(p, "the sorted output chunks")
     p.set_defaults(fn=_cmd_sort)
 
     p = sub.add_parser("dupmark", help="mark duplicate reads in place")
     p.add_argument("dataset_dir")
     _add_backend_options(p, default="serial", with_workers=True)
+    _add_kernel_options(p)
     p.set_defaults(fn=_cmd_dupmark)
 
     p = sub.add_parser("varcall", help="call variants to VCF")
@@ -406,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output")
     p.add_argument("--reference", required=True)
     _add_backend_options(p, default="serial", with_workers=True)
+    _add_kernel_options(p)
     p.set_defaults(fn=_cmd_varcall)
 
     p = sub.add_parser(
@@ -438,6 +507,8 @@ def build_parser() -> argparse.ArgumentParser:
              "budget is shared by every fused stage)",
     )
     _add_backend_options(p, with_workers=True)
+    _add_kernel_options(p, with_merge_partitions=True)
+    _add_codec_level_option(p, "the sorted output chunks")
     p.set_defaults(fn=_cmd_pipeline)
 
     p = sub.add_parser("stats", help="show dataset statistics")

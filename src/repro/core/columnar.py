@@ -1,0 +1,884 @@
+"""Columnar fast path: numpy-vectorized kernels over AGD columns.
+
+The paper's core claim is that the columnar AGD layout lets compute run
+"as fast as the hardware allows" (§1, §3) — yet the natural Python
+implementation walks one record object at a time.  This module exploits
+the columnar encoding end to end: AGD column blobs decode *directly* into
+numpy arrays (no per-record object materialization), and the three
+hottest kernels — pileup, sort-key extraction, and duplicate-signature
+extraction — run as vectorized array programs over them.
+
+Contract: every kernel here is a *fast path* with a scalar reference
+implementation in :mod:`repro.core.varcall`, :mod:`repro.core.sort`, and
+:mod:`repro.core.dupmark`.  Fast paths must produce byte-identical
+outputs; where an input falls outside what the vectorized encoding can
+represent exactly (e.g. sort keys too wide to pack into a uint64), the
+helpers return ``None`` and callers fall back to the reference path
+rather than risk divergence.  Malformed data raises ``ValueError``, just
+like the scalar parsers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.result import (
+    FLAG_DUPLICATE,
+    FLAG_PAIRED,
+    FLAG_REVERSE,
+    FLAG_UNMAPPED,
+)
+
+class ColumnarFallback(ValueError):
+    """The input falls outside what the vectorized encoding represents
+    exactly (or efficiently): non-ACGTN base bytes in a pileup, a pileup
+    span too sparse for the dense accumulator.  Callers catch this and
+    rerun the scalar reference path — never a silent divergence."""
+
+
+# --------------------------------------------------------------------------
+# Results-column array decode (the zero-copy column -> array path).
+
+#: Mirrors ``repro.align.result._FIXED`` (``<HBxiqiqiHH``): the fixed
+#: 36-byte prefix of every serialized AlignmentResult record.
+RESULT_FIXED_DTYPE = np.dtype(
+    [
+        ("flag", "<u2"),
+        ("mapq", "u1"),
+        ("_pad", "u1"),
+        ("contig", "<i4"),
+        ("position", "<i8"),
+        ("next_contig", "<i4"),
+        ("next_position", "<i8"),
+        ("template_length", "<i4"),
+        ("edit_distance", "<u2"),
+        ("cigar_len", "<u2"),
+    ]
+)
+
+RESULT_FIXED_SIZE = RESULT_FIXED_DTYPE.itemsize
+assert RESULT_FIXED_SIZE == struct.calcsize("<HBxiqiqiHH")
+
+
+def _cumsum0(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum with a leading zero (size + 1 entries)."""
+    out = np.zeros(values.size + 1, dtype=np.int64)
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+@dataclass
+class ResultsArrays:
+    """One results column decoded as parallel numpy arrays.
+
+    ``fixed`` is a structured array of the per-record fixed fields;
+    CIGAR bytes stay in-place in ``cigar_buf`` (a uint8 view of the data
+    block) addressed by ``cigar_starts``/``cigar_ends`` — variable-width
+    data is never copied per record.
+    """
+
+    fixed: np.ndarray
+    cigar_buf: np.ndarray
+    cigar_starts: np.ndarray
+    cigar_ends: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.fixed.size)
+
+    # Field accessors (named like the AlignmentResult properties).
+
+    @property
+    def flag(self) -> np.ndarray:
+        return self.fixed["flag"]
+
+    @property
+    def mapq(self) -> np.ndarray:
+        return self.fixed["mapq"]
+
+    @property
+    def contig_index(self) -> np.ndarray:
+        return self.fixed["contig"]
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.fixed["position"]
+
+    @property
+    def next_contig_index(self) -> np.ndarray:
+        return self.fixed["next_contig"]
+
+    @property
+    def next_position(self) -> np.ndarray:
+        return self.fixed["next_position"]
+
+    @property
+    def is_aligned(self) -> np.ndarray:
+        return (self.flag & FLAG_UNMAPPED) == 0
+
+    @property
+    def is_reverse(self) -> np.ndarray:
+        return (self.flag & FLAG_REVERSE) != 0
+
+    @property
+    def is_duplicate(self) -> np.ndarray:
+        return (self.flag & FLAG_DUPLICATE) != 0
+
+    @property
+    def is_paired(self) -> np.ndarray:
+        return (self.flag & FLAG_PAIRED) != 0
+
+    def cigar(self, i: int) -> bytes:
+        """Materialize record ``i``'s CIGAR bytes (lazy per-record access)."""
+        return self.cigar_buf[
+            int(self.cigar_starts[i]) : int(self.cigar_ends[i])
+        ].tobytes()
+
+    @classmethod
+    def from_records(cls, records) -> "ResultsArrays":
+        """Bridge for records already parsed into AlignmentResult objects
+        (e.g. chunks streaming through a pipeline queue)."""
+        n = len(records)
+        fixed = np.zeros(n, dtype=RESULT_FIXED_DTYPE)
+        fixed["flag"] = np.fromiter((r.flag for r in records), np.uint16, n)
+        fixed["mapq"] = np.fromiter((r.mapq for r in records), np.uint8, n)
+        fixed["contig"] = np.fromiter(
+            (r.contig_index for r in records), np.int32, n
+        )
+        fixed["position"] = np.fromiter(
+            (r.position for r in records), np.int64, n
+        )
+        fixed["next_contig"] = np.fromiter(
+            (r.next_contig_index for r in records), np.int32, n
+        )
+        fixed["next_position"] = np.fromiter(
+            (r.next_position for r in records), np.int64, n
+        )
+        cigars = [r.cigar for r in records]
+        lens = np.fromiter((len(c) for c in cigars), np.int64, n)
+        fixed["cigar_len"] = lens.astype(np.uint16)
+        bounds = _cumsum0(lens)
+        buf = np.frombuffer(b"".join(cigars), dtype=np.uint8)
+        return cls(
+            fixed=fixed,
+            cigar_buf=buf,
+            cigar_starts=bounds[:-1],
+            cigar_ends=bounds[1:],
+        )
+
+
+def decode_results_arrays(data: bytes, lengths) -> ResultsArrays:
+    """Decode a results-column data block straight into arrays.
+
+    ``lengths`` are the relative-index record byte lengths.  When every
+    record has the same serialized size the fixed fields are a zero-copy
+    strided view of the data block; otherwise one vectorized gather
+    copies just the 36-byte prefixes.
+    """
+    lens = np.asarray(lengths, dtype=np.int64)
+    n = int(lens.size)
+    base = np.frombuffer(data, dtype=np.uint8)
+    offsets = _cumsum0(lens)
+    if int(offsets[-1]) > base.size:
+        raise ValueError("results column data truncated")
+    if n == 0:
+        return ResultsArrays(
+            fixed=np.zeros(0, dtype=RESULT_FIXED_DTYPE),
+            cigar_buf=base,
+            cigar_starts=np.zeros(0, np.int64),
+            cigar_ends=np.zeros(0, np.int64),
+        )
+    if lens.min() < RESULT_FIXED_SIZE:
+        raise ValueError(
+            f"result record truncated: shorter than {RESULT_FIXED_SIZE} bytes"
+        )
+    if np.all(lens == lens[0]):
+        # Uniform records: view the block with a per-record stride.
+        stride = int(lens[0])
+        first = base[:RESULT_FIXED_SIZE].view(RESULT_FIXED_DTYPE)
+        fixed = np.lib.stride_tricks.as_strided(
+            first, shape=(n,), strides=(stride,)
+        )
+    else:
+        gathered = base[offsets[:-1, None] + np.arange(RESULT_FIXED_SIZE)]
+        fixed = gathered.view(RESULT_FIXED_DTYPE)[:, 0]
+    cigar_starts = offsets[:-1] + RESULT_FIXED_SIZE
+    cigar_ends = cigar_starts + fixed["cigar_len"].astype(np.int64)
+    if np.any(cigar_ends > offsets[1:]):
+        raise ValueError("result record CIGAR truncated")
+    return ResultsArrays(
+        fixed=fixed,
+        cigar_buf=base,
+        cigar_starts=cigar_starts,
+        cigar_ends=cigar_ends,
+    )
+
+
+def read_results_arrays(blob: bytes) -> ResultsArrays:
+    """Decode a results-column *chunk file* image into arrays.
+
+    Same header/index/CRC validation as :func:`repro.agd.chunk.read_chunk`
+    (both read through ``read_chunk_data``) but skips AlignmentResult
+    object materialization entirely.
+    """
+    from repro.agd.chunk import read_chunk_data
+
+    header, index, data = read_chunk_data(blob)
+    if header.record_type != "results":
+        raise ValueError(
+            f"expected a results chunk, got {header.record_type!r}"
+        )
+    return decode_results_arrays(data, index.lengths)
+
+
+# --------------------------------------------------------------------------
+# Vectorized CIGAR parsing.
+
+_VALID_OP = np.zeros(256, dtype=bool)
+for _c in b"MIDNSHP=X":
+    _VALID_OP[_c] = True
+_CONSUMES_REF = np.zeros(256, dtype=bool)
+for _c in b"MDN=X":
+    _CONSUMES_REF[_c] = True
+_CONSUMES_READ = np.zeros(256, dtype=bool)
+for _c in b"MIS=X":
+    _CONSUMES_READ[_c] = True
+_IS_ALIGN_OP = np.zeros(256, dtype=bool)
+for _c in b"M=X":
+    _IS_ALIGN_OP[_c] = True
+
+
+@dataclass
+class CigarOps:
+    """All CIGAR operations of a record batch, flattened into arrays."""
+
+    record: np.ndarray  # int64: op -> owning record index (ascending)
+    op: np.ndarray  # uint8: op byte
+    length: np.ndarray  # int64: op length
+    op_count: np.ndarray  # int64 per record
+    first_op: np.ndarray  # int64 per record: index of its first op
+
+
+def parse_cigars(
+    buf: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> CigarOps:
+    """Parse every record's CIGAR in one vectorized pass.
+
+    Equivalent to calling :func:`repro.align.result.cigar_operations` per
+    record: malformed strings and zero-length ops raise ``ValueError``.
+    """
+    n = int(starts.size)
+    lens = (ends - starts).astype(np.int64)
+    total = int(lens.sum())
+    lstarts = _cumsum0(lens)
+    empty = CigarOps(
+        record=np.zeros(0, np.int64),
+        op=np.zeros(0, np.uint8),
+        length=np.zeros(0, np.int64),
+        op_count=np.zeros(n, np.int64),
+        first_op=np.zeros(n, np.int64),
+    )
+    if total == 0:
+        return empty
+    contiguous = (
+        int(starts[0]) == 0
+        and int(ends[-1]) == total
+        and np.array_equal(starts[1:], ends[:-1])
+    )
+    if contiguous:
+        cig = buf[:total]
+    else:
+        cig = buf[
+            np.repeat(starts, lens)
+            + (np.arange(total) - np.repeat(lstarts[:-1], lens))
+        ]
+    is_digit = (cig >= ord("0")) & (cig <= ord("9"))
+    op_pos = np.flatnonzero(~is_digit)
+    if op_pos.size == 0:
+        raise ValueError("malformed CIGAR: digits with no operation")
+    op_bytes = cig[op_pos]
+    if not _VALID_OP[op_bytes].all():
+        bad = op_bytes[~_VALID_OP[op_bytes]][0]
+        raise ValueError(f"malformed CIGAR: invalid op {chr(int(bad))!r}")
+    # Every non-empty record must end on an op byte (digits cannot cross
+    # a record boundary once this holds).
+    nonempty = lens > 0
+    rec_last = lstarts[1:][nonempty] - 1
+    if is_digit[rec_last].any():
+        raise ValueError("malformed CIGAR: record ends mid-number")
+    record_of_op = np.searchsorted(lstarts, op_pos, side="right") - 1
+    op_count = np.bincount(record_of_op, minlength=n).astype(np.int64)
+    dig_pos = np.flatnonzero(is_digit)
+    op_of_digit = np.searchsorted(op_pos, dig_pos)
+    dcount = np.bincount(op_of_digit, minlength=op_pos.size)
+    if (dcount == 0).any():
+        raise ValueError("malformed CIGAR: op without a length")
+    if int(dcount.max()) > 18:
+        raise ValueError("malformed CIGAR: op length out of range")
+    weight = 10 ** (op_pos[op_of_digit] - 1 - dig_pos).astype(np.int64)
+    values = np.zeros(op_pos.size, dtype=np.int64)
+    np.add.at(values, op_of_digit, (cig[dig_pos] - ord("0")) * weight)
+    if (values == 0).any():
+        raise ValueError("zero-length CIGAR op")
+    return CigarOps(
+        record=record_of_op.astype(np.int64),
+        op=op_bytes,
+        length=values,
+        op_count=op_count,
+        first_op=_cumsum0(op_count)[:-1],
+    )
+
+
+# --------------------------------------------------------------------------
+# Vectorized pileup (the reference path is repro.core.varcall).
+
+_COMPLEMENT_LUT = np.frombuffer(
+    bytes.maketrans(b"ACGTNacgtn", b"TGCANtgcan"), dtype=np.uint8
+).copy()
+
+#: Base byte -> pileup matrix column, in 3-bit-code order (A,C,G,T,N).
+_BASE_CODE_LUT = np.full(256, 255, dtype=np.uint8)
+for _i, _c in enumerate(b"ACGTN"):
+    _BASE_CODE_LUT[_c] = _i
+
+#: Matrix column -> base byte.
+BASE_BYTES = np.frombuffer(b"ACGTN", dtype=np.uint8)
+
+#: Matrix columns ranked by descending base byte (T,N,G,C,A) — argmax over
+#: this order reproduces ``max(counts.items(), key=(count, byte))``.
+_BYTE_DESC_COLS = np.array([3, 4, 2, 1, 0])
+_BYTE_DESC_BYTES = BASE_BYTES[_BYTE_DESC_COLS]
+
+#: A pileup partial: contig index -> (start position, dense (span, 5)
+#: int32 base-count matrix in A,C,G,T,N column order covering reference
+#: positions [start, start + span)).  Dense per-contig arrays make both
+#: accumulation (one bincount histogram per chunk) and merging (one
+#: slice-add) cache-friendly O(span) operations; plain dicts of arrays
+#: so partials pickle cheaply across the process backend.  Memory is
+#: O(covered reference span per contig) — the natural pileup cost.
+PileupPartial = "dict[int, tuple[int, np.ndarray]]"
+
+
+def _ensure_results_arrays(results) -> ResultsArrays:
+    if isinstance(results, ResultsArrays):
+        return results
+    return ResultsArrays.from_records(results)
+
+
+def pileup_partial(results, bases_col, quals_col, config) -> dict:
+    """Vectorized analog of :func:`repro.core.varcall.pileup_records`.
+
+    Returns a pileup partial (see :data:`PileupPartial`); partials merge
+    commutatively via :func:`merge_pileup_partials`, so per-chunk partials
+    can still fan out across any backend.
+    """
+    arrays = _ensure_results_arrays(results)
+    keep = arrays.is_aligned & (arrays.mapq >= config.min_mapq)
+    if config.skip_duplicates:
+        keep &= ~arrays.is_duplicate
+    idx = np.flatnonzero(keep)
+    if idx.size == 0:
+        return {}
+    kept_bases = [bases_col[int(i)] for i in idx]
+    kept_quals = [quals_col[int(i)] for i in idx]
+    lens = np.fromiter((len(b) for b in kept_bases), np.int64, idx.size)
+    qlens = np.fromiter((len(q) for q in kept_quals), np.int64, idx.size)
+    if not np.array_equal(lens, qlens):
+        raise ValueError("bases/qual record lengths disagree")
+    raw_b = np.frombuffer(b"".join(kept_bases), dtype=np.uint8)
+    raw_q = np.frombuffer(b"".join(kept_quals), dtype=np.uint8)
+    starts = _cumsum0(lens)
+    total = int(starts[-1])
+    rev = arrays.is_reverse[idx]
+
+    # Strand correction without per-read Python: corrected[p] = raw[src]
+    # where reverse reads read their buffer back to front (and complement).
+    read_of_p = np.repeat(np.arange(idx.size), lens)
+    p = np.arange(total, dtype=np.int64)
+    off = p - np.repeat(starts[:-1], lens)
+    rev_b = rev[read_of_p]
+    src = np.where(
+        rev_b, starts[read_of_p] + lens[read_of_p] - 1 - off, p
+    )
+    bases_c = raw_b[src]
+    bases_c = np.where(rev_b, _COMPLEMENT_LUT[bases_c], bases_c)
+    quals_c = raw_q[src]
+
+    # CIGAR-expanded (position, base, qual) vectors for M/=/X segments.
+    ops = parse_cigars(
+        arrays.cigar_buf, arrays.cigar_starts[idx], arrays.cigar_ends[idx]
+    )
+    read_adv = ops.length * _CONSUMES_READ[ops.op]
+    ref_adv = ops.length * _CONSUMES_REF[ops.op]
+    gread = _cumsum0(read_adv)
+    gref = _cumsum0(ref_adv)
+    first = ops.first_op[ops.record]
+    read_start = gread[:-1] - gread[first]
+    pos_kept = arrays.position[idx].astype(np.int64)
+    ref_start = pos_kept[ops.record] + gref[:-1] - gref[first]
+
+    m = _IS_ALIGN_OP[ops.op]
+    seg_len = ops.length[m]
+    if seg_len.size == 0:
+        return {}
+    seg_rec = ops.record[m]
+    seg_read_local = read_start[m]
+    # Per-record bound: an aligned segment reaching past its own read
+    # would silently index a neighbor's bases in the concatenated
+    # buffer; the scalar walk raises there, so must we.
+    if np.any(seg_read_local + seg_len > lens[seg_rec]):
+        raise ValueError(
+            "CIGAR consumes more read bases than the record has"
+        )
+    seg_read = starts[seg_rec] + seg_read_local
+    seg_ref = ref_start[m]
+    tb = int(seg_len.sum())
+    bo = np.arange(tb, dtype=np.int64) - np.repeat(
+        _cumsum0(seg_len)[:-1], seg_len
+    )
+    ref_pos = np.repeat(seg_ref, seg_len) + bo
+    read_idx = np.repeat(seg_read, seg_len) + bo
+    contig_per_base = np.repeat(
+        arrays.contig_index[idx].astype(np.int64)[seg_rec], seg_len
+    )
+
+    good = quals_c[read_idx].astype(np.int64) - 33 >= config.min_base_quality
+    codes = _BASE_CODE_LUT[bases_c[read_idx]]
+    if codes[good].size and int(codes[good].max()) == 255:
+        # Lowercase / IUPAC bytes: the scalar Counter keys raw bytes,
+        # which the 5-column matrix cannot represent — fall back.
+        raise ColumnarFallback("non-ACGTN base byte in pileup fast path")
+    ref_pos = ref_pos[good]
+    contig_per_base = contig_per_base[good]
+    codes = codes[good].astype(np.int64)
+
+    partial: dict = {}
+    # Unique contigs from the (small) per-read array, not the per-base one.
+    for contig in np.unique(arrays.contig_index[idx].astype(np.int64)):
+        cm = contig_per_base == contig
+        p = ref_pos[cm]
+        if p.size == 0:
+            continue
+        c5 = codes[cm]
+        pmin = int(p.min())
+        span = int(p.max()) - pmin + 1
+        _check_dense_span(span, int(p.size), int(contig))
+        # One bincount histogram over the covered range: positions piled
+        # by reads are contiguous in practice, so dense is the fast form.
+        counts = np.bincount((p - pmin) * 5 + c5, minlength=span * 5)
+        partial[int(contig)] = (
+            pmin, counts.reshape(span, 5).astype(np.int32)
+        )
+    return partial
+
+
+#: Dense accumulators below this span are always fine (80 MB of int32).
+_DENSE_SPAN_FLOOR = 1 << 22
+
+
+def _check_dense_span(span: int, covered: int, contig: int) -> None:
+    """Guard the dense pileup representation against sparse-and-wide
+    coverage (e.g. exome targets at both ends of a chromosome), where
+    O(span) memory would dwarf the scalar dict's O(covered positions).
+    Dense whole-genome pileups pass: there ``covered ~ span``."""
+    if span > max(_DENSE_SPAN_FLOOR, 64 * covered):
+        raise ColumnarFallback(
+            f"pileup span {span} on contig {contig} too sparse for the "
+            f"dense columnar accumulator ({covered} covered entries)"
+        )
+
+
+def merge_pileup_partials(target: dict, partial: dict) -> dict:
+    """Fold one pileup partial into another (commutative, like
+    :func:`repro.core.varcall.merge_pileups`)."""
+    # Validate every contig's merged span BEFORE mutating anything, so a
+    # ColumnarFallback leaves the target untouched (callers then convert
+    # it to the scalar representation without double counting).
+    for contig, (start, mat) in partial.items():
+        if contig in target:
+            tstart, tmat = target[contig]
+            lo = min(tstart, start)
+            hi = max(tstart + tmat.shape[0], start + mat.shape[0])
+            _check_dense_span(
+                hi - lo, int(tmat.shape[0] + mat.shape[0]), contig
+            )
+    for contig, (start, mat) in partial.items():
+        if contig not in target:
+            target[contig] = (start, mat.copy())
+            continue
+        tstart, tmat = target[contig]
+        lo = min(tstart, start)
+        hi = max(tstart + tmat.shape[0], start + mat.shape[0])
+        if lo == tstart and hi == tstart + tmat.shape[0]:
+            out = tmat  # covered: accumulate in place, zero allocation
+        else:
+            out = np.zeros((hi - lo, 5), dtype=np.int32)
+            out[tstart - lo : tstart - lo + tmat.shape[0]] = tmat
+        out[start - lo : start - lo + mat.shape[0]] += mat
+        target[contig] = (lo, out)
+    return target
+
+
+def pileup_to_columns(pile: dict) -> dict:
+    """Convert a pileup partial into the scalar ``dict[(contig, pos) ->
+    PileupColumn]`` representation (equivalence tests and interop)."""
+    from collections import Counter
+
+    from repro.core.varcall import PileupColumn
+
+    columns: dict = {}
+    for contig, (start, mat) in pile.items():
+        depth = mat.sum(axis=1, dtype=np.int64)
+        for i in np.flatnonzero(depth):
+            counts = Counter()
+            for code in range(5):
+                c = int(mat[i, code])
+                if c:
+                    counts[int(BASE_BYTES[code])] = c
+            columns[(contig, start + int(i))] = PileupColumn(
+                depth=int(depth[i]), counts=counts
+            )
+    return columns
+
+
+def call_from_pileup_arrays(pile: dict, reference, config=None) -> list:
+    """Vectorized analog of :func:`repro.core.varcall.call_from_pileup`.
+
+    Thresholds are applied with integer array comparisons; the few
+    surviving sites recompute fraction/quality in plain Python so the
+    emitted records (floats included) are bit-identical to the scalar
+    caller's.
+    """
+    from repro.core.varcall import VarCallConfig
+    from repro.formats.vcf import VariantRecord
+
+    config = config or VarCallConfig()
+    names = reference.names
+    variants: list = []
+    for contig_index in sorted(pile):
+        start, full_mat = pile[contig_index]
+        full_depth = full_mat.sum(axis=1, dtype=np.int64)
+        nz = np.flatnonzero(full_depth)
+        if nz.size == 0:
+            continue
+        pos = start + nz
+        mat = full_mat[nz]
+        depth = full_depth[nz]
+        contig = reference.contig(names[contig_index])
+        seq = np.frombuffer(contig.sequence, dtype=np.uint8)
+        ok = (depth >= config.min_depth) & (pos < seq.size)
+        if not ok.any():
+            continue
+        ref_bases = seq[pos[ok].astype(np.int64)]
+        ranked = mat[ok][:, _BYTE_DESC_COLS]
+        best = np.argmax(ranked, axis=1)
+        alt_bytes = _BYTE_DESC_BYTES[best]
+        alt_counts = ranked[np.arange(best.size), best]
+        candidates = np.flatnonzero(alt_bytes != ref_bases)
+        ok_pos = pos[ok]
+        ok_depth = depth[ok]
+        for i in candidates:
+            alt_count = int(alt_counts[i])
+            column_depth = int(ok_depth[i])
+            fraction = alt_count / column_depth
+            if fraction < config.min_alt_fraction:
+                continue
+            quality = min(99.0, 10.0 * alt_count * fraction)
+            variants.append(
+                VariantRecord(
+                    chrom=names[contig_index],
+                    pos=int(ok_pos[i]) + 1,
+                    ref=chr(int(ref_bases[i])),
+                    alt=chr(int(alt_bytes[i])),
+                    qual=quality,
+                    info={
+                        "DP": column_depth,
+                        "AF": f"{fraction:.3f}",
+                    },
+                )
+            )
+    return variants
+
+
+def pileup_chunk_arrays_task(shared, payload) -> dict:
+    """Backend task: vectorized pileup over one chunk of parsed records."""
+    config, results, bases_col, quals_col = payload
+    return pileup_partial(results, bases_col, quals_col, config)
+
+
+def pileup_blobs_task(shared, payload) -> dict:
+    """Backend task: vectorized pileup straight from column blobs.
+
+    The results column never becomes objects — blobs decode into arrays
+    (:func:`read_results_arrays`) and pile up entirely in numpy.
+    """
+    from repro.agd.chunk import read_chunk
+
+    config, results_blob, bases_blob, qual_blob = payload
+    return pileup_partial(
+        read_results_arrays(results_blob),
+        read_chunk(bases_blob).records,
+        read_chunk(qual_blob).records,
+        config,
+    )
+
+
+# --------------------------------------------------------------------------
+# Vectorized sort keys (the reference path is repro.core.sort).
+
+#: Packed key for unmapped reads: sorts after every aligned key (whose
+#: top bit is always clear), mirroring ``AlignmentResult.location_key``.
+UNMAPPED_PACKED_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def row_sort_keys(order: str, rows, meta_index: int = 1) -> "np.ndarray | None":
+    """One numpy sort key per row, mirroring ``sort_key_for`` exactly.
+
+    Location keys pack ``(contig, position)`` into a uint64 (contig in
+    the high 31 bits, position in the low 32); metadata keys (at row
+    position ``meta_index`` — 1 when a results column leads the row, 0
+    otherwise) become a fixed-width byte array.  Returns ``None`` when
+    the rows cannot be packed without changing the comparison order
+    (position out of the 32-bit range; metadata containing NUL bytes,
+    which numpy's ``S`` dtype treats as padding) — callers then use the
+    scalar reference.
+    """
+    n = len(rows)
+    if order == "location":
+        if n == 0:
+            return np.zeros(0, dtype=np.uint64)
+        flag = np.fromiter((row[0].flag for row in rows), np.int64, n)
+        contig = np.fromiter(
+            (row[0].contig_index for row in rows), np.int64, n
+        )
+        pos = np.fromiter((row[0].position for row in rows), np.int64, n)
+        aligned = (flag & FLAG_UNMAPPED) == 0
+        if aligned.any():
+            c = contig[aligned]
+            p = pos[aligned]
+            if (
+                int(c.min()) < 0
+                or int(c.max()) >= 1 << 31
+                or int(p.min()) < 0
+                or int(p.max()) >= 1 << 32
+            ):
+                return None
+        keys = np.full(n, UNMAPPED_PACKED_KEY, dtype=np.uint64)
+        keys[aligned] = (contig[aligned].astype(np.uint64) << np.uint64(32)) | pos[
+            aligned
+        ].astype(np.uint64)
+        return keys
+    if order == "metadata":
+        if n == 0:
+            return np.zeros(0, dtype="S1")
+        metas = [row[meta_index] for row in rows]
+        for m in metas:
+            if not isinstance(m, (bytes, bytearray)) or b"\0" in m:
+                return None
+        return np.array(metas, dtype=np.bytes_)
+    raise ValueError(f"unknown sort order {order!r} (location|metadata)")
+
+
+def row_sort_permutation(
+    order: str, rows, meta_index: int = 1
+) -> "np.ndarray | None":
+    """Stable sort permutation over rows, or None (fall back to scalar).
+
+    ``np.argsort(kind="stable")`` over keys that compare identically to
+    the scalar tuples yields exactly the permutation ``list.sort`` (also
+    stable) would apply.
+    """
+    keys = row_sort_keys(order, rows, meta_index)
+    if keys is None:
+        return None
+    return np.argsort(keys, kind="stable")
+
+
+# --------------------------------------------------------------------------
+# Vectorized duplicate signatures (the reference path is
+# repro.core.dupmark).
+
+#: Structured signature rows.  tag 0 = single-end, 1 = paired fragment;
+#: two records are duplicates iff their rows compare equal, exactly
+#: matching the tuple signatures of ``fragment_signature``.
+SIGNATURE_DTYPE = np.dtype(
+    [
+        ("tag", "u1"),
+        ("c1", "<i8"),
+        ("p1", "<i8"),
+        ("s1", "u1"),
+        ("c2", "<i8"),
+        ("p2", "<i8"),
+        ("s2", "u1"),
+    ]
+)
+
+
+def unclipped_positions(arrays: ResultsArrays) -> np.ndarray:
+    """Vectorized :func:`repro.core.dupmark.unclipped_position` for every
+    record at once (values for unmapped records are meaningless)."""
+    n = len(arrays)
+    ops = parse_cigars(arrays.cigar_buf, arrays.cigar_starts,
+                       arrays.cigar_ends)
+    span = np.zeros(n, dtype=np.int64)
+    np.add.at(span, ops.record, ops.length * _CONSUMES_REF[ops.op])
+    lead = np.zeros(n, dtype=np.int64)
+    trail = np.zeros(n, dtype=np.int64)
+    ne = ops.op_count > 0
+    if ne.any():
+        fi = ops.first_op[ne]
+        la = fi + ops.op_count[ne] - 1
+        lead[ne] = np.where(ops.op[fi] == ord("S"), ops.length[fi], 0)
+        trail[ne] = np.where(ops.op[la] == ord("S"), ops.length[la], 0)
+    pos = arrays.position.astype(np.int64)
+    return np.where(
+        arrays.is_reverse, pos + span + trail - 1, pos - lead
+    )
+
+
+def fragment_signature_arrays(
+    arrays: ResultsArrays,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batch analog of :func:`repro.core.dupmark.fragment_signature`.
+
+    Returns ``(signatures, valid)``; rows where ``valid`` is False are
+    unmapped (signature None in the scalar path).
+    """
+    n = len(arrays)
+    valid = arrays.is_aligned.copy()
+    sig = np.zeros(n, dtype=SIGNATURE_DTYPE)
+    if n == 0:
+        return sig, valid
+    unclipped = unclipped_positions(arrays)
+    rev = arrays.is_reverse
+    rev_u1 = rev.astype(np.uint8)
+    c = arrays.contig_index.astype(np.int64)
+    p = unclipped
+    mc = arrays.next_contig_index.astype(np.int64)
+    mp = arrays.next_position.astype(np.int64)
+    paired = arrays.is_paired & (arrays.next_contig_index >= 0)
+
+    # Single-end layout is the default; c2/p2/s2 stay zero.
+    sig["c1"] = c
+    sig["p1"] = p
+    sig["s1"] = rev_u1
+    sig["tag"][paired] = 1
+    # Canonical fragment orientation: ((mate, not rev) < (own, rev)) puts
+    # the mate first — the same lexicographic test as the scalar tuples.
+    cond = (mc < c) | ((mc == c) & ((mp < p) | ((mp == p) & rev)))
+    swap = paired & cond
+    keep = paired & ~cond
+    c1 = sig["c1"]
+    p1 = sig["p1"]
+    s1 = sig["s1"]
+    c2 = sig["c2"]
+    p2 = sig["p2"]
+    s2 = sig["s2"]
+    c1[swap] = mc[swap]
+    p1[swap] = mp[swap]
+    s1[swap] = 1 - rev_u1[swap]
+    c2[swap] = c[swap]
+    p2[swap] = p[swap]
+    s2[swap] = rev_u1[swap]
+    c2[keep] = mc[keep]
+    p2[keep] = mp[keep]
+    s2[keep] = 1 - rev_u1[keep]
+    return sig, valid
+
+
+class DuplicateTracker:
+    """Cross-chunk duplicate scanning over signature arrays.
+
+    The vectorized analog of :func:`repro.core.dupmark.scan_signatures`:
+    the first fragment seen with a signature wins, so chunks must still
+    arrive in deterministic order.  Within a chunk, repeats collapse in
+    one ``np.unique`` pass; only the (few) distinct signatures probe the
+    cross-chunk seen set, keyed by their packed struct bytes — the
+    Samblaster hashing idea, fed by array extraction.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set[bytes] = set()
+
+    def scan(self, sigs: np.ndarray, valid: np.ndarray, stats) -> list[int]:
+        """Update stats and the seen set; return duplicate positions."""
+        stats.records += int(valid.size)
+        stats.unmapped += int((~valid).sum())
+        idx = np.flatnonzero(valid)
+        if idx.size == 0:
+            return []
+        cur = np.ascontiguousarray(sigs[idx])
+        uniq, first = np.unique(cur, return_index=True)
+        raw = uniq.tobytes()
+        itemsize = uniq.dtype.itemsize
+        seen = self._seen
+        keep = np.zeros(cur.size, dtype=bool)
+        fresh = [
+            first[i]
+            for i in range(uniq.size)
+            if raw[i * itemsize : (i + 1) * itemsize] not in seen
+        ]
+        keep[fresh] = True
+        seen.update(
+            raw[i * itemsize : (i + 1) * itemsize] for i in range(uniq.size)
+        )
+        dup = ~keep
+        stats.duplicates_marked += int(dup.sum())
+        return [int(i) for i in idx[dup]]
+
+
+def mark_duplicates_blob(blob: bytes, dup_positions) -> bytes:
+    """Rewrite a results-column chunk with FLAG_DUPLICATE set on the
+    given record positions — by patching the serialized flag bytes.
+
+    The results encoding is concatenated fixed-prefix records, so the
+    flag's high byte sits at a known offset of every record; marking is
+    a byte-patch of the decompressed data block plus a re-compress.  No
+    AlignmentResult is ever materialized, and the output is byte-for-
+    byte what ``write_chunk`` would produce for the object path.
+    """
+    import zlib
+    from dataclasses import replace as dc_replace
+
+    from repro.agd.chunk import HEADER_SIZE, read_chunk_data
+    from repro.agd.compression import DEFAULT_CODEC
+
+    header, index, data = read_chunk_data(blob)
+    if header.record_type != "results":
+        raise ValueError(
+            f"expected a results chunk, got {header.record_type!r}"
+        )
+    data_start = HEADER_SIZE + header.record_count * 4
+    index_bytes = blob[HEADER_SIZE:data_start]
+    offsets = _cumsum0(np.asarray(index.lengths, dtype=np.int64))
+    patched = bytearray(data)
+    for position in dup_positions:
+        # FLAG_DUPLICATE is 0x400: bit 2 of the little-endian flag's
+        # high byte, one byte into the record.
+        patched[int(offsets[position]) + 1] |= 0x04
+    out_data = bytes(patched)
+    out_compressed = DEFAULT_CODEC.compress(out_data)
+    out_header = dc_replace(
+        header,
+        codec_name=DEFAULT_CODEC.name,
+        compressed_size=len(out_compressed),
+        data_crc=zlib.crc32(out_data),
+    )
+    return out_header.to_bytes() + index_bytes + out_compressed
+
+
+def results_signature_arrays_task(
+    shared, payload
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Backend task: signatures from an in-memory results list."""
+    return fragment_signature_arrays(ResultsArrays.from_records(payload))
+
+
+def chunk_signature_arrays_task(
+    shared, payload
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Backend task: signatures straight from a results-column blob
+    (decode and extraction both vectorized; no objects materialized)."""
+    return fragment_signature_arrays(read_results_arrays(payload))

@@ -159,11 +159,19 @@ def mark_duplicates(
     dataset: AGDDataset,
     stats: "DupmarkStats | None" = None,
     backend=None,
+    vectorized: bool = True,
 ) -> DupmarkStats:
     """Mark duplicates in-place on a dataset's results column.
 
     Reads and rewrites *only* the results column, chunk by chunk — the
     I/O-efficiency property §5.6 highlights.
+
+    ``vectorized`` (the default) decodes each chunk's results column
+    straight into numpy arrays, extracts signatures as structured-array
+    rows, and scans duplicates with ``np.unique``
+    (:mod:`repro.core.columnar`); a clean chunk never materializes a
+    single AlignmentResult object.  ``vectorized=False`` runs the scalar
+    reference path; marks and stats are identical.
 
     ``backend`` (a :class:`~repro.dataflow.backends.Backend`) computes
     per-chunk signatures in parallel before the sequential marking pass;
@@ -172,6 +180,8 @@ def mark_duplicates(
     if not dataset.manifest.has_column("results"):
         raise ValueError("dataset has no results column; align first")
     stats = stats if stats is not None else DupmarkStats()
+    if vectorized:
+        return _mark_duplicates_vectorized(dataset, stats, backend)
     seen: set = set()
     if backend is not None:
         return _mark_duplicates_backend(dataset, stats, seen, backend)
@@ -186,6 +196,58 @@ def mark_duplicates(
                     FLAG_DUPLICATE
                 )
             dataset.replace_column_chunk("results", chunk_index, updated)
+    return stats
+
+
+def _mark_duplicates_vectorized(
+    dataset: AGDDataset,
+    stats: DupmarkStats,
+    backend,
+) -> DupmarkStats:
+    """Columnar fast path: array signatures + ``np.unique`` scanning.
+
+    The sequential seen-set semantics (first fragment with a signature
+    wins, in chunk order) are preserved by the
+    :class:`~repro.core.columnar.DuplicateTracker`; only dirty chunks
+    are decoded into objects, and only to rewrite them.
+    """
+    from repro.core.columnar import (
+        DuplicateTracker,
+        chunk_signature_arrays_task,
+        mark_duplicates_blob,
+    )
+
+    tracker = DuplicateTracker()
+
+    def results_blob(chunk_index: int) -> bytes:
+        return dataset.store.get(
+            dataset.manifest.chunks[chunk_index].chunk_file("results"))
+
+    def mark_chunk(chunk_index: int, blob: bytes, sigs, valid) -> None:
+        dup_positions = tracker.scan(sigs, valid, stats)
+        if not dup_positions:
+            return
+        # Dirty chunks rewrite by patching the serialized flag bytes —
+        # no AlignmentResult objects on either side of the marking.
+        entry = dataset.manifest.chunks[chunk_index]
+        dataset.store.put(
+            entry.chunk_file("results"),
+            mark_duplicates_blob(blob, dup_positions),
+        )
+
+    if backend is not None:
+        from repro.dataflow.backends import run_in_waves
+
+        for chunk_index, blob, (sigs, valid) in run_in_waves(
+            backend, chunk_signature_arrays_task,
+            range(dataset.num_chunks), results_blob,
+        ):
+            mark_chunk(chunk_index, blob, sigs, valid)
+        return stats
+    for chunk_index in range(dataset.num_chunks):
+        blob = results_blob(chunk_index)
+        sigs, valid = chunk_signature_arrays_task(None, blob)
+        mark_chunk(chunk_index, blob, sigs, valid)
     return stats
 
 

@@ -495,7 +495,11 @@ class SortRunNode(Node):
         backend_handle: str,
         chunks_per_superchunk: int = 4,
         name: str = "sort_runs",
+        scratch_codec_level: "int | None" = None,
+        vectorized: bool = True,
     ):
+        from repro.agd.compression import SCRATCH_CODEC_LEVEL
+
         super().__init__(name, parallelism=1)
         if chunks_per_superchunk <= 0:
             raise ValueError("chunks_per_superchunk must be positive")
@@ -504,11 +508,17 @@ class SortRunNode(Node):
         self.scratch = scratch
         self.backend_handle = backend_handle
         self.chunks_per_superchunk = chunks_per_superchunk
+        self.scratch_codec_level = (
+            SCRATCH_CODEC_LEVEL if scratch_codec_level is None
+            else scratch_codec_level
+        )
+        self.vectorized = vectorized
         self._rows: list = []
         self._chunks_buffered = 0
         self._runs_emitted = 0
 
     def _flush_run(self, ctx: NodeContext) -> SortRun:
+        from repro.agd.compression import leveled_codec
         from repro.agd.records import record_type_for_column
         from repro.core.sort import sort_rows_task
 
@@ -517,15 +527,22 @@ class SortRunNode(Node):
         # the whole group (splitting it would change the algorithm);
         # cross-run parallelism comes from the stages up- and downstream
         # of this kernel running concurrently.
+        from repro.core.sort import metadata_row_index
+
         [rows] = backend.run_chunk(
-            sort_rows_task, [(self.order, self._rows)], shared=ctx.resources
+            sort_rows_task,
+            [(self.order, self._rows, self.vectorized,
+              metadata_row_index(self.ordered_columns))],
+            shared=ctx.resources,
         )
         entry = ChunkEntry(f"superchunk-{self._runs_emitted}", 0, len(rows))
+        codec = leveled_codec("gzip", self.scratch_codec_level)
         for c_index, column in enumerate(self.ordered_columns):
             records = [row[c_index] for row in rows]
             self.scratch.put(
                 entry.chunk_file(column),
-                write_chunk(records, record_type_for_column(column)),
+                write_chunk(records, record_type_for_column(column),
+                            codec=codec),
             )
         run = SortRun(entry=entry, index=self._runs_emitted)
         self._runs_emitted += 1
@@ -555,6 +572,15 @@ class SuperchunkMergeNode(Node):
     following dupmark/varcall stage starts while later chunks are still
     being merged.  After the run, :attr:`manifest` describes the sorted
     dataset (identical to ``sort_dataset``'s).
+
+    With ``merge_partitions >= 2`` (and a ``backend_handle``), the merge
+    itself runs as partitioned key-range kernels dispatched through the
+    execution backend — phase 2 of the external sort finally parallel —
+    with output bytes identical to the single-kernel merge.  The trade:
+    partitioned merging holds every decoded run in memory and emits
+    only after all partitions finish, where the single-kernel
+    ``heapq.merge`` streams chunks downstream as it goes — which is why
+    the auto default partitions only on multi-worker backends.
     """
 
     def __init__(
@@ -568,6 +594,9 @@ class SuperchunkMergeNode(Node):
         out_chunk_size: int,
         reference: "list[dict] | None" = None,
         name: str = "sort_merge",
+        backend_handle: "str | None" = None,
+        merge_partitions: int = 1,
+        output_codec_level: "int | None" = None,
     ):
         super().__init__(name, parallelism=1)
         if out_chunk_size <= 0:
@@ -580,6 +609,9 @@ class SuperchunkMergeNode(Node):
         self.dataset_name = dataset_name
         self.out_chunk_size = out_chunk_size
         self.reference = reference or []
+        self.backend_handle = backend_handle
+        self.merge_partitions = merge_partitions
+        self.output_codec_level = output_codec_level
         self._runs: list[SortRun] = []
         self.entries: list[ChunkEntry] = []
         self.manifest: "Manifest | None" = None
@@ -592,18 +624,28 @@ class SuperchunkMergeNode(Node):
         # A generator: chunks are written and emitted one at a time, so
         # downstream stages consume under queue flow control while the
         # merge is still running.
-        return self._merge_and_emit()
+        backend = None
+        if self.backend_handle is not None and self.merge_partitions >= 2:
+            backend = ctx.backend(self.backend_handle)
+        return self._merge_and_emit(backend)
 
-    def _merge_and_emit(self):
+    def _merge_and_emit(self, backend=None):
+        from repro.agd.compression import DEFAULT_CODEC, leveled_codec
         from repro.core.sort import build_sorted_manifest, iter_merged_chunks
 
         runs = [
             [run.entry]
             for run in sorted(self._runs, key=lambda r: r.index)
         ]
+        out_codec = (
+            DEFAULT_CODEC if self.output_codec_level is None
+            else leveled_codec("gzip", self.output_codec_level)
+        )
         for entry, columns in iter_merged_chunks(
             self.scratch, runs, self.ordered_columns, self.order,
             self.out_chunk_size, self.dataset_name, self.output_store,
+            backend=backend, merge_partitions=self.merge_partitions,
+            out_codec=out_codec,
         ):
             self.entries.append(entry)
             yield ChunkWorkItem(entry=entry, columns=columns)
@@ -631,7 +673,9 @@ class DupmarkNode(Node):
         subchunk_size: int = 512,
         name: str = "dupmark",
         stats: "object | None" = None,
+        vectorized: bool = True,
     ):
+        from repro.core.columnar import DuplicateTracker
         from repro.core.dupmark import DupmarkStats
 
         super().__init__(name, parallelism=1)
@@ -640,16 +684,14 @@ class DupmarkNode(Node):
         self.store = store
         self.backend_handle = backend_handle
         self.subchunk_size = subchunk_size
+        self.vectorized = vectorized
         # Not ``stats`` — that's the base Node's runtime NodeStats.
         self.dup_stats = stats if stats is not None else DupmarkStats()
         self._seen: set = set()
+        self._tracker = DuplicateTracker()
 
-    def process(self, item: ChunkWorkItem, ctx: NodeContext):
-        from repro.agd.records import record_type_for_column
-        from repro.align.result import FLAG_DUPLICATE
-        from repro.core.dupmark import results_signatures_task, scan_signatures
-
-        records = _item_results(item)
+    def _scan(self, records, ctx: NodeContext) -> "list[int]":
+        """Signature extraction (fanned out) + the sequential seen pass."""
         backend = ctx.backend(self.backend_handle)
         # Subchunk payloads so signature extraction fans out across the
         # backend's workers (one payload per chunk would serialize it).
@@ -657,6 +699,22 @@ class DupmarkNode(Node):
             records[start:start + self.subchunk_size]
             for start in range(0, len(records), self.subchunk_size)
         ]
+        if self.vectorized:
+            import numpy as np
+
+            from repro.core.columnar import results_signature_arrays_task
+
+            parts = backend.run_chunk(
+                results_signature_arrays_task, payloads,
+                shared=ctx.resources,
+            )
+            if not parts:
+                return []
+            sig_arr = np.concatenate([p[0] for p in parts])
+            valid = np.concatenate([p[1] for p in parts])
+            return self._tracker.scan(sig_arr, valid, self.dup_stats)
+        from repro.core.dupmark import results_signatures_task, scan_signatures
+
         sigs = [
             sig
             for sub in backend.run_chunk(
@@ -664,7 +722,14 @@ class DupmarkNode(Node):
             )
             for sig in sub
         ]
-        dup_positions = scan_signatures(sigs, self._seen, self.dup_stats)
+        return scan_signatures(sigs, self._seen, self.dup_stats)
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        from repro.agd.records import record_type_for_column
+        from repro.align.result import FLAG_DUPLICATE
+
+        records = _item_results(item)
+        dup_positions = self._scan(records, ctx)
         updated: "list | None" = None
         if dup_positions:
             updated = list(records)
@@ -702,6 +767,7 @@ class VarCallNode(Node):
         backend_handle: str = "executor",
         subchunk_size: int = 512,
         name: str = "varcall",
+        vectorized: bool = True,
     ):
         from collections import defaultdict
 
@@ -714,12 +780,12 @@ class VarCallNode(Node):
         self.config = config if config is not None else VarCallConfig()
         self.backend_handle = backend_handle
         self.subchunk_size = subchunk_size
+        self.vectorized = vectorized
         self._columns: dict = defaultdict(PileupColumn)
+        self._pile: dict = {}
         self.variants: "list | None" = None
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
-        from repro.core.varcall import merge_pileups, pileup_chunk_task
-
         results = _item_results(item)
         bases = item.columns["bases"]
         quals = item.columns["qual"]
@@ -735,13 +801,60 @@ class VarCallNode(Node):
             for start in range(0, len(results), self.subchunk_size)
         ]
         backend = ctx.backend(self.backend_handle)
-        for partial in backend.run_chunk(
-            pileup_chunk_task, payloads, shared=ctx.resources
-        ):
-            merge_pileups(self._columns, partial)
+        chunk_done = False
+        if self.vectorized:
+            from repro.core.columnar import (
+                ColumnarFallback,
+                merge_pileup_partials,
+                pileup_chunk_arrays_task,
+            )
+
+            try:
+                partials = backend.run_chunk(
+                    pileup_chunk_arrays_task, payloads, shared=ctx.resources
+                )
+                # Accumulate the chunk locally first: if anything here
+                # raises ColumnarFallback, self._pile is untouched and
+                # the scalar path below reprocesses the whole chunk
+                # exactly once (the final merge validates before it
+                # mutates, so it cannot fail halfway either).
+                chunk_pile: dict = {}
+                for partial in partials:
+                    merge_pileup_partials(chunk_pile, partial)
+                merge_pileup_partials(self._pile, chunk_pile)
+                chunk_done = True
+            except ColumnarFallback:
+                self._demote_to_scalar()
+        if not chunk_done:
+            from repro.core.varcall import merge_pileups, pileup_chunk_task
+
+            for partial in backend.run_chunk(
+                pileup_chunk_task, payloads, shared=ctx.resources
+            ):
+                merge_pileups(self._columns, partial)
         return [item] if self.output is not None else None
 
+    def _demote_to_scalar(self) -> None:
+        """Switch to the scalar reference mid-stream (input the columnar
+        encoding cannot represent); accumulated partials convert over,
+        so nothing already piled is lost or double-counted."""
+        if not self.vectorized:
+            return
+        from repro.core.columnar import pileup_to_columns
+        from repro.core.varcall import merge_pileups
+
+        self.vectorized = False
+        merge_pileups(self._columns, pileup_to_columns(self._pile))
+        self._pile = {}
+
     def finalize(self, ctx: NodeContext):
+        if self.vectorized:
+            from repro.core.columnar import call_from_pileup_arrays
+
+            self.variants = call_from_pileup_arrays(
+                self._pile, self.reference, self.config
+            )
+            return None
         from repro.core.varcall import call_from_pileup
 
         self.variants = call_from_pileup(

@@ -328,6 +328,8 @@ def run_pipeline(
     batch_size: "int | None" = None,
     session_timeout: "float | None" = None,
     name: str = "pipeline",
+    vectorized: bool = True,
+    queue_sample_interval: "float | None" = 0.02,
 ) -> PipelineOutcome:
     """Run several workload stages as ONE streaming dataflow graph.
 
@@ -354,6 +356,14 @@ def run_pipeline(
     ``session_timeout`` defaults to None (no deadline): unlike the
     single-stage calls, one budget here covers every fused stage, so a
     fixed cap would abort workloads whose individual stages are fine.
+
+    ``vectorized`` selects the columnar numpy fast path for the sort,
+    dupmark, and varcall kernels (the default; False runs the scalar
+    reference path — outputs are identical).  ``queue_sample_interval``
+    samples every queue's depth on that period during the run; the
+    per-stage traces land in ``report["queue_trace"]`` and each stage's
+    ``stage_report`` entry (§4.6's "current queue states").  None
+    disables sampling.
     """
     stages = tuple(stages)
     _validate_stages(stages)
@@ -402,11 +412,21 @@ def run_pipeline(
                     config=config, extra_columns=extra,
                 ))
             elif stage == "sort":
+                # A caller-supplied SortConfig keeps its own vectorized
+                # choice; the pipeline-wide flag fills the default and
+                # acts as a force-scalar master switch.
+                if sort_config is None:
+                    stage_sort_config = SortConfig(vectorized=vectorized)
+                elif not vectorized and sort_config.vectorized:
+                    stage_sort_config = replace(sort_config,
+                                                vectorized=False)
+                else:
+                    stage_sort_config = sort_config
                 sort_stage = build_sort_graph(
                     manifest,
                     sort_store,
                     input_store=dataset.store if head else None,
-                    config=sort_config,
+                    config=stage_sort_config,
                     columns=(columns_after_align if "align" in stages
                              else None),
                     scratch_store=scratch_store,
@@ -429,6 +449,7 @@ def run_pipeline(
                     columns=(("results", "bases", "qual")
                              if "varcall" in stages else ("results",)),
                     backend=backend_obj,
+                    vectorized=vectorized,
                 )
                 built.append(dupmark_stage)
             elif stage == "varcall":
@@ -438,6 +459,7 @@ def run_pipeline(
                     input_store=dataset.store if head else None,
                     config=varcall_config,
                     backend=backend_obj,
+                    vectorized=vectorized,
                 )
                 built.append(varcall_stage)
             previous = stage
@@ -445,7 +467,8 @@ def run_pipeline(
         for stage_graph in built:
             pipeline.add(stage_graph)
         composed = pipeline.build()
-        result = composed.run(timeout=session_timeout)
+        result = composed.run(timeout=session_timeout,
+                              queue_sample_interval=queue_sample_interval)
     finally:
         for stage_graph in built:
             stage_graph.close()

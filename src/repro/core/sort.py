@@ -10,19 +10,41 @@ Sorting reorders *rows*, so all row-grouped columns move together; but —
 unlike row-oriented SAM/BAM sorting — only the key column plus compact
 row payloads travel through the sort, and records never leave their
 columnar encoding (Table 2's advantage).
+
+Two fast paths ride on the columnar layout (scalar reference paths
+remain and are equivalence-tested):
+
+* run sorts extract keys into numpy arrays and apply one stable
+  ``np.argsort`` permutation instead of a tuple-comparison ``list.sort``
+  (:func:`repro.core.columnar.row_sort_permutation`);
+* phase 2 can run as several *partitioned* merge kernels — the packed
+  key space is split into contiguous ranges (per-contig ranges for
+  location order), each range merged by an independent backend task, and
+  the ranges concatenated in key order.  Output bytes are identical to
+  the single-kernel ``heapq.merge``.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.agd.chunk import read_chunk, write_chunk
+from repro.agd.compression import (
+    DEFAULT_CODEC,
+    SCRATCH_CODEC_LEVEL,
+    Codec,
+    leveled_codec,
+)
 from repro.agd.dataset import AGDDataset
 from repro.agd.manifest import ChunkEntry, Manifest
 from repro.agd.records import record_type_for_column
 from repro.align.result import AlignmentResult
+from repro.core.columnar import row_sort_keys, row_sort_permutation
 from repro.storage.base import ChunkStore, MemoryStore
 
 
@@ -33,10 +55,59 @@ class SortConfig:
     chunks_per_superchunk: int = 4
     output_chunk_size: "int | None" = None  # default: input chunk size
     order: str = "location"  # or "metadata"
+    #: Compression level for superchunk spills (gzip).  Scratch blobs are
+    #: read back exactly once, so the default is the cheap level 1.
+    scratch_codec_level: int = SCRATCH_CODEC_LEVEL
+    #: Compression level for the sorted output chunks (None = default
+    #: codec, gzip level 6).
+    output_codec_level: "int | None" = None
+    #: Partitioned phase-2 merge kernels.  None = auto: one kernel per
+    #: backend worker when a *multi-worker* backend is supplied, else
+    #: the single-kernel streaming ``heapq.merge`` (partitioning trades
+    #: streamed emission for parallel merge compute, so it only pays
+    #: when workers can actually overlap).  Requires ``vectorized``.
+    merge_partitions: "int | None" = None
+    #: Use the numpy fast path for run sorts and the partitioned merge.
+    #: False forces the scalar reference implementation everywhere.
+    vectorized: bool = True
+
+    def scratch_codec(self) -> Codec:
+        return leveled_codec("gzip", self.scratch_codec_level)
+
+    def output_codec(self) -> "Codec":
+        if self.output_codec_level is None:
+            return DEFAULT_CODEC
+        return leveled_codec("gzip", self.output_codec_level)
+
+    def resolve_merge_partitions(self, backend) -> int:
+        """Number of phase-2 merge kernels for a given backend.
+
+        Auto partitions only on multi-worker backends that share the
+        caller's memory (the thread backend): partition payloads are
+        whole row slices, so a process pool would round-trip the full
+        dataset through IPC — still correct, but only worth paying when
+        asked for explicitly via ``merge_partitions``.
+        """
+        if not self.vectorized or backend is None:
+            return 1
+        if self.merge_partitions is not None:
+            return max(1, self.merge_partitions)
+        workers = getattr(backend, "workers", 1)
+        if workers > 1 and getattr(backend, "shares_caller_memory", True):
+            return workers
+        return 1
 
 
-def sort_key_for(order: str) -> Callable:
-    """Key extractor over a row tuple (results, metadata, ...)."""
+def sort_key_for(order: str, meta_index: int = 1) -> Callable:
+    """Key extractor over a row tuple.
+
+    Rows are laid out key-first by :func:`_key_first_columns`: the
+    results column (location keys) is always row position 0 when
+    present; the metadata column sits at ``meta_index`` — 1 when a
+    results column leads the row, 0 for datasets without one (use
+    :func:`metadata_row_index` to derive it; the historical default of
+    1 silently keyed on the wrong column for results-less datasets).
+    """
     if order == "location":
         def location_key(row: tuple) -> tuple:
             result: AlignmentResult = row[0]
@@ -44,9 +115,32 @@ def sort_key_for(order: str) -> Callable:
         return location_key
     if order == "metadata":
         def metadata_key(row: tuple) -> bytes:
-            return row[1]
+            return row[meta_index]
         return metadata_key
     raise ValueError(f"unknown sort order {order!r} (location|metadata)")
+
+
+def metadata_row_index(ordered_columns: "list[str]") -> int:
+    """Row position of the metadata column in key-first row tuples."""
+    try:
+        return ordered_columns.index("metadata")
+    except ValueError:
+        return 1
+
+
+def _sorted_rows(
+    order: str, rows: "list[tuple]", vectorized: bool, meta_index: int = 1
+) -> list:
+    """Sort rows by the configured order — numpy permutation fast path,
+    scalar ``list.sort`` reference (also the fallback for unpackable
+    keys).  Both are stable, so output order is identical."""
+    if vectorized:
+        perm = row_sort_permutation(order, rows, meta_index)
+        if perm is not None:
+            return [rows[i] for i in perm]
+    rows = list(rows)
+    rows.sort(key=sort_key_for(order, meta_index))
+    return rows
 
 
 def sort_run_task(shared, payload) -> "dict[str, bytes]":
@@ -58,18 +152,23 @@ def sort_run_task(shared, payload) -> "dict[str, bytes]":
     returned blobs to the scratch store (worker processes must not touch
     caller-side stores).
     """
-    order, ordered_columns, chunk_blobs = payload
-    key_fn = sort_key_for(order)
+    order, ordered_columns, chunk_blobs, *rest = payload
+    scratch_level = rest[0] if rest else SCRATCH_CODEC_LEVEL
+    vectorized = rest[1] if len(rest) > 1 else True
     rows: list[tuple] = []
     for blobs in chunk_blobs:
         column_data = [read_chunk(blobs[column]).records
                        for column in ordered_columns]
         rows.extend(zip(*column_data))
-    rows.sort(key=key_fn)
+    rows = _sorted_rows(order, rows, vectorized,
+                        metadata_row_index(ordered_columns))
+    codec = leveled_codec("gzip", scratch_level)
     out: dict[str, bytes] = {}
     for c_index, column in enumerate(ordered_columns):
         records = [row[c_index] for row in rows]
-        out[column] = write_chunk(records, record_type_for_column(column))
+        out[column] = write_chunk(
+            records, record_type_for_column(column), codec=codec
+        )
     return out
 
 
@@ -78,13 +177,33 @@ def sort_rows_task(shared, payload) -> "list[tuple]":
 
     The streaming sort-run kernel uses this when rows arrived through a
     pipeline queue (no blobs to decode); :func:`sort_run_task` is the
-    from-blob variant the eager path fans out.  ``list.sort`` is stable,
-    so output is identical to sorting the same rows anywhere else.
+    from-blob variant the eager path fans out.  Both the numpy
+    permutation and the scalar ``list.sort`` are stable, so output is
+    identical to sorting the same rows anywhere else.
     """
-    order, rows = payload
-    rows = list(rows)
-    rows.sort(key=sort_key_for(order))
-    return rows
+    order, rows, *rest = payload
+    vectorized = rest[0] if rest else True
+    meta_index = rest[1] if len(rest) > 1 else 1
+    return _sorted_rows(order, list(rows), vectorized, meta_index)
+
+
+def merge_partition_task(shared, payload) -> "list[tuple]":
+    """Backend task: merge one key-range partition of the sorted runs.
+
+    ``payload`` carries, per run, the slice of rows whose keys fall in
+    this partition's key range.  Each slice is already sorted, so a
+    stable argsort over the concatenation (ties keep run order — exactly
+    ``heapq.merge``'s tie-break) reproduces the k-way merge for this
+    range; partitions concatenated in key order equal the full merge.
+    """
+    order, rows_slices, *rest = payload
+    meta_index = rest[0] if rest else 1
+    flat = [row for rows in rows_slices for row in rows]
+    perm = row_sort_permutation(order, flat, meta_index)
+    if perm is None:
+        return list(heapq.merge(*rows_slices,
+                                key=sort_key_for(order, meta_index)))
+    return [flat[i] for i in perm]
 
 
 def sort_dataset(
@@ -101,8 +220,11 @@ def sort_dataset(
     store.  Phase 2 k-way-merges the runs and emits final chunks.
 
     ``backend`` (a :class:`~repro.dataflow.backends.Backend`) fans the
-    independent phase-1 run sorts out across workers; ``None`` keeps the
-    sequential path.
+    independent phase-1 run sorts out across workers and — with the
+    vectorized fast path — splits phase 2 into partitioned merge kernels
+    (see :data:`SortConfig.merge_partitions`); ``None`` keeps the
+    sequential single-kernel path.  Output bytes are identical either
+    way.
     """
     config = config or SortConfig()
     if config.chunks_per_superchunk <= 0:
@@ -111,11 +233,11 @@ def sort_dataset(
     columns = list(manifest.columns)
     if config.order == "location" and "results" not in columns:
         raise ValueError("location sort needs a results column; align first")
-    key_fn = sort_key_for(config.order)
     scratch = scratch_store if scratch_store is not None else MemoryStore()
     # Row layout: (results, metadata, bases, qual, <extra...>) so the key
     # function can address results/metadata positionally.
     ordered_columns = _key_first_columns(columns)
+    key_fn = sort_key_for(config.order, metadata_row_index(ordered_columns))
 
     # ---------------------------------------------------- phase 1: runs
     groups: list[list[int]] = [
@@ -127,7 +249,7 @@ def sort_dataset(
     if backend is None:
         runs = [
             _write_run(dataset, group, ordered_columns, key_fn,
-                       scratch, run_index)
+                       scratch, run_index, config)
             for run_index, group in enumerate(groups)
         ]
     else:
@@ -143,6 +265,8 @@ def sort_dataset(
                      for column in ordered_columns}
                     for i in group
                 ],
+                config.scratch_codec_level,
+                config.vectorized,
             )
 
         # Waved dispatch keeps the external sort's bounded memory: only
@@ -170,12 +294,101 @@ def sort_dataset(
         for entry, _columns in iter_merged_chunks(
             scratch, runs, ordered_columns, config.order,
             out_chunk_size, manifest.name, output_store,
+            backend=backend,
+            merge_partitions=config.resolve_merge_partitions(backend),
+            out_codec=config.output_codec(),
         )
     ]
     sorted_manifest = build_sorted_manifest(
         manifest.name, columns, entries, manifest.reference, config.order
     )
     return AGDDataset(sorted_manifest, output_store)
+
+
+def _partition_bounds(
+    key_arrays: "list[np.ndarray]", partitions: int
+) -> "list[list[tuple[int, int]]]":
+    """Split the key space into ``<= partitions`` contiguous ranges.
+
+    Boundary keys are drawn from the global sorted key distribution so
+    ranges carry roughly equal row counts; for location order the packed
+    keys put the contig in the high bits, so ranges are per-contig-range
+    splits whenever contigs dominate the distribution.  Equal keys never
+    straddle a boundary (``searchsorted`` side="left" on every run), so
+    each partition is a self-contained merge.
+    """
+    if key_arrays and key_arrays[0].dtype.kind == "S":
+        width = max(a.dtype.itemsize for a in key_arrays)
+        key_arrays = [a.astype(f"S{width}") for a in key_arrays]
+    total = sum(a.size for a in key_arrays)
+    if total == 0 or partitions <= 1:
+        return [[(0, a.size) for a in key_arrays]]
+    merged = np.sort(np.concatenate(key_arrays), kind="stable")
+    boundaries = []
+    for k in range(1, partitions):
+        b = merged[(total * k) // partitions]
+        if not boundaries or b != boundaries[-1]:
+            boundaries.append(b)
+    bounds: list[list[tuple[int, int]]] = []
+    lows = [0] * len(key_arrays)
+    for b in boundaries:
+        part = []
+        for r, keys in enumerate(key_arrays):
+            hi = int(np.searchsorted(keys, b, side="left"))
+            part.append((lows[r], hi))
+            lows[r] = hi
+        bounds.append(part)
+    bounds.append([(lows[r], a.size) for r, a in enumerate(key_arrays)])
+    return bounds
+
+
+def _merged_row_iter(
+    scratch: ChunkStore,
+    runs: "list[list[ChunkEntry]]",
+    ordered_columns: "list[str]",
+    order: str,
+    backend,
+    merge_partitions: int,
+):
+    """Rows of all runs in globally sorted order.
+
+    Partitioned path: decode each run once, slice it at shared key-range
+    boundaries, and dispatch one :func:`merge_partition_task` per range
+    through the backend; chaining the ranges in key order reproduces the
+    single-kernel merge exactly.  Falls back to ``heapq.merge`` when no
+    backend is given, a single partition is requested, or the keys are
+    not packable.
+    """
+    meta_index = metadata_row_index(ordered_columns)
+    if backend is None or merge_partitions <= 1 or not runs:
+        streams = [
+            _RunReader(scratch, run_entries, ordered_columns)
+            for run_entries in runs
+        ]
+        return heapq.merge(*streams, key=sort_key_for(order, meta_index))
+    run_rows: list[list[tuple]] = []
+    key_arrays: list[np.ndarray] = []
+    packable = True
+    for run_entries in runs:
+        rows = list(_RunReader(scratch, run_entries, ordered_columns))
+        run_rows.append(rows)
+        if packable:
+            keys = row_sort_keys(order, rows, meta_index)
+            if keys is None:
+                packable = False
+            else:
+                key_arrays.append(keys)
+    if not packable:
+        return heapq.merge(*run_rows, key=sort_key_for(order, meta_index))
+    bounds = _partition_bounds(key_arrays, merge_partitions)
+    payloads = [
+        (order,
+         [rows[lo:hi] for rows, (lo, hi) in zip(run_rows, part)],
+         meta_index)
+        for part in bounds
+    ]
+    results = backend.run_chunk(merge_partition_task, payloads)
+    return itertools.chain.from_iterable(results)
 
 
 def iter_merged_chunks(
@@ -186,20 +399,23 @@ def iter_merged_chunks(
     out_chunk_size: int,
     dataset_name: str,
     output_store: ChunkStore,
+    backend=None,
+    merge_partitions: int = 1,
+    out_codec: "Codec | str" = DEFAULT_CODEC,
 ):
-    """Phase 2 of the external sort: k-way merge sorted runs and write
-    final chunks; yields ``(entry, columns)`` per chunk written.
+    """Phase 2 of the external sort: merge sorted runs and write final
+    chunks; yields ``(entry, columns)`` per chunk written.
 
     Shared by the eager :func:`sort_dataset` and the streaming
     :class:`~repro.core.ops.SuperchunkMergeNode` so the two paths'
-    chunk naming, ordinals, and bytes cannot drift apart.
+    chunk naming, ordinals, and bytes cannot drift apart.  With a
+    ``backend`` and ``merge_partitions >= 2`` the merge itself runs as
+    partitioned kernels (see :func:`_merged_row_iter`); chunk emission
+    is unchanged either way.
     """
-    key_fn = sort_key_for(order)
-    streams = [
-        _RunReader(scratch, run_entries, ordered_columns)
-        for run_entries in runs
-    ]
-    merged = heapq.merge(*streams, key=key_fn)
+    merged = _merged_row_iter(
+        scratch, runs, ordered_columns, order, backend, merge_partitions
+    )
     sorted_name = f"{dataset_name}-sorted"
     buffer: list[tuple] = []
     total = 0
@@ -217,6 +433,7 @@ def iter_merged_chunks(
                 records,
                 record_type_for_column(column),
                 first_ordinal=entry.first_ordinal,
+                codec=out_codec,
             )
             output_store.put(entry.chunk_file(column), blob)
             out_columns[column] = records
@@ -268,8 +485,10 @@ def _write_run(
     key_fn: Callable,
     scratch: ChunkStore,
     run_index: int,
+    config: "SortConfig | None" = None,
 ) -> list[ChunkEntry]:
     """Sort a group of chunks into one superchunk (a sorted run)."""
+    config = config or SortConfig()
     rows: list[tuple] = []
     for chunk_index in chunk_indices:
         column_data = [
@@ -277,12 +496,15 @@ def _write_run(
             for column in ordered_columns
         ]
         rows.extend(zip(*column_data))
-    rows.sort(key=key_fn)
+    rows = _sorted_rows(config.order, rows, config.vectorized,
+                        metadata_row_index(ordered_columns))
     # A superchunk is stored as one jumbo chunk per column.
     entry = ChunkEntry(f"superchunk-{run_index}", 0, len(rows))
+    codec = config.scratch_codec()
     for c_index, column in enumerate(ordered_columns):
         records = [row[c_index] for row in rows]
-        blob = write_chunk(records, record_type_for_column(column))
+        blob = write_chunk(records, record_type_for_column(column),
+                           codec=codec)
         scratch.put(entry.chunk_file(column), blob)
     return [entry]
 
@@ -311,8 +533,8 @@ class _RunReader:
 
 def verify_sorted(dataset: AGDDataset, order: str = "location") -> bool:
     """Check a dataset's rows are in the claimed order (test helper)."""
-    key_fn = sort_key_for(order)
     ordered_columns = _key_first_columns(list(dataset.manifest.columns))
+    key_fn = sort_key_for(order, metadata_row_index(ordered_columns))
     previous = None
     for chunk_index in range(dataset.num_chunks):
         column_data = [

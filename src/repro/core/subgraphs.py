@@ -512,6 +512,8 @@ def build_sort_graph(
             scratch,
             backend_handle,
             chunks_per_superchunk=config.chunks_per_superchunk,
+            scratch_codec_level=config.scratch_codec_level,
+            vectorized=config.vectorized,
         ),
         input=q_ordered,
         output=q_runs,
@@ -526,6 +528,9 @@ def build_sort_graph(
         manifest.name,
         out_chunk_size,
         reference=manifest.reference,
+        backend_handle=backend_handle,
+        merge_partitions=config.resolve_merge_partitions(backend_obj),
+        output_codec_level=config.output_codec_level,
     )
     g.add(merge, input=q_runs, output=q_sorted)
     return StageGraph(
@@ -546,6 +551,7 @@ def build_dupmark_graph(
     reader_nodes: int = 2,
     parser_nodes: int = 2,
     stage_name: str = "dupmark",
+    vectorized: bool = True,
 ) -> StageGraph:
     """Samblaster-style duplicate marking (§5.6) as a dataflow stage.
 
@@ -598,7 +604,7 @@ def build_dupmark_graph(
         inlet = q_ordered
 
     q_out = g.queue("stage_out", 2)
-    node = DupmarkNode(store, backend_handle)
+    node = DupmarkNode(store, backend_handle, vectorized=vectorized)
     g.add(node, input=inlet, output=q_out)
     return StageGraph(
         name=stage_name, graph=g, source=source, sink=q_out,
@@ -617,6 +623,7 @@ def build_varcall_graph(
     reader_nodes: int = 2,
     parser_nodes: int = 2,
     stage_name: str = "varcall",
+    vectorized: bool = True,
 ) -> StageGraph:
     """Pileup SNP calling (§2.1) as a terminal dataflow stage.
 
@@ -656,7 +663,8 @@ def build_varcall_graph(
         inlet = g.queue("stage_in", 4)
         source = inlet
 
-    node = VarCallNode(reference, config=config, backend_handle=backend_handle)
+    node = VarCallNode(reference, config=config,
+                       backend_handle=backend_handle, vectorized=vectorized)
     g.add(node, input=inlet)
     return StageGraph(
         name=stage_name, graph=g, source=source, sink=None,
@@ -679,8 +687,14 @@ class ComposedPipeline:
                 return st
         raise KeyError(f"no stage {name!r} in pipeline {self.name!r}")
 
-    def run(self, timeout: "float | None" = None) -> SessionResult:
-        return Session(self.graph).run(timeout=timeout)
+    def run(
+        self,
+        timeout: "float | None" = None,
+        queue_sample_interval: "float | None" = None,
+    ) -> SessionResult:
+        return Session(
+            self.graph, queue_sample_interval=queue_sample_interval
+        ).run(timeout=timeout)
 
     def close(self, wait: bool = True) -> None:
         for st in self.stages:

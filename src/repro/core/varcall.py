@@ -121,6 +121,10 @@ def pileup_dataset(
 ) -> "dict[tuple[int, int], PileupColumn]":
     """Build pileup columns over an aligned (ideally sorted) dataset.
 
+    This is the *scalar reference* implementation (dict-of-Counter
+    columns); :func:`pileup_dataset_arrays` is the vectorized fast path
+    that :func:`call_variants` uses by default.
+
     ``backend`` (a :class:`~repro.dataflow.backends.Backend`) fans the
     per-chunk pileups out across workers; ``None`` keeps the sequential
     path.  Results are identical either way — merging is commutative.
@@ -153,6 +157,54 @@ def pileup_dataset(
             columns,
         )
     return columns
+
+
+def pileup_dataset_arrays(
+    dataset: AGDDataset,
+    config: "VarCallConfig | None" = None,
+    backend=None,
+) -> dict:
+    """Vectorized pileup over a dataset: columns decode straight into
+    numpy arrays and accumulate into per-contig ``(positions,
+    base-count)`` arrays (:mod:`repro.core.columnar`).
+
+    Returns a pileup partial dict (contig -> arrays); merging is
+    commutative, so per-chunk partials fan out across any backend with
+    results identical to the sequential pass — and, via
+    :func:`repro.core.columnar.pileup_to_columns`, identical to the
+    scalar reference.  Raises
+    :class:`~repro.core.columnar.ColumnarFallback` when the input
+    cannot use the columnar encoding (non-ACGTN base bytes, sparse-and-
+    wide coverage) — :func:`call_variants` catches it and reruns the
+    scalar path."""
+    from repro.core.columnar import merge_pileup_partials, pileup_blobs_task
+
+    config = config or VarCallConfig()
+    pile: dict = {}
+
+    def chunk_payload(chunk_index: int):
+        entry = dataset.manifest.chunks[chunk_index]
+        return (
+            config,
+            dataset.store.get(entry.chunk_file("results")),
+            dataset.store.get(entry.chunk_file("bases")),
+            dataset.store.get(entry.chunk_file("qual")),
+        )
+
+    if backend is not None:
+        from repro.dataflow.backends import run_in_waves
+
+        for _index, _payload, partial in run_in_waves(
+            backend, pileup_blobs_task, range(dataset.num_chunks),
+            chunk_payload,
+        ):
+            merge_pileup_partials(pile, partial)
+        return pile
+    for chunk_index in range(dataset.num_chunks):
+        merge_pileup_partials(
+            pile, pileup_blobs_task(None, chunk_payload(chunk_index))
+        )
+    return pile
 
 
 def call_from_pileup(
@@ -205,12 +257,27 @@ def call_variants(
     reference: ReferenceGenome,
     config: "VarCallConfig | None" = None,
     backend=None,
+    vectorized: bool = True,
 ) -> list[VariantRecord]:
     """Call SNPs against the reference; returns VCF records in order.
 
     ``backend`` fans the pileup phase out per chunk (the calling pass
     itself is a cheap sorted sweep and stays on the caller).
+    ``vectorized`` selects the numpy fast path (the default); the scalar
+    reference path produces byte-identical VCF output and remains the
+    ground truth the fast path is equivalence-tested against.
     """
     config = config or VarCallConfig()
+    if vectorized:
+        from repro.core.columnar import ColumnarFallback, call_from_pileup_arrays
+
+        try:
+            pile = pileup_dataset_arrays(dataset, config, backend=backend)
+            return call_from_pileup_arrays(pile, reference, config)
+        except ColumnarFallback:
+            # Input the columnar encoding cannot represent exactly (e.g.
+            # lowercase/IUPAC base bytes) or efficiently (sparse-and-wide
+            # coverage): rerun on the scalar reference path.
+            pass
     columns = pileup_dataset(dataset, config, backend=backend)
     return call_from_pileup(columns, reference, config)

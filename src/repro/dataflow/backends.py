@@ -52,7 +52,37 @@ BACKEND_CHOICES = ("serial", "thread", "process")
 #: and pipe round-trips; one subchunk payload is typically a few KB).
 DEFAULT_BATCH_SIZE = 4
 
+#: Byte budget per IPC batch.  Batching exists to amortize per-message
+#: overhead for *small* payloads; vectorized kernels ship large array or
+#: blob payloads where grouping only adds latency and peak memory, so a
+#: batch closes early once it holds this many estimated bytes.
+DEFAULT_BATCH_BYTES = 1 << 20
+
 TaskFn = Callable[[Mapping[str, Any], Any], Any]
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Estimated serialized size of a task payload.
+
+    Counts the dominant bulk carriers (numpy arrays, byte strings, and
+    their containers); scalars and small objects round to a nominal
+    cost.  This is a *batching heuristic*, not an exact pickle size.
+    """
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload)
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:  # numpy arrays (and anything array-like)
+        return int(nbytes)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return 16 + sum(payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(
+            payload_nbytes(k) + payload_nbytes(v)
+            for k, v in payload.items()
+        )
+    return 64
 
 
 class Backend(abc.ABC):
@@ -335,6 +365,7 @@ class ProcessBackend(Backend):
         name: str = "process-backend",
         start_method: "str | None" = None,
         busy_counter: "BusyCounter | None" = None,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
     ):
         super().__init__()
         if workers is None:
@@ -343,12 +374,43 @@ class ProcessBackend(Backend):
             raise ValueError("process backend needs at least one worker")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if batch_bytes <= 0:
+            raise ValueError("batch_bytes must be positive")
         self.workers = workers
         self.batch_size = batch_size
+        self.batch_bytes = batch_bytes
         self.start_method = resolve_start_method(start_method)
         self._pool = None
         self._pool_lock = threading.Lock()
         self._busy_counter = busy_counter
+
+    def _make_batches(self, payloads: Sequence[Any]) -> "list[list[Any]]":
+        """Group payloads into IPC batches, size- and byte-bounded.
+
+        Small payloads group up to ``batch_size`` per message (amortizing
+        pickling and pipe round-trips); a batch also closes once its
+        estimated bytes reach ``batch_bytes``, so large array/blob
+        payloads from vectorized kernels ship one (or few) per message
+        and start executing immediately instead of queueing behind their
+        batch-mates.
+        """
+        batches: list[list[Any]] = []
+        current: list[Any] = []
+        current_bytes = 0
+        for payload in payloads:
+            size = payload_nbytes(payload)
+            if current and (
+                len(current) >= self.batch_size
+                or current_bytes + size > self.batch_bytes
+            ):
+                batches.append(current)
+                current = []
+                current_bytes = 0
+            current.append(payload)
+            current_bytes += size
+        if current:
+            batches.append(current)
+        return batches
 
     # ----------------------------------------------------------- pool mgmt
 
@@ -397,10 +459,7 @@ class ProcessBackend(Backend):
         if not payloads:
             return []
         pool = self._ensure_pool()
-        batches = [
-            list(payloads[start:start + self.batch_size])
-            for start in range(0, len(payloads), self.batch_size)
-        ]
+        batches = self._make_batches(payloads)
         batch_results: list = [None] * len(batches)
         completion = ChunkCompletion(len(batches))
 

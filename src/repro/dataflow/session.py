@@ -56,17 +56,92 @@ class SessionResult:
 
         Stages of a composed graph run concurrently — chunks stream
         through all of them at once — so a stage's cost is its summed
-        node busy time, not a wall-clock slice.
+        node busy time, not a wall-clock slice.  When the session
+        sampled queue depths, each stage entry also carries a
+        ``queue_trace`` of its queues' depth-over-time series.
         """
         return self.report.get("stages", {})
 
+    @property
+    def queue_trace(self) -> "dict | None":
+        """The whole-graph queue-depth trace, when sampling was on."""
+        return self.report.get("queue_trace")
+
+
+class _QueueDepthSampler:
+    """Samples every queue's depth over time (§4.6: TF exposes "current
+    queue states"; this records them as a trace).
+
+    A daemon thread polls ``len(queue)`` on a fixed period.  The sample
+    buffer is bounded: when it fills, every other sample is dropped and
+    the effective period doubles, so an arbitrarily long run keeps a
+    fixed-size, evenly-spaced trace.
+    """
+
+    def __init__(self, queues, interval: float, max_samples: int = 512):
+        if interval <= 0:
+            raise ValueError("queue sample interval must be positive")
+        self._queues = list(queues)
+        self.interval = float(interval)
+        self.max_samples = max_samples
+        self._times: list[float] = []
+        self._depths: dict[str, list[int]] = {q.name: [] for q in self._queues}
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="queue-depth-sampler", daemon=True
+        )
+        self._start_time = 0.0
+
+    def start(self) -> None:
+        self._start_time = time.monotonic()
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(5.0)
+
+    def _run(self) -> None:
+        period = self.interval
+        while not self._stop.wait(period):
+            now = time.monotonic() - self._start_time
+            self._times.append(round(now, 6))
+            for q in self._queues:
+                self._depths[q.name].append(len(q))
+            if len(self._times) >= self.max_samples:
+                self._times = self._times[::2]
+                for name in self._depths:
+                    self._depths[name] = self._depths[name][::2]
+                period *= 2.0
+        self._effective_interval = period
+
+    def trace(self) -> dict:
+        return {
+            "interval_seconds": getattr(
+                self, "_effective_interval", self.interval
+            ),
+            "times": list(self._times),
+            "depths": {name: list(d) for name, d in self._depths.items()},
+        }
+
 
 class Session:
-    """Runs a graph to completion."""
+    """Runs a graph to completion.
 
-    def __init__(self, graph: Graph):
+    ``queue_sample_interval`` enables per-queue depth sampling for the
+    duration of the run; the trace lands in ``report["queue_trace"]``
+    and is sliced per stage into ``report["stages"]`` (composed
+    pipelines), powering backpressure analysis and queue-capacity
+    autotuning.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        queue_sample_interval: "float | None" = None,
+    ):
         self.graph = graph
         self.busy_counter = BusyCounter()
+        self.queue_sample_interval = queue_sample_interval
         self._failure: "tuple[str, BaseException] | None" = None
         self._failure_lock = threading.Lock()
 
@@ -93,6 +168,11 @@ class Session:
     def run(self, timeout: "float | None" = None) -> SessionResult:
         """Execute until all kernels finish; raises PipelineError on failure."""
         self.graph.validate()
+        sampler: "_QueueDepthSampler | None" = None
+        if self.queue_sample_interval is not None:
+            sampler = _QueueDepthSampler(
+                self.graph.queues, self.queue_sample_interval
+            )
         stats_lock = threading.Lock()
         threads: list[threading.Thread] = []
         start = time.monotonic()
@@ -111,26 +191,45 @@ class Session:
                     daemon=True,
                 )
                 threads.append(thread)
-        for thread in threads:
-            thread.start()
-        deadline = None if timeout is None else start + timeout
-        for thread in threads:
-            remaining = None if deadline is None else deadline - time.monotonic()
-            if remaining is not None and remaining <= 0:
-                self.graph.abort()
-                raise TimeoutError(
-                    f"session {self.graph.name!r} exceeded {timeout}s"
-                )
-            thread.join(remaining)
-            if thread.is_alive():
-                self.graph.abort()
-                thread.join(5.0)
-                raise TimeoutError(
-                    f"session {self.graph.name!r} exceeded {timeout}s "
-                    f"(stuck in {thread.name})"
-                )
+        if sampler is not None:
+            sampler.start()
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = None if timeout is None else start + timeout
+            for thread in threads:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.graph.abort()
+                    raise TimeoutError(
+                        f"session {self.graph.name!r} exceeded {timeout}s"
+                    )
+                thread.join(remaining)
+                if thread.is_alive():
+                    self.graph.abort()
+                    thread.join(5.0)
+                    raise TimeoutError(
+                        f"session {self.graph.name!r} exceeded {timeout}s "
+                        f"(stuck in {thread.name})"
+                    )
+        finally:
+            if sampler is not None:
+                sampler.stop()
         wall = time.monotonic() - start
         if self._failure is not None:
             node_name, cause = self._failure
             raise PipelineError(node_name, cause) from cause
-        return SessionResult(wall_seconds=wall, report=self.graph.stats_report())
+        report = self.graph.stats_report()
+        if sampler is not None:
+            trace = sampler.trace()
+            report["queue_trace"] = trace
+            # Slice the trace per stage (queue names are stage-prefixed
+            # by Graph.merge) so stage_report carries its own series.
+            for stage, agg in report.get("stages", {}).items():
+                agg["queue_trace"] = {
+                    name: depths
+                    for name, depths in trace["depths"].items()
+                    if name.startswith(f"{stage}.")
+                }
+        return SessionResult(wall_seconds=wall, report=report)

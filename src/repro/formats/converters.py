@@ -39,21 +39,28 @@ def import_reads(
     store: ChunkStore,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     reference: "list[dict] | None" = None,
+    codec=None,
 ) -> AGDDataset:
-    """Materialize an iterable of reads as an AGD dataset."""
+    """Materialize an iterable of reads as an AGD dataset.
+
+    ``codec`` (a :class:`~repro.agd.compression.Codec` or name) applies
+    to every column; None keeps the per-column defaults.
+    """
     all_reads = list(reads)
     if not all_reads:
         raise ValueError("cannot import an empty read set")
+    columns = {
+        "bases": [r.bases for r in all_reads],
+        "qual": [r.qualities for r in all_reads],
+        "metadata": [r.metadata for r in all_reads],
+    }
     return AGDDataset.create(
         name,
-        {
-            "bases": [r.bases for r in all_reads],
-            "qual": [r.qualities for r in all_reads],
-            "metadata": [r.metadata for r in all_reads],
-        },
+        columns,
         store,
         chunk_size=chunk_size,
         reference=reference,
+        codecs=({c: codec for c in columns} if codec is not None else None),
     )
 
 
@@ -62,9 +69,11 @@ def import_fastq(
     name: str,
     store: ChunkStore,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    codec=None,
 ) -> AGDDataset:
     """Import a (possibly gzipped) FASTQ file into AGD."""
-    return import_reads(read_fastq(path), name, store, chunk_size=chunk_size)
+    return import_reads(read_fastq(path), name, store, chunk_size=chunk_size,
+                        codec=codec)
 
 
 def import_fastq_stream(
@@ -181,6 +190,7 @@ def import_aligned(
     store: ChunkStore,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     sort_order: str = "unsorted",
+    codec=None,
 ) -> AGDDataset:
     """Import aligned rows (SAM/BAM records) into a four-column dataset."""
     names = [c["name"] for c in contigs]
@@ -192,18 +202,20 @@ def import_aligned(
         results.append(result)
     if not reads:
         raise ValueError("cannot import an empty alignment set")
+    columns = {
+        "bases": [r.bases for r in reads],
+        "qual": [r.qualities for r in reads],
+        "metadata": [r.metadata for r in reads],
+        "results": results,
+    }
     return AGDDataset.create(
         name,
-        {
-            "bases": [r.bases for r in reads],
-            "qual": [r.qualities for r in reads],
-            "metadata": [r.metadata for r in reads],
-            "results": results,
-        },
+        columns,
         store,
         chunk_size=chunk_size,
         reference=contigs,
         sort_order=sort_order,
+        codecs=({c: codec for c in columns} if codec is not None else None),
     )
 
 
@@ -212,6 +224,7 @@ def import_sam(
     name: str,
     store: ChunkStore,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    codec=None,
 ) -> AGDDataset:
     """Import a SAM file into AGD."""
     own = isinstance(path_or_stream, (str, Path))
@@ -230,7 +243,8 @@ def import_sam(
         stream.seek(position)
         header = SamHeader.from_lines(header_lines)
         return import_aligned(
-            iter_sam(stream), header.contigs, name, store, chunk_size=chunk_size
+            iter_sam(stream), header.contigs, name, store,
+            chunk_size=chunk_size, codec=codec,
         )
     finally:
         if own:
@@ -242,6 +256,7 @@ def import_bam(
     name: str,
     store: ChunkStore,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    codec=None,
 ) -> AGDDataset:
     """Import a BAM-like file into AGD."""
     own = isinstance(path_or_stream, (str, Path))
@@ -254,7 +269,8 @@ def import_bam(
         header, _names = _read_header_block(stream)
         stream.seek(0)
         return import_aligned(
-            iter_bam(stream), header.contigs, name, store, chunk_size=chunk_size
+            iter_bam(stream), header.contigs, name, store,
+            chunk_size=chunk_size, codec=codec,
         )
     finally:
         if own:
