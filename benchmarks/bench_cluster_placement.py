@@ -1,0 +1,151 @@
+"""Cluster stage placement benchmark — 1-server vs 2-server placed runs.
+
+The §5.2 story generalized to the whole workload: a placement plan puts
+align+sort on server A and dupmark+varcall on server B, chunk names flow
+from the work edge, and work items cross the stage boundary through a
+broker edge — in-process reference transport and a real loopback TCP
+socket.  Shape properties enforced (timing reported, not asserted — CI
+runners are noisy and usually single-core, where two GIL-sharing servers
+cannot beat one):
+
+* the placed runs produce byte-identical sorted records, duplicate
+  flags, and variant calls to the single-Session one-graph run;
+* every chunk crosses each pipeline cut exactly once (no redelivery on
+  the healthy path);
+* completion imbalance across servers stays bounded (the paper's
+  "no measurable completion-time imbalance", §1).
+
+Run:  pytest benchmarks/bench_cluster_placement.py \
+          --benchmark-json=BENCH_cluster_placement.json
+"""
+
+from __future__ import annotations
+
+from repro.agd.dataset import AGDDataset
+from repro.cluster.multiserver import run_placed_pipeline
+from repro.cluster.placement import PlacementPlan
+from repro.core.pipelines import run_pipeline
+from repro.core.sort import SortConfig, verify_sorted
+from repro.formats.converters import import_reads
+from repro.storage.base import MemoryStore
+
+SORT_CONFIG = SortConfig(chunks_per_superchunk=4)
+CHUNK = 400
+PLAN = "A=align,sort;B=dupmark,varcall"
+
+
+def _fresh_dataset(bench_reads, bench_reference) -> AGDDataset:
+    return import_reads(
+        bench_reads, "placed", MemoryStore(), chunk_size=CHUNK,
+        reference=bench_reference.manifest_entry(),
+    )
+
+
+def _run_single(dataset, aligner, reference, workers):
+    return run_pipeline(
+        dataset,
+        ("align", "sort", "dupmark", "varcall"),
+        aligner=aligner,
+        reference=reference,
+        sort_config=SORT_CONFIG,
+        backend="serial",
+        workers=workers,
+    )
+
+
+def _run_placed(dataset, aligner, reference, transport):
+    return run_placed_pipeline(
+        dataset,
+        PlacementPlan.parse(PLAN),
+        aligner=aligner,
+        reference=reference,
+        sort_config=SORT_CONFIG,
+        backend="serial",
+        transport=transport,
+    )
+
+
+def _identical(placed, single) -> bool:
+    placed_sorted = placed.sorted_dataset
+    single_sorted = single.sorted_dataset
+    return all(
+        placed_sorted.read_column(c) == single_sorted.read_column(c)
+        for c in single_sorted.columns
+    ) and placed.variants == single.variants and (
+        placed.dupmark_stats.duplicates_marked
+        == single.dupmark_stats.duplicates_marked
+    )
+
+
+def test_cluster_placement(
+    benchmark, bench_reads, bench_reference, bench_aligner,
+    bench_workers, report,
+):
+    single = _run_single(
+        _fresh_dataset(bench_reads, bench_reference),
+        bench_aligner, bench_reference, bench_workers,
+    )
+    placed_local = _run_placed(
+        _fresh_dataset(bench_reads, bench_reference),
+        bench_aligner, bench_reference, "local",
+    )
+    placed_tcp = _run_placed(
+        _fresh_dataset(bench_reads, bench_reference),
+        bench_aligner, bench_reference, "tcp",
+    )
+
+    num_chunks = len(bench_reads) // CHUNK + (1 if len(bench_reads) % CHUNK
+                                              else 0)
+    rep = report(
+        "cluster_placement",
+        "Distributed stage placement — 1-server vs 2-server placed runs",
+    )
+    rep.add(f"reads: {len(bench_reads)}; chunks: {num_chunks}; "
+            f"plan: {PLAN}")
+    rep.row("single Session (1 server, one graph)", "baseline",
+            f"{single.wall_seconds:.2f} s")
+    rep.row("placed, in-process edges (2 servers)", "identical bytes",
+            f"{placed_local.wall_seconds:.2f} s")
+    rep.row("placed, loopback TCP edges (2 servers)", "identical bytes",
+            f"{placed_tcp.wall_seconds:.2f} s")
+    for server in placed_tcp.servers:
+        rep.row(f"  TCP server {server.server} "
+                f"[{','.join(server.stages)}]", "overlapped",
+                f"{server.chunks} chunks / {server.wall_seconds:.2f} s")
+    for edge, stat in placed_tcp.broker_stats.items():
+        rep.row(f"  TCP edge {edge}", "chunk-granular",
+                f"{stat['total_published']} msgs, "
+                f"max depth {stat['max_depth']}")
+    rep.metric("single_wall_seconds", single.wall_seconds)
+    rep.metric("placed_local_wall_seconds", placed_local.wall_seconds)
+    rep.metric("placed_tcp_wall_seconds", placed_tcp.wall_seconds)
+    rep.metric("tcp_redelivered", placed_tcp.total_redelivered)
+    rep.metric("tcp_imbalance", placed_tcp.completion_imbalance)
+
+    rep.add()
+    rep.add("shape checks:")
+    rep.check("placed (local) sorted dataset is sorted",
+              verify_sorted(placed_local.sorted_dataset))
+    rep.check("placed (local) byte-identical to single session",
+              _identical(placed_local, single))
+    rep.check("placed (TCP socket) byte-identical to single session",
+              _identical(placed_tcp, single))
+    rep.check(
+        "every chunk crossed each cut exactly once (no redelivery)",
+        placed_tcp.total_redelivered == 0
+        and all(s["total_published"] == num_chunks
+                for s in placed_tcp.broker_stats.values()),
+    )
+    rep.check(
+        "completion imbalance bounded (< 3x on a shared-GIL host)",
+        placed_tcp.completion_imbalance < 3.0,
+    )
+    rep.finish()
+
+    benchmark.pedantic(
+        lambda: _run_placed(
+            _fresh_dataset(bench_reads, bench_reference), bench_aligner,
+            bench_reference, "tcp",
+        ),
+        rounds=1, iterations=1,
+    )

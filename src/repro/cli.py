@@ -233,6 +233,7 @@ def _cmd_varcall(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.core.filters import by_min_mapq
     from repro.core.pipelines import (
         PIPELINE_STAGES,
         build_bwa_aligner,
@@ -254,6 +255,10 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         print("an output directory is required when the sort stage runs "
               "(it receives the sorted dataset)", file=sys.stderr)
         return 2
+    if "filter" in stages and args.min_mapq is None:
+        print("--min-mapq is required when the filter stage runs",
+              file=sys.stderr)
+        return 2
     dataset = AGDDataset.open(args.dataset_dir)
     aligner = None
     reference = None
@@ -268,6 +273,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         aligner = builder[args.aligner](reference)
         dataset.manifest.reference = reference.manifest_entry()
     output_store = DirectoryStore(args.output_dir) if "sort" in stages \
+        else None
+    filter_store = DirectoryStore(args.filter_dir) if args.filter_dir \
         else None
     try:
         outcome = run_pipeline(
@@ -285,12 +292,16 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                 output_codec_level=args.codec_level,
                 merge_partitions=args.merge_partitions,
             ),
+            filter_predicate=(by_min_mapq(args.min_mapq)
+                              if args.min_mapq is not None else None),
             output_store=output_store,
+            filter_store=filter_store,
             backend=args.backend,
             workers=args.workers,
             batch_size=args.batch_size,
             session_timeout=args.timeout,
             vectorized=args.kernels == "vectorized",
+            autotune_queues=args.autotune_queues,
         )
     except ValueError as exc:
         # Stage-composition errors (order, duplicates, missing results
@@ -313,9 +324,19 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             f"wait {stage.wait_seconds:8.3f}s  "
             f"{stage.records_per_second:>12,.0f} records/s"
         )
+    if outcome.report.get("autotuned_queues"):
+        print(f"  autotuned {len(outcome.report['autotuned_queues'])} "
+              f"queue capacities from the probe run's depth traces")
     if outcome.dupmark_stats is not None:
         print(f"  duplicates marked: "
               f"{outcome.dupmark_stats.duplicates_marked}")
+    if outcome.filter_stats is not None:
+        print(f"  filter kept {outcome.filter_stats.kept} of "
+              f"{outcome.filter_stats.examined} records "
+              f"(mapq >= {args.min_mapq})")
+        if args.filter_dir:
+            outcome.filtered_dataset.save_manifest(args.filter_dir)
+            print(f"  filtered dataset -> {args.filter_dir}")
     if outcome.variants is not None:
         if args.vcf:
             count = write_vcf(outcome.variants, args.vcf,
@@ -326,6 +347,275 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                   f"(pass --vcf to write them)")
     if outcome.sorted_dataset is not None:
         print(f"  sorted dataset -> {args.output_dir}")
+    return 0
+
+
+def _parse_host_port(spec: str) -> "tuple[str, int]":
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"bad broker address {spec!r}; expected host:port "
+            f"(e.g. 127.0.0.1:7470)"
+        )
+    # Accept bracketed IPv6 literals ([::1]:7470).
+    return (host.strip("[]") or "127.0.0.1", int(port))
+
+
+def _cluster_reference_and_aligner(args, stages):
+    """Load the reference / build the aligner a stage set needs."""
+    from repro.core.pipelines import build_bwa_aligner, build_snap_aligner
+    from repro.genome.reference import read_fasta
+
+    reference = None
+    aligner = None
+    if "align" in stages or "varcall" in stages:
+        if not args.reference:
+            raise SystemExit("--reference is required for align/varcall "
+                             "stages")
+        reference = read_fasta(args.reference)
+    if "align" in stages:
+        builder = {"snap": build_snap_aligner, "bwa": build_bwa_aligner}
+        aligner = builder[args.aligner](reference)
+    return reference, aligner
+
+
+def _cluster_filter_predicate(args, stages):
+    from repro.core.filters import by_min_mapq
+
+    if "filter" not in stages:
+        return None
+    if args.min_mapq is None:
+        raise SystemExit("--min-mapq is required when the plan places a "
+                         "filter stage")
+    return by_min_mapq(args.min_mapq)
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    """All-in-one placed run: broker + every server in one process."""
+    from repro.cluster.multiserver import run_placed_pipeline
+    from repro.cluster.placement import PlacementPlan
+    from repro.core.sort import SortConfig
+    from repro.formats.vcf import write_vcf
+
+    plan = PlacementPlan.parse(args.plan)
+    stages = plan.stages
+    dataset = AGDDataset.open(args.dataset_dir)
+    reference, aligner = _cluster_reference_and_aligner(args, stages)
+    if aligner is not None:
+        dataset.manifest.reference = reference.manifest_entry()
+    if "sort" in stages and not args.output_dir:
+        print("--output-dir is required when the plan places a sort stage",
+              file=sys.stderr)
+        return 2
+    outcome = run_placed_pipeline(
+        dataset,
+        plan,
+        aligner=aligner,
+        reference=reference,
+        sort_config=SortConfig(order=args.order,
+                               chunks_per_superchunk=args.superchunk),
+        filter_predicate=_cluster_filter_predicate(args, stages),
+        output_store=(DirectoryStore(args.output_dir)
+                      if args.output_dir else None),
+        filter_store=(DirectoryStore(args.filter_dir)
+                      if args.filter_dir else None),
+        backend=args.backend,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        transport=args.transport,
+        host=args.host,
+        port=args.port,
+        session_timeout=args.timeout,
+        vectorized=args.kernels == "vectorized",
+    )
+    if "align" in stages:
+        dataset.save_manifest(args.dataset_dir)
+    if outcome.sorted_dataset is not None:
+        outcome.sorted_dataset.save_manifest(args.output_dir)
+    total_chunks = sum(s.chunks for s in outcome.servers)
+    print(
+        f"placed pipeline [{' -> '.join(stages)}] across "
+        f"{len(outcome.servers)} servers ({args.transport} transport) "
+        f"in {outcome.wall_seconds:.2f}s"
+    )
+    for server in outcome.servers:
+        marker = " [KILLED]" if server.killed else ""
+        print(f"  {server.server:<10} {','.join(server.stages):<28} "
+              f"{server.chunks:>4} chunks  {server.records:>7} records  "
+              f"{server.wall_seconds:7.2f}s{marker}")
+    print(f"  {total_chunks} chunk completions, "
+          f"{outcome.total_redelivered} redelivered, imbalance "
+          f"{outcome.completion_imbalance:.2f}x")
+    if outcome.dupmark_stats is not None:
+        print(f"  duplicates marked: "
+              f"{outcome.dupmark_stats.duplicates_marked}")
+    if outcome.filter_stats is not None:
+        print(f"  filter kept {outcome.filter_stats.kept} of "
+              f"{outcome.filter_stats.examined} records "
+              f"(mapq >= {args.min_mapq})")
+        if args.filter_dir:
+            outcome.filtered_dataset.save_manifest(args.filter_dir)
+            print(f"  filtered dataset -> {args.filter_dir}")
+    if outcome.variants is not None and args.vcf:
+        count = write_vcf(outcome.variants, args.vcf,
+                          contigs=reference.manifest_entry())
+        print(f"  called {count} variants -> {args.vcf}")
+    elif outcome.variants is not None:
+        print(f"  called {len(outcome.variants)} variants "
+              f"(pass --vcf to write them)")
+    if outcome.sorted_dataset is not None:
+        print(f"  sorted dataset -> {args.output_dir}")
+    return 0
+
+
+def _cmd_cluster_broker(args: argparse.Namespace) -> int:
+    """Broker role: serve the plan's edges over TCP and publish names."""
+    from repro.cluster.broker import Broker, BrokerServer, LocalBrokerClient
+    from repro.cluster.placement import WORK_EDGE, PlacementPlan
+    from repro.cluster.wire import entry_serializer
+    from repro.dataflow.queues import RemoteQueue
+
+    plan = PlacementPlan.parse(args.plan)
+    dataset = AGDDataset.open(args.dataset_dir)
+    broker = Broker()
+    broker.plan_doc = plan.to_doc()
+    for spec in plan.edges():
+        broker.create_edge(
+            spec.name,
+            capacity=(max(1, dataset.num_chunks)
+                      if spec.name == WORK_EDGE else args.edge_capacity),
+            producers=spec.producers,
+        )
+    server = BrokerServer(broker, host=args.host, port=args.port).start()
+    print(f"broker serving plan [{args.plan}] on "
+          f"{server.host}:{server.port}")
+    coordinator = LocalBrokerClient(broker)
+    work_queue = RemoteQueue(coordinator, WORK_EDGE, entry_serializer())
+    work_queue.register_producer()
+    for entry in dataset.manifest.chunks:
+        work_queue.put(entry)
+    work_queue.producer_done()
+    print(f"published {dataset.num_chunks} chunk names; waiting for "
+          f"workers (timeout {args.timeout}s)")
+    done = broker.wait_complete(timeout=args.timeout)
+    if not done:
+        # Abort the edges first so blocked workers unwind through the
+        # PipelineAborted path instead of dying on connection resets
+        # when the socket goes away below.
+        broker.abort()
+    # Workers only learn an edge is exhausted (or aborted) by polling
+    # it: keep the socket up until they have all observed it and
+    # disconnected.
+    server.wait_connections_closed(timeout=60.0)
+    for edge, stat in broker.stats().items():
+        print(f"  {edge:<16} published {stat['total_published']:>5}  "
+              f"redelivered {stat['total_redelivered']:>3}  "
+              f"max depth {stat['max_depth']}")
+    server.stop()
+    if not done:
+        print("timed out before every edge drained", file=sys.stderr)
+        return 1
+    print("all edges drained; run complete")
+    return 0
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    """Worker role: run one server's placed stage group."""
+    from repro.cluster.broker import TcpBrokerClient
+    from repro.cluster.multiserver import queue_factory
+    from repro.cluster.placement import PlacementPlan
+    from repro.core.pipelines import (
+        build_placed_server_graph,
+        placed_server_endpoints,
+    )
+    from repro.core.sort import SortConfig
+    from repro.dataflow.backends import make_backend
+    from repro.dataflow.session import Session
+    from repro.formats.vcf import write_vcf
+
+    host, port = _parse_host_port(args.connect)
+    client = TcpBrokerClient(host, port)
+    plan_doc = client.plan()
+    if not plan_doc:
+        print("broker serves no placement plan", file=sys.stderr)
+        return 1
+    plan = PlacementPlan.from_doc(plan_doc)
+    placement = plan.placement_for(args.server)
+    stages = plan.stages
+    dataset = AGDDataset.open(args.dataset_dir)
+    reference, aligner = _cluster_reference_and_aligner(args, placement.stages)
+    if aligner is not None:
+        dataset.manifest.reference = reference.manifest_entry()
+    if "sort" in stages and not args.output_dir and (
+            "sort" in placement.stages or "dupmark" in placement.stages):
+        print("--output-dir (the shared sorted-dataset directory) is "
+              "required for sort/dupmark workers when the plan places a "
+              "sort stage", file=sys.stderr)
+        return 2
+    backend_obj = make_backend(args.backend, workers=args.workers,
+                               batch_size=args.batch_size,
+                               name=f"{args.server}.backend")
+    sort_store = DirectoryStore(args.output_dir) if args.output_dir else None
+    work_queue, ingress, egress, manual = placed_server_endpoints(
+        plan, args.server, queue_factory(lambda server: client)
+    )
+    graph = build_placed_server_graph(
+        dataset,
+        args.server,
+        placement.stages,
+        stages,
+        work_queue=work_queue,
+        ingress=ingress,
+        egress=egress,
+        manual_ack=manual,
+        aligner=aligner,
+        reference=reference,
+        sort_config=SortConfig(order=args.order,
+                               chunks_per_superchunk=args.superchunk),
+        filter_predicate=_cluster_filter_predicate(args, placement.stages),
+        sort_store=sort_store,
+        filter_store=(DirectoryStore(args.filter_dir)
+                      if args.filter_dir else None),
+        backend_obj=backend_obj,
+        vectorized=args.kernels == "vectorized",
+    )
+    print(f"worker {args.server!r} running [{','.join(placement.stages)}] "
+          f"against broker {host}:{port}")
+    try:
+        Session(graph.pipeline.graph).run(timeout=args.timeout)
+    finally:
+        backend_obj.shutdown()
+        client.close()
+    print(f"  completed {graph.sink.chunks} chunks "
+          f"({graph.sink.records} records)")
+    if "align" in placement.stages:
+        # Replicated align workers race here harmlessly: each saves the
+        # same manifest content (results column + reference entry).
+        if not dataset.manifest.has_column("results"):
+            dataset.manifest.add_column("results")
+        dataset.save_manifest(args.dataset_dir)
+        print(f"  results column registered -> {args.dataset_dir}")
+    if "sort" in placement.stages and args.output_dir:
+        sorted_manifest = graph.stage("sort").collector.manifest
+        sorted_manifest.save(args.output_dir)
+        print(f"  sorted dataset -> {args.output_dir}")
+    if "dupmark" in placement.stages:
+        stats = graph.stage("dupmark").collector.dup_stats
+        print(f"  duplicates marked: {stats.duplicates_marked}")
+    if "filter" in placement.stages:
+        fstats = graph.stage("filter").collector.filter_stats
+        print(f"  filter kept {fstats.kept} of {fstats.examined} records")
+        if args.filter_dir:
+            graph.stage("filter").collector.manifest.save(args.filter_dir)
+            print(f"  filtered dataset -> {args.filter_dir}")
+    if "varcall" in placement.stages:
+        variants = graph.stage("varcall").collector.variants
+        if args.vcf:
+            count = write_vcf(variants, args.vcf,
+                              contigs=reference.manifest_entry())
+            print(f"  called {count} variants -> {args.vcf}")
+        else:
+            print(f"  called {len(variants)} variants")
     return 0
 
 
@@ -492,13 +782,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stages",
         default="align,sort,dupmark,varcall",
-        help="comma-separated ordered subset of align,sort,dupmark,varcall",
+        help="comma-separated ordered subset of "
+             "align,sort,dupmark,filter,varcall",
     )
     p.add_argument("--aligner", choices=("snap", "bwa"), default="snap")
     p.add_argument("--vcf", default=None, help="write called variants here")
     p.add_argument("--order", choices=("location", "metadata"),
                    default="location")
     p.add_argument("--superchunk", type=int, default=4)
+    p.add_argument(
+        "--min-mapq",
+        type=int,
+        default=None,
+        help="filter-stage predicate: keep aligned reads with mapping "
+             "quality >= N (required when --stages includes filter)",
+    )
+    p.add_argument(
+        "--filter-dir",
+        default=None,
+        help="directory for the filtered dataset (default: kept in "
+             "memory, only stats reported)",
+    )
+    p.add_argument(
+        "--autotune-queues",
+        action="store_true",
+        help="run a sampling probe first, then re-run with per-queue "
+             "capacities suggested from its depth traces",
+    )
     p.add_argument(
         "--timeout",
         type=float,
@@ -510,6 +820,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_options(p, with_merge_partitions=True)
     _add_codec_level_option(p, "the sorted output chunks")
     p.set_defaults(fn=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "cluster",
+        help="place the composed pipeline across servers (§5.2 for the "
+             "whole workload)",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def _add_cluster_shared(cp, with_vcf: bool = True) -> None:
+        cp.add_argument("--reference", default=None)
+        cp.add_argument("--aligner", choices=("snap", "bwa"),
+                        default="snap")
+        cp.add_argument("--order", choices=("location", "metadata"),
+                        default="location")
+        cp.add_argument("--superchunk", type=int, default=4)
+        cp.add_argument("--min-mapq", type=int, default=None,
+                        help="filter-stage predicate (plans with a "
+                             "filter stage)")
+        cp.add_argument("--filter-dir", default=None,
+                        help="directory for the filtered dataset (plans "
+                             "with a filter stage)")
+        if with_vcf:
+            cp.add_argument("--vcf", default=None,
+                            help="write called variants here")
+        cp.add_argument("--timeout", type=float, default=600.0,
+                        help="per-server session deadline in seconds")
+        _add_backend_options(cp, default="serial", with_workers=True)
+        _add_kernel_options(cp)
+
+    cp = cluster_sub.add_parser(
+        "run",
+        help="all-in-one placed run: broker plus every server, in one "
+             "process (loopback TCP or in-process edges)",
+    )
+    cp.add_argument("dataset_dir")
+    cp.add_argument("output_dir", nargs="?", default=None,
+                    help="directory for the sorted dataset (required "
+                         "with a sort stage)")
+    cp.add_argument("--plan", required=True,
+                    help='stage placement, e.g. '
+                         '"A=align,sort;B=dupmark,varcall" (repeat a '
+                         'pure align group for data-parallel replicas)')
+    cp.add_argument("--transport", choices=("local", "tcp"),
+                    default="local",
+                    help="in-process reference edges or a real loopback "
+                         "TCP broker")
+    cp.add_argument("--host", default="127.0.0.1")
+    cp.add_argument("--port", type=int, default=0)
+    _add_cluster_shared(cp)
+    cp.set_defaults(fn=_cmd_cluster_run)
+
+    cp = cluster_sub.add_parser(
+        "broker",
+        help="broker role: serve the plan's edges over TCP and publish "
+             "the dataset's chunk names",
+    )
+    cp.add_argument("dataset_dir")
+    cp.add_argument("--plan", required=True)
+    cp.add_argument("--host", default="0.0.0.0")
+    cp.add_argument("--port", type=int, default=7470)
+    cp.add_argument("--edge-capacity", type=int, default=4,
+                    help="stage-boundary edge depth (chunks in flight "
+                         "per cut)")
+    cp.add_argument("--timeout", type=float, default=3600.0,
+                    help="how long to wait for workers to drain the run")
+    cp.set_defaults(fn=_cmd_cluster_broker)
+
+    cp = cluster_sub.add_parser(
+        "worker",
+        help="worker role: run one named server's placed stage group "
+             "against a broker",
+    )
+    cp.add_argument("dataset_dir")
+    cp.add_argument("--connect", required=True,
+                    help="broker address host:port")
+    cp.add_argument("--server", required=True,
+                    help="this worker's server name in the plan")
+    cp.add_argument("--output-dir", default=None,
+                    help="shared sorted-dataset directory (sort/dupmark "
+                         "workers)")
+    _add_cluster_shared(cp)
+    cp.set_defaults(fn=_cmd_cluster_worker)
 
     p = sub.add_parser("stats", help="show dataset statistics")
     p.add_argument("dataset_dir")

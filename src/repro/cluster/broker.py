@@ -1,0 +1,585 @@
+"""The edge broker: per-edge chunk queues for placed pipelines (§5.2).
+
+The paper's manifest server is "a simple message queue" feeding chunk
+names to per-server alignment graphs.  The broker generalizes it: one
+named *edge* per pipeline cut — the chunk-name work edge plus one
+items edge per stage boundary — with at-least-once delivery semantics:
+
+* producer slots are pre-declared per edge (from the placement plan),
+  so a consumer can never observe a false close before a slow producer
+  attaches;
+* every delivery carries a tag and stays *unacked* until the consumer
+  acknowledges it; an edge is exhausted only when all producers are
+  done, nothing is pending, and nothing is unacked;
+* a dropped consumer's unacked deliveries are requeued at the front of
+  the edge, and any producer slots it held are released — so a killed
+  worker's in-flight chunks are redelivered to a surviving replica and
+  the run still terminates.
+
+Two transports expose the broker to workers: :class:`LocalBrokerClient`
+(the in-process reference — direct calls under the broker lock) and a
+TCP pair (:class:`BrokerServer`/:class:`TcpBrokerClient`) speaking a
+length-prefixed wire format; payloads are opaque bytes, optionally
+compressed through the existing AGD codec layer.  All client operations
+are short-blocking: pulls/publishes poll with a bounded timeout, which
+is what lets one lock-serialized connection per worker carry every op
+and lets local graph aborts interrupt waiting kernels.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import json
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+
+from repro.agd.compression import get_codec
+from repro.dataflow.queues import (
+    EDGE_ABORTED,
+    EDGE_CLOSED,
+    PUBLISH_FULL,
+    PUBLISH_OK,
+    PULL_EMPTY,
+    PULL_OK,
+)
+
+
+class BrokerError(RuntimeError):
+    """Raised for protocol violations (unknown edge, publish after done)."""
+
+
+@dataclass
+class _Delivery:
+    tag: int
+    key: str
+    payload: bytes
+
+
+@dataclass
+class _Edge:
+    name: str
+    capacity: int
+    producers_remaining: int
+    pending: "collections.deque[_Delivery]" = field(
+        default_factory=collections.deque
+    )
+    unacked: "dict[int, tuple[int, _Delivery]]" = field(default_factory=dict)
+    #: consumer id -> number of producer slots it holds (not yet done).
+    producer_owners: "collections.Counter" = field(
+        default_factory=collections.Counter
+    )
+    aborted: bool = False
+    total_published: int = 0
+    total_redelivered: int = 0
+    max_depth: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return (self.producers_remaining <= 0 and not self.pending
+                and not self.unacked)
+
+
+class Broker:
+    """Thread-safe edge registry with at-least-once delivery."""
+
+    def __init__(self, name: str = "broker"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._edges: dict[str, _Edge] = {}
+        self._tags = itertools.count(1)
+        self._consumers = itertools.count(1)
+        #: Opaque document served to workers asking for the plan
+        #: (placement doc plus whatever the coordinator adds).
+        self.plan_doc: "dict | None" = None
+
+    # ------------------------------------------------------------- edges
+
+    def create_edge(self, name: str, capacity: int, producers: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"edge {name!r} capacity must be positive")
+        if producers < 0:
+            raise ValueError(f"edge {name!r} cannot expect {producers} producers")
+        with self._lock:
+            if name in self._edges:
+                raise BrokerError(f"edge {name!r} already exists")
+            self._edges[name] = _Edge(
+                name=name, capacity=capacity, producers_remaining=producers
+            )
+
+    def _edge(self, name: str) -> _Edge:
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise BrokerError(f"no edge {name!r} on broker {self.name!r}") \
+                from None
+
+    # ---------------------------------------------------------- consumers
+
+    def register_consumer(self) -> int:
+        with self._lock:
+            return next(self._consumers)
+
+    def attach_producer(self, edge: str, consumer: int) -> None:
+        with self._cond:
+            e = self._edge(edge)
+            if e.producers_remaining <= e.producer_owners.total():
+                raise BrokerError(
+                    f"edge {edge!r}: more producers attached than the "
+                    f"{e.producers_remaining} slots declared"
+                )
+            e.producer_owners[consumer] += 1
+
+    def producer_done(self, edge: str, consumer: "int | None" = None) -> None:
+        with self._cond:
+            e = self._edge(edge)
+            if e.producers_remaining <= 0:
+                raise BrokerError(
+                    f"edge {edge!r}: producer_done without outstanding "
+                    f"producers"
+                )
+            e.producers_remaining -= 1
+            if consumer is not None and e.producer_owners[consumer] > 0:
+                e.producer_owners[consumer] -= 1
+            self._cond.notify_all()
+
+    def drop_consumer(self, consumer: int) -> None:
+        """A worker died or disconnected: requeue its unacked deliveries
+        (front of the edge, original order) and release any producer
+        slots it still held.  Harmless after a clean completion."""
+        with self._cond:
+            for e in self._edges.values():
+                dropped = sorted(
+                    (d for owner, d in e.unacked.values()
+                     if owner == consumer),
+                    key=lambda d: d.tag,
+                )
+                for d in reversed(dropped):
+                    e.unacked.pop(d.tag, None)
+                    e.pending.appendleft(d)
+                e.total_redelivered += len(dropped)
+                held = e.producer_owners.pop(consumer, 0)
+                e.producers_remaining -= held
+            self._cond.notify_all()
+
+    # ----------------------------------------------------------- delivery
+
+    def publish(self, edge: str, key: str, payload: bytes,
+                timeout: float = 0.05) -> str:
+        with self._cond:
+            e = self._edge(edge)
+            if e.aborted:
+                return EDGE_ABORTED
+            if e.producers_remaining <= 0:
+                return EDGE_CLOSED
+            if len(e.pending) >= e.capacity:
+                self._cond.wait(timeout)
+                if e.aborted:
+                    return EDGE_ABORTED
+                if len(e.pending) >= e.capacity:
+                    return PUBLISH_FULL
+            self._publish_locked(e, key, payload)
+            return PUBLISH_OK
+
+    def _publish_locked(self, e: _Edge, key: str, payload: bytes) -> None:
+        e.pending.append(_Delivery(next(self._tags), key, payload))
+        e.total_published += 1
+        e.max_depth = max(e.max_depth, len(e.pending))
+        self._cond.notify_all()
+
+    def publish_ack(self, edge: str, key: str, payload: bytes,
+                    ack_edge: str, ack_tag: int,
+                    timeout: float = 0.05) -> str:
+        """Atomically publish to one edge and ack a delivery on another
+        (the exactly-once-effective handoff between pipeline cuts)."""
+        with self._cond:
+            e = self._edge(edge)
+            a = self._edge(ack_edge)
+            if e.aborted:
+                return EDGE_ABORTED
+            if e.producers_remaining <= 0:
+                return EDGE_CLOSED
+            if len(e.pending) >= e.capacity:
+                self._cond.wait(timeout)
+                if e.aborted:
+                    return EDGE_ABORTED
+                if len(e.pending) >= e.capacity:
+                    return PUBLISH_FULL
+            self._publish_locked(e, key, payload)
+            a.unacked.pop(ack_tag, None)
+            self._cond.notify_all()
+            return PUBLISH_OK
+
+    def pull(self, edge: str, consumer: int,
+             timeout: float = 0.05) -> "tuple[str, int, str, bytes]":
+        with self._cond:
+            e = self._edge(edge)
+            if not e.pending and not e.exhausted and not e.aborted:
+                self._cond.wait(timeout)
+            if e.aborted:
+                return (EDGE_ABORTED, 0, "", b"")
+            if e.pending:
+                d = e.pending.popleft()
+                e.unacked[d.tag] = (consumer, d)
+                self._cond.notify_all()
+                return (PULL_OK, d.tag, d.key, d.payload)
+            if e.exhausted:
+                return (EDGE_CLOSED, 0, "", b"")
+            return (PULL_EMPTY, 0, "", b"")
+
+    def ack(self, edge: str, tag: int) -> None:
+        with self._cond:
+            e = self._edge(edge)
+            e.unacked.pop(tag, None)
+            self._cond.notify_all()
+
+    # -------------------------------------------------------------- admin
+
+    def abort(self, edge: "str | None" = None) -> None:
+        """Wake every waiter with an aborted status (error propagation
+        across servers).  Without an edge name, aborts all edges."""
+        with self._cond:
+            targets = [self._edge(edge)] if edge is not None \
+                else list(self._edges.values())
+            for e in targets:
+                e.aborted = True
+            self._cond.notify_all()
+
+    def wait_complete(self, timeout: "float | None" = None) -> bool:
+        """Block until every edge is exhausted (or aborted)."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: all(e.exhausted or e.aborted
+                            for e in self._edges.values()),
+                timeout,
+            )
+
+    def stats(self) -> "dict[str, dict]":
+        with self._lock:
+            return {
+                name: {
+                    "capacity": e.capacity,
+                    "pending": len(e.pending),
+                    "unacked": len(e.unacked),
+                    "producers_remaining": e.producers_remaining,
+                    "total_published": e.total_published,
+                    "total_redelivered": e.total_redelivered,
+                    "max_depth": e.max_depth,
+                    "aborted": e.aborted,
+                }
+                for name, e in self._edges.items()
+            }
+
+
+class LocalBrokerClient:
+    """The in-process reference transport: direct calls into the broker.
+
+    Implements :class:`repro.dataflow.queues.QueueTransport`.
+    """
+
+    def __init__(self, broker: Broker):
+        self.broker = broker
+        self.consumer = broker.register_consumer()
+        self._closed = False
+
+    def attach_producer(self, edge: str) -> None:
+        self.broker.attach_producer(edge, self.consumer)
+
+    def producer_done(self, edge: str) -> None:
+        self.broker.producer_done(edge, self.consumer)
+
+    def publish(self, edge: str, key: str, payload: bytes,
+                timeout: float = 0.05) -> str:
+        return self.broker.publish(edge, key, payload, timeout=timeout)
+
+    def publish_ack(self, edge: str, key: str, payload: bytes,
+                    ack_edge: str, ack_tag: int,
+                    timeout: float = 0.05) -> str:
+        return self.broker.publish_ack(
+            edge, key, payload, ack_edge, ack_tag, timeout=timeout
+        )
+
+    def pull(self, edge: str, timeout: float = 0.05):
+        return self.broker.pull(edge, self.consumer, timeout=timeout)
+
+    def ack(self, edge: str, tag: int) -> None:
+        self.broker.ack(edge, tag)
+
+    def abort(self, edge: str) -> None:
+        self.broker.abort(edge)
+
+    def plan(self) -> "dict | None":
+        return self.broker.plan_doc
+
+    def close(self) -> None:
+        """Disconnect: requeues unacked deliveries, releases producer
+        slots.  A no-op burden after clean completion (nothing unacked,
+        all slots released by producer_done)."""
+        if not self._closed:
+            self._closed = True
+            self.broker.drop_consumer(self.consumer)
+
+
+# ---------------------------------------------------------------------------
+# TCP transport: a length-prefixed request/response protocol.
+#
+# Frame layout (both directions):
+#
+#     !II        header_length, payload_length
+#     header     UTF-8 JSON ({"op": ..., "edge": ..., ...})
+#     payload    opaque bytes (publish bodies / pull results), optionally
+#                compressed with a named codec from the AGD codec layer
+#                (the "codec" header field names it)
+
+_FRAME = struct.Struct("!II")
+
+
+def _send_frame(sock: socket.socket, header: dict,
+                payload: bytes = b"") -> None:
+    head = json.dumps(header).encode()
+    sock.sendall(_FRAME.pack(len(head), len(payload)) + head + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("broker connection closed")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket) -> "tuple[dict, bytes]":
+    head_len, payload_len = _FRAME.unpack(_recv_exact(sock, _FRAME.size))
+    header = json.loads(_recv_exact(sock, head_len).decode())
+    payload = _recv_exact(sock, payload_len) if payload_len else b""
+    return header, payload
+
+
+class BrokerServer:
+    """Serves a :class:`Broker` over TCP (thread per connection).
+
+    A connection is one worker-side client: the server assigns it a
+    consumer id at accept time and calls :meth:`Broker.drop_consumer`
+    when the socket dies — so over TCP, worker death detection is the
+    transport itself, no heartbeats needed.
+    """
+
+    def __init__(self, broker: Broker, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.broker = broker
+        self._sock = socket.create_server((host, port))
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="broker-accept", daemon=True
+        )
+        self._conn_lock = threading.Lock()
+        self._conn_cond = threading.Condition(self._conn_lock)
+        self._active_connections = 0
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return (self.host, self.port)
+
+    def start(self) -> "BrokerServer":
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="broker-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        consumer = self.broker.register_consumer()
+        with self._conn_cond:
+            self._active_connections += 1
+        try:
+            with conn:
+                while True:
+                    try:
+                        header, payload = _recv_frame(conn)
+                    except (ConnectionError, OSError):
+                        return
+                    try:
+                        reply, body = self._dispatch(consumer, header,
+                                                     payload)
+                    except BrokerError as exc:
+                        reply, body = {"status": "error",
+                                       "error": str(exc)}, b""
+                    try:
+                        _send_frame(conn, reply, body)
+                    except OSError:
+                        return
+        finally:
+            self.broker.drop_consumer(consumer)
+            with self._conn_cond:
+                self._active_connections -= 1
+                self._conn_cond.notify_all()
+
+    def _dispatch(self, consumer: int, header: dict,
+                  payload: bytes) -> "tuple[dict, bytes]":
+        op = header.get("op")
+        edge = header.get("edge", "")
+        timeout = float(header.get("timeout", 0.05))
+        if op == "hello":
+            return {"status": PULL_OK, "consumer": consumer,
+                    "plan": self.broker.plan_doc}, b""
+        if op == "publish":
+            status = self.broker.publish(
+                edge, header.get("key", ""), payload, timeout=timeout
+            )
+            return {"status": status}, b""
+        if op == "publish_ack":
+            status = self.broker.publish_ack(
+                edge, header.get("key", ""), payload,
+                header["ack_edge"], int(header["ack_tag"]), timeout=timeout,
+            )
+            return {"status": status}, b""
+        if op == "pull":
+            status, tag, key, body = self.broker.pull(
+                edge, consumer, timeout=timeout
+            )
+            return {"status": status, "tag": tag, "key": key}, body
+        if op == "ack":
+            self.broker.ack(edge, int(header["tag"]))
+            return {"status": PULL_OK}, b""
+        if op == "attach":
+            self.broker.attach_producer(edge, consumer)
+            return {"status": PULL_OK}, b""
+        if op == "done":
+            self.broker.producer_done(edge, consumer)
+            return {"status": PULL_OK}, b""
+        if op == "abort":
+            self.broker.abort(edge or None)
+            return {"status": PULL_OK}, b""
+        if op == "stats":
+            return {"status": PULL_OK, "stats": self.broker.stats()}, b""
+        raise BrokerError(f"unknown op {op!r}")
+
+    def wait_connections_closed(self, timeout: "float | None" = None) -> bool:
+        """Block until every worker connection has disconnected.
+
+        A broker must outlive its workers' *sessions*, not just the
+        data: a worker only learns an edge is exhausted by polling, so
+        stopping the server the instant the last chunk drains would
+        reset sockets mid-close.  Workers close their client connection
+        when their session ends; wait for that before :meth:`stop`.
+        """
+        with self._conn_cond:
+            return self._conn_cond.wait_for(
+                lambda: self._active_connections == 0, timeout
+            )
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TcpBrokerClient:
+    """Worker-side TCP transport (one lock-serialized connection).
+
+    ``wire_codec`` names an AGD codec applied to payload bodies on the
+    wire (default ``"none"``: stage-boundary payloads are already
+    chunk-compressed, so recompressing buys little).
+    """
+
+    def __init__(self, host: str, port: int, wire_codec: str = "none",
+                 connect_timeout: float = 10.0):
+        self._codec = get_codec(wire_codec)
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        # Per-op deadline guard: every broker op is short-blocking, so a
+        # response always arrives promptly unless the broker is gone.
+        self._sock.settimeout(60.0)
+        self._lock = threading.Lock()
+        self._closed = False
+        hello = self._request({"op": "hello"})[0]
+        self.consumer = hello.get("consumer")
+        self.plan_doc = hello.get("plan")
+
+    def _request(self, header: dict,
+                 payload: bytes = b"") -> "tuple[dict, bytes]":
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("broker client closed")
+            _send_frame(self._sock, header, payload)
+            reply, body = _recv_frame(self._sock)
+        if reply.get("status") == "error":
+            raise BrokerError(reply.get("error", "broker error"))
+        return reply, body
+
+    # ------------------------------------------------- QueueTransport API
+
+    def attach_producer(self, edge: str) -> None:
+        self._request({"op": "attach", "edge": edge})
+
+    def producer_done(self, edge: str) -> None:
+        self._request({"op": "done", "edge": edge})
+
+    def publish(self, edge: str, key: str, payload: bytes,
+                timeout: float = 0.05) -> str:
+        reply, _ = self._request(
+            {"op": "publish", "edge": edge, "key": key, "timeout": timeout},
+            self._codec.compress(payload),
+        )
+        return reply["status"]
+
+    def publish_ack(self, edge: str, key: str, payload: bytes,
+                    ack_edge: str, ack_tag: int,
+                    timeout: float = 0.05) -> str:
+        reply, _ = self._request(
+            {"op": "publish_ack", "edge": edge, "key": key,
+             "ack_edge": ack_edge, "ack_tag": ack_tag, "timeout": timeout},
+            self._codec.compress(payload),
+        )
+        return reply["status"]
+
+    def pull(self, edge: str, timeout: float = 0.05):
+        reply, body = self._request(
+            {"op": "pull", "edge": edge, "timeout": timeout}
+        )
+        status = reply["status"]
+        if status != PULL_OK:
+            return (status, 0, "", b"")
+        return (status, reply["tag"], reply["key"],
+                self._codec.decompress(body))
+
+    def ack(self, edge: str, tag: int) -> None:
+        self._request({"op": "ack", "edge": edge, "tag": tag})
+
+    def abort(self, edge: str) -> None:
+        self._request({"op": "abort", "edge": edge})
+
+    def plan(self) -> "dict | None":
+        return self.plan_doc
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})[0]["stats"]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass

@@ -20,25 +20,52 @@ from repro.dataflow.queues import Queue
 
 
 class ManifestServer:
-    """A shared chunk-name message queue over one dataset."""
+    """A shared chunk-name message queue over one dataset.
+
+    ``publish`` is idempotent *within an epoch*: the queue fills once
+    and closes when the last entry is in.  A server instance can be
+    reused for a second stage or epoch via :meth:`reset`, which re-arms
+    a fresh queue — without it, the once-and-close publish semantics
+    would make the instance single-use.
+    """
 
     def __init__(self, manifest: Manifest, name: str = "manifest_server"):
         self.manifest = manifest
-        self.queue: Queue = Queue(name, capacity=max(1, manifest.num_chunks))
-        self.queue.register_producer()
+        self.name = name
         self._publish_lock = threading.Lock()
         self._published = False
+        self.epoch = 0
+        self.queue: Queue = self._make_queue()
+
+    def _make_queue(self) -> Queue:
+        return Queue(
+            f"{self.name}.{self.epoch}" if self.epoch else self.name,
+            capacity=max(1, self.manifest.num_chunks),
+        )
 
     def publish(self) -> int:
-        """Enqueue every chunk entry and close the queue; idempotent."""
+        """Enqueue every chunk entry and close the queue; idempotent
+        until the next :meth:`reset`."""
         with self._publish_lock:
             if self._published:
                 return self.manifest.num_chunks
+            self.queue.register_producer()
             for entry in self.manifest.chunks:
                 self.queue.put(entry)
             self.queue.producer_done()
             self._published = True
         return self.manifest.num_chunks
+
+    def reset(self) -> Queue:
+        """Re-arm for another epoch: replace the (closed) queue with a
+        fresh one and allow publishing again.  Consumers of the previous
+        epoch keep draining their queue object undisturbed; new
+        consumers must take the new :attr:`queue`."""
+        with self._publish_lock:
+            self.epoch += 1
+            self.queue = self._make_queue()
+            self._published = False
+            return self.queue
 
     @property
     def remaining(self) -> int:

@@ -1,13 +1,22 @@
-"""In-process multi-server execution (§5.5's "Actual" methodology).
+"""Placed multi-server execution of the composed pipeline (§5.2, §5.5).
 
-Runs one Persona alignment graph per simulated compute server, all
-pulling chunk names from a shared :class:`ManifestServer` and writing
-results to a shared store (typically a :class:`SimulatedCephCluster`
-facade).  Within one CPython process the servers share the GIL, so this
-mode demonstrates *distribution correctness* (every chunk aligned exactly
-once, balanced completion) and calibrates the discrete-event simulator —
-the same division of labor as the paper, whose own Fig. 7 "Simulation"
-line replaces SNAP with a timing stub.
+PR 2/3 made align → sort → dupmark → filter → varcall one streaming
+dataflow graph inside a single Session; this module runs that SAME
+workload across several servers.  A :class:`~repro.cluster.placement.
+PlacementPlan` assigns stage groups to named servers, a
+:class:`~repro.cluster.broker.Broker` carries the chunk-name work edge
+and the stage-boundary item edges, and each server executes its own
+Session over just its placed subgraph (:func:`~repro.core.pipelines.
+split_pipeline`) — pulling from upstream edges, pushing to downstream
+ones, with storage as the shared substrate.
+
+Within one CPython process the servers share the GIL, so in-process runs
+demonstrate *distribution correctness* (every chunk processed exactly
+once, outputs byte-identical to the single-session run, killed-worker
+redelivery) — the same division of labor as the paper's §5.5 "Actual"
+methodology.  ``transport="tcp"`` routes every edge through a real
+socket broker (loopback or across machines), exercising the wire path
+end to end.
 """
 
 from __future__ import annotations
@@ -17,9 +26,45 @@ import time
 from dataclasses import dataclass, field
 
 from repro.agd.dataset import AGDDataset
-from repro.cluster.manifest_server import ManifestServer
-from repro.core.subgraphs import AlignGraphConfig, build_align_graph
+from repro.cluster.broker import (
+    Broker,
+    BrokerServer,
+    LocalBrokerClient,
+    TcpBrokerClient,
+)
+from repro.cluster.placement import WORK_EDGE, PlacementPlan
+from repro.cluster.wire import entry_serializer, item_serializer
+from repro.core.pipelines import PlacedServerGraph, split_pipeline
+from repro.core.subgraphs import AlignGraphConfig
+from repro.dataflow.backends import Backend, make_backend
+from repro.dataflow.errors import PipelineAborted, PipelineError, QueueClosed
+from repro.dataflow.queues import RemoteQueue
 from repro.dataflow.session import Session
+
+
+def queue_factory(client_for):
+    """The standard endpoint factory over broker clients: chunk-name
+    edges carry manifest entries, item edges carry whole work items.
+    ``client_for(server)`` supplies (and caches) each server's transport
+    client; the returned callable matches the ``make_queue`` contract of
+    :func:`repro.core.pipelines.split_pipeline`."""
+    def make_queue(server: str, edge: str, kind: str,
+                   ack_mode: str) -> RemoteQueue:
+        serializer = entry_serializer() if kind == "names" \
+            else item_serializer()
+        return RemoteQueue(client_for(server), edge, serializer,
+                           ack_mode=ack_mode)
+    return make_queue
+
+
+class WorkerKilled(RuntimeError):
+    """Raised inside a kernel to simulate (or signal) a dying worker.
+
+    The placed runner treats a session whose root failure is
+    ``WorkerKilled`` as a dead server, not a pipeline error: its broker
+    client is dropped, its unacked chunk deliveries are requeued for a
+    surviving replica, and the run continues.
+    """
 
 
 @dataclass
@@ -51,6 +96,321 @@ class MultiServerOutcome:
         return max(times) / min(times) if min(times) > 0 else float("inf")
 
 
+@dataclass
+class PlacedServerOutcome:
+    """One placed server's share of a pipeline run."""
+
+    server: str
+    stages: "tuple[str, ...]"
+    chunks: int
+    records: int
+    wall_seconds: float
+    killed: bool = False
+
+
+@dataclass
+class PlacedPipelineOutcome:
+    """Result of one :func:`run_placed_pipeline` call."""
+
+    wall_seconds: float
+    servers: "list[PlacedServerOutcome]" = field(default_factory=list)
+    sorted_dataset: "AGDDataset | None" = None
+    dupmark_stats: "object | None" = None
+    variants: "list | None" = None
+    filtered_dataset: "AGDDataset | None" = None
+    filter_stats: "object | None" = None
+    #: Broker edge counters after the run (published/redelivered/depth).
+    broker_stats: dict = field(default_factory=dict)
+
+    def server(self, name: str) -> PlacedServerOutcome:
+        for outcome in self.servers:
+            if outcome.server == name:
+                return outcome
+        raise KeyError(f"no server {name!r} in this run")
+
+    @property
+    def total_redelivered(self) -> int:
+        return sum(e["total_redelivered"] for e in self.broker_stats.values())
+
+    @property
+    def completion_imbalance(self) -> float:
+        live = [s.wall_seconds for s in self.servers if not s.killed]
+        if not live:
+            return 0.0
+        return max(live) / min(live) if min(live) > 0 else float("inf")
+
+
+def _root_cause(exc: BaseException) -> BaseException:
+    seen = set()
+    while True:
+        nxt = exc.__cause__ or exc.__context__
+        if nxt is None or id(nxt) in seen:
+            return exc
+        seen.add(id(exc))
+        exc = nxt
+
+
+def run_placed_pipeline(
+    dataset: AGDDataset,
+    plan: PlacementPlan,
+    *,
+    aligner=None,
+    aligner_factory=None,
+    reference=None,
+    align_config: "AlignGraphConfig | None" = None,
+    sort_config=None,
+    varcall_config=None,
+    filter_predicate=None,
+    output_store=None,
+    filter_store=None,
+    scratch_store_factory=None,
+    align_results_store_factory=None,
+    backend: "str | Backend" = "serial",
+    workers: int = 2,
+    batch_size: "int | None" = None,
+    transport: str = "local",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    edge_capacity: int = 4,
+    wire_codec: str = "none",
+    session_timeout: "float | None" = 600.0,
+    vectorized: bool = True,
+) -> PlacedPipelineOutcome:
+    """Run the composed pipeline across the plan's servers.
+
+    Every server runs its placed stage group in its own Session (and its
+    own compute backend built from ``backend``/``workers``); chunk names
+    flow from the coordinator through the work edge, work items cross
+    stage boundaries through broker edges, and storage
+    (``dataset.store``, ``output_store``, ``filter_store``) is the
+    shared substrate — so outputs are byte-identical to the
+    single-session one-graph run.
+
+    ``transport`` selects the in-process reference broker (``"local"``)
+    or a real socket broker on ``host:port`` (``"tcp"``; port 0 picks a
+    free one).  Either way delivery is at-least-once with idempotent
+    chunk writes: a server whose failure root-causes to
+    :class:`WorkerKilled` is dropped, its unacked chunks are redelivered
+    to surviving replicas, and the run completes; any other failure
+    aborts every edge and re-raises.
+    """
+    manifest = dataset.manifest
+    if aligner_factory is None:
+        def aligner_factory(server):  # noqa: ARG001 - uniform signature
+            return aligner
+
+    from repro.storage.base import MemoryStore
+
+    sort_store = output_store if output_store is not None else MemoryStore()
+    filter_out = filter_store if filter_store is not None else MemoryStore()
+
+    broker = Broker()
+    broker.plan_doc = plan.to_doc()
+    work_capacity = max(1, manifest.num_chunks)
+    for spec in plan.edges():
+        broker.create_edge(
+            spec.name,
+            capacity=work_capacity if spec.name == WORK_EDGE
+            else edge_capacity,
+            producers=spec.producers,
+        )
+
+    server_tcp: "BrokerServer | None" = None
+    if transport == "tcp":
+        server_tcp = BrokerServer(broker, host=host, port=port).start()
+    elif transport != "local":
+        raise ValueError(f"unknown transport {transport!r} "
+                         f"(choices: local, tcp)")
+
+    clients: dict[str, object] = {}
+
+    def client_for(server: str):
+        if server not in clients:
+            if server_tcp is not None:
+                clients[server] = TcpBrokerClient(
+                    server_tcp.host, server_tcp.port, wire_codec=wire_codec
+                )
+            else:
+                clients[server] = LocalBrokerClient(broker)
+        return clients[server]
+
+    make_queue = queue_factory(client_for)
+
+    backends: dict[str, Backend] = {}
+    owns_backends = not isinstance(backend, Backend)
+
+    def backend_for(server: str) -> Backend:
+        if server not in backends:
+            backends[server] = make_backend(
+                backend, workers=workers, batch_size=batch_size,
+                name=f"{server}.backend",
+            )
+        return backends[server]
+
+    def scratch_for(server: str):
+        if scratch_store_factory is not None:
+            return scratch_store_factory(server)
+        return None
+
+    outcomes: dict[str, PlacedServerOutcome] = {}
+    errors: list[BaseException] = []
+    dead: set[str] = set()
+    lock = threading.Lock()
+    started = time.monotonic()
+    placed: "list[PlacedServerGraph]" = []
+    try:
+        # Build every server graph in the main thread: process-backend
+        # pools must fork before any session's threads are live.
+        placed = split_pipeline(
+            dataset,
+            plan,
+            make_queue,
+            aligner_for=aligner_factory,
+            backend_for=backend_for,
+            scratch_for=scratch_for,
+            align_results_store_for=align_results_store_factory,
+            reference=reference,
+            align_config=align_config,
+            sort_config=sort_config,
+            varcall_config=varcall_config,
+            filter_predicate=filter_predicate,
+            sort_store=sort_store,
+            filter_store=filter_out,
+            vectorized=vectorized,
+        )
+
+        def run_server(server_graph: PlacedServerGraph) -> None:
+            start = time.monotonic()
+            try:
+                Session(server_graph.pipeline.graph).run(
+                    timeout=session_timeout
+                )
+            except BaseException as exc:
+                wall = time.monotonic() - start
+                cause = _root_cause(exc)
+                if isinstance(exc, PipelineError) and \
+                        isinstance(cause, WorkerKilled):
+                    # A dead worker, not a broken pipeline: requeue its
+                    # unacked deliveries and release its producer slots
+                    # so replicas finish the work and edges still close.
+                    client_for(server_graph.server).close()
+                    with lock:
+                        dead.add(server_graph.server)
+                        survivors = [
+                            p.server for p in plan.placements
+                            if p.stages == server_graph.stages
+                            and p.server not in dead
+                        ]
+                        outcomes[server_graph.server] = PlacedServerOutcome(
+                            server=server_graph.server,
+                            stages=server_graph.stages,
+                            chunks=server_graph.sink.chunks,
+                            records=server_graph.sink.records,
+                            wall_seconds=wall,
+                            killed=True,
+                        )
+                        if not survivors:
+                            # No replica can finish this stage group: the
+                            # run cannot produce complete output.  Fail
+                            # loudly instead of returning partial results
+                            # (or hanging until the session deadline).
+                            errors.append(exc)
+                    if not survivors:
+                        broker.abort()
+                    return
+                with lock:
+                    errors.append(exc)
+                broker.abort()
+                return
+            wall = time.monotonic() - start
+            with lock:
+                outcomes[server_graph.server] = PlacedServerOutcome(
+                    server=server_graph.server,
+                    stages=server_graph.stages,
+                    chunks=server_graph.sink.chunks,
+                    records=server_graph.sink.records,
+                    wall_seconds=wall,
+                )
+
+        threads = [
+            threading.Thread(target=run_server, args=(sg,),
+                             name=f"placed-{sg.server}")
+            for sg in placed
+        ]
+        for t in threads:
+            t.start()
+
+        # The coordinator is the work edge's one producer: publish every
+        # chunk name, then close it (the manifest-server publish, §5.2).
+        coordinator = LocalBrokerClient(broker) if server_tcp is None \
+            else TcpBrokerClient(server_tcp.host, server_tcp.port,
+                                 wire_codec=wire_codec)
+        work_queue = RemoteQueue(coordinator, WORK_EDGE, entry_serializer())
+        work_queue.register_producer()
+        try:
+            for entry in manifest.chunks:
+                work_queue.put(entry)
+        except (PipelineAborted, QueueClosed):
+            # A worker failed and aborted the edges mid-publish; the
+            # root error is in `errors` — keep going so the threads are
+            # joined and that error (not this symptom) is raised.
+            pass
+        finally:
+            work_queue.producer_done()
+
+        for t in threads:
+            t.join()
+        coordinator.close()
+    finally:
+        broker_stats = broker.stats()
+        for client in clients.values():
+            client.close()
+        if server_tcp is not None:
+            server_tcp.stop()
+        for sg in placed:
+            sg.close(wait=False)
+        if owns_backends:
+            for b in backends.values():
+                b.shutdown(wait=not errors)
+    if errors:
+        raise errors[0]
+    wall = time.monotonic() - started
+
+    if "align" in plan.stages and align_results_store_factory is None \
+            and not manifest.has_column("results"):
+        manifest.add_column("results")
+
+    def collector_for(stage: str):
+        for sg in placed:
+            if stage in sg.stages:
+                return sg.pipeline.stage(stage).collector
+        return None
+
+    sort_collector = collector_for("sort")
+    dupmark_collector = collector_for("dupmark")
+    filter_collector = collector_for("filter")
+    varcall_collector = collector_for("varcall")
+    return PlacedPipelineOutcome(
+        wall_seconds=wall,
+        servers=sorted(outcomes.values(), key=lambda s: s.server),
+        sorted_dataset=(
+            AGDDataset(sort_collector.manifest, sort_store)
+            if sort_collector is not None else None
+        ),
+        dupmark_stats=(dupmark_collector.dup_stats
+                       if dupmark_collector is not None else None),
+        variants=(varcall_collector.variants
+                  if varcall_collector is not None else None),
+        filtered_dataset=(
+            AGDDataset(filter_collector.manifest, filter_out)
+            if filter_collector is not None else None
+        ),
+        filter_stats=(filter_collector.filter_stats
+                      if filter_collector is not None else None),
+        broker_stats=broker_stats,
+    )
+
+
 def run_multi_server_alignment(
     dataset: AGDDataset,
     aligner_factory,
@@ -61,6 +421,11 @@ def run_multi_server_alignment(
 ) -> MultiServerOutcome:
     """Align one dataset across ``num_servers`` in-process servers.
 
+    The degenerate one-stage placement plan: every server runs just the
+    align group, all pulling chunk names from the shared work edge —
+    exactly the paper's §5.2 cluster mode, now expressed on the same
+    broker machinery that places whole pipelines.
+
     ``aligner_factory(server_id)`` returns the per-server aligner (in
     reality each server loads its own copy of the reference index);
     ``output_store_factory(server_id)`` returns that server's handle to
@@ -68,60 +433,34 @@ def run_multi_server_alignment(
     """
     if num_servers <= 0:
         raise ValueError("need at least one server")
-    manifest_server = ManifestServer(dataset.manifest)
     config = config or AlignGraphConfig()
-    builds = []
-    for server_id in range(num_servers):
-        built = build_align_graph(
-            dataset.manifest,
-            dataset.store,
-            output_store_factory(server_id),
-            aligner_factory(server_id),
-            config=config,
-            name_queue=manifest_server.queue,
-            graph_name=f"server{server_id}",
-        )
-        builds.append(built)
-    outcome = MultiServerOutcome()
-    errors: list[BaseException] = []
-    lock = threading.Lock()
+    plan = PlacementPlan.replicated_align(num_servers)
 
-    def run_server(server_id: int) -> None:
-        built = builds[server_id]
-        start = time.monotonic()
-        try:
-            Session(built.graph).run(timeout=session_timeout)
-        except BaseException as exc:
-            with lock:
-                errors.append(exc)
-            return
-        finally:
-            built.close(wait=False)
-        wall = time.monotonic() - start
-        with lock:
-            outcome.servers.append(
-                ServerOutcome(
-                    server_id=server_id,
-                    chunks=built.sink.chunks,
-                    records=built.sink.records,
-                    wall_seconds=wall,
-                )
-            )
+    def server_id(server: str) -> int:
+        return int(server.removeprefix("server"))
 
-    started = time.monotonic()
-    manifest_server.publish()
-    threads = [
-        threading.Thread(target=run_server, args=(i,), name=f"server-{i}")
-        for i in range(num_servers)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    outcome.wall_seconds = time.monotonic() - started
-    if errors:
-        raise errors[0]
-    outcome.servers.sort(key=lambda s: s.server_id)
-    outcome.total_records = sum(s.records for s in outcome.servers)
-    outcome.total_chunks = sum(s.chunks for s in outcome.servers)
-    return outcome
+    outcome = run_placed_pipeline(
+        dataset,
+        plan,
+        aligner_factory=lambda server: aligner_factory(server_id(server)),
+        align_results_store_factory=lambda server: output_store_factory(
+            server_id(server)
+        ),
+        align_config=config,
+        backend=config.backend,
+        workers=config.executor_threads,
+        batch_size=config.batch_size,
+        session_timeout=session_timeout,
+    )
+    result = MultiServerOutcome(wall_seconds=outcome.wall_seconds)
+    for placed in outcome.servers:
+        result.servers.append(ServerOutcome(
+            server_id=server_id(placed.server),
+            chunks=placed.chunks,
+            records=placed.records,
+            wall_seconds=placed.wall_seconds,
+        ))
+    result.servers.sort(key=lambda s: s.server_id)
+    result.total_records = sum(s.records for s in result.servers)
+    result.total_chunks = sum(s.chunks for s in result.servers)
+    return result

@@ -1,0 +1,165 @@
+"""Wire encoding for chunk traffic between placed servers.
+
+Two payload kinds cross broker edges: chunk *names* (manifest entries,
+tiny JSON) and whole *work items* (a chunk's parsed columns mid-
+pipeline).  Work items reuse the AGD chunk serialization — every column
+is one ``write_chunk`` blob, compressed through the existing codec layer
+(§3's per-column compression) at a light level, since edge payloads are
+written once and read once like sort scratch.
+
+Frames are length-prefixed (``!I`` big-endian) so any transport that
+moves bytes (the TCP broker, a file, a pipe) can carry them.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Callable, NamedTuple
+
+from repro.agd.chunk import read_chunk, write_chunk
+from repro.agd.compression import leveled_codec
+from repro.agd.manifest import ChunkEntry
+from repro.agd.records import record_type_for_column
+
+_LEN = struct.Struct("!I")
+
+#: Edge payloads are transient (written once, read once), so compress
+#: like sort scratch: cheap level, not the archival default.
+EDGE_CODEC_LEVEL = 1
+
+
+class WireError(ValueError):
+    """Raised for malformed wire frames."""
+
+
+class PayloadSerializer(NamedTuple):
+    """An encode/decode pair a :class:`~repro.dataflow.queues.RemoteQueue`
+    applies to items crossing its edge."""
+
+    encode: Callable[[object], bytes]
+    decode: Callable[[bytes], object]
+    key: Callable[[object], str]
+
+
+def pack_frames(blobs: "list[bytes]") -> bytes:
+    """Concatenate blobs as length-prefixed frames."""
+    parts = [_LEN.pack(len(blobs))]
+    for blob in blobs:
+        parts.append(_LEN.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def unpack_frames(data: bytes) -> "list[bytes]":
+    """Inverse of :func:`pack_frames`."""
+    if len(data) < _LEN.size:
+        raise WireError("truncated frame header")
+    (count,) = _LEN.unpack_from(data, 0)
+    offset = _LEN.size
+    blobs: list[bytes] = []
+    for _ in range(count):
+        if offset + _LEN.size > len(data):
+            raise WireError("truncated frame length")
+        (n,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        if offset + n > len(data):
+            raise WireError("truncated frame body")
+        blobs.append(data[offset:offset + n])
+        offset += n
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after frames")
+    return blobs
+
+
+# ---------------------------------------------------------------- entries
+
+
+def encode_entry(entry: ChunkEntry) -> bytes:
+    return json.dumps(
+        {"path": entry.path, "first": entry.first_ordinal,
+         "count": entry.record_count}
+    ).encode()
+
+
+def decode_entry(blob: bytes) -> ChunkEntry:
+    doc = json.loads(blob.decode())
+    return ChunkEntry(doc["path"], doc["first"], doc["count"])
+
+
+def entry_serializer() -> PayloadSerializer:
+    return PayloadSerializer(
+        encode=encode_entry,
+        decode=decode_entry,
+        key=lambda entry: entry.path,
+    )
+
+
+# ------------------------------------------------------------- work items
+
+
+def encode_work_item(item, codec_level: int = EDGE_CODEC_LEVEL) -> bytes:
+    """Serialize a :class:`~repro.core.ops.ChunkWorkItem`: a JSON header
+    frame followed by one AGD chunk blob per column (results attached as
+    their own frame when they live on ``item.results``)."""
+    codec = leveled_codec("gzip", codec_level)
+    columns = sorted(item.columns)
+    results_attached = item.results is not None and "results" not in columns
+    header = {
+        "path": item.entry.path,
+        "first": item.entry.first_ordinal,
+        "count": item.entry.record_count,
+        "columns": columns,
+        "results": results_attached,
+    }
+    blobs = [json.dumps(header).encode()]
+    for column in columns:
+        blobs.append(
+            write_chunk(
+                item.columns[column],
+                record_type_for_column(column),
+                first_ordinal=item.entry.first_ordinal,
+                codec=codec,
+            )
+        )
+    if results_attached:
+        blobs.append(
+            write_chunk(
+                item.results,
+                "results",
+                first_ordinal=item.entry.first_ordinal,
+                codec=codec,
+            )
+        )
+    return pack_frames(blobs)
+
+
+def decode_work_item(blob: bytes):
+    from repro.core.ops import ChunkWorkItem
+
+    frames = unpack_frames(blob)
+    if not frames:
+        raise WireError("work item frame missing header")
+    header = json.loads(frames[0].decode())
+    columns = list(header["columns"])
+    expected = len(columns) + (1 if header["results"] else 0)
+    if len(frames) != expected + 1:
+        raise WireError(
+            f"work item {header['path']!r} has {len(frames) - 1} column "
+            f"frames, expected {expected}"
+        )
+    entry = ChunkEntry(header["path"], header["first"], header["count"])
+    item = ChunkWorkItem(entry=entry)
+    for i, column in enumerate(columns):
+        item.columns[column] = read_chunk(frames[1 + i]).records
+    if header["results"]:
+        item.results = read_chunk(frames[-1]).records
+    return item
+
+
+def item_serializer(codec_level: int = EDGE_CODEC_LEVEL) -> PayloadSerializer:
+    return PayloadSerializer(
+        encode=lambda item: encode_work_item(item, codec_level),
+        decode=decode_work_item,
+        key=lambda item: item.entry.path,
+    )

@@ -387,6 +387,180 @@ class NullSinkNode(Node):
         return None
 
 
+class EdgeSinkNode(Node):
+    """Publishes a placed server's completed work items to a broker edge.
+
+    The egress half of a pipeline cut (§5.2 generalized): items leaving
+    this server travel to whichever server hosts the next stage group.
+    With an ``ack_source`` (the server's manual-ack ingress queue), the
+    publish and the upstream acknowledgment happen as ONE broker
+    operation — a worker that dies mid-chunk leaves the delivery unacked
+    for redelivery, and one that dies after leaves it published exactly
+    once.  ``finalize`` releases this server's producer slot, which is
+    what lets the downstream edge close once every upstream replica is
+    done.
+    """
+
+    def __init__(self, remote, ack_source=None, name: str = "edge_sink"):
+        super().__init__(name, parallelism=1)
+        self.remote = remote
+        self.ack_source = ack_source
+        self.chunks = 0
+        self.records = 0
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        if self.ack_source is not None:
+            self.remote.put_with_ack(item, self.ack_source, item.entry.path)
+        else:
+            self.remote.put(item)
+        self.chunks += 1
+        self.records += item.record_count
+        return None
+
+    def finalize(self, ctx: NodeContext):
+        self.remote.producer_done()
+        return None
+
+
+class AckSinkNode(Node):
+    """Terminal sink for a placed server's last stage group.
+
+    Counts completed chunks like :class:`NullSinkNode` and, when the
+    group consumes a manual-ack edge, acknowledges each chunk's ingress
+    delivery — the point where a chunk is finally *done* and stops being
+    eligible for redelivery.
+    """
+
+    def __init__(self, ack_source=None, name: str = "ack_sink"):
+        super().__init__(name, parallelism=1)
+        self.ack_source = ack_source
+        self.chunks = 0
+        self.records = 0
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        if self.ack_source is not None:
+            self.ack_source.ack_key(item.entry.path)
+        self.chunks += 1
+        self.records += item.record_count
+        return None
+
+
+class FilterStageNode(Node):
+    """Streaming dataset filter (§2.1's post-alignment filtering).
+
+    The dataflow form of :func:`repro.core.filters.filter_dataset`:
+    evaluates a row predicate against each chunk's results, buffers the
+    surviving rows of every column, and re-chunks them into a new
+    dataset in ``output_store`` — emitting each output chunk downstream
+    as it fills, so a following varcall stage overlaps with filtering.
+    Output bytes and manifest are identical to the eager function's.
+
+    Parallelism is 1: output re-chunking concatenates survivors in
+    input order, so chunks must arrive in dataset order (callers insert
+    a resequencer after out-of-order upstreams).
+    """
+
+    def __init__(
+        self,
+        predicate,
+        output_store: ChunkStore,
+        dataset_name: str,
+        out_chunk_size: int,
+        columns: "list[str]",
+        reference: "list[dict] | None" = None,
+        sort_order: str = "unsorted",
+        stats: "object | None" = None,
+        name: str = "filter",
+    ):
+        from repro.core.filters import FilterStats
+
+        super().__init__(name, parallelism=1)
+        if out_chunk_size <= 0:
+            raise ValueError("out_chunk_size must be positive")
+        self.predicate = predicate
+        self.output_store = output_store
+        self.dataset_name = dataset_name
+        self.out_chunk_size = out_chunk_size
+        self.columns = sorted(columns)
+        self.reference = reference or []
+        self.sort_order = sort_order
+        self.filter_stats = stats if stats is not None else FilterStats()
+        self._buffers: dict[str, list] = {c: [] for c in self.columns}
+        self.entries: list[ChunkEntry] = []
+        self.manifest: "Manifest | None" = None
+        self._emitted = 0
+
+    def _column_records(self, item: ChunkWorkItem, column: str) -> list:
+        if column in item.columns:
+            return item.columns[column]
+        if column == "results":
+            return _item_results(item)
+        raise ValueError(
+            f"chunk {item.entry.path!r} lacks column {column!r} needed "
+            f"by the filter stage"
+        )
+
+    def _flush_chunk(self) -> ChunkWorkItem:
+        from repro.agd.records import record_type_for_column
+
+        count = min(self.out_chunk_size, len(self._buffers[self.columns[0]]))
+        entry = ChunkEntry(
+            f"{self.dataset_name}-{len(self.entries)}",
+            self._emitted,
+            count,
+        )
+        out_columns: dict[str, list] = {}
+        for column in self.columns:
+            records = self._buffers[column][:count]
+            del self._buffers[column][:count]
+            self.output_store.put(
+                entry.chunk_file(column),
+                write_chunk(
+                    records,
+                    record_type_for_column(column),
+                    first_ordinal=entry.first_ordinal,
+                ),
+            )
+            out_columns[column] = records
+        self.entries.append(entry)
+        self._emitted += count
+        return ChunkWorkItem(entry=entry, columns=out_columns)
+
+    def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        results = _item_results(item)
+        mask = [bool(self.predicate(r)) for r in results]
+        self.filter_stats.examined += len(mask)
+        kept = sum(mask)
+        self.filter_stats.kept += kept
+        if kept:
+            for column in self.columns:
+                records = self._column_records(item, column)
+                self._buffers[column].extend(
+                    record for record, keep in zip(records, mask) if keep
+                )
+        released: list[ChunkWorkItem] = []
+        while len(self._buffers[self.columns[0]]) >= self.out_chunk_size:
+            released.append(self._flush_chunk())
+        return released
+
+    def finalize(self, ctx: NodeContext):
+        from repro.agd.manifest import ManifestError
+
+        tail: list[ChunkWorkItem] = []
+        if self._buffers[self.columns[0]]:
+            tail.append(self._flush_chunk())
+        if self.filter_stats.kept == 0:
+            raise ManifestError("filter kept no records")
+        self.manifest = Manifest(
+            name=self.dataset_name,
+            columns=list(self.columns),
+            chunks=list(self.entries),
+            reference=self.reference,
+            sort_order=self.sort_order,
+        )
+        return tail
+
+
 # --------------------------------------------------------------------------
 # Streaming pipeline kernels: sort, dupmark, and varcall as dataflow stages.
 # These promote the eager functions in repro.core.{sort,dupmark,varcall}

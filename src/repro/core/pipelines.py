@@ -12,23 +12,30 @@ from __future__ import annotations
 import gzip
 import time
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.agd.dataset import AGDDataset
 from repro.agd.manifest import Manifest
 from repro.align.bwa import BwaConfig, BwaMemAligner, FMIndex
 from repro.align.snap import SeedIndex, SnapAligner, SnapConfig
 from repro.core.dupmark import DupmarkStats, mark_duplicates
+from repro.core.filters import FilterStats
+from repro.core.ops import AckSinkNode, EdgeSinkNode, QueueNameSource
 from repro.core.sort import SortConfig, sort_dataset
 from repro.core.subgraphs import (
+    STAGE_ORDER,
     AlignGraphConfig,
+    ComposedPipeline,
     PipelineBuilder,
     StageGraph,
     build_align_graph,
     build_align_stage,
     build_dupmark_graph,
+    build_filter_stage,
     build_sort_graph,
     build_standalone_graph,
     build_varcall_graph,
+    compose,
 )
 from repro.core.varcall import VarCallConfig, call_variants
 from repro.dataflow.backends import Backend, make_backend
@@ -43,14 +50,18 @@ __all__ = [
     "AlignOutcome",
     "PIPELINE_STAGES",
     "PipelineOutcome",
+    "PlacedServerGraph",
     "StageBreakdown",
     "align_dataset",
     "align_standalone",
     "build_snap_aligner",
     "build_bwa_aligner",
     "mark_duplicates",
+    "placed_server_endpoints",
     "run_pipeline",
     "sort_dataset",
+    "split_pipeline",
+    "suggest_queue_capacities",
     "SortConfig",
     "DupmarkStats",
     "call_variants",
@@ -241,7 +252,7 @@ def align_standalone(
 # One-graph pipelines: several stages, one Session.run (§4.1, §4.5).
 
 #: Canonical stage order; ``run_pipeline`` accepts any ordered subset.
-PIPELINE_STAGES = ("align", "sort", "dupmark", "varcall")
+PIPELINE_STAGES = STAGE_ORDER
 
 
 @dataclass
@@ -280,6 +291,8 @@ class PipelineOutcome:
     sorted_dataset: "AGDDataset | None" = None
     dupmark_stats: "DupmarkStats | None" = None
     variants: "list | None" = None
+    filtered_dataset: "AGDDataset | None" = None
+    filter_stats: "FilterStats | None" = None
     report: dict = field(default_factory=dict)
 
     def stage(self, name: str) -> StageBreakdown:
@@ -313,15 +326,186 @@ def _validate_stages(stages: "tuple[str, ...]") -> None:
         )
 
 
+def _check_stage_requirements(
+    stages: "tuple[str, ...]",
+    manifest: Manifest,
+    aligner,
+    reference,
+    filter_predicate,
+) -> None:
+    if "align" in stages and aligner is None:
+        raise ValueError("an align stage needs aligner=")
+    if "varcall" in stages and reference is None:
+        raise ValueError("a varcall stage needs reference=")
+    if "filter" in stages and filter_predicate is None:
+        raise ValueError("a filter stage needs filter_predicate=")
+    if "align" not in stages and not manifest.has_column("results"):
+        raise ValueError(
+            f"stages {list(stages)} need alignment results; include an "
+            f"align stage or align the dataset first"
+        )
+
+
+def _filter_output_spec(
+    manifest: Manifest,
+    stages: "tuple[str, ...]",
+    sort_config: "SortConfig | None",
+) -> "tuple[str, int, str]":
+    """The (dataset name, chunk size, sort order) the filter stage must
+    emit to match the eager ``filter_dataset`` run over the pipeline's
+    output (the sorted dataset when a sort stage runs, else the input)."""
+    base_chunk = manifest.chunks[0].record_count if manifest.chunks else 1
+    if "sort" in stages:
+        sort_config = sort_config or SortConfig()
+        return (
+            f"{manifest.name}-sorted-filtered",
+            sort_config.output_chunk_size or base_chunk,
+            sort_config.order,
+        )
+    return (f"{manifest.name}-filtered", base_chunk, manifest.sort_order)
+
+
+def _build_stage_graph(
+    stage: str,
+    *,
+    head: bool,
+    previous: "str | None",
+    stages: "tuple[str, ...]",
+    dataset: AGDDataset,
+    aligner=None,
+    reference=None,
+    align_config: "AlignGraphConfig | None" = None,
+    sort_config: "SortConfig | None" = None,
+    varcall_config: "VarCallConfig | None" = None,
+    filter_predicate=None,
+    sort_store: "ChunkStore | None" = None,
+    filter_store: "ChunkStore | None" = None,
+    scratch_store: "ChunkStore | None" = None,
+    backend_obj: "Backend | None" = None,
+    vectorized: bool = True,
+    name_queue: "Queue | None" = None,
+    varcall_passthrough: bool = False,
+    align_results_store: "ChunkStore | None" = None,
+) -> StageGraph:
+    """Build ONE pipeline stage subgraph.
+
+    ``stages`` is the FULL pipeline stage tuple (not just this server's
+    group): cross-stage decisions — which columns an align reader must
+    fetch, which store dupmark rewrites — depend on the whole workload
+    even when this stage runs on another server.  ``head`` marks the
+    stage that reads chunk names and the store directly (the pipeline
+    head, or a placed head pulling names from the cluster work edge via
+    ``name_queue``); ``previous`` is the stage immediately upstream in
+    the full pipeline, used to decide whether arrival order must be
+    restored.
+    """
+    manifest = dataset.manifest
+    if stage == "align":
+        config = align_config or AlignGraphConfig()
+        config = replace(config, backend=backend_obj)
+        # A following sort or filter stage moves every column, so the
+        # align reader must fetch the ones it skips by default.
+        extra = tuple(
+            c for c in manifest.columns
+            if c not in ("bases", "qual", "results")
+        ) if ("sort" in stages or "filter" in stages) else ()
+        results_store = (align_results_store if align_results_store
+                         is not None else dataset.store)
+        return build_align_stage(
+            manifest, dataset.store, results_store, aligner,
+            config=config, extra_columns=extra, name_queue=name_queue,
+        )
+    if stage == "sort":
+        # A caller-supplied SortConfig keeps its own vectorized choice;
+        # the pipeline-wide flag fills the default and acts as a
+        # force-scalar master switch.
+        if sort_config is None:
+            stage_sort_config = SortConfig(vectorized=vectorized)
+        elif not vectorized and sort_config.vectorized:
+            stage_sort_config = replace(sort_config, vectorized=False)
+        else:
+            stage_sort_config = sort_config
+        return build_sort_graph(
+            manifest,
+            sort_store,
+            input_store=dataset.store if head else None,
+            config=stage_sort_config,
+            columns=(sorted(set(manifest.columns) | {"results"})
+                     if "align" in stages else None),
+            scratch_store=scratch_store,
+            backend=backend_obj,
+            name_queue=name_queue if head else None,
+        )
+    if stage == "dupmark":
+        store = sort_store if "sort" in stages else dataset.store
+        if "filter" in stages:
+            # A downstream filter stage re-chunks every column, so a
+            # head-mode dupmark must read them all.
+            columns = tuple(sorted(set(manifest.columns) | {"results"}))
+        elif "varcall" in stages:
+            # A fused varcall stage downstream needs read bases and
+            # qualities alongside the results.
+            columns = ("results", "bases", "qual")
+        else:
+            columns = ("results",)
+        return build_dupmark_graph(
+            manifest if head else None,
+            store,
+            # After a parallel align stage (no sort between), chunk
+            # order is nondeterministic; resequence so the first-
+            # fragment-wins scan matches the eager path.
+            reorder=([e.path for e in manifest.chunks]
+                     if previous == "align" else None),
+            from_queue=not head,
+            columns=columns,
+            backend=backend_obj,
+            vectorized=vectorized,
+            name_queue=name_queue if head else None,
+        )
+    if stage == "filter":
+        filter_name, out_chunk, order = _filter_output_spec(
+            manifest, stages, sort_config
+        )
+        return build_filter_stage(
+            filter_predicate,
+            filter_store if filter_store is not None else MemoryStore(),
+            filter_name,
+            out_chunk,
+            sorted(set(manifest.columns) | {"results"}),
+            manifest=manifest if head else None,
+            input_store=dataset.store if head else None,
+            reorder=([e.path for e in manifest.chunks]
+                     if previous == "align" else None),
+            reference=manifest.reference,
+            sort_order=order,
+            name_queue=name_queue if head else None,
+        )
+    if stage == "varcall":
+        return build_varcall_graph(
+            reference,
+            manifest=manifest if head else None,
+            input_store=dataset.store if head else None,
+            config=varcall_config,
+            backend=backend_obj,
+            vectorized=vectorized,
+            name_queue=name_queue if head else None,
+            passthrough=varcall_passthrough,
+        )
+    raise ValueError(f"unknown pipeline stage {stage!r}")
+
+
 def run_pipeline(
     dataset: AGDDataset,
-    stages: "tuple[str, ...] | list[str]" = PIPELINE_STAGES,
+    stages: "tuple[str, ...] | list[str]" = ("align", "sort", "dupmark",
+                                             "varcall"),
     aligner=None,
     reference: "ReferenceGenome | None" = None,
     align_config: "AlignGraphConfig | None" = None,
     sort_config: "SortConfig | None" = None,
     varcall_config: "VarCallConfig | None" = None,
+    filter_predicate=None,
     output_store: "ChunkStore | None" = None,
+    filter_store: "ChunkStore | None" = None,
     scratch_store: "ChunkStore | None" = None,
     backend: "str | Backend" = "thread",
     workers: int = 4,
@@ -330,28 +514,34 @@ def run_pipeline(
     name: str = "pipeline",
     vectorized: bool = True,
     queue_sample_interval: "float | None" = 0.02,
+    queue_capacities: "dict[str, int] | None" = None,
+    autotune_queues: bool = False,
 ) -> PipelineOutcome:
     """Run several workload stages as ONE streaming dataflow graph.
 
     ``stages`` is any ordered subset of ``("align", "sort", "dupmark",
-    "varcall")``.  Each stage becomes a subgraph; the stages are fused
-    sink-queue-to-source-queue and executed by a single ``Session.run``,
-    so chunks stream between stages through bounded queues (§4.5)
-    instead of the dataset materializing in storage between passes.
-    Outputs are identical to running the eager single-stage functions
-    (``align_dataset`` then ``sort_dataset`` then ``mark_duplicates``
-    then ``call_variants``) one after another.
+    "filter", "varcall")``.  Each stage becomes a subgraph; the stages
+    are fused sink-queue-to-source-queue and executed by a single
+    ``Session.run``, so chunks stream between stages through bounded
+    queues (§4.5) instead of the dataset materializing in storage
+    between passes.  Outputs are identical to running the eager
+    single-stage functions (``align_dataset``, ``sort_dataset``,
+    ``mark_duplicates``, ``filter_dataset``, ``call_variants``) one
+    after another.
 
     One compute backend is shared by every stage: ``backend`` (a name or
     a pre-built instance; a pre-built process backend must not have
     started its pool when an align stage is requested), ``workers`` and
     ``batch_size`` configure it.  ``output_store`` receives the sorted
     dataset (default: a fresh in-memory store); ``scratch_store`` holds
-    the external sort's superchunk runs.
+    the external sort's superchunk runs; ``filter_store`` receives the
+    filtered dataset a ``filter`` stage materializes (its row predicate
+    comes from ``filter_predicate``, e.g. ``filters.by_min_mapq(30)``).
 
     Requirements per stage: align needs ``aligner``; varcall needs
-    ``reference``; sort/dupmark/varcall without a preceding align stage
-    need the dataset to already have a results column.
+    ``reference``; filter needs ``filter_predicate``; stages without a
+    preceding align stage need the dataset to already have a results
+    column.
 
     ``session_timeout`` defaults to None (no deadline): unlike the
     single-stage calls, one budget here covers every fused stage, so a
@@ -364,20 +554,85 @@ def run_pipeline(
     per-stage traces land in ``report["queue_trace"]`` and each stage's
     ``stage_report`` entry (§4.6's "current queue states").  None
     disables sampling.
+
+    ``queue_capacities`` overrides individual queue depths by fully-
+    qualified name (e.g. ``{"align.parsed_chunks": 6}``) before the run.
+    ``autotune_queues=True`` runs the pipeline twice: a sampling probe
+    first, then the measured run with capacities suggested by
+    :func:`suggest_queue_capacities` from the probe's depth traces (the
+    §4.5 capacity guidance, derived from data instead of hand-tuning).
+    The applied suggestions land in ``report["autotuned_queues"]``.
     """
     stages = tuple(stages)
     _validate_stages(stages)
-    manifest = dataset.manifest
-    if "align" in stages and aligner is None:
-        raise ValueError("an align stage needs aligner=")
-    if "varcall" in stages and reference is None:
-        raise ValueError("a varcall stage needs reference=")
-    if "align" not in stages and not manifest.has_column("results"):
-        raise ValueError(
-            f"stages {list(stages)} need alignment results; include an "
-            f"align stage or align the dataset first"
-        )
+    _check_stage_requirements(stages, dataset.manifest, aligner, reference,
+                              filter_predicate)
+    kwargs = dict(
+        aligner=aligner,
+        reference=reference,
+        align_config=align_config,
+        sort_config=sort_config,
+        varcall_config=varcall_config,
+        filter_predicate=filter_predicate,
+        output_store=output_store,
+        filter_store=filter_store,
+        scratch_store=scratch_store,
+        backend=backend,
+        workers=workers,
+        batch_size=batch_size,
+        session_timeout=session_timeout,
+        name=name,
+        vectorized=vectorized,
+        queue_sample_interval=queue_sample_interval,
+    )
+    if not autotune_queues:
+        return _run_pipeline_once(dataset, stages,
+                                  queue_capacities=queue_capacities,
+                                  **kwargs)
+    # Probe run: sampling must be on to produce the depth traces the
+    # suggester reads.  Stage outputs are deterministic and chunk writes
+    # idempotent, so the probe leaves the measured run's inputs intact.
+    probe_kwargs = dict(kwargs)
+    if probe_kwargs["queue_sample_interval"] is None:
+        probe_kwargs["queue_sample_interval"] = 0.02
+    probe = _run_pipeline_once(dataset, stages,
+                               queue_capacities=queue_capacities,
+                               **probe_kwargs)
+    tuned = suggest_queue_capacities(probe.report)
+    # Explicit pins win: a caller-supplied capacity is a decision, the
+    # suggestion is a heuristic.
+    for pinned in (queue_capacities or {}):
+        tuned.pop(pinned, None)
+    merged = dict(tuned)
+    merged.update(queue_capacities or {})
+    outcome = _run_pipeline_once(dataset, stages, queue_capacities=merged,
+                                 **kwargs)
+    outcome.report["autotuned_queues"] = tuned
+    return outcome
 
+
+def _run_pipeline_once(
+    dataset: AGDDataset,
+    stages: "tuple[str, ...]",
+    aligner=None,
+    reference: "ReferenceGenome | None" = None,
+    align_config: "AlignGraphConfig | None" = None,
+    sort_config: "SortConfig | None" = None,
+    varcall_config: "VarCallConfig | None" = None,
+    filter_predicate=None,
+    output_store: "ChunkStore | None" = None,
+    filter_store: "ChunkStore | None" = None,
+    scratch_store: "ChunkStore | None" = None,
+    backend: "str | Backend" = "thread",
+    workers: int = 4,
+    batch_size: "int | None" = None,
+    session_timeout: "float | None" = None,
+    name: str = "pipeline",
+    vectorized: bool = True,
+    queue_sample_interval: "float | None" = 0.02,
+    queue_capacities: "dict[str, int] | None" = None,
+) -> PipelineOutcome:
+    manifest = dataset.manifest
     backend_obj = make_backend(
         backend, workers=workers, batch_size=batch_size,
         name=f"{name}.backend",
@@ -388,85 +643,43 @@ def run_pipeline(
     backend_obj.start()
 
     sort_store = output_store if output_store is not None else MemoryStore()
-    columns_after_align = sorted(set(manifest.columns) | {"results"})
+    filter_out = filter_store if filter_store is not None else MemoryStore()
     built: list[StageGraph] = []
-    sort_stage: "StageGraph | None" = None
-    dupmark_stage: "StageGraph | None" = None
-    varcall_stage: "StageGraph | None" = None
+    by_stage: dict[str, StageGraph] = {}
     start = time.monotonic()
     try:
         previous: "str | None" = None
         for stage in stages:
-            head = previous is None
-            if stage == "align":
-                config = align_config or AlignGraphConfig()
-                config = replace(config, backend=backend_obj)
-                # A following sort stage moves every column, so the
-                # align reader must fetch the ones it skips by default.
-                extra = tuple(
-                    c for c in manifest.columns
-                    if c not in ("bases", "qual", "results")
-                ) if "sort" in stages else ()
-                built.append(build_align_stage(
-                    manifest, dataset.store, dataset.store, aligner,
-                    config=config, extra_columns=extra,
-                ))
-            elif stage == "sort":
-                # A caller-supplied SortConfig keeps its own vectorized
-                # choice; the pipeline-wide flag fills the default and
-                # acts as a force-scalar master switch.
-                if sort_config is None:
-                    stage_sort_config = SortConfig(vectorized=vectorized)
-                elif not vectorized and sort_config.vectorized:
-                    stage_sort_config = replace(sort_config,
-                                                vectorized=False)
-                else:
-                    stage_sort_config = sort_config
-                sort_stage = build_sort_graph(
-                    manifest,
-                    sort_store,
-                    input_store=dataset.store if head else None,
-                    config=stage_sort_config,
-                    columns=(columns_after_align if "align" in stages
-                             else None),
-                    scratch_store=scratch_store,
-                    backend=backend_obj,
-                )
-                built.append(sort_stage)
-            elif stage == "dupmark":
-                store = sort_store if "sort" in stages else dataset.store
-                dupmark_stage = build_dupmark_graph(
-                    manifest if head else None,
-                    store,
-                    # After a parallel align stage (no sort between),
-                    # chunk order is nondeterministic; resequence so the
-                    # first-fragment-wins scan matches the eager path.
-                    reorder=([e.path for e in manifest.chunks]
-                             if previous == "align" else None),
-                    from_queue=not head,
-                    # A fused varcall stage downstream needs read bases
-                    # and qualities alongside the results.
-                    columns=(("results", "bases", "qual")
-                             if "varcall" in stages else ("results",)),
-                    backend=backend_obj,
-                    vectorized=vectorized,
-                )
-                built.append(dupmark_stage)
-            elif stage == "varcall":
-                varcall_stage = build_varcall_graph(
-                    reference,
-                    manifest=manifest if head else None,
-                    input_store=dataset.store if head else None,
-                    config=varcall_config,
-                    backend=backend_obj,
-                    vectorized=vectorized,
-                )
-                built.append(varcall_stage)
+            stage_graph = _build_stage_graph(
+                stage,
+                head=previous is None,
+                previous=previous,
+                stages=stages,
+                dataset=dataset,
+                aligner=aligner,
+                reference=reference,
+                align_config=align_config,
+                sort_config=sort_config,
+                varcall_config=varcall_config,
+                filter_predicate=filter_predicate,
+                sort_store=sort_store,
+                filter_store=filter_out,
+                scratch_store=scratch_store,
+                backend_obj=backend_obj,
+                vectorized=vectorized,
+            )
+            built.append(stage_graph)
+            by_stage[stage] = stage_graph
             previous = stage
         pipeline = PipelineBuilder(name)
         for stage_graph in built:
             pipeline.add(stage_graph)
         composed = pipeline.build()
+        if queue_capacities:
+            for q in composed.graph.queues:
+                override = queue_capacities.get(q.name)
+                if override is not None:
+                    q.capacity = max(1, int(override))
         result = composed.run(timeout=session_timeout,
                               queue_sample_interval=queue_sample_interval)
     finally:
@@ -478,9 +691,17 @@ def run_pipeline(
 
     if "align" in stages and not manifest.has_column("results"):
         manifest.add_column("results")
+    sort_stage = by_stage.get("sort")
+    dupmark_stage = by_stage.get("dupmark")
+    filter_stage = by_stage.get("filter")
+    varcall_stage = by_stage.get("varcall")
     sorted_dataset = None
     if sort_stage is not None:
         sorted_dataset = AGDDataset(sort_stage.collector.manifest, sort_store)
+    filtered_dataset = None
+    if filter_stage is not None:
+        filtered_dataset = AGDDataset(filter_stage.collector.manifest,
+                                      filter_out)
     breakdowns = [
         StageBreakdown(
             name=stage,
@@ -507,5 +728,317 @@ def run_pipeline(
                        if dupmark_stage is not None else None),
         variants=(varcall_stage.collector.variants
                   if varcall_stage is not None else None),
+        filtered_dataset=filtered_dataset,
+        filter_stats=(filter_stage.collector.filter_stats
+                      if filter_stage is not None else None),
         report=result.report,
     )
+
+
+# ---------------------------------------------------------------------------
+# Queue-capacity autotuning (§4.5): consume the queue-depth traces.
+
+
+def suggest_queue_capacities(
+    report: dict,
+    headroom: int = 1,
+    min_capacity: int = 2,
+    growth_factor: int = 2,
+) -> "dict[str, int]":
+    """Propose per-queue capacities from a sampled pipeline report.
+
+    §4.5 wants queues deep enough that "there is always data to feed the
+    process subgraph" but shallow enough that servers "do not have too
+    many AGD chunks in their pipelines".  The heuristic reads the depth
+    trace (``report["queue_trace"]``, recorded when the run sampled
+    queue depths) plus each queue's high-water mark:
+
+    * a queue that filled to capacity (producers repeatedly blocked on
+      it) grows by ``growth_factor``;
+    * a queue whose 95th-percentile depth sat below capacity shrinks to
+      that depth plus ``headroom`` (never below ``min_capacity``);
+    * queues already sized right are omitted.
+
+    Returns ``{queue_name: capacity}`` suitable for
+    ``run_pipeline(queue_capacities=...)``.
+    """
+    queues = report.get("queues", {})
+    trace = report.get("queue_trace") or {}
+    depth_series = trace.get("depths", {})
+    suggestions: dict[str, int] = {}
+    for queue_name, info in queues.items():
+        capacity = info.get("capacity", 0)
+        if capacity <= 0:
+            continue
+        series = depth_series.get(queue_name) or []
+        max_depth = info.get("max_depth", 0)
+        if max_depth >= capacity:
+            suggested = capacity * growth_factor
+        else:
+            if series:
+                ordered = sorted(series)
+                p95 = ordered[min(len(ordered) - 1,
+                                  int(0.95 * len(ordered)))]
+                observed = max(p95, 0)
+            else:
+                observed = max_depth
+            suggested = max(min_capacity, observed + headroom)
+        if suggested != capacity:
+            suggestions[queue_name] = suggested
+    return suggestions
+
+
+# ---------------------------------------------------------------------------
+# Distributed stage placement (§5.2 for the whole workload): cut the
+# composed pipeline at stage-group boundaries into per-server subgraphs
+# wired to network-transparent broker edges.
+
+
+@dataclass
+class PlacedServerGraph:
+    """One server's cut of a placed pipeline, ready for its own Session."""
+
+    server: str
+    stages: "tuple[str, ...]"
+    pipeline: ComposedPipeline
+    #: The server's terminal node (EdgeSinkNode or AckSinkNode): its
+    #: ``chunks``/``records`` counters are the server's completion tally.
+    sink: "EdgeSinkNode | AckSinkNode"
+    manual_ack: bool
+    work_queue: "Queue | None" = None
+    ingress: "Queue | None" = None
+    egress: "Queue | None" = None
+
+    def stage(self, name: str) -> StageGraph:
+        return self.pipeline.stage(name)
+
+    def close(self, wait: bool = True) -> None:
+        self.pipeline.close(wait=wait)
+
+
+def build_placed_server_graph(
+    dataset: AGDDataset,
+    server: str,
+    server_stages: "tuple[str, ...]",
+    pipeline_stages: "tuple[str, ...]",
+    *,
+    work_queue: "Queue | None" = None,
+    ingress: "Queue | None" = None,
+    egress: "Queue | None" = None,
+    manual_ack: bool = False,
+    aligner=None,
+    reference=None,
+    align_config: "AlignGraphConfig | None" = None,
+    sort_config: "SortConfig | None" = None,
+    varcall_config: "VarCallConfig | None" = None,
+    filter_predicate=None,
+    sort_store: "ChunkStore | None" = None,
+    filter_store: "ChunkStore | None" = None,
+    scratch_store: "ChunkStore | None" = None,
+    backend_obj: "Backend | None" = None,
+    vectorized: bool = True,
+    align_results_store: "ChunkStore | None" = None,
+) -> PlacedServerGraph:
+    """Assemble ONE server's subgraph of a placed pipeline.
+
+    The server's stage group composes exactly like a single-session
+    pipeline, then the cut points are wired to queue endpoints instead
+    of fused: a head group pulls chunk *names* from ``work_queue`` (the
+    generalized manifest server), a later group pulls whole work items
+    from ``ingress``, and a non-terminal group publishes its outlet to
+    ``egress``.  With ``manual_ack``, ingress deliveries are
+    acknowledged only at this server's terminal point (atomically with
+    the egress publish when there is one), so chunks in flight on a
+    dying server get redelivered to a surviving replica.
+    """
+    server_stages = tuple(server_stages)
+    pipeline_stages = tuple(pipeline_stages)
+    head_group = server_stages[0] == pipeline_stages[0]
+    built: list[StageGraph] = []
+    for stage in server_stages:
+        position = pipeline_stages.index(stage)
+        previous = pipeline_stages[position - 1] if position > 0 else None
+        head = head_group and stage == server_stages[0]
+        built.append(_build_stage_graph(
+            stage,
+            head=head,
+            previous=previous,
+            stages=pipeline_stages,
+            dataset=dataset,
+            aligner=aligner,
+            reference=reference,
+            align_config=align_config,
+            sort_config=sort_config,
+            varcall_config=varcall_config,
+            filter_predicate=filter_predicate,
+            sort_store=sort_store,
+            filter_store=filter_store,
+            scratch_store=scratch_store,
+            backend_obj=backend_obj,
+            vectorized=vectorized,
+            name_queue=work_queue if head else None,
+            varcall_passthrough=(stage == "varcall"),
+            align_results_store=align_results_store,
+        ))
+    composed = compose(*built, name=server, open_inlet=not head_group,
+                       terminal=False)
+    graph = composed.graph
+    ack_source = None
+    if manual_ack:
+        ack_source = work_queue if head_group else ingress
+    if not head_group:
+        if ingress is None:
+            raise ValueError(
+                f"server {server!r} heads no group and needs an ingress "
+                f"endpoint"
+            )
+        source_node = QueueNameSource(ingress, name="edge_source")
+        graph.add(source_node, output=built[0].source)
+        graph.node_stages[source_node.name] = server_stages[0]
+    outlet = built[-1].sink
+    sink: "EdgeSinkNode | AckSinkNode"
+    if egress is not None:
+        if outlet is None:
+            raise ValueError(
+                f"server {server!r} ends in a terminal stage but the "
+                f"plan places more stages downstream"
+            )
+        egress.register_producer()
+        sink = EdgeSinkNode(egress, ack_source=ack_source)
+    else:
+        if outlet is None:
+            raise ValueError(
+                f"server {server!r}: terminal stage left no outlet to "
+                f"count completions on"
+            )
+        sink = AckSinkNode(ack_source=ack_source)
+    graph.add(sink, input=outlet)
+    graph.node_stages[sink.name] = server_stages[-1]
+    for endpoint in (work_queue, ingress, egress):
+        if endpoint is not None:
+            graph.attach_endpoint(endpoint)
+    return PlacedServerGraph(
+        server=server,
+        stages=server_stages,
+        pipeline=composed,
+        sink=sink,
+        manual_ack=manual_ack,
+        work_queue=work_queue,
+        ingress=ingress,
+        egress=egress,
+    )
+
+
+def placed_server_endpoints(plan, server: str, make_queue):
+    """One server's queue endpoints under a placement plan.
+
+    The single point deciding a server's delivery wiring — which edge it
+    pulls from, which it pushes to, and whether deliveries are acked on
+    completion (``manual``, one-to-one stage groups) or on receipt
+    (``auto``, re-chunking groups).  ``make_queue(server, edge_name,
+    kind, ack_mode)`` supplies the transport-specific endpoint.  Returns
+    ``(work_queue, ingress, egress, manual_ack)``.
+    """
+    from repro.cluster.placement import WORK_EDGE
+
+    placement = plan.placement_for(server)
+    manual_ack = placement.one_to_one
+    ack_mode = "manual" if manual_ack else "auto"
+    head_group = placement.stages == plan.groups[0]
+    ingress_name = plan.ingress_edge(server)
+    egress_name = plan.egress_edge(server)
+    work_queue = make_queue(server, WORK_EDGE, "names", ack_mode) \
+        if head_group else None
+    ingress = make_queue(server, ingress_name, "items", ack_mode) \
+        if ingress_name is not None else None
+    egress = make_queue(server, egress_name, "items", "auto") \
+        if egress_name is not None else None
+    return work_queue, ingress, egress, manual_ack
+
+
+def split_pipeline(
+    dataset: AGDDataset,
+    plan,
+    make_queue,
+    *,
+    aligner_for=None,
+    backend_for=None,
+    scratch_for=None,
+    align_results_store_for=None,
+    reference=None,
+    align_config: "AlignGraphConfig | None" = None,
+    sort_config: "SortConfig | None" = None,
+    varcall_config: "VarCallConfig | None" = None,
+    filter_predicate=None,
+    sort_store: "ChunkStore | None" = None,
+    filter_store: "ChunkStore | None" = None,
+    vectorized: bool = True,
+) -> "list[PlacedServerGraph]":
+    """Cut the composed pipeline into per-server subgraphs per ``plan``.
+
+    The inverse of :func:`~repro.core.subgraphs.compose` at cluster
+    scale: instead of fusing every stage boundary into one graph, the
+    boundaries *between stage groups* become broker edges and each
+    server gets its own composed subgraph over just its placed stages.
+
+    ``plan`` is a :class:`repro.cluster.placement.PlacementPlan`;
+    ``make_queue(server, edge_name, kind, ack_mode)`` returns the
+    server's queue endpoint for a named edge (the transport decision —
+    in-process or TCP — lives entirely in that factory);
+    ``aligner_for(server)``/``backend_for(server)``/
+    ``scratch_for(server)`` supply per-server resources; ``aligner_for``
+    is consulted once per *align-hosting* server only (building an
+    aligner usually means loading a reference index).
+    """
+    pipeline_stages = plan.stages
+    _validate_stages(pipeline_stages)
+    aligners: dict[str, Any] = {}
+
+    def aligner_for_server(server: str):
+        if aligner_for is None:
+            return None
+        if server not in aligners:
+            aligners[server] = aligner_for(server)
+        return aligners[server]
+
+    align_servers = [p.server for p in plan.placements
+                     if "align" in p.stages]
+    _check_stage_requirements(
+        pipeline_stages, dataset.manifest,
+        aligner_for_server(align_servers[0]) if align_servers else None,
+        reference, filter_predicate,
+    )
+    servers: list[PlacedServerGraph] = []
+    for placement in plan.placements:
+        work_queue, ingress, egress, manual_ack = placed_server_endpoints(
+            plan, placement.server, make_queue
+        )
+        servers.append(build_placed_server_graph(
+            dataset,
+            placement.server,
+            placement.stages,
+            pipeline_stages,
+            work_queue=work_queue,
+            ingress=ingress,
+            egress=egress,
+            manual_ack=manual_ack,
+            aligner=(aligner_for_server(placement.server)
+                     if "align" in placement.stages else None),
+            reference=reference,
+            align_config=align_config,
+            sort_config=sort_config,
+            varcall_config=varcall_config,
+            filter_predicate=filter_predicate,
+            sort_store=sort_store,
+            filter_store=filter_store,
+            scratch_store=scratch_for(placement.server) if scratch_for
+            else None,
+            backend_obj=backend_for(placement.server) if backend_for
+            else None,
+            vectorized=vectorized,
+            align_results_store=(
+                align_results_store_for(placement.server)
+                if align_results_store_for else None
+            ),
+        ))
+    return servers

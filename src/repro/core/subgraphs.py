@@ -14,7 +14,7 @@ memory and avoid stragglers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.agd.manifest import Manifest
@@ -26,6 +26,7 @@ from repro.core.ops import (
     ColumnWriterNode,
     DupmarkNode,
     FastqParserNode,
+    FilterStageNode,
     GzipFastqReaderNode,
     NullSinkNode,
     PairedAlignerNode,
@@ -43,6 +44,12 @@ from repro.dataflow.queues import Queue
 from repro.dataflow.session import Session, SessionResult
 from repro.formats.sam import SamHeader
 from repro.storage.base import ChunkStore, MemoryStore
+
+#: Canonical pipeline stage order (§2.1's workload sequence).  The
+#: single-session composer (:func:`repro.core.pipelines.run_pipeline`)
+#: and the cluster placement layer (:mod:`repro.cluster.placement`)
+#: both validate against this tuple.
+STAGE_ORDER = ("align", "sort", "dupmark", "filter", "varcall")
 
 
 @dataclass
@@ -351,6 +358,7 @@ def build_align_stage(
     config: "AlignGraphConfig | None" = None,
     extra_columns: "tuple[str, ...]" = (),
     stage_name: str = "align",
+    name_queue: "Queue | None" = None,
 ) -> StageGraph:
     """The Figure 3 alignment pipeline as a composable stage.
 
@@ -359,6 +367,9 @@ def build_align_stage(
     attached) flow on to whatever stage is fused downstream.
     ``extra_columns`` widens the read set beyond ``bases``/``qual`` when
     a downstream stage needs more (a sort stage needs ``metadata``).
+    ``name_queue`` switches the source from the local manifest to a
+    shared chunk-name queue (the cluster work edge, §5.2), so replicas
+    of this stage on several servers self-balance at chunk granularity.
     """
     config = config or AlignGraphConfig()
     g = Graph(stage_name)
@@ -379,7 +390,10 @@ def build_align_stage(
     q_aligned = g.queue("aligned_chunks", depth or max(2, config.writer_nodes))
     q_out = g.queue("stage_out", depth or 2)
 
-    g.add(ChunkNameSource(manifest), output=q_names)
+    if name_queue is not None:
+        g.add(QueueNameSource(name_queue), output=q_names)
+    else:
+        g.add(ChunkNameSource(manifest), output=q_names)
     g.add(
         ChunkReaderNode(
             input_store,
@@ -445,6 +459,7 @@ def build_sort_graph(
     reader_nodes: int = 2,
     parser_nodes: int = 2,
     stage_name: str = "sort",
+    name_queue: "Queue | None" = None,
 ) -> StageGraph:
     """The external merge sort (§4.3) as a dataflow stage.
 
@@ -482,7 +497,10 @@ def build_sort_graph(
         q_names = g.queue("chunk_names", max(2, reader_nodes))
         q_raw = g.queue("raw_chunks", max(2, parser_nodes))
         inlet = g.queue("parsed_chunks", 2)
-        g.add(ChunkNameSource(manifest), output=q_names)
+        if name_queue is not None:
+            g.add(QueueNameSource(name_queue), output=q_names)
+        else:
+            g.add(ChunkNameSource(manifest), output=q_names)
         g.add(
             ChunkReaderNode(
                 input_store,
@@ -552,6 +570,7 @@ def build_dupmark_graph(
     parser_nodes: int = 2,
     stage_name: str = "dupmark",
     vectorized: bool = True,
+    name_queue: "Queue | None" = None,
 ) -> StageGraph:
     """Samblaster-style duplicate marking (§5.6) as a dataflow stage.
 
@@ -580,7 +599,10 @@ def build_dupmark_graph(
         q_names = g.queue("chunk_names", max(2, reader_nodes))
         q_raw = g.queue("raw_chunks", max(2, parser_nodes))
         q_parsed = g.queue("parsed_chunks", 2)
-        g.add(ChunkNameSource(manifest), output=q_names)
+        if name_queue is not None:
+            g.add(QueueNameSource(name_queue), output=q_names)
+        else:
+            g.add(ChunkNameSource(manifest), output=q_names)
         if "results" not in columns:
             raise ValueError("dupmark stage must read the results column")
         g.add(
@@ -624,6 +646,8 @@ def build_varcall_graph(
     parser_nodes: int = 2,
     stage_name: str = "varcall",
     vectorized: bool = True,
+    name_queue: "Queue | None" = None,
+    passthrough: bool = False,
 ) -> StageGraph:
     """Pileup SNP calling (§2.1) as a terminal dataflow stage.
 
@@ -631,7 +655,9 @@ def build_varcall_graph(
     otherwise an open inlet consuming the chunks streaming in.  Pileup
     merging is commutative, so no resequencer is needed.  The collector
     is the :class:`VarCallNode`; after the run its ``variants`` holds
-    the calls.
+    the calls.  ``passthrough=True`` leaves an open outlet that re-emits
+    every processed chunk (placed pipelines append an acknowledging sink
+    there); the default stays terminal.
     """
     g = Graph(stage_name)
     backend_obj, owns_backend = _stage_backend(
@@ -647,7 +673,10 @@ def build_varcall_graph(
         q_names = g.queue("chunk_names", max(2, reader_nodes))
         q_raw = g.queue("raw_chunks", max(2, parser_nodes))
         inlet = g.queue("parsed_chunks", 2)
-        g.add(ChunkNameSource(manifest), output=q_names)
+        if name_queue is not None:
+            g.add(QueueNameSource(name_queue), output=q_names)
+        else:
+            g.add(ChunkNameSource(manifest), output=q_names)
         g.add(
             ChunkReaderNode(
                 input_store,
@@ -665,10 +694,95 @@ def build_varcall_graph(
 
     node = VarCallNode(reference, config=config,
                        backend_handle=backend_handle, vectorized=vectorized)
-    g.add(node, input=inlet)
+    sink: "Queue | None" = None
+    if passthrough:
+        sink = g.queue("stage_out", 2)
+        g.add(node, input=inlet, output=sink)
+    else:
+        g.add(node, input=inlet)
     return StageGraph(
-        name=stage_name, graph=g, source=source, sink=None,
+        name=stage_name, graph=g, source=source, sink=sink,
         collector=node, backend=backend_obj, owns_backend=owns_backend,
+    )
+
+
+def build_filter_stage(
+    predicate,
+    output_store: ChunkStore,
+    dataset_name: str,
+    out_chunk_size: int,
+    columns: "list[str]",
+    manifest: "Manifest | None" = None,
+    input_store: "ChunkStore | None" = None,
+    reorder: "list[str] | None" = None,
+    reference: "list[dict] | None" = None,
+    sort_order: str = "unsorted",
+    stats: "object | None" = None,
+    reader_nodes: int = 2,
+    parser_nodes: int = 2,
+    stage_name: str = "filter",
+    name_queue: "Queue | None" = None,
+) -> StageGraph:
+    """Dataset filtering (§2.1) as a streaming dataflow stage.
+
+    Wraps :mod:`repro.core.filters` row predicates (``by_min_mapq`` and
+    friends) as a :class:`~repro.core.ops.FilterStageNode`, so
+    ``filter_dataset`` joins the one-graph path and is placeable like
+    any other stage.  Head of a pipeline when ``manifest``/
+    ``input_store`` are given (reads every listed column from the
+    store); otherwise filters the chunks streaming in.  ``reorder``
+    inserts a resequencer when the upstream emits out of order (heads
+    and parallel align stages); leave it None after a sort stage.
+    The collector is the node: after the run, its ``manifest`` describes
+    the filtered dataset in ``output_store`` — byte-identical to the
+    eager :func:`~repro.core.filters.filter_dataset`.
+    """
+    g = Graph(stage_name)
+    source: "Queue | None" = None
+    if input_store is not None:
+        if manifest is None:
+            raise ValueError("head-mode filter stage needs a manifest")
+        q_names = g.queue("chunk_names", max(2, reader_nodes))
+        q_raw = g.queue("raw_chunks", max(2, parser_nodes))
+        inlet = g.queue("parsed_chunks", 2)
+        if name_queue is not None:
+            g.add(QueueNameSource(name_queue), output=q_names)
+        else:
+            g.add(ChunkNameSource(manifest), output=q_names)
+        g.add(
+            ChunkReaderNode(input_store, columns=tuple(sorted(columns)),
+                            parallelism=reader_nodes),
+            input=q_names,
+            output=q_raw,
+        )
+        g.add(AGDParserNode(parallelism=parser_nodes),
+              input=q_raw, output=inlet)
+        if reorder is None:
+            reorder = [entry.path for entry in manifest.chunks]
+    else:
+        inlet = g.queue("stage_in", 4)
+        source = inlet
+
+    if reorder is not None:
+        q_ordered = g.queue("ordered_chunks", 2)
+        g.add(ResequencerNode(list(reorder)), input=inlet, output=q_ordered)
+        inlet = q_ordered
+
+    q_out = g.queue("stage_out", 2)
+    node = FilterStageNode(
+        predicate,
+        output_store,
+        dataset_name,
+        out_chunk_size,
+        columns,
+        reference=reference,
+        sort_order=sort_order,
+        stats=stats,
+    )
+    g.add(node, input=inlet, output=q_out)
+    return StageGraph(
+        name=stage_name, graph=g, source=source, sink=q_out,
+        collector=node, backend=None, owns_backend=False,
     )
 
 
@@ -701,7 +815,12 @@ class ComposedPipeline:
             st.close(wait=wait)
 
 
-def compose(*stages: StageGraph, name: str = "pipeline") -> ComposedPipeline:
+def compose(
+    *stages: StageGraph,
+    name: str = "pipeline",
+    open_inlet: bool = False,
+    terminal: bool = True,
+) -> ComposedPipeline:
     """Fuse stage subgraphs into one executable pipeline graph.
 
     Each stage's graph is merged into a shared namespace (node and queue
@@ -710,10 +829,16 @@ def compose(*stages: StageGraph, name: str = "pipeline") -> ComposedPipeline:
     the upstream stage's sink queue *becomes* the downstream stage's
     source queue.  A terminal counting sink is appended when the last
     stage leaves its outlet open.
+
+    Placed (multi-server) pipelines compose one *cut* of the workload:
+    ``open_inlet=True`` accepts a first stage whose source queue is an
+    open inlet (an edge-source node is wired to it afterwards), and
+    ``terminal=False`` leaves the last stage's outlet open for an
+    edge-sink node instead of appending the counting sink.
     """
     if not stages:
         raise GraphError("compose needs at least one stage")
-    if stages[0].source is not None:
+    if stages[0].source is not None and not open_inlet:
         raise GraphError(
             f"first stage {stages[0].name!r} expects an upstream; it "
             f"cannot head a pipeline"
@@ -735,7 +860,7 @@ def compose(*stages: StageGraph, name: str = "pipeline") -> ComposedPipeline:
         g.fuse(prev.sink, nxt.source)
     sink: "NullSinkNode | None" = None
     last = stages[-1]
-    if last.sink is not None:
+    if last.sink is not None and terminal:
         sink = NullSinkNode(name="pipeline_sink")
         g.add(sink, input=last.sink)
         g.node_stages[sink.name] = last.name

@@ -33,6 +33,10 @@ class Graph:
         #: (and directly by composition layers) so :meth:`stats_report`
         #: can aggregate per stage.
         self.node_stages: dict[str, str] = {}
+        #: Queue endpoints owned by other systems (remote broker edges)
+        #: that kernels of this graph block on; :meth:`abort` wakes them
+        #: too, but they are not validated or closed like local queues.
+        self.external_endpoints: list[Any] = []
 
     # --------------------------------------------------------------- build
 
@@ -77,6 +81,12 @@ class Graph:
 
     def register_resource(self, name: str, resource: Any) -> Handle:
         return self.resources.register(name, resource)
+
+    def attach_endpoint(self, endpoint: Any) -> Any:
+        """Track an external queue endpoint (e.g. a RemoteQueue over a
+        broker edge) so :meth:`abort` wakes kernels blocked on it."""
+        self.external_endpoints.append(endpoint)
+        return endpoint
 
     # ---------------------------------------------------------- composition
 
@@ -133,6 +143,7 @@ class Graph:
                 len(set(new_node_names)) != len(new_node_names):
             raise GraphError("merge: donor graph has colliding names")
         self.resources.absorb(other.resources)
+        self.external_endpoints.extend(other.external_endpoints)
         for q, new_name in renamed_queues:
             q.name = new_name
             self._queue_names.add(new_name)
@@ -209,6 +220,8 @@ class Graph:
         """Error path: wake every blocked kernel."""
         for q in self.queues:
             q.abort()
+        for endpoint in self.external_endpoints:
+            endpoint.abort()
 
     def stats_report(self) -> "dict[str, dict]":
         """Per-node and per-queue metrics (§4.6 runtime statistics)."""

@@ -15,11 +15,35 @@ from __future__ import annotations
 
 import collections
 import threading
-from typing import Generic, Iterator, TypeVar
+import time
+from typing import Any, Generic, Iterator, Protocol, TypeVar
 
 from repro.dataflow.errors import PipelineAborted, QueueClosed
 
 T = TypeVar("T")
+
+
+class QueueEndpoint(Protocol):
+    """The queue surface dataflow kernels program against.
+
+    Both the local :class:`Queue` and the network-transparent
+    :class:`RemoteQueue` implement it, so a kernel wired to "a queue"
+    neither knows nor cares whether the other end is a thread in the
+    same session or a server across a socket (§5.2's manifest-server
+    queues, generalized to every stage boundary).
+    """
+
+    def register_producer(self) -> None: ...
+
+    def producer_done(self) -> None: ...
+
+    def put(self, item: Any, timeout: "float | None" = None) -> None: ...
+
+    def get(self, timeout: "float | None" = None) -> Any: ...
+
+    def abort(self) -> None: ...
+
+    def __iter__(self) -> Iterator[Any]: ...
 
 
 class Queue(Generic[T]):
@@ -140,3 +164,222 @@ class Queue(Generic[T]):
             self._items.clear()
             self._not_full.notify_all()
             return items
+
+
+# ---------------------------------------------------------------------------
+# Network-transparent queues: the same endpoint surface, backed by a broker
+# edge reached through a transport client (in-process or TCP).
+
+
+#: Statuses a transport may return from ``pull``/``publish`` attempts.
+PULL_OK = "ok"
+PULL_EMPTY = "empty"
+PUBLISH_OK = "ok"
+PUBLISH_FULL = "full"
+EDGE_CLOSED = "closed"
+EDGE_ABORTED = "aborted"
+
+
+class QueueTransport(Protocol):
+    """What :class:`RemoteQueue` needs from a broker client.
+
+    Every call is *short-blocking* (bounded by its ``timeout``): pulls
+    on an empty edge and publishes to a full edge return
+    ``PULL_EMPTY``/``PUBLISH_FULL`` instead of blocking indefinitely, so
+    one lock-serialized client connection per server suffices and local
+    aborts stay responsive.  Implementations live in
+    :mod:`repro.cluster.broker`.
+    """
+
+    def attach_producer(self, edge: str) -> None: ...
+
+    def producer_done(self, edge: str) -> None: ...
+
+    def publish(self, edge: str, key: str, payload: bytes,
+                timeout: float) -> str: ...
+
+    def publish_ack(self, edge: str, key: str, payload: bytes,
+                    ack_edge: str, ack_tag: int, timeout: float) -> str: ...
+
+    def pull(self, edge: str, timeout: float) -> "tuple[str, int, str, bytes]": ...
+
+    def ack(self, edge: str, tag: int) -> None: ...
+
+    def abort(self, edge: str) -> None: ...
+
+
+class RemoteQueue:
+    """A :class:`QueueEndpoint` backed by a named broker edge.
+
+    ``serializer`` (an encode/decode/key triple, see
+    :class:`repro.cluster.wire.PayloadSerializer`) converts items to the
+    bytes that cross the transport; None passes payloads through
+    untouched (they must then be bytes already).
+
+    ``ack_mode`` selects the delivery contract:
+
+    ``"auto"``
+        :meth:`get` acknowledges each delivery immediately.  Lost-worker
+        redelivery does not cover items already pulled — appropriate for
+        single-consumer, order-insensitive inlets (a sort or varcall
+        stage, whose death kills the run anyway).
+
+    ``"manual"``
+        :meth:`get` keeps the delivery tag, filed under the item's key;
+        the server acks via :meth:`ack_key` (or atomically via another
+        queue's :meth:`put_with_ack`) only once the chunk has been fully
+        processed.  A worker that dies in between leaves unacked
+        deliveries for the broker to hand to a surviving replica —
+        at-least-once, made exactly-once-effective by idempotent chunk
+        writes.
+    """
+
+    def __init__(
+        self,
+        client: QueueTransport,
+        edge: str,
+        serializer=None,
+        ack_mode: str = "auto",
+        poll_interval: float = 0.05,
+    ):
+        if ack_mode not in ("auto", "manual"):
+            raise ValueError(f"unknown ack_mode {ack_mode!r}")
+        self.client = client
+        self.edge = edge
+        self.serializer = serializer
+        self.ack_mode = ack_mode
+        self.poll_interval = poll_interval
+        self._aborted = False
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}
+        # Mirror of the local Queue metrics surface.
+        self.total_enqueued = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def register_producer(self) -> None:
+        """Bind one of the edge's pre-declared producer slots to this
+        client (the broker releases it if the client dies)."""
+        self.client.attach_producer(self.edge)
+
+    def producer_done(self) -> None:
+        self.client.producer_done(self.edge)
+
+    def abort(self) -> None:
+        """Local abort: wake this endpoint's pollers without touching
+        the shared edge (a coordinator aborts the edge itself when the
+        whole run must die)."""
+        self._aborted = True
+
+    def close(self) -> None:
+        """Endpoint-local no-op: edges close when all producers finish."""
+
+    # ------------------------------------------------------------------ I/O
+
+    def _encode(self, item: Any) -> "tuple[str, bytes]":
+        if self.serializer is None:
+            return "", bytes(item)
+        return self.serializer.key(item), self.serializer.encode(item)
+
+    def _check_status(self, status: str) -> None:
+        if status == EDGE_ABORTED:
+            raise PipelineAborted(self.edge)
+        if status == EDGE_CLOSED:
+            raise QueueClosed(self.edge)
+
+    def put(self, item: Any, timeout: "float | None" = None) -> None:
+        key, payload = self._encode(item)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._aborted:
+                raise PipelineAborted(self.edge)
+            status = self.client.publish(
+                self.edge, key, payload, timeout=self.poll_interval
+            )
+            self._check_status(status)
+            if status == PUBLISH_OK:
+                self.total_enqueued += 1
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"publish to full edge {self.edge!r} timed out"
+                )
+
+    def put_with_ack(self, item: Any, ack_source: "RemoteQueue",
+                     ack_key: str, timeout: "float | None" = None) -> None:
+        """Publish ``item`` and acknowledge ``ack_key`` on ``ack_source``
+        as ONE broker operation.
+
+        This closes the duplicate-delivery window: a worker that dies
+        before the call leaves the upstream delivery unacked (clean
+        redelivery); one that dies after leaves the item safely
+        published and the delivery acked.  There is no interleaving in
+        which the item is published twice.
+        """
+        tag = ack_source._take_tag(ack_key)
+        if tag is None:
+            # Item did not originate from a tracked delivery (auto-ack
+            # ingress, locally generated chunk): plain publish.
+            self.put(item, timeout=timeout)
+            return
+        key, payload = self._encode(item)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._aborted:
+                raise PipelineAborted(self.edge)
+            status = self.client.publish_ack(
+                self.edge, key, payload, ack_source.edge, tag,
+                timeout=self.poll_interval,
+            )
+            self._check_status(status)
+            if status == PUBLISH_OK:
+                self.total_enqueued += 1
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"publish to full edge {self.edge!r} timed out"
+                )
+
+    def get(self, timeout: "float | None" = None) -> Any:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._aborted:
+                raise PipelineAborted(self.edge)
+            status, tag, key, payload = self.client.pull(
+                self.edge, timeout=self.poll_interval
+            )
+            self._check_status(status)
+            if status == PULL_OK:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"get on empty edge {self.edge!r} timed out"
+                )
+        if self.ack_mode == "manual":
+            with self._lock:
+                self._inflight[key] = tag
+        else:
+            self.client.ack(self.edge, tag)
+        if self.serializer is None:
+            return payload
+        return self.serializer.decode(payload)
+
+    def _take_tag(self, key: str) -> "int | None":
+        with self._lock:
+            return self._inflight.pop(key, None)
+
+    def ack_key(self, key: str) -> bool:
+        """Acknowledge the tracked delivery filed under ``key``; returns
+        False when no delivery with that key is in flight here."""
+        tag = self._take_tag(key)
+        if tag is None:
+            return False
+        self.client.ack(self.edge, tag)
+        return True
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            try:
+                yield self.get()
+            except QueueClosed:
+                return

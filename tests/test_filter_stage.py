@@ -1,0 +1,211 @@
+"""Filter as a streaming dataflow stage, plus queue-capacity autotuning.
+
+The filter stage must reproduce :func:`repro.core.filters.filter_dataset`
+byte for byte when fused into the one-graph pipeline (closing the
+ROADMAP "filter stage as a dataflow node" item), and
+``suggest_queue_capacities`` must turn the PR-3 queue-depth traces into
+capacities a second run can apply (first consumer of the autotuning
+item).
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.dupmark import mark_duplicates
+from repro.core.filters import by_min_mapq, drop_duplicates, filter_dataset
+from repro.core.pipelines import (
+    align_dataset,
+    run_pipeline,
+    suggest_queue_capacities,
+)
+from repro.core.sort import SortConfig, sort_dataset
+from repro.core.subgraphs import AlignGraphConfig
+from repro.core.varcall import call_variants
+from repro.formats.converters import import_reads
+from repro.formats.vcf import write_vcf
+from repro.storage.base import MemoryStore
+
+SORT_CONFIG = SortConfig(chunks_per_superchunk=2)
+PREDICATE_MAPQ = 30
+
+
+@pytest.fixture()
+def fresh_dataset(reads, reference):
+    def factory():
+        return import_reads(
+            reads, "pg", MemoryStore(), chunk_size=100,
+            reference=reference.manifest_entry(),
+        )
+    return factory
+
+
+@pytest.fixture(scope="module")
+def eager_filtered_chain(reads, reference, snap_aligner):
+    """Eager five-pass reference: align, sort, dupmark, filter, varcall."""
+    dataset = import_reads(
+        reads, "pg", MemoryStore(), chunk_size=100,
+        reference=reference.manifest_entry(),
+    )
+    align_dataset(dataset, snap_aligner,
+                  config=AlignGraphConfig(executor_threads=2))
+    sorted_ds = sort_dataset(dataset, MemoryStore(), SORT_CONFIG)
+    mark_duplicates(sorted_ds)
+    filtered = filter_dataset(sorted_ds, by_min_mapq(PREDICATE_MAPQ),
+                              MemoryStore())
+    variants = call_variants(filtered, reference)
+    return sorted_ds, filtered, variants
+
+
+def vcf_bytes(variants, reference) -> bytes:
+    buf = io.BytesIO()
+    write_vcf(variants, buf, contigs=reference.manifest_entry())
+    return buf.getvalue()
+
+
+class TestFilterStage:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_full_pipeline_matches_eager_filter(
+        self, backend, fresh_dataset, snap_aligner, reference,
+        eager_filtered_chain,
+    ):
+        _sorted_ds, eager_filtered, eager_variants = eager_filtered_chain
+        outcome = run_pipeline(
+            fresh_dataset(),
+            ("align", "sort", "dupmark", "filter", "varcall"),
+            aligner=snap_aligner,
+            reference=reference,
+            sort_config=SORT_CONFIG,
+            filter_predicate=by_min_mapq(PREDICATE_MAPQ),
+            backend=backend,
+            workers=2,
+        )
+        graph_filtered = outcome.filtered_dataset
+        assert graph_filtered is not None
+        # Manifest identical: name, chunk layout, columns, sort order.
+        assert graph_filtered.manifest.name == eager_filtered.manifest.name
+        assert graph_filtered.manifest.sort_order == \
+            eager_filtered.manifest.sort_order
+        assert graph_filtered.manifest.columns == \
+            eager_filtered.manifest.columns
+        assert [
+            (e.path, e.first_ordinal, e.record_count)
+            for e in graph_filtered.manifest.chunks
+        ] == [
+            (e.path, e.first_ordinal, e.record_count)
+            for e in eager_filtered.manifest.chunks
+        ]
+        # Chunk files byte-identical.
+        for entry in eager_filtered.manifest.chunks:
+            for column in eager_filtered.columns:
+                key = entry.chunk_file(column)
+                assert graph_filtered.store.get(key) == \
+                    eager_filtered.store.get(key), key
+        assert outcome.filter_stats.examined == 600
+        assert outcome.filter_stats.kept == \
+            eager_filtered.manifest.total_records
+        assert vcf_bytes(outcome.variants, reference) == \
+            vcf_bytes(eager_variants, reference)
+
+    def test_head_mode_filter_only(self, aligned_dataset):
+        expected = filter_dataset(aligned_dataset,
+                                  by_min_mapq(PREDICATE_MAPQ),
+                                  MemoryStore())
+        outcome = run_pipeline(
+            aligned_dataset, ("filter",),
+            filter_predicate=by_min_mapq(PREDICATE_MAPQ),
+            backend="serial",
+        )
+        assert outcome.filtered_dataset.manifest.name == \
+            expected.manifest.name
+        for column in expected.columns:
+            assert (outcome.filtered_dataset.read_column(column)
+                    == expected.read_column(column)), column
+        assert outcome.sorted_dataset is None
+
+    def test_filter_then_varcall(self, aligned_dataset, reference):
+        expected_filtered = filter_dataset(
+            aligned_dataset, drop_duplicates(), MemoryStore()
+        )
+        expected_variants = call_variants(expected_filtered, reference)
+        outcome = run_pipeline(
+            aligned_dataset, ("filter", "varcall"),
+            reference=reference,
+            filter_predicate=drop_duplicates(),
+            backend="serial",
+        )
+        assert outcome.variants == expected_variants
+        assert outcome.filter_stats.kept == \
+            expected_filtered.manifest.total_records
+
+    def test_filter_requires_predicate(self, aligned_dataset):
+        with pytest.raises(ValueError, match="filter_predicate"):
+            run_pipeline(aligned_dataset, ("filter",))
+
+    def test_filter_keeps_order_within_pipeline_stages(self, aligned_dataset):
+        with pytest.raises(ValueError, match="order"):
+            run_pipeline(aligned_dataset, ("varcall", "filter"),
+                         filter_predicate=drop_duplicates())
+
+
+class TestQueueAutotuning:
+    def test_suggest_grows_saturated_and_shrinks_idle(self):
+        report = {
+            "queues": {
+                "align.parsed": {"capacity": 4, "max_depth": 4},
+                "align.raw": {"capacity": 8, "max_depth": 2},
+                "sort.runs": {"capacity": 2, "max_depth": 1},
+            },
+            "queue_trace": {
+                "depths": {
+                    "align.parsed": [4, 4, 3, 4],
+                    "align.raw": [0, 1, 2, 1],
+                    "sort.runs": [1, 1, 0, 1],
+                },
+            },
+        }
+        suggestions = suggest_queue_capacities(report)
+        assert suggestions["align.parsed"] == 8  # pinned at capacity: grow
+        assert suggestions["align.raw"] == 3  # p95 depth 2 + headroom 1
+        assert "sort.runs" not in suggestions  # already right-sized
+
+    def test_suggest_handles_missing_trace(self):
+        report = {"queues": {"q": {"capacity": 4, "max_depth": 1}}}
+        assert suggest_queue_capacities(report) == {"q": 2}
+
+    def test_autotuned_run_matches_untuned_output(
+        self, fresh_dataset, snap_aligner, reference
+    ):
+        baseline = run_pipeline(
+            fresh_dataset(), ("align", "sort", "dupmark", "varcall"),
+            aligner=snap_aligner, reference=reference,
+            sort_config=SORT_CONFIG, backend="serial",
+        )
+        tuned = run_pipeline(
+            fresh_dataset(), ("align", "sort", "dupmark", "varcall"),
+            aligner=snap_aligner, reference=reference,
+            sort_config=SORT_CONFIG, backend="serial",
+            autotune_queues=True,
+        )
+        assert "autotuned_queues" in tuned.report
+        assert isinstance(tuned.report["autotuned_queues"], dict)
+        # Capacities changed; bytes did not.
+        for column in baseline.sorted_dataset.columns:
+            assert (tuned.sorted_dataset.read_column(column)
+                    == baseline.sorted_dataset.read_column(column)), column
+        assert vcf_bytes(tuned.variants, reference) == \
+            vcf_bytes(baseline.variants, reference)
+
+    def test_explicit_queue_capacities_applied(
+        self, aligned_dataset, reference
+    ):
+        outcome = run_pipeline(
+            aligned_dataset, ("varcall",),
+            reference=reference,
+            backend="serial",
+            queue_capacities={"varcall.raw_chunks": 7},
+        )
+        assert outcome.report["queues"]["varcall.raw_chunks"]["capacity"] \
+            == 7
