@@ -106,6 +106,27 @@ def _run_one_graph(dataset, aligner, reference, backend_kind, workers,
     return outcome, sort_store
 
 
+def _peak_memory_run(dataset, aligner, reference, backend_kind, workers,
+                     batch_size) -> "tuple[int, int]":
+    """One extra one-graph run under tracemalloc; returns (tracemalloc
+    peak bytes, max RSS bytes).  Separate from the timed runs because
+    tracemalloc's allocation hooks slow Python down measurably."""
+    import resource
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        _run_one_graph(dataset, aligner, reference, backend_kind, workers,
+                       batch_size)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    # ru_maxrss is KiB on Linux (bytes on macOS; close enough for a
+    # report-only metric).
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    return peak, rss
+
+
 def test_pipeline_e2e(
     benchmark, bench_reads, bench_reference, bench_aligner,
     bench_backend_kind, bench_batch_size, bench_workers, report,
@@ -151,6 +172,16 @@ def test_pipeline_e2e(
             f"{eager_bytes:,} B")
     rep.row("one-graph store traffic", "read once, stream",
             f"{graph_bytes:,} B ({eager_bytes / graph_bytes:.2f}x less)")
+    heap_peak, max_rss = _peak_memory_run(
+        _fresh_dataset(bench_reads, bench_reference), bench_aligner,
+        bench_reference, bench_backend_kind, bench_workers,
+        bench_batch_size,
+    )
+    rep.row("one-graph peak heap (tracemalloc)", "bounded queues",
+            f"{heap_peak / 1e6:.1f} MB")
+    rep.row("process max RSS", "report-only", f"{max_rss / 1e6:.1f} MB")
+    rep.metric("peak_heap_bytes", heap_peak)
+    rep.metric("max_rss_bytes", max_rss)
     rep.add()
     rep.add("shape checks:")
     rep.check("one-graph sorted dataset is sorted",

@@ -9,9 +9,17 @@ chunk's relative index so no terminator is needed.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
 import numpy as np
 
-from repro.genome.sequence import decode_bases, encode_bases
+from repro.genome.sequence import (
+    decode_bases,
+    decode_bases_array,
+    encode_bases,
+    encode_bases_array,
+)
 
 #: Bases packed into one 64-bit word.
 BASES_PER_WORD = 21
@@ -64,28 +72,88 @@ def unpack_bases(packed: bytes, num_bases: int) -> bytes:
     return decode_bases(codes)
 
 
-def pack_column(sequences: "list[bytes]") -> tuple[bytes, list[int]]:
-    """Pack many records in one vectorized pass.
+@dataclass(eq=False)
+class BasesColumn:
+    """One decoded bases column as a flat ASCII array plus record bounds.
 
-    Returns (data block, per-record base counts).  Chunk encode/decode is
-    on Persona's critical path (every parser node runs it), so the whole
-    column is packed with a handful of NumPy operations rather than one
-    call per record.
+    The columnar aligner feed (the §4.3 zero-copy plane): instead of
+    materializing one bytes object per read, the whole column decodes
+    into ``flat`` (uint8 ASCII, ``bounds[i]:bounds[i + 1]`` per record)
+    and flows through parser -> aligner queues as two numpy arrays —
+    which a shared-memory process backend ships by reference.  The class
+    is sequence-compatible (len / index / slice / iterate yield bytes),
+    so every kernel written against ``list[bytes]`` keeps working;
+    slices are zero-copy views over the same flat array.
     """
-    lengths = [len(s) for s in sequences]
-    if not sequences:
-        return b"", lengths
-    n_bases = np.asarray(lengths, dtype=np.int64)
+
+    #: Large fields ride the shared-memory plane (see repro.dataflow.shm).
+    __shm_payload__: ClassVar[bool] = True
+
+    flat: np.ndarray
+    bounds: np.ndarray  # int64, len(column) + 1 exclusive prefix bounds
+
+    def __len__(self) -> int:
+        return int(self.bounds.size) - 1
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.bounds)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.flat.nbytes) + int(self.bounds.nbytes)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            lo, hi, step = index.indices(len(self))
+            if step != 1:
+                raise ValueError("BasesColumn slices must be contiguous")
+            hi = max(lo, hi)
+            base = self.bounds[lo]
+            return BasesColumn(
+                flat=self.flat[base:self.bounds[hi]],
+                bounds=self.bounds[lo:hi + 1] - base,
+            )
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(f"record {index} of {len(self)}")
+        return self.flat[self.bounds[i]:self.bounds[i + 1]].tobytes()
+
+    def __iter__(self) -> Iterator[bytes]:
+        bounds = self.bounds
+        flat = self.flat
+        for i in range(len(self)):
+            yield flat[bounds[i]:bounds[i + 1]].tobytes()
+
+    def to_list(self) -> "list[bytes]":
+        return list(self)
+
+    def __eq__(self, other) -> bool:
+        """Record-wise equality against any sequence of bytes."""
+        if isinstance(other, BasesColumn):
+            return np.array_equal(self.bounds, other.bounds) and \
+                np.array_equal(self.flat, other.flat)
+        try:
+            if len(other) != len(self):
+                return False
+        except TypeError:
+            return NotImplemented
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+
+def _pack_codes(codes: np.ndarray, n_bases: np.ndarray) -> bytes:
+    """Scatter per-base 3-bit codes into packed little-endian words."""
     words_per_record = (n_bases + BASES_PER_WORD - 1) // BASES_PER_WORD
     total_words = int(words_per_record.sum())
     if total_words == 0:
-        return b"", lengths
-    codes = encode_bases(b"".join(sequences)).astype(np.uint64)
+        return b""
     # Destination slot (word-lane position) of every base: record i's
     # bases start at lane offset word_offset[i] * BASES_PER_WORD.
-    word_offsets = np.zeros(len(sequences), dtype=np.int64)
+    word_offsets = np.zeros(n_bases.size, dtype=np.int64)
     np.cumsum(words_per_record[:-1], out=word_offsets[1:])
-    base_starts = np.zeros(len(sequences), dtype=np.int64)
+    base_starts = np.zeros(n_bases.size, dtype=np.int64)
     np.cumsum(n_bases[:-1], out=base_starts[1:])
     nonempty = n_bases > 0
     dest_starts = np.repeat(
@@ -99,13 +167,36 @@ def pack_column(sequences: "list[bytes]") -> tuple[bytes, list[int]]:
     words = (
         lanes.reshape(total_words, BASES_PER_WORD) << _SHIFTS
     ).sum(axis=1, dtype=np.uint64)
-    return words.astype("<u8").tobytes(), lengths
+    return words.astype("<u8").tobytes()
 
 
-def unpack_column(data: bytes, lengths: "list[int]") -> list[bytes]:
-    """Inverse of :func:`pack_column`, also one vectorized pass."""
-    n_bases = np.asarray(lengths, dtype=np.int64) if lengths else np.zeros(0, np.int64)
-    words_per_record = (n_bases + BASES_PER_WORD - 1) // BASES_PER_WORD
+def pack_column(
+    sequences: "list[bytes] | BasesColumn",
+) -> tuple[bytes, list[int]]:
+    """Pack many records in one vectorized pass.
+
+    Returns (data block, per-record base counts).  Chunk encode/decode is
+    on Persona's critical path (every parser node runs it), so the whole
+    column is packed with a handful of NumPy operations rather than one
+    call per record.  A :class:`BasesColumn` packs straight from its flat
+    array — no per-record bytes objects are ever rebuilt.
+    """
+    if isinstance(sequences, BasesColumn):
+        n_bases = np.diff(sequences.bounds)
+        lengths = [int(n) for n in n_bases]
+        if not lengths:
+            return b"", lengths
+        codes = encode_bases_array(sequences.flat).astype(np.uint64)
+        return _pack_codes(codes, n_bases), lengths
+    lengths = [len(s) for s in sequences]
+    if not sequences:
+        return b"", lengths
+    n_bases = np.asarray(lengths, dtype=np.int64)
+    codes = encode_bases(b"".join(sequences)).astype(np.uint64)
+    return _pack_codes(codes, n_bases), lengths
+
+
+def _validate_packed_size(data: bytes, words_per_record: np.ndarray) -> int:
     expected = int(words_per_record.sum()) * 8
     if len(data) != expected:
         if len(data) < expected:
@@ -113,17 +204,38 @@ def unpack_column(data: bytes, lengths: "list[int]") -> list[bytes]:
         raise ValueError(
             f"packed column has {len(data) - expected} trailing bytes"
         )
-    if not lengths:
-        return []
+    return expected
+
+
+def unpack_column_flat(data: bytes, lengths) -> BasesColumn:
+    """Decode a packed column into one flat ASCII array (zero per-record
+    bytes objects) — the decode half of the columnar aligner feed."""
+    n = len(lengths)
+    n_bases = np.asarray(lengths, dtype=np.int64) if n \
+        else np.zeros(0, np.int64)
+    words_per_record = (n_bases + BASES_PER_WORD - 1) // BASES_PER_WORD
+    expected = _validate_packed_size(data, words_per_record)
+    bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(n_bases, out=bounds[1:])
     if expected == 0:
-        return [b"" for _ in lengths]
+        return BasesColumn(flat=np.zeros(0, dtype=np.uint8), bounds=bounds)
     words = np.frombuffer(data, dtype="<u8").astype(np.uint64)
     lanes = ((words[:, None] >> _SHIFTS) & _MASK).astype(np.uint8)
-    flat = decode_bases(lanes.reshape(-1))
-    word_offsets = np.zeros(len(lengths), dtype=np.int64)
+    padded = decode_bases_array(lanes.reshape(-1))
+    word_offsets = np.zeros(n, dtype=np.int64)
     np.cumsum(words_per_record[:-1], out=word_offsets[1:])
-    out: list[bytes] = []
-    for i, n in enumerate(lengths):
-        start = int(word_offsets[i]) * BASES_PER_WORD
-        out.append(flat[start : start + n])
-    return out
+    # Gather each record's bases out of its word-aligned lanes (records
+    # occupy whole words, so lanes between records are padding).
+    nonempty = n_bases > 0
+    src = np.repeat(
+        word_offsets[nonempty] * BASES_PER_WORD, n_bases[nonempty]
+    ) + (
+        np.arange(int(bounds[-1]), dtype=np.int64)
+        - np.repeat(bounds[:-1][nonempty], n_bases[nonempty])
+    )
+    return BasesColumn(flat=padded[src], bounds=bounds)
+
+
+def unpack_column(data: bytes, lengths: "list[int]") -> list[bytes]:
+    """Inverse of :func:`pack_column`, also one vectorized pass."""
+    return unpack_column_flat(data, lengths).to_list()

@@ -42,7 +42,9 @@ class BasesCodec:
     name = "bases"
 
     def encode(self, records: Sequence[bytes]) -> tuple[bytes, list[int]]:
-        return pack_column(list(records))
+        # pack_column dispatches on BasesColumn itself (re-packing from
+        # the flat array) and accepts any sequence of bytes directly.
+        return pack_column(records)
 
     def decode(self, data: bytes, index: RelativeIndex) -> list[bytes]:
         return unpack_column(data, [index[i] for i in range(len(index))])

@@ -71,8 +71,12 @@ class SnapAligner:
         m = len(bases)
         if m < self.index.seed_length:
             return AlignmentResult(flag=FLAG_UNMAPPED)
-        candidates = self._collect_candidates(bases)
-        best = self._verify_candidates(bases, candidates)
+        # One reverse complement per read, shared by seeding and
+        # verification (the columnar feed hands reads over at full rate,
+        # so per-read allocations in this loop are the aligner's floor).
+        rc = reverse_complement(bases)
+        candidates = self._collect_candidates(bases, rc)
+        best = self._verify_candidates(bases, candidates, rc)
         if best is None:
             return AlignmentResult(flag=FLAG_UNMAPPED)
         position, reverse, distance, cigar, mapq = best
@@ -93,13 +97,14 @@ class SnapAligner:
 
         Used by the paired-end layer, which reasons in global coordinates.
         """
-        candidates = self._collect_candidates(bases)
-        return self._verify_candidates(bases, candidates)
+        rc = reverse_complement(bases)
+        candidates = self._collect_candidates(bases, rc)
+        return self._verify_candidates(bases, candidates, rc)
 
     # ------------------------------------------------------------ internals
 
     def _collect_candidates(
-        self, bases: bytes
+        self, bases: bytes, rc: "bytes | None" = None
     ) -> "dict[tuple[int, bool], int]":
         """Seed both strands and tally votes per candidate start."""
         votes: dict[tuple[int, bool], int] = {}
@@ -112,7 +117,7 @@ class SnapAligner:
             offsets.append(m - s)  # always seed the read tail
         for strand_bases, reverse in (
             (bases, False),
-            (reverse_complement(bases), True),
+            (rc if rc is not None else reverse_complement(bases), True),
         ):
             values = self.index.encode_read_seeds(strand_bases, offsets)
             self.stats.seed_lookups += len(offsets)
@@ -128,7 +133,8 @@ class SnapAligner:
         return votes
 
     def _verify_candidates(
-        self, bases: bytes, votes: "dict[tuple[int, bool], int]"
+        self, bases: bytes, votes: "dict[tuple[int, bool], int]",
+        rc: "bytes | None" = None,
     ) -> "tuple[int, bool, int, bytes, int] | None":
         if not votes:
             return None
@@ -136,7 +142,8 @@ class SnapAligner:
         max_k = self.config.max_edit_distance
         ordered = sorted(votes.items(), key=lambda kv: -kv[1])
         ordered = ordered[: self.config.max_candidates]
-        rc = reverse_complement(bases)
+        if rc is None:
+            rc = reverse_complement(bases)
         best: "tuple[int, bool, int, bytes] | None" = None
         second_distance: "int | None" = None
         bound = max_k

@@ -133,6 +133,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
         aligner_nodes=max(1, args.threads // 2),
         backend=args.backend,
         batch_size=args.batch_size,
+        shm=args.shm,
     )
     outcome = align_dataset(dataset, aligner, config=config)
     dataset.save_manifest(args.dataset_dir)
@@ -156,7 +157,8 @@ def _make_cli_backend(args: argparse.Namespace):
     if args.backend == "serial":
         return None
     return make_backend(
-        args.backend, workers=args.workers, batch_size=args.batch_size
+        args.backend, workers=args.workers, batch_size=args.batch_size,
+        shm=args.shm,
     )
 
 
@@ -236,6 +238,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.core.filters import by_min_mapq
     from repro.core.pipelines import (
         PIPELINE_STAGES,
+        TUNE_SIDECAR_NAME,
         build_bwa_aligner,
         build_snap_aligner,
         run_pipeline,
@@ -276,6 +279,14 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         else None
     filter_store = DirectoryStore(args.filter_dir) if args.filter_dir \
         else None
+    if args.tune_cache is not None and not args.autotune_queues:
+        print("--tune-cache only takes effect with --autotune-queues",
+              file=sys.stderr)
+        return 2
+    if args.autotune_queues and args.tune_cache is None:
+        # Sidecar next to the dataset: repeat runs load the persisted
+        # suggestions and skip the probe entirely.
+        args.tune_cache = str(Path(args.dataset_dir) / TUNE_SIDECAR_NAME)
     try:
         outcome = run_pipeline(
             dataset,
@@ -302,6 +313,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             session_timeout=args.timeout,
             vectorized=args.kernels == "vectorized",
             autotune_queues=args.autotune_queues,
+            tune_path=(args.tune_cache if args.autotune_queues else None),
+            shm=args.shm,
         )
     except ValueError as exc:
         # Stage-composition errors (order, duplicates, missing results
@@ -325,8 +338,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             f"{stage.records_per_second:>12,.0f} records/s"
         )
     if outcome.report.get("autotuned_queues"):
+        source = ("the persisted tune sidecar"
+                  if outcome.report.get("autotune_cache") == "hit"
+                  else "the probe run's depth traces")
         print(f"  autotuned {len(outcome.report['autotuned_queues'])} "
-              f"queue capacities from the probe run's depth traces")
+              f"queue capacities from {source}")
     if outcome.dupmark_stats is not None:
         print(f"  duplicates marked: "
               f"{outcome.dupmark_stats.duplicates_marked}")
@@ -425,6 +441,8 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
         transport=args.transport,
         host=args.host,
         port=args.port,
+        edge_capacity=args.edge_capacity,
+        autotune_edges=args.autotune_edges,
         session_timeout=args.timeout,
         vectorized=args.kernels == "vectorized",
     )
@@ -438,6 +456,9 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
         f"{len(outcome.servers)} servers ({args.transport} transport) "
         f"in {outcome.wall_seconds:.2f}s"
     )
+    if outcome.autotuned_edges:
+        print(f"  autotuned {len(outcome.autotuned_edges)} broker edge "
+              f"capacities from the probe run's depth stats")
     for server in outcome.servers:
         marker = " [KILLED]" if server.killed else ""
         print(f"  {server.server:<10} {','.join(server.stages):<28} "
@@ -658,6 +679,15 @@ def _add_backend_options(
         default=None,
         help="task payloads per IPC message (process backend)",
     )
+    p.add_argument(
+        "--shm",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="ship large process-backend payloads/results through the "
+             "shared-memory buffer pool instead of pickled pipes "
+             "(default: auto — on wherever POSIX shared memory works; "
+             "--no-shm forces the pickled path)",
+    )
     if with_workers:
         p.add_argument(
             "--workers",
@@ -810,6 +840,14 @@ def build_parser() -> argparse.ArgumentParser:
              "capacities suggested from its depth traces",
     )
     p.add_argument(
+        "--tune-cache",
+        default=None,
+        metavar="PATH",
+        help="sidecar file persisting autotuned queue capacities "
+             "(default: <dataset-dir>/.persona-tune.json); repeat runs "
+             "load it and skip the probe",
+    )
+    p.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -868,6 +906,13 @@ def build_parser() -> argparse.ArgumentParser:
                          "TCP broker")
     cp.add_argument("--host", default="127.0.0.1")
     cp.add_argument("--port", type=int, default=0)
+    cp.add_argument("--edge-capacity", type=int, default=4,
+                    help="stage-boundary edge depth (chunks in flight "
+                         "per cut)")
+    cp.add_argument("--autotune-edges", action="store_true",
+                    help="run a probe placement first, then re-run with "
+                         "per-edge capacities suggested from its broker "
+                         "depth stats")
     _add_cluster_shared(cp)
     cp.set_defaults(fn=_cmd_cluster_run)
 

@@ -121,6 +121,9 @@ class PlacedPipelineOutcome:
     filter_stats: "object | None" = None
     #: Broker edge counters after the run (published/redelivered/depth).
     broker_stats: dict = field(default_factory=dict)
+    #: Per-edge capacities an ``autotune_edges`` probe applied to this
+    #: run (empty when autotuning was off or nothing needed changing).
+    autotuned_edges: "dict[str, int]" = field(default_factory=dict)
 
     def server(self, name: str) -> PlacedServerOutcome:
         for outcome in self.servers:
@@ -138,6 +141,43 @@ class PlacedPipelineOutcome:
         if not live:
             return 0.0
         return max(live) / min(live) if min(live) > 0 else float("inf")
+
+
+def suggest_edge_capacities(
+    broker_stats: "dict[str, dict]",
+    headroom: int = 1,
+    min_capacity: int = 2,
+    growth_factor: int = 2,
+) -> "dict[str, int]":
+    """Propose per-edge broker capacities from a placed run's stats.
+
+    The cluster-scale mirror of
+    :func:`repro.core.pipelines.suggest_queue_capacities`: an edge whose
+    high-water depth hit capacity (producers repeatedly blocked on it)
+    grows by ``growth_factor``; an edge that never came close shrinks to
+    its observed high-water plus ``headroom`` (never below
+    ``min_capacity``); right-sized edges are omitted.  The work edge is
+    skipped — it is sized to the chunk count by design.  Feed the result
+    back via ``run_placed_pipeline(edge_capacities=...)`` (or let
+    ``autotune_edges=True`` do the probe-then-apply round trip).
+    """
+    from repro.cluster.placement import WORK_EDGE
+
+    suggestions: "dict[str, int]" = {}
+    for edge, stats in broker_stats.items():
+        if edge == WORK_EDGE:
+            continue
+        capacity = stats.get("capacity", 0)
+        if capacity <= 0:
+            continue
+        max_depth = stats.get("max_depth", 0)
+        if max_depth >= capacity:
+            suggested = capacity * growth_factor
+        else:
+            suggested = max(min_capacity, max_depth + headroom)
+        if suggested != capacity:
+            suggestions[edge] = suggested
+    return suggestions
 
 
 def _root_cause(exc: BaseException) -> BaseException:
@@ -172,6 +212,8 @@ def run_placed_pipeline(
     host: str = "127.0.0.1",
     port: int = 0,
     edge_capacity: int = 4,
+    edge_capacities: "dict[str, int] | None" = None,
+    autotune_edges: bool = False,
     wire_codec: str = "none",
     session_timeout: "float | None" = 600.0,
     vectorized: bool = True,
@@ -193,7 +235,56 @@ def run_placed_pipeline(
     :class:`WorkerKilled` is dropped, its unacked chunks are redelivered
     to surviving replicas, and the run completes; any other failure
     aborts every edge and re-raises.
+
+    ``edge_capacity`` sizes every stage-boundary broker edge uniformly;
+    ``edge_capacities`` overrides individual edges by name (e.g.
+    ``{"sort->dupmark": 8}``).  ``autotune_edges=True`` runs the
+    placement twice — a probe, then the measured run with capacities
+    suggested by :func:`suggest_edge_capacities` from the probe's
+    per-edge depth stats (explicit ``edge_capacities`` pins win).  The
+    applied suggestions land in ``outcome.autotuned_edges``.
     """
+    if autotune_edges:
+        kwargs = dict(
+            aligner=aligner,
+            aligner_factory=aligner_factory,
+            reference=reference,
+            align_config=align_config,
+            sort_config=sort_config,
+            varcall_config=varcall_config,
+            filter_predicate=filter_predicate,
+            output_store=output_store,
+            filter_store=filter_store,
+            scratch_store_factory=scratch_store_factory,
+            align_results_store_factory=align_results_store_factory,
+            backend=backend,
+            workers=workers,
+            batch_size=batch_size,
+            transport=transport,
+            host=host,
+            port=port,
+            edge_capacity=edge_capacity,
+            wire_codec=wire_codec,
+            session_timeout=session_timeout,
+            vectorized=vectorized,
+        )
+        # Probe placement: outputs are deterministic and chunk writes
+        # idempotent, so the measured run's inputs stay intact — the
+        # same contract as the in-graph queue autotuner.
+        probe = run_placed_pipeline(
+            dataset, plan, edge_capacities=edge_capacities, **kwargs
+        )
+        tuned = suggest_edge_capacities(probe.broker_stats)
+        for pinned in (edge_capacities or {}):
+            tuned.pop(pinned, None)
+        merged = dict(tuned)
+        merged.update(edge_capacities or {})
+        outcome = run_placed_pipeline(
+            dataset, plan, edge_capacities=merged, **kwargs
+        )
+        outcome.autotuned_edges = tuned
+        return outcome
+
     manifest = dataset.manifest
     if aligner_factory is None:
         def aligner_factory(server):  # noqa: ARG001 - uniform signature
@@ -207,11 +298,12 @@ def run_placed_pipeline(
     broker = Broker()
     broker.plan_doc = plan.to_doc()
     work_capacity = max(1, manifest.num_chunks)
+    overrides = edge_capacities or {}
     for spec in plan.edges():
         broker.create_edge(
             spec.name,
             capacity=work_capacity if spec.name == WORK_EDGE
-            else edge_capacity,
+            else max(1, int(overrides.get(spec.name, edge_capacity))),
             producers=spec.producers,
         )
 

@@ -233,6 +233,22 @@ def read_results_arrays(blob: bytes) -> ResultsArrays:
     return decode_results_arrays(data, index.lengths)
 
 
+def read_bases_column(blob: bytes):
+    """Decode a bases-column chunk image into a flat
+    :class:`~repro.agd.compaction.BasesColumn` (the columnar aligner
+    feed): same validation as the object path, zero per-record bytes
+    objects materialized."""
+    from repro.agd.chunk import read_chunk_data
+    from repro.agd.compaction import unpack_column_flat
+
+    header, index, data = read_chunk_data(blob)
+    if header.record_type != "bases":
+        raise ValueError(
+            f"expected a bases chunk, got {header.record_type!r}"
+        )
+    return unpack_column_flat(data, index.lengths)
+
+
 # --------------------------------------------------------------------------
 # Vectorized CIGAR parsing.
 

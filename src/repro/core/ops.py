@@ -101,20 +101,38 @@ class ChunkReaderNode(Node):
 
 
 class AGDParserNode(Node):
-    """Decompresses and parses raw chunk blobs into record lists (§4.2)."""
+    """Decompresses and parses raw chunk blobs into record lists (§4.2).
 
-    def __init__(self, name: str = "parser", parallelism: int = 2):
+    Bases columns decode through the columnar fast path by default: one
+    flat code array per chunk (:class:`~repro.agd.compaction.BasesColumn`)
+    instead of one bytes object per read, so the column flows to the
+    aligner nodes — and across a shared-memory process backend — without
+    per-record materialization.  ``columnar_bases=False`` restores the
+    ``list[bytes]`` representation (identical record values either way).
+    """
+
+    def __init__(self, name: str = "parser", parallelism: int = 2,
+                 columnar_bases: bool = True):
         super().__init__(name, parallelism)
+        self.columnar_bases = columnar_bases
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        from repro.agd.chunk import read_chunk_header
+        from repro.core.columnar import read_bases_column
+
         for column, blob in item.raw.items():
-            chunk = read_chunk(blob)
-            if len(chunk) != item.record_count:
+            if self.columnar_bases and \
+                    read_chunk_header(blob).record_type == "bases":
+                records = read_bases_column(blob)
+            else:
+                records = read_chunk(blob).records
+            if len(records) != item.record_count:
                 raise ValueError(
                     f"chunk {item.entry.path!r} column {column!r} has "
-                    f"{len(chunk)} records, manifest says {item.record_count}"
+                    f"{len(records)} records, manifest says "
+                    f"{item.record_count}"
                 )
-            item.columns[column] = chunk.records
+            item.columns[column] = records
         item.raw = {}
         return [item]
 
@@ -644,10 +662,17 @@ class ResequencerNode(Node):
 
 @dataclass
 class SortRun:
-    """A sorted superchunk spilled to scratch (phase 1 of §4.3's sort)."""
+    """A sorted superchunk spilled to scratch (phase 1 of §4.3's sort).
 
-    entry: ChunkEntry
+    ``partitions`` is the per-key-range sub-chunk list when the run was
+    spilled partitioned (spill locality: phase-2 merge kernels then read
+    only their own key range); ``entry`` names the whole-run superchunk
+    otherwise.
+    """
+
+    entry: "ChunkEntry | None"
     index: int
+    partitions: "list[ChunkEntry | None] | None" = None
 
 
 class SortRunNode(Node):
@@ -656,9 +681,12 @@ class SortRunNode(Node):
     The streaming analog of the eager sort's phase 1: every
     ``chunks_per_superchunk`` chunks, the buffered rows are sorted (the
     compute dispatched through the execution backend) and spilled to the
-    scratch store as one superchunk, so only a single group of chunks is
-    ever resident.  Parallelism is 1: run grouping must follow arrival
-    order to reproduce the eager path's runs exactly.
+    scratch store, so only a single group of chunks is ever resident.
+    With ``merge_partitions >= 2`` runs spill as per-key-range
+    sub-chunks at boundaries fixed by the first run (see
+    :func:`repro.core.sort.encode_run_spill`).  Parallelism is 1: run
+    grouping must follow arrival order to reproduce the eager path's
+    runs exactly.
     """
 
     def __init__(
@@ -671,6 +699,7 @@ class SortRunNode(Node):
         name: str = "sort_runs",
         scratch_codec_level: "int | None" = None,
         vectorized: bool = True,
+        merge_partitions: int = 1,
     ):
         from repro.agd.compression import SCRATCH_CODEC_LEVEL
 
@@ -687,38 +716,51 @@ class SortRunNode(Node):
             else scratch_codec_level
         )
         self.vectorized = vectorized
+        self.merge_partitions = merge_partitions
+        self._spill_partitions = merge_partitions if vectorized else 1
+        self._boundaries = None
         self._rows: list = []
         self._chunks_buffered = 0
         self._runs_emitted = 0
 
     def _flush_run(self, ctx: NodeContext) -> SortRun:
-        from repro.agd.compression import leveled_codec
-        from repro.agd.records import record_type_for_column
-        from repro.core.sort import sort_rows_task
+        from repro.core.sort import (
+            encode_run_spill,
+            metadata_row_index,
+            sort_rows_task,
+            store_run_spill,
+        )
 
         backend = ctx.backend(self.backend_handle)
+        meta_index = metadata_row_index(self.ordered_columns)
         # One payload by design: a run sort is a single stable sort over
         # the whole group (splitting it would change the algorithm);
         # cross-run parallelism comes from the stages up- and downstream
         # of this kernel running concurrently.
-        from repro.core.sort import metadata_row_index
-
         [rows] = backend.run_chunk(
             sort_rows_task,
-            [(self.order, self._rows, self.vectorized,
-              metadata_row_index(self.ordered_columns))],
+            [(self.order, self._rows, self.vectorized, meta_index)],
             shared=ctx.resources,
         )
-        entry = ChunkEntry(f"superchunk-{self._runs_emitted}", 0, len(rows))
-        codec = leveled_codec("gzip", self.scratch_codec_level)
-        for c_index, column in enumerate(self.ordered_columns):
-            records = [row[c_index] for row in rows]
-            self.scratch.put(
-                entry.chunk_file(column),
-                write_chunk(records, record_type_for_column(column),
-                            codec=codec),
-            )
-        run = SortRun(entry=entry, index=self._runs_emitted)
+        spill = encode_run_spill(
+            rows, self.order, self.ordered_columns,
+            self.scratch_codec_level, self._boundaries,
+            self._spill_partitions, meta_index,
+        )
+        if self._spill_partitions >= 2 and self._boundaries is None:
+            if spill["boundaries"] is None:
+                # Unpackable keys: the first run defined no shared
+                # ranges, so no later run may invent its own.
+                self._spill_partitions = 1
+            else:
+                self._boundaries = spill["boundaries"]
+        spilled = store_run_spill(self.scratch, self._runs_emitted, spill)
+        run = SortRun(
+            entry=spilled.entries[0] if spilled.partitions is None
+            else None,
+            index=self._runs_emitted,
+            partitions=spilled.partitions,
+        )
         self._runs_emitted += 1
         self._rows = []
         self._chunks_buffered = 0
@@ -807,10 +849,10 @@ class SuperchunkMergeNode(Node):
         from repro.agd.compression import DEFAULT_CODEC, leveled_codec
         from repro.core.sort import build_sorted_manifest, iter_merged_chunks
 
-        runs = [
-            [run.entry]
-            for run in sorted(self._runs, key=lambda r: r.index)
-        ]
+        # SortRun items normalize inside iter_merged_chunks: partition-
+        # spilled runs merge via per-range blob kernels (spill locality),
+        # whole-run spills via the streaming heap.
+        runs = sorted(self._runs, key=lambda r: r.index)
         out_codec = (
             DEFAULT_CODEC if self.output_codec_level is None
             else leveled_codec("gzip", self.output_codec_level)

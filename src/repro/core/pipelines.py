@@ -10,8 +10,11 @@ second, a read-length agnostic measure", §2.1).
 from __future__ import annotations
 
 import gzip
+import json
+import os
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any
 
 from repro.agd.dataset import AGDDataset
@@ -52,10 +55,13 @@ __all__ = [
     "PipelineOutcome",
     "PlacedServerGraph",
     "StageBreakdown",
+    "TUNE_SIDECAR_NAME",
     "align_dataset",
     "align_standalone",
     "build_snap_aligner",
     "build_bwa_aligner",
+    "load_tuned_capacities",
+    "save_tuned_capacities",
     "mark_duplicates",
     "placed_server_endpoints",
     "run_pipeline",
@@ -516,6 +522,8 @@ def run_pipeline(
     queue_sample_interval: "float | None" = 0.02,
     queue_capacities: "dict[str, int] | None" = None,
     autotune_queues: bool = False,
+    tune_path: "str | Path | None" = None,
+    shm: "bool | None" = None,
 ) -> PipelineOutcome:
     """Run several workload stages as ONE streaming dataflow graph.
 
@@ -562,6 +570,14 @@ def run_pipeline(
     :func:`suggest_queue_capacities` from the probe's depth traces (the
     §4.5 capacity guidance, derived from data instead of hand-tuning).
     The applied suggestions land in ``report["autotuned_queues"]``.
+    With ``tune_path`` the suggestions persist to a ``.persona-tune.json``
+    sidecar keyed by (stages, backend, workers): a repeat run loads them
+    and skips the probe entirely (``report["autotune_cache"]`` says
+    which happened).
+
+    ``shm`` selects the process backend's zero-copy payload plane
+    (None = auto where POSIX shared memory works; False forces the
+    pickled IPC path — outputs are byte-identical either way).
     """
     stages = tuple(stages)
     _validate_stages(stages)
@@ -584,21 +600,31 @@ def run_pipeline(
         name=name,
         vectorized=vectorized,
         queue_sample_interval=queue_sample_interval,
+        shm=shm,
     )
     if not autotune_queues:
         return _run_pipeline_once(dataset, stages,
                                   queue_capacities=queue_capacities,
                                   **kwargs)
-    # Probe run: sampling must be on to produce the depth traces the
-    # suggester reads.  Stage outputs are deterministic and chunk writes
-    # idempotent, so the probe leaves the measured run's inputs intact.
-    probe_kwargs = dict(kwargs)
-    if probe_kwargs["queue_sample_interval"] is None:
-        probe_kwargs["queue_sample_interval"] = 0.02
-    probe = _run_pipeline_once(dataset, stages,
-                               queue_capacities=queue_capacities,
-                               **probe_kwargs)
-    tuned = suggest_queue_capacities(probe.report)
+    tune_key = _tune_key(stages, backend, workers)
+    tuned = load_tuned_capacities(tune_path, tune_key) \
+        if tune_path is not None else None
+    cache = "hit" if tuned is not None else None
+    if tuned is None:
+        # Probe run: sampling must be on to produce the depth traces the
+        # suggester reads.  Stage outputs are deterministic and chunk
+        # writes idempotent, so the probe leaves the measured run's
+        # inputs intact.
+        probe_kwargs = dict(kwargs)
+        if probe_kwargs["queue_sample_interval"] is None:
+            probe_kwargs["queue_sample_interval"] = 0.02
+        probe = _run_pipeline_once(dataset, stages,
+                                   queue_capacities=queue_capacities,
+                                   **probe_kwargs)
+        tuned = suggest_queue_capacities(probe.report)
+        if tune_path is not None:
+            save_tuned_capacities(tune_path, tune_key, tuned)
+            cache = "miss"
     # Explicit pins win: a caller-supplied capacity is a decision, the
     # suggestion is a heuristic.
     for pinned in (queue_capacities or {}):
@@ -608,6 +634,8 @@ def run_pipeline(
     outcome = _run_pipeline_once(dataset, stages, queue_capacities=merged,
                                  **kwargs)
     outcome.report["autotuned_queues"] = tuned
+    if cache is not None:
+        outcome.report["autotune_cache"] = cache
     return outcome
 
 
@@ -631,11 +659,12 @@ def _run_pipeline_once(
     vectorized: bool = True,
     queue_sample_interval: "float | None" = 0.02,
     queue_capacities: "dict[str, int] | None" = None,
+    shm: "bool | None" = None,
 ) -> PipelineOutcome:
     manifest = dataset.manifest
     backend_obj = make_backend(
         backend, workers=workers, batch_size=batch_size,
-        name=f"{name}.backend",
+        name=f"{name}.backend", shm=shm,
     )
     owns_backend = not isinstance(backend, Backend)
     if "align" in stages and not backend_obj.shares_caller_memory:
@@ -679,7 +708,7 @@ def _run_pipeline_once(
             for q in composed.graph.queues:
                 override = queue_capacities.get(q.name)
                 if override is not None:
-                    q.capacity = max(1, int(override))
+                    q.resize(max(1, int(override)))
         result = composed.run(timeout=session_timeout,
                               queue_sample_interval=queue_sample_interval)
     finally:
@@ -737,6 +766,72 @@ def _run_pipeline_once(
 
 # ---------------------------------------------------------------------------
 # Queue-capacity autotuning (§4.5): consume the queue-depth traces.
+
+#: Default sidecar filename for persisted queue-capacity suggestions.
+TUNE_SIDECAR_NAME = ".persona-tune.json"
+
+
+def _tune_key(stages: "tuple[str, ...]", backend, workers: int) -> str:
+    """Cache key for persisted suggestions: capacities probed for one
+    (stage set, backend kind, worker count) are meaningless for
+    another."""
+    backend_name = backend if isinstance(backend, str) \
+        else getattr(backend, "name", type(backend).__name__)
+    return f"{','.join(stages)}|{backend_name}|w{workers}"
+
+
+def load_tuned_capacities(
+    tune_path: "str | Path", key: str
+) -> "dict[str, int] | None":
+    """Load persisted queue capacities for ``key`` from a sidecar.
+
+    Returns None — probe as usual — when the file is missing, malformed,
+    or holds no entry for this key; a stale sidecar must never be able
+    to break a run.
+    """
+    try:
+        doc = json.loads(Path(tune_path).read_text())
+        entry = doc["entries"][key]["capacities"]
+        return {str(name): int(capacity)
+                for name, capacity in entry.items()}
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def save_tuned_capacities(
+    tune_path: "str | Path", key: str, capacities: "dict[str, int]"
+) -> bool:
+    """Persist one probe's suggestions, merging with existing entries
+    (other stage/backend combinations keep theirs).
+
+    Best-effort, like the load side: an unwritable path (read-only
+    dataset directory) returns False instead of failing a pipeline run
+    whose probe already succeeded.  The write goes through a temp file
+    + rename so concurrent runs cannot interleave a corrupt sidecar.
+    """
+    path = Path(tune_path)
+    doc: dict = {"version": 1, "entries": {}}
+    try:
+        existing = json.loads(path.read_text())
+        if isinstance(existing.get("entries"), dict):
+            doc["entries"] = existing["entries"]
+    except (OSError, ValueError):
+        pass
+    doc["entries"][key] = {
+        "capacities": {name: int(c) for name, c in capacities.items()},
+        "saved_at": time.time(),
+    }
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+        return True
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
 
 
 def suggest_queue_capacities(

@@ -22,6 +22,16 @@ remain and are equivalence-tested):
   location order), each range merged by an independent backend task, and
   the ranges concatenated in key order.  Output bytes are identical to
   the single-kernel ``heapq.merge``.
+
+Spill locality: when the merge will be partitioned, phase 1 spills every
+run as *per-partition sub-chunks* at shared key-range boundaries (fixed
+from the first run's key quantiles).  Each phase-2 merge kernel then
+decodes only its own key range of every run — compressed sub-chunk blobs
+it can receive by shared-memory reference — instead of whole decoded
+runs round-tripping through the caller.  Because boundaries are applied
+with the same left-closed searchsorted rule everywhere, equal keys never
+straddle a partition and the concatenated partitions reproduce the
+single-kernel merge byte for byte.
 """
 
 from __future__ import annotations
@@ -83,10 +93,12 @@ class SortConfig:
         """Number of phase-2 merge kernels for a given backend.
 
         Auto partitions only on multi-worker backends that share the
-        caller's memory (the thread backend): partition payloads are
-        whole row slices, so a process pool would round-trip the full
-        dataset through IPC — still correct, but only worth paying when
-        asked for explicitly via ``merge_partitions``.
+        caller's memory (the thread backend).  For a process pool the
+        *payload* direction is now cheap — spill locality hands each
+        kernel only its own compressed sub-chunk blobs, shm-shippable —
+        but the merged rows still return through pickled IPC (the whole
+        dataset, as decoded row tuples), so auto stays conservative and
+        process pools opt in explicitly via ``merge_partitions``.
         """
         if not self.vectorized or backend is None:
             return 1
@@ -187,6 +199,191 @@ def sort_rows_task(shared, payload) -> "list[tuple]":
     return _sorted_rows(order, list(rows), vectorized, meta_index)
 
 
+# ---------------------------------------------------------------------------
+# Spill locality: runs spilled as per-partition sub-chunks at shared key
+# boundaries, so each phase-2 merge kernel touches only its key range.
+
+
+@dataclass
+class SpilledRun:
+    """One sorted run in the scratch store.
+
+    ``entries`` lists the run's chunk entries in row order (one jumbo
+    superchunk, or the non-empty partition sub-chunks — concatenating
+    them reproduces the sorted run either way).  ``partitions`` is the
+    per-key-range sub-chunk list (None entries for ranges the run has no
+    rows in), present only for partition-spilled runs.
+    """
+
+    entries: "list[ChunkEntry]"
+    partitions: "list[ChunkEntry | None] | None" = None
+
+    @property
+    def record_count(self) -> int:
+        return sum(e.record_count for e in self.entries)
+
+
+def _as_spilled(run) -> SpilledRun:
+    """Normalize the run shapes phase 2 accepts (plain entry lists from
+    legacy callers, SortRun work items from the streaming node)."""
+    if isinstance(run, SpilledRun):
+        return run
+    if isinstance(run, (list, tuple)):
+        return SpilledRun(entries=list(run))
+    partitions = getattr(run, "partitions", None)
+    entry = getattr(run, "entry", None)
+    if partitions is not None:
+        return SpilledRun(
+            entries=[e for e in partitions if e is not None],
+            partitions=list(partitions),
+        )
+    if entry is not None:
+        return SpilledRun(entries=[entry])
+    raise TypeError(f"cannot interpret {type(run).__name__} as a sorted run")
+
+
+def _widen_keys(keys: np.ndarray, other: np.ndarray):
+    """Give bytes-keyed arrays a common S-width so searchsorted compares
+    content, not truncations (packed uint64 keys pass through)."""
+    if keys.dtype.kind != "S" or keys.dtype == other.dtype:
+        return keys, other
+    width = max(keys.dtype.itemsize, other.dtype.itemsize)
+    return keys.astype(f"S{width}"), other.astype(f"S{width}")
+
+
+def spill_boundaries(keys: np.ndarray, partitions: int) -> np.ndarray:
+    """Boundary keys splitting one sorted run into ``<= partitions``
+    key ranges of roughly equal row counts (deduplicated, so equal keys
+    never produce an empty self-partition)."""
+    picks = []
+    for k in range(1, partitions):
+        if keys.size == 0:
+            break
+        b = keys[(keys.size * k) // partitions]
+        if not picks or b != picks[-1]:
+            picks.append(b)
+    return np.array(picks, dtype=keys.dtype)
+
+
+def partition_row_ranges(
+    keys: np.ndarray, boundaries: np.ndarray
+) -> "list[tuple[int, int]]":
+    """Split one sorted run's rows at the shared boundary keys.
+
+    ``searchsorted(side="left")`` everywhere: rows whose key equals a
+    boundary always fall in the range *starting* at that boundary, in
+    every run, so equal keys never straddle partitions.
+    """
+    keys, boundaries = _widen_keys(keys, boundaries)
+    cuts = np.searchsorted(keys, boundaries, side="left")
+    edges = [0, *(int(c) for c in cuts), int(keys.size)]
+    return list(zip(edges[:-1], edges[1:]))
+
+
+def encode_run_spill(
+    rows: "list[tuple]",
+    order: str,
+    ordered_columns: "list[str]",
+    scratch_level: int,
+    boundaries: "np.ndarray | None",
+    partitions: int,
+    meta_index: int = 1,
+) -> dict:
+    """Encode one *sorted* run for the scratch store.
+
+    With ``partitions >= 2`` and packable keys, the run is encoded as
+    per-key-range sub-chunks (``parts``: one ``(count, {column: blob})``
+    per range, blobs None when empty).  ``boundaries=None`` derives the
+    shared boundary keys from this run's quantiles and returns them —
+    the first run of a sort fixes the key ranges every later run spills
+    against.  Unpackable keys (or ``partitions <= 1``) fall back to one
+    jumbo chunk per column under ``columns``.
+    """
+    codec = leveled_codec("gzip", scratch_level)
+
+    def encode_rows(some_rows) -> "dict[str, bytes]":
+        return {
+            column: write_chunk(
+                [row[c_index] for row in some_rows],
+                record_type_for_column(column),
+                codec=codec,
+            )
+            for c_index, column in enumerate(ordered_columns)
+        }
+
+    keys = None
+    if partitions >= 2:
+        keys = row_sort_keys(order, rows, meta_index)
+    if keys is None:
+        return {
+            "record_count": len(rows),
+            "columns": encode_rows(rows),
+            "parts": None,
+            "boundaries": None,
+        }
+    if boundaries is None:
+        boundaries = spill_boundaries(keys, partitions)
+    parts = [
+        (hi - lo, encode_rows(rows[lo:hi]) if hi > lo else None)
+        for lo, hi in partition_row_ranges(keys, boundaries)
+    ]
+    return {
+        "record_count": len(rows),
+        "columns": None,
+        "parts": parts,
+        "boundaries": boundaries,
+    }
+
+
+def store_run_spill(scratch: ChunkStore, run_index: int,
+                    spill: dict) -> SpilledRun:
+    """Write one encoded run spill to the scratch store (caller side —
+    worker processes never touch stores)."""
+    if spill["parts"] is None:
+        entry = ChunkEntry(
+            f"superchunk-{run_index}", 0, spill["record_count"]
+        )
+        for column, blob in spill["columns"].items():
+            scratch.put(entry.chunk_file(column), blob)
+        return SpilledRun(entries=[entry])
+    partition_entries: "list[ChunkEntry | None]" = []
+    for p, (count, blobs) in enumerate(spill["parts"]):
+        if blobs is None:
+            partition_entries.append(None)
+            continue
+        entry = ChunkEntry(f"superchunk-{run_index}-part{p}", 0, count)
+        for column, blob in blobs.items():
+            scratch.put(entry.chunk_file(column), blob)
+        partition_entries.append(entry)
+    return SpilledRun(
+        entries=[e for e in partition_entries if e is not None],
+        partitions=partition_entries,
+    )
+
+
+def sort_run_spill_task(shared, payload) -> dict:
+    """Backend task: sort one superchunk run and encode its spill.
+
+    The spill-locality successor of :func:`sort_run_task`: same decode
+    and sort, but the encoded result is partition-aware (see
+    :func:`encode_run_spill`).  Picklable both ways; the caller writes
+    the returned blobs via :func:`store_run_spill`.
+    """
+    (order, ordered_columns, chunk_blobs, scratch_level, vectorized,
+     boundaries, partitions) = payload
+    rows: "list[tuple]" = []
+    for blobs in chunk_blobs:
+        column_data = [read_chunk(blobs[column]).records
+                       for column in ordered_columns]
+        rows.extend(zip(*column_data))
+    meta_index = metadata_row_index(ordered_columns)
+    rows = _sorted_rows(order, rows, vectorized, meta_index)
+    return encode_run_spill(
+        rows, order, ordered_columns, scratch_level,
+        boundaries, partitions if vectorized else 1, meta_index,
+    )
+
+
 def merge_partition_task(shared, payload) -> "list[tuple]":
     """Backend task: merge one key-range partition of the sorted runs.
 
@@ -198,6 +395,32 @@ def merge_partition_task(shared, payload) -> "list[tuple]":
     """
     order, rows_slices, *rest = payload
     meta_index = rest[0] if rest else 1
+    flat = [row for rows in rows_slices for row in rows]
+    perm = row_sort_permutation(order, flat, meta_index)
+    if perm is None:
+        return list(heapq.merge(*rows_slices,
+                                key=sort_key_for(order, meta_index)))
+    return [flat[i] for i in perm]
+
+
+def merge_partition_blobs_task(shared, payload) -> "list[tuple]":
+    """Backend task: merge one key-range partition straight from spilled
+    sub-chunk blobs (the spill-locality path).
+
+    ``payload`` carries, per run, the compressed per-column blobs of
+    *this partition's* sub-chunk only (None for runs empty in the
+    range), so a worker decodes exactly its own key range of each run —
+    never a whole run.  Semantics are identical to
+    :func:`merge_partition_task` over the decoded slices.
+    """
+    order, ordered_columns, blob_maps, meta_index = payload
+    rows_slices: "list[list[tuple]]" = []
+    for blobs in blob_maps:
+        if blobs is None:
+            continue
+        column_data = [read_chunk(blobs[column]).records
+                       for column in ordered_columns]
+        rows_slices.append(list(zip(*column_data)))
     flat = [row for rows in rows_slices for row in rows]
     perm = row_sort_permutation(order, flat, meta_index)
     if perm is None:
@@ -246,8 +469,9 @@ def sort_dataset(
         for start in range(0, manifest.num_chunks,
                            config.chunks_per_superchunk)
     ]
+    merge_partitions = config.resolve_merge_partitions(backend)
     if backend is None:
-        runs = [
+        runs: "list" = [
             _write_run(dataset, group, ordered_columns, key_fn,
                        scratch, run_index, config)
             for run_index, group in enumerate(groups)
@@ -255,35 +479,50 @@ def sort_dataset(
     else:
         from repro.dataflow.backends import run_in_waves
 
-        def group_payload(group: "list[int]"):
-            return (
-                config.order,
-                ordered_columns,
-                [
-                    {column: dataset.store.get(
-                        manifest.chunks[i].chunk_file(column))
-                     for column in ordered_columns}
-                    for i in group
-                ],
-                config.scratch_codec_level,
-                config.vectorized,
-            )
+        def group_payload(boundaries, partitions):
+            def payload(group: "list[int]"):
+                return (
+                    config.order,
+                    ordered_columns,
+                    [
+                        {column: dataset.store.get(
+                            manifest.chunks[i].chunk_file(column))
+                         for column in ordered_columns}
+                        for i in group
+                    ],
+                    config.scratch_codec_level,
+                    config.vectorized,
+                    boundaries,
+                    partitions,
+                )
+            return payload
 
+        runs = []
+        rest = groups
+        rest_partitions = merge_partitions
+        boundaries = None
+        if merge_partitions >= 2 and groups:
+            # The first run alone fixes the shared key-range boundaries
+            # every run spills against (spill locality: each phase-2
+            # merge kernel will read only its own range of every run).
+            [spill] = backend.run_chunk(
+                sort_run_spill_task,
+                [group_payload(None, merge_partitions)(groups[0])],
+            )
+            boundaries = spill["boundaries"]
+            runs.append(store_run_spill(scratch, 0, spill))
+            rest = groups[1:]
+            if boundaries is None:
+                # Unpackable keys: no shared ranges exist; later runs
+                # must not invent their own.
+                rest_partitions = 1
         # Waved dispatch keeps the external sort's bounded memory: only
         # a couple of chunk groups per worker are resident at a time.
-        runs = []
-        for group, _payload, blobs in run_in_waves(
-            backend, sort_run_task, groups, group_payload
+        for _group, _payload, spill in run_in_waves(
+            backend, sort_run_spill_task, rest,
+            group_payload(boundaries, rest_partitions),
         ):
-            record_count = sum(
-                manifest.chunks[i].record_count for i in group
-            )
-            entry = ChunkEntry(
-                f"superchunk-{len(runs)}", 0, record_count
-            )
-            for column, blob in blobs.items():
-                scratch.put(entry.chunk_file(column), blob)
-            runs.append([entry])
+            runs.append(store_run_spill(scratch, len(runs), spill))
 
     # --------------------------------------------------- phase 2: merge
     out_chunk_size = config.output_chunk_size or (
@@ -295,7 +534,7 @@ def sort_dataset(
             scratch, runs, ordered_columns, config.order,
             out_chunk_size, manifest.name, output_store,
             backend=backend,
-            merge_partitions=config.resolve_merge_partitions(backend),
+            merge_partitions=merge_partitions,
             out_codec=config.output_codec(),
         )
     ]
@@ -342,9 +581,21 @@ def _partition_bounds(
     return bounds
 
 
+def _spill_partition_count(runs: "list[SpilledRun]") -> "int | None":
+    """Shared partition count when EVERY run was spilled partitioned at
+    the same boundaries (partition lists are index-aligned); None when
+    any run is a whole-run spill (mixed spills merge via full-run
+    iteration instead)."""
+    counts = {len(run.partitions) for run in runs
+              if run.partitions is not None}
+    if len(counts) != 1 or any(run.partitions is None for run in runs):
+        return None
+    return counts.pop()
+
+
 def _merged_row_iter(
     scratch: ChunkStore,
-    runs: "list[list[ChunkEntry]]",
+    runs: "list",
     ordered_columns: "list[str]",
     order: str,
     backend,
@@ -352,25 +603,45 @@ def _merged_row_iter(
 ):
     """Rows of all runs in globally sorted order.
 
-    Partitioned path: decode each run once, slice it at shared key-range
-    boundaries, and dispatch one :func:`merge_partition_task` per range
-    through the backend; chaining the ranges in key order reproduces the
-    single-kernel merge exactly.  Falls back to ``heapq.merge`` when no
-    backend is given, a single partition is requested, or the keys are
-    not packable.
+    Spill-locality path (partition-spilled runs + a backend): dispatch
+    one :func:`merge_partition_blobs_task` per key range, each decoding
+    only its own sub-chunks of every run straight from scratch blobs.
+    Legacy partitioned path (whole-run spills): decode each run in the
+    caller, slice at shared boundaries, dispatch
+    :func:`merge_partition_task` per range.  Either way, chaining the
+    ranges in key order reproduces the single-kernel merge exactly;
+    ``heapq.merge`` remains the fallback when no backend is given, a
+    single partition is requested, or keys are not packable.
     """
     meta_index = metadata_row_index(ordered_columns)
+    runs = [_as_spilled(run) for run in runs]
     if backend is None or merge_partitions <= 1 or not runs:
         streams = [
-            _RunReader(scratch, run_entries, ordered_columns)
-            for run_entries in runs
+            _RunReader(scratch, run.entries, ordered_columns)
+            for run in runs
         ]
         return heapq.merge(*streams, key=sort_key_for(order, meta_index))
+    spill_partitions = _spill_partition_count(runs)
+    if spill_partitions is not None:
+        payloads = []
+        for p in range(spill_partitions):
+            blob_maps = [
+                None if run.partitions[p] is None else {
+                    column: scratch.get(
+                        run.partitions[p].chunk_file(column)
+                    )
+                    for column in ordered_columns
+                }
+                for run in runs
+            ]
+            payloads.append((order, ordered_columns, blob_maps, meta_index))
+        results = backend.run_chunk(merge_partition_blobs_task, payloads)
+        return itertools.chain.from_iterable(results)
     run_rows: list[list[tuple]] = []
     key_arrays: list[np.ndarray] = []
     packable = True
-    for run_entries in runs:
-        rows = list(_RunReader(scratch, run_entries, ordered_columns))
+    for run in runs:
+        rows = list(_RunReader(scratch, run.entries, ordered_columns))
         run_rows.append(rows)
         if packable:
             keys = row_sort_keys(order, rows, meta_index)
@@ -393,7 +664,7 @@ def _merged_row_iter(
 
 def iter_merged_chunks(
     scratch: ChunkStore,
-    runs: "list[list[ChunkEntry]]",
+    runs: "list",  # entry lists, SpilledRun, or SortRun items (normalized)
     ordered_columns: "list[str]",
     order: str,
     out_chunk_size: int,

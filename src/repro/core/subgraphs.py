@@ -74,6 +74,10 @@ class AlignGraphConfig:
     backend: "str | Backend" = "thread"
     #: Payloads per IPC message (process backend only; None = default).
     batch_size: "int | None" = None
+    #: Zero-copy payload plane for the process backend: ship large
+    #: payloads/results as shared-memory references (None = auto where
+    #: POSIX shared memory works; False forces the pickled path).
+    shm: "bool | None" = None
 
 
 @dataclass
@@ -124,6 +128,7 @@ def _build_compute_backend(
         batch_size=config.batch_size,
         busy_counter=busy,
         name=f"{graph_name}.backend",
+        shm=config.shm,
     )
     if not backend.shares_caller_memory:
         try:
@@ -522,6 +527,7 @@ def build_sort_graph(
         input=inlet,
         output=q_ordered,
     )
+    merge_partitions = config.resolve_merge_partitions(backend_obj)
     q_runs = g.queue("runs", 2)
     g.add(
         SortRunNode(
@@ -532,6 +538,9 @@ def build_sort_graph(
             chunks_per_superchunk=config.chunks_per_superchunk,
             scratch_codec_level=config.scratch_codec_level,
             vectorized=config.vectorized,
+            # Partitioned merges read partition-spilled runs: each
+            # phase-2 kernel decodes only its own key range (locality).
+            merge_partitions=merge_partitions,
         ),
         input=q_ordered,
         output=q_runs,
@@ -547,7 +556,7 @@ def build_sort_graph(
         out_chunk_size,
         reference=manifest.reference,
         backend_handle=backend_handle,
-        merge_partitions=config.resolve_merge_partitions(backend_obj),
+        merge_partitions=merge_partitions,
         output_codec_level=config.output_codec_level,
     )
     g.add(merge, input=q_runs, output=q_sorted)

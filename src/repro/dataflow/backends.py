@@ -44,7 +44,9 @@ import pickle
 import threading
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.dataflow import shm as shm_plane
 from repro.dataflow.executor import BusyCounter, ChunkCompletion, Executor
+from repro.dataflow.shm import ShmRef
 
 BACKEND_CHOICES = ("serial", "thread", "process")
 
@@ -58,16 +60,31 @@ DEFAULT_BATCH_SIZE = 4
 #: batch closes early once it holds this many estimated bytes.
 DEFAULT_BATCH_BYTES = 1 << 20
 
+#: Serialized cost of a ShmRef: a ~100-byte reference regardless of how
+#: many megabytes the segment behind it holds.
+_SHM_REF_NBYTES = 96
+
+#: Containers nested deeper than this stop being walked and round to the
+#: nominal object cost — payload estimation must stay O(payload), even
+#: for pathologically nested inputs.
+_NBYTES_MAX_DEPTH = 8
+
 TaskFn = Callable[[Mapping[str, Any], Any], Any]
 
 
-def payload_nbytes(payload: Any) -> int:
+def payload_nbytes(payload: Any, _depth: int = 0) -> int:
     """Estimated serialized size of a task payload.
 
     Counts the dominant bulk carriers (numpy arrays, byte strings, and
-    their containers); scalars and small objects round to a nominal
-    cost.  This is a *batching heuristic*, not an exact pickle size.
+    their containers — dict *keys* as well as values); scalars and small
+    objects round to a nominal cost.  A :class:`ShmRef` counts as the
+    reference it is (~100 bytes), not the data it points to — that data
+    never crosses the pipe.  Recursion is capped at ``_NBYTES_MAX_DEPTH``
+    container levels.  This is a *batching heuristic*, not an exact
+    pickle size.
     """
+    if isinstance(payload, ShmRef):
+        return _SHM_REF_NBYTES
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
     if isinstance(payload, str):
@@ -75,11 +92,14 @@ def payload_nbytes(payload: Any) -> int:
     nbytes = getattr(payload, "nbytes", None)
     if nbytes is not None:  # numpy arrays (and anything array-like)
         return int(nbytes)
+    if _depth >= _NBYTES_MAX_DEPTH:
+        return 64
     if isinstance(payload, (tuple, list, set, frozenset)):
-        return 16 + sum(payload_nbytes(item) for item in payload)
+        return 16 + sum(payload_nbytes(item, _depth + 1)
+                        for item in payload)
     if isinstance(payload, dict):
         return 16 + sum(
-            payload_nbytes(k) + payload_nbytes(v)
+            payload_nbytes(k, _depth + 1) + payload_nbytes(v, _depth + 1)
             for k, v in payload.items()
         )
     return 64
@@ -294,17 +314,35 @@ class ThreadBackend(Backend):
 # importable from the child process under both fork and spawn).
 
 _WORKER_SHARED: dict[str, Any] = {}
+_WORKER_SHM: bool = False
 
 
-def _process_worker_init(shared_blob: bytes) -> None:
-    """Pool initializer: unpickle the shared registry once per worker."""
-    global _WORKER_SHARED
+def _process_worker_init(
+    shared_blob: bytes, shm_spec: "tuple[str, int] | None" = None
+) -> None:
+    """Pool initializer: unpickle the shared registry once per worker.
+
+    ``shm_spec`` (segment-name prefix, export threshold) arms the
+    zero-copy plane: incoming ShmRef payloads resolve against attached
+    segments, and large results export as one-shot segments under the
+    same prefix (so the owning pool's close() can sweep strays).
+    """
+    global _WORKER_SHARED, _WORKER_SHM
     _WORKER_SHARED = pickle.loads(shared_blob)
+    _WORKER_SHM = shm_spec is not None
+    if shm_spec is not None:
+        shm_plane.configure_export(*shm_spec)
 
 
 def _run_payload_batch(fn: TaskFn, batch: "list[Any]") -> list:
     """Execute one batch of payloads inside a worker process."""
-    return [fn(_WORKER_SHARED, payload) for payload in batch]
+    if not _WORKER_SHM:
+        return [fn(_WORKER_SHARED, payload) for payload in batch]
+    results = [
+        fn(_WORKER_SHARED, shm_plane.resolve_payload(payload))
+        for payload in batch
+    ]
+    return shm_plane.export_results(results)
 
 
 def noop_task(shared, payload):
@@ -353,6 +391,16 @@ class ProcessBackend(Backend):
     aligner's stats counters) is NOT updated by process-backend runs —
     use the serial or thread backend when per-aligner instrumentation
     (the Fig. 8 op-mix profiling) must observe the run.
+
+    Zero-copy mode (``shm``): payloads and results at or above
+    ``shm_threshold`` bytes cross the process boundary as
+    :class:`~repro.dataflow.shm.ShmRef` references into a shared-memory
+    :class:`~repro.dataflow.shm.BufferPool` instead of pickled copies —
+    workers attach each segment once and map arrays with zero copy.
+    ``shm=None`` (the default) enables it wherever POSIX shared memory
+    works; pool exhaustion falls back to pickling per payload, and the
+    pickled path remains the reference semantics (outputs are byte-
+    identical either way).
     """
 
     name = "process"
@@ -366,6 +414,10 @@ class ProcessBackend(Backend):
         start_method: "str | None" = None,
         busy_counter: "BusyCounter | None" = None,
         batch_bytes: int = DEFAULT_BATCH_BYTES,
+        shm: "bool | None" = None,
+        shm_threshold: int = shm_plane.DEFAULT_SHM_THRESHOLD,
+        shm_slab_bytes: int = shm_plane.DEFAULT_SLAB_BYTES,
+        shm_max_bytes: int = shm_plane.DEFAULT_MAX_BYTES,
     ):
         super().__init__()
         if workers is None:
@@ -376,10 +428,21 @@ class ProcessBackend(Backend):
             raise ValueError("batch_size must be positive")
         if batch_bytes <= 0:
             raise ValueError("batch_bytes must be positive")
+        if shm_threshold <= 0:
+            raise ValueError("shm_threshold must be positive")
         self.workers = workers
         self.batch_size = batch_size
         self.batch_bytes = batch_bytes
         self.start_method = resolve_start_method(start_method)
+        # None = auto: zero-copy wherever POSIX shared memory actually
+        # works (probed, not assumed); explicit True degrades to the
+        # pickled path on hosts without it rather than failing.
+        self.shm = shm_plane.shm_available() if shm is None \
+            else bool(shm) and shm_plane.shm_available()
+        self.shm_threshold = shm_threshold
+        self.shm_slab_bytes = shm_slab_bytes
+        self.shm_max_bytes = shm_max_bytes
+        self._shm_pool: "shm_plane.BufferPool | None" = None
         self._pool = None
         self._pool_lock = threading.Lock()
         self._busy_counter = busy_counter
@@ -419,11 +482,18 @@ class ProcessBackend(Backend):
         # two first-chunk calls would each fork a pool and leak one.
         with self._pool_lock:
             if self._pool is None:
+                shm_spec = None
+                if self.shm:
+                    self._shm_pool = shm_plane.BufferPool(
+                        slab_bytes=self.shm_slab_bytes,
+                        max_bytes=self.shm_max_bytes,
+                    )
+                    shm_spec = (self._shm_pool.prefix, self.shm_threshold)
                 ctx = multiprocessing.get_context(self.start_method)
                 self._pool = ctx.Pool(
                     processes=self.workers,
                     initializer=_process_worker_init,
-                    initargs=(pickle.dumps(self._shared),),
+                    initargs=(pickle.dumps(self._shared), shm_spec),
                 )
             return self._pool
 
@@ -459,16 +529,46 @@ class ProcessBackend(Backend):
         if not payloads:
             return []
         pool = self._ensure_pool()
+        shm_pool = self._shm_pool
+        # Adopt BEFORE batching: a payload that became a ~100-byte
+        # ShmRef must count as one (payload_nbytes knows ShmRefs), so
+        # large adopted payloads still group up to batch_size per IPC
+        # message instead of each closing its own batch.
+        payload_leases: "list[list] | None" = None
+        if shm_pool is not None:
+            adopted: list = []
+            payload_leases = []
+            for payload in payloads:
+                leases: list = []
+                adopted.append(shm_plane.adopt_payload(
+                    shm_pool, payload, self.shm_threshold, leases
+                ))
+                payload_leases.append(leases)
+            payloads = adopted
         batches = self._make_batches(payloads)
         batch_results: list = [None] * len(batches)
         completion = ChunkCompletion(len(batches))
 
-        def make_callbacks(index: int):
+        def make_callbacks(index: int, leases: list):
             def on_done(result: list) -> None:
-                batch_results[index] = result
-                completion.task_done()
+                # Resolution runs in the pool's result-handler thread:
+                # materialize any one-shot result segments (unlinking
+                # them) before the waiting kernel sees the batch.
+                try:
+                    if shm_pool is not None:
+                        result = shm_plane.resolve_results(result)
+                    batch_results[index] = result
+                except BaseException as exc:  # noqa: BLE001 - relayed
+                    completion.task_done(exc)
+                else:
+                    completion.task_done()
+                finally:
+                    if shm_pool is not None:
+                        shm_pool.release_all(leases)
 
             def on_error(error: BaseException) -> None:
+                if shm_pool is not None:
+                    shm_pool.release_all(leases)
                 completion.task_done(error)
 
             return on_done, on_error
@@ -476,8 +576,21 @@ class ProcessBackend(Backend):
         if self._busy_counter is not None:
             self._busy_counter.enter()
         try:
+            position = 0
             for index, batch in enumerate(batches):
-                on_done, on_error = make_callbacks(index)
+                if payload_leases is not None:
+                    # Batches partition the payload list in order, so
+                    # this batch's leases are the next len(batch) groups.
+                    batch_leases = [
+                        lease
+                        for group in payload_leases[
+                            position:position + len(batch)]
+                        for lease in group
+                    ]
+                else:
+                    batch_leases = []
+                position += len(batch)
+                on_done, on_error = make_callbacks(index, batch_leases)
                 pool.apply_async(
                     _run_payload_batch,
                     (fn, batch),
@@ -493,13 +606,17 @@ class ProcessBackend(Backend):
     def shutdown(self, wait: bool = True) -> None:
         with self._pool_lock:
             pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        if wait:
-            pool.close()
-        else:
-            pool.terminate()
-        pool.join()
+            shm_pool, self._shm_pool = self._shm_pool, None
+        if pool is not None:
+            if wait:
+                pool.close()
+            else:
+                pool.terminate()
+            pool.join()
+        if shm_pool is not None:
+            # After the workers are gone: unlink every slab and sweep
+            # one-shot result segments a dead worker left behind.
+            shm_pool.close()
 
 
 def run_in_waves(
@@ -536,6 +653,7 @@ def make_backend(
     batch_size: "int | None" = None,
     busy_counter: "BusyCounter | None" = None,
     name: str = "backend",
+    shm: "bool | None" = None,
 ) -> Backend:
     """Build a backend from a CLI-style name (or pass one through)."""
     if isinstance(kind, Backend):
@@ -554,6 +672,7 @@ def make_backend(
                         else batch_size),
             name=name,
             busy_counter=busy_counter,
+            shm=shm,
         )
     raise ValueError(
         f"unknown backend {kind!r} (choices: {', '.join(BACKEND_CHOICES)})"

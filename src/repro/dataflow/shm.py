@@ -1,0 +1,571 @@
+"""Zero-copy data plane: a shared-memory buffer pool for process backends.
+
+Persona's performance rests on buffer-managed, zero-copy dataflow: chunks
+move between stages by reference, never re-serialized, so "all cores run
+continuously doing meaningful work" (§4.3).  The pickled IPC path of the
+process backend violates that — every large column array or blob is
+copied four times (pickle, pipe write, pipe read, unpickle) per crossing.
+This module supplies the zero-copy alternative:
+
+``BufferPool``
+    A slab allocator over ``multiprocessing.shared_memory``.  Large task
+    payloads are copied ONCE into a pooled slab; workers attach each
+    segment a single time and map arrays straight out of it with zero
+    copy.  Allocations are refcounted *leases*: the producer holds the
+    lease until the worker's result returns, then the slab space
+    recycles.  Exhaustion is not an error — allocation returns ``None``
+    and the caller ships the payload pickled (never a deadlock).
+
+``ShmRef``
+    The reference that actually crosses the pipe: segment name, offset,
+    length, and (for arrays) dtype/shape.  A ~100-byte pickle regardless
+    of payload size.
+
+Result direction: workers export large return values into one-shot
+segments (``export_results``); the caller materializes and unlinks them
+on receipt (``resolve_results``).  Segment names share the pool's unique
+prefix, so ``BufferPool.close()`` can sweep stragglers left by a worker
+that died mid-flight — no ``/dev/shm`` leaks survive a backend shutdown.
+
+Availability is probed, not assumed: where POSIX shared memory is absent
+(or ``/dev/shm`` is unwritable) ``shm_available()`` is False and process
+backends silently keep the pickled path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+import threading
+from dataclasses import dataclass, is_dataclass, replace
+from typing import Any
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_SHM_THRESHOLD",
+    "DEFAULT_SLAB_BYTES",
+    "BufferPool",
+    "ShmRef",
+    "adopt_payload",
+    "configure_export",
+    "export_results",
+    "list_segments",
+    "resolve_payload",
+    "resolve_results",
+    "shm_available",
+    "sweep_segments",
+]
+
+#: Bytes per pooled slab segment.
+DEFAULT_SLAB_BYTES = 8 << 20
+
+#: Total byte budget across a pool's slabs; allocation beyond it returns
+#: None (the caller falls back to pickling).
+DEFAULT_MAX_BYTES = 256 << 20
+
+#: Payloads at or above this many bytes ship as ShmRefs; smaller ones
+#: pickle faster than a segment round-trip.
+DEFAULT_SHM_THRESHOLD = 64 << 10
+
+#: Slab allocations are aligned so array views never straddle dtype
+#: alignment requirements.
+_ALIGN = 64
+
+#: Containers deeper than this are not walked for bulk payloads (guards
+#: against pathological nesting; real task payloads are 2-3 levels).
+_MAX_WALK_DEPTH = 6
+
+#: Where POSIX shared memory segments appear as files (Linux).
+SHM_DIR = "/dev/shm"
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """A reference to bytes living in a named shared-memory segment.
+
+    ``descr`` is a numpy dtype descr (``np.lib.format.dtype_to_descr``)
+    when the payload is an array — structured dtypes included — and
+    ``None`` for raw bytes.  ``own_segment`` marks one-shot result
+    segments the consumer must unlink after reading; payload refs leave
+    the segment to the owning :class:`BufferPool`.  ``token`` identifies
+    the pool lease backing a payload ref.
+    """
+
+    segment: str
+    offset: int
+    length: int
+    descr: Any = None
+    shape: "tuple[int, ...] | None" = None
+    own_segment: bool = False
+    token: int = -1
+
+
+_AVAILABLE: "bool | None" = None
+
+
+def shm_available() -> bool:
+    """Probe (once) whether POSIX shared memory actually works here."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shared_memory is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except Exception:
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def list_segments(prefix: str = "") -> "list[str]":
+    """Names of live shared-memory segments (Linux ``/dev/shm`` listing).
+
+    The hygiene primitive the leak tests assert with; returns ``[]``
+    where segments are not exposed as files.
+    """
+    try:
+        names = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith(prefix)) if prefix \
+        else sorted(names)
+
+
+def sweep_segments(prefix: str) -> int:
+    """Unlink every live segment whose name starts with ``prefix``.
+
+    Covers one-shot result segments stranded by a worker that died after
+    writing but before its result reached the caller.  Returns the
+    number of segments removed.  A no-op (0) off Linux — there the
+    resource tracker remains the last line of defense.
+    """
+    if not prefix:
+        raise ValueError("refusing to sweep without a prefix")
+    removed = 0
+    for name in list_segments(prefix):
+        try:
+            seg = _shared_memory.SharedMemory(name=name)
+        except OSError:
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - raced another cleaner
+            pass
+    return removed
+
+
+class _Slab:
+    """One pooled segment: bump allocation + live-lease count.
+
+    Leases are short-lived (one batch round-trip), so a region/arena
+    reset — rewind the bump pointer when the last lease returns — beats
+    a free list: no fragmentation bookkeeping, O(1) everything.
+    """
+
+    __slots__ = ("shm", "capacity", "used", "live")
+
+    def __init__(self, shm, capacity: int):
+        self.shm = shm
+        self.capacity = capacity
+        self.used = 0
+        self.live = 0
+
+
+class BufferPool:
+    """Slab allocator over named shared-memory segments.
+
+    Producer-owned: only the creating process allocates; consumers
+    attach segments read-only by name.  All methods are thread-safe
+    (kernels lease from worker threads concurrently).
+    """
+
+    def __init__(
+        self,
+        slab_bytes: int = DEFAULT_SLAB_BYTES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        prefix: "str | None" = None,
+    ):
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        if slab_bytes <= 0 or max_bytes <= 0:
+            raise ValueError("slab_bytes and max_bytes must be positive")
+        self.slab_bytes = slab_bytes
+        self.max_bytes = max_bytes
+        self.prefix = prefix or (
+            f"psna-{os.getpid()}-{secrets.token_hex(4)}"
+        )
+        self._slabs: "list[_Slab]" = []
+        self._leases: "dict[int, _Slab]" = {}
+        self._tokens = itertools.count()
+        self._segments = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------ metrics
+
+    @property
+    def slab_count(self) -> int:
+        with self._lock:
+            return len(self._slabs)
+
+    @property
+    def live_leases(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    @property
+    def allocated_bytes(self) -> int:
+        with self._lock:
+            return sum(s.capacity for s in self._slabs)
+
+    # --------------------------------------------------------- allocation
+
+    def _alloc(self, nbytes: int) -> "tuple[_Slab, int, int] | None":
+        """Reserve ``nbytes`` in some slab; ``(slab, offset, token)`` or
+        None on exhaustion.  Never blocks, never raises for capacity."""
+        if nbytes <= 0:
+            return None
+        with self._lock:
+            if self._closed:
+                return None
+            slab = self._find_space(nbytes)
+            if slab is None:
+                # Reclaim fully-idle slabs, then retry once.
+                for s in self._slabs:
+                    if s.live == 0:
+                        s.used = 0
+                slab = self._find_space(nbytes)
+            if slab is None:
+                slab = self._grow(nbytes)
+            if slab is None:
+                return None
+            offset = slab.used
+            slab.used = -(-(offset + nbytes) // _ALIGN) * _ALIGN
+            slab.live += 1
+            token = next(self._tokens)
+            self._leases[token] = slab
+            return slab, offset, token
+
+    def _find_space(self, nbytes: int) -> "_Slab | None":
+        for slab in self._slabs:
+            if slab.capacity - slab.used >= nbytes:
+                return slab
+        return None
+
+    def _grow(self, nbytes: int) -> "_Slab | None":
+        capacity = max(self.slab_bytes, nbytes)
+        total = sum(s.capacity for s in self._slabs)
+        if total + capacity > self.max_bytes:
+            return None
+        try:
+            shm = _shared_memory.SharedMemory(
+                create=True,
+                size=capacity,
+                name=f"{self.prefix}-s{next(self._segments)}",
+            )
+        except OSError:
+            return None
+        slab = _Slab(shm, capacity)
+        self._slabs.append(slab)
+        return slab
+
+    def put_bytes(self, data) -> "ShmRef | None":
+        """Copy a bytes-like payload into a slab; None on exhaustion."""
+        n = len(data)
+        got = self._alloc(n)
+        if got is None:
+            return None
+        slab, offset, token = got
+        slab.shm.buf[offset:offset + n] = bytes(data) \
+            if isinstance(data, memoryview) else data
+        return ShmRef(segment=slab.shm.name, offset=offset, length=n,
+                      token=token)
+
+    def put_array(self, arr: np.ndarray) -> "ShmRef | None":
+        """Copy a contiguous array into a slab; None when the array is
+        non-contiguous, holds objects, or the pool is exhausted."""
+        if arr.dtype.hasobject or not arr.flags.c_contiguous:
+            return None
+        got = self._alloc(arr.nbytes)
+        if got is None:
+            return None
+        slab, offset, token = got
+        dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=slab.shm.buf,
+                         offset=offset)
+        np.copyto(dst, arr)
+        return ShmRef(
+            segment=slab.shm.name,
+            offset=offset,
+            length=arr.nbytes,
+            descr=np.lib.format.dtype_to_descr(arr.dtype),
+            shape=tuple(arr.shape),
+            token=token,
+        )
+
+    # ------------------------------------------------------------- leases
+
+    def release(self, ref: ShmRef) -> None:
+        """Return one lease; the last lease out rewinds its slab."""
+        with self._lock:
+            slab = self._leases.pop(ref.token, None)
+            if slab is None:
+                return
+            slab.live -= 1
+            if slab.live == 0:
+                slab.used = 0
+
+    def release_all(self, refs) -> None:
+        for ref in refs:
+            self.release(ref)
+
+    # ---------------------------------------------------------- lifecycle
+
+    def close(self) -> int:
+        """Unlink every slab and sweep stale same-prefix segments
+        (one-shot result segments a dead worker left behind).  Returns
+        the number of swept stragglers.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return 0
+            self._closed = True
+            slabs, self._slabs = self._slabs, []
+            self._leases.clear()
+        for slab in slabs:
+            try:
+                slab.shm.close()
+                slab.shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        return sweep_segments(self.prefix)
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BufferPool {self.prefix!r} slabs={len(self._slabs)} "
+                f"leases={len(self._leases)}>")
+
+
+# ---------------------------------------------------------------------------
+# Consumer-side attachment (worker processes): attach once per segment.
+
+_ATTACH_LOCK = threading.Lock()
+_ATTACHED: "dict[str, Any]" = {}
+
+
+def _attach(name: str):
+    """Attach a pooled segment, cached so each worker maps it once."""
+    with _ATTACH_LOCK:
+        seg = _ATTACHED.get(name)
+        if seg is None:
+            seg = _shared_memory.SharedMemory(name=name)
+            _ATTACHED[name] = seg
+        return seg
+
+
+def _ref_view(ref: ShmRef, buf) -> Any:
+    """Materialize one ShmRef from an attached segment buffer.
+
+    Arrays come back as zero-copy views over the mapping; raw payloads
+    materialize as ``bytes`` (kernels concatenate and slice them as
+    bytes, which memoryviews cannot interoperate with).
+    """
+    if ref.descr is None:
+        return bytes(buf[ref.offset:ref.offset + ref.length])
+    return np.ndarray(
+        ref.shape, dtype=np.lib.format.descr_to_dtype(ref.descr),
+        buffer=buf, offset=ref.offset,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Payload walking: swap large bulk carriers for ShmRefs (and back).
+# Containers rebuild only when a child actually changed, so the common
+# small-payload case allocates nothing.
+
+
+def _walk(obj: Any, swap, depth: int = 0) -> Any:
+    if isinstance(obj, (bytes, bytearray, np.ndarray, ShmRef)):
+        return swap(obj)
+    if depth >= _MAX_WALK_DEPTH:
+        return obj
+    if isinstance(obj, tuple):
+        items = [_walk(item, swap, depth + 1) for item in obj]
+        if all(new is old for new, old in zip(items, obj)):
+            return obj
+        if hasattr(obj, "_fields"):  # namedtuple
+            return type(obj)(*items)
+        return tuple(items)
+    if isinstance(obj, list):
+        items = [_walk(item, swap, depth + 1) for item in obj]
+        if all(new is old for new, old in zip(items, obj)):
+            return obj
+        return items
+    if isinstance(obj, dict):
+        changed = False
+        out = {}
+        for key, value in obj.items():
+            new = _walk(value, swap, depth + 1)
+            changed = changed or new is not value
+            out[key] = new
+        return out if changed else obj
+    if is_dataclass(obj) and getattr(type(obj), "__shm_payload__", False):
+        updates = {}
+        for name in obj.__dataclass_fields__:
+            value = getattr(obj, name)
+            new = _walk(value, swap, depth + 1)
+            if new is not value:
+                updates[name] = new
+        return replace(obj, **updates) if updates else obj
+    return obj
+
+
+def adopt_payload(pool: BufferPool, payload: Any, threshold: int,
+                  leases: list) -> Any:
+    """Producer side: move large bytes/arrays into the pool.
+
+    Swapped items become :class:`ShmRef`\\ s whose leases are appended to
+    ``leases`` (release them when the consumer's result returns).  Items
+    the pool cannot take — exhaustion, non-contiguous arrays — stay in
+    place and travel pickled: the fallback is per-item, never all-or-
+    nothing.
+    """
+
+    def swap(obj):
+        if isinstance(obj, ShmRef):
+            return obj
+        if isinstance(obj, (bytes, bytearray)):
+            if len(obj) < threshold:
+                return obj
+            ref = pool.put_bytes(obj)
+        else:
+            if obj.nbytes < threshold:
+                return obj
+            ref = pool.put_array(obj)
+        if ref is None:
+            return obj
+        leases.append(ref)
+        return ref
+
+    return _walk(payload, swap)
+
+
+def resolve_payload(payload: Any) -> Any:
+    """Consumer side: materialize every ShmRef in a task payload.
+
+    Pooled array refs resolve to zero-copy views of the attached
+    segment (valid until the producer releases the lease, i.e. after
+    this task's result returns); one-shot refs are consumed.
+    """
+
+    def swap(obj):
+        if not isinstance(obj, ShmRef):
+            return obj
+        if obj.own_segment:
+            return _take_own_segment(obj)
+        return _ref_view(obj, _attach(obj.segment).buf)
+
+    return _walk(payload, swap)
+
+
+# ---------------------------------------------------------------------------
+# Result direction: workers export large return values into one-shot
+# segments; the caller materializes and unlinks them.
+
+_EXPORT = {"prefix": None, "threshold": DEFAULT_SHM_THRESHOLD}
+_EXPORT_COUNTER = itertools.count()
+
+
+def configure_export(prefix: "str | None", threshold: int) -> None:
+    """Arm (or disarm, prefix None) result export in this process."""
+    _EXPORT["prefix"] = prefix
+    _EXPORT["threshold"] = threshold
+
+
+def _export_segment(data: bytes, descr, shape) -> "ShmRef | None":
+    name = (f"{_EXPORT['prefix']}-r{os.getpid()}"
+            f"-{next(_EXPORT_COUNTER)}")
+    try:
+        seg = _shared_memory.SharedMemory(create=True, size=max(1, len(data)),
+                                          name=name)
+    except OSError:
+        return None  # no shm space: the value travels pickled
+    seg.buf[:len(data)] = data
+    seg.close()
+    return ShmRef(segment=name, offset=0, length=len(data), descr=descr,
+                  shape=shape, own_segment=True)
+
+
+def export_results(results: Any) -> Any:
+    """Worker side: swap large bytes/arrays in results for one-shot
+    segment refs.  No-op unless :func:`configure_export` armed it."""
+    if _EXPORT["prefix"] is None:
+        return results
+    threshold = _EXPORT["threshold"]
+
+    def swap(obj):
+        if isinstance(obj, ShmRef):
+            return obj
+        if isinstance(obj, (bytes, bytearray)):
+            if len(obj) < threshold:
+                return obj
+            ref = _export_segment(bytes(obj), None, None)
+        else:
+            if obj.nbytes < threshold or obj.dtype.hasobject:
+                return obj
+            arr = np.ascontiguousarray(obj)
+            ref = _export_segment(
+                arr.tobytes(),
+                np.lib.format.dtype_to_descr(arr.dtype),
+                tuple(arr.shape),
+            )
+        return obj if ref is None else ref
+
+    return _walk(results, swap)
+
+
+def _take_own_segment(ref: ShmRef) -> Any:
+    """Materialize and destroy a one-shot result segment."""
+    seg = _shared_memory.SharedMemory(name=ref.segment)
+    try:
+        if ref.descr is None:
+            value = bytes(seg.buf[ref.offset:ref.offset + ref.length])
+        else:
+            value = np.ndarray(
+                ref.shape, dtype=np.lib.format.descr_to_dtype(ref.descr),
+                buffer=seg.buf, offset=ref.offset,
+            ).copy()
+    finally:
+        seg.close()
+    try:
+        seg.unlink()
+    except OSError:  # pragma: no cover - raced the sweep
+        pass
+    return value
+
+
+def resolve_results(results: Any) -> Any:
+    """Caller side: materialize one-shot result refs (unlinking each)."""
+
+    def swap(obj):
+        if isinstance(obj, ShmRef) and obj.own_segment:
+            return _take_own_segment(obj)
+        return obj
+
+    return _walk(results, swap)

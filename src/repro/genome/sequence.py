@@ -47,12 +47,12 @@ def reverse_complement(seq: bytes) -> bytes:
     return seq.translate(_COMPLEMENT_TABLE)[::-1]
 
 
-def encode_bases(seq: bytes) -> np.ndarray:
-    """Encode an ASCII sequence into a ``uint8`` array of 3-bit codes.
+def encode_bases_array(arr: np.ndarray) -> np.ndarray:
+    """Encode a ``uint8`` array of ASCII bases into 3-bit codes.
 
-    Raises :class:`InvalidBaseError` on any byte outside the alphabet.
+    The array form of :func:`encode_bases` — the columnar feed encodes
+    whole flat columns without materializing a bytes object first.
     """
-    arr = np.frombuffer(seq, dtype=np.uint8)
     codes = _ENCODE_LUT[arr]
     if codes.max(initial=0) == 255:
         bad = arr[codes == 255][0]
@@ -60,11 +60,24 @@ def encode_bases(seq: bytes) -> np.ndarray:
     return codes
 
 
-def decode_bases(codes: np.ndarray) -> bytes:
-    """Decode a ``uint8`` array of 3-bit codes back into ASCII bases."""
+def encode_bases(seq: bytes) -> np.ndarray:
+    """Encode an ASCII sequence into a ``uint8`` array of 3-bit codes.
+
+    Raises :class:`InvalidBaseError` on any byte outside the alphabet.
+    """
+    return encode_bases_array(np.frombuffer(seq, dtype=np.uint8))
+
+
+def decode_bases_array(codes: np.ndarray) -> np.ndarray:
+    """Decode 3-bit codes into a ``uint8`` array of ASCII bases."""
     if codes.size and codes.max(initial=0) > 4:
         raise InvalidBaseError(f"invalid base code {int(codes.max())}")
-    return _DECODE_LUT[codes].tobytes()
+    return _DECODE_LUT[codes]
+
+
+def decode_bases(codes: np.ndarray) -> bytes:
+    """Decode a ``uint8`` array of 3-bit codes back into ASCII bases."""
+    return decode_bases_array(codes).tobytes()
 
 
 def is_valid_sequence(seq: bytes) -> bool:

@@ -356,14 +356,17 @@ class TestBackendEquivalence:
 class TestPartitionedMerge:
     def test_partitioned_merge_uses_backend_kernels(self, aligned_dataset):
         """>= 2 partition kernels actually dispatch through the backend."""
-        from repro.core.sort import merge_partition_task
+        from repro.core.sort import (
+            merge_partition_blobs_task,
+            merge_partition_task,
+        )
         from repro.dataflow.backends import SerialBackend
 
         calls: list = []
 
         class CountingBackend(SerialBackend):
             def run_chunk(self, fn, payloads, shared=None, timeout=300.0):
-                if fn is merge_partition_task:
+                if fn in (merge_partition_task, merge_partition_blobs_task):
                     calls.append(len(payloads))
                 return super().run_chunk(fn, payloads, shared=shared,
                                          timeout=timeout)
@@ -373,11 +376,16 @@ class TestPartitionedMerge:
                      SortConfig(chunks_per_superchunk=3, vectorized=False))
         backend = CountingBackend()
         part_store = MemoryStore()
+        scratch = MemoryStore()
         sort_dataset(aligned_dataset, part_store,
                      SortConfig(chunks_per_superchunk=3, merge_partitions=4),
-                     backend=backend)
+                     scratch_store=scratch, backend=backend)
         assert calls and calls[0] >= 2, \
             "partitioned merge did not dispatch >= 2 kernels"
+        # Spill locality: phase 1 spilled per-partition sub-chunks, not
+        # whole-run superchunks.
+        assert any("-part" in key for key in scratch.keys()), \
+            "runs were not spilled as per-partition sub-chunks"
         assert _store_blobs(part_store) == _store_blobs(single_store)
 
     def test_single_contig_still_partitions(self):

@@ -209,3 +209,80 @@ class TestQueueAutotuning:
         )
         assert outcome.report["queues"]["varcall.raw_chunks"]["capacity"] \
             == 7
+
+
+class TestTuneSidecar:
+    """Persisted autotune suggestions: probe once, reuse forever."""
+
+    def test_sidecar_roundtrip(self, tmp_path):
+        from repro.core.pipelines import (
+            load_tuned_capacities,
+            save_tuned_capacities,
+        )
+
+        path = tmp_path / ".persona-tune.json"
+        assert load_tuned_capacities(path, "k") is None  # missing file
+        save_tuned_capacities(path, "k", {"align.parsed": 8})
+        save_tuned_capacities(path, "other", {"sort.runs": 3})
+        assert load_tuned_capacities(path, "k") == {"align.parsed": 8}
+        assert load_tuned_capacities(path, "other") == {"sort.runs": 3}
+        assert load_tuned_capacities(path, "absent") is None
+        path.write_text("{not json")
+        assert load_tuned_capacities(path, "k") is None  # never raises
+
+    def test_repeat_run_skips_probe_and_matches(
+        self, fresh_dataset, snap_aligner, reference, tmp_path, monkeypatch
+    ):
+        tune_path = tmp_path / ".persona-tune.json"
+        kwargs = dict(
+            aligner=snap_aligner, reference=reference,
+            sort_config=SORT_CONFIG, backend="serial",
+            autotune_queues=True, tune_path=tune_path,
+        )
+        first = run_pipeline(
+            fresh_dataset(), ("align", "sort", "dupmark", "varcall"),
+            **kwargs,
+        )
+        assert first.report["autotune_cache"] == "miss"
+        assert tune_path.exists()
+
+        # The second run must consume the sidecar, not probe again.
+        import repro.core.pipelines as pipelines_mod
+
+        def no_probe(*args, **kw):  # pragma: no cover - failure path
+            raise AssertionError("probe ran despite a cached sidecar")
+
+        monkeypatch.setattr(pipelines_mod, "suggest_queue_capacities",
+                            no_probe)
+        second = run_pipeline(
+            fresh_dataset(), ("align", "sort", "dupmark", "varcall"),
+            **kwargs,
+        )
+        assert second.report["autotune_cache"] == "hit"
+        assert second.report["autotuned_queues"] == \
+            first.report["autotuned_queues"]
+        for column in first.sorted_dataset.columns:
+            assert (second.sorted_dataset.read_column(column)
+                    == first.sorted_dataset.read_column(column)), column
+        assert vcf_bytes(second.variants, reference) == \
+            vcf_bytes(first.variants, reference)
+
+    def test_unwritable_sidecar_never_fails_the_run(self, tmp_path):
+        from repro.core.pipelines import save_tuned_capacities
+
+        target = tmp_path / "missing-dir" / "tune.json"
+        assert save_tuned_capacities(target, "k", {"q": 2}) is False
+
+    def test_key_mismatch_reprobes(self, tmp_path):
+        from repro.core.pipelines import (
+            _tune_key,
+            load_tuned_capacities,
+            save_tuned_capacities,
+        )
+
+        serial_key = _tune_key(("align", "sort"), "serial", 2)
+        thread_key = _tune_key(("align", "sort"), "thread", 2)
+        assert serial_key != thread_key
+        path = tmp_path / "tune.json"
+        save_tuned_capacities(path, serial_key, {"q": 4})
+        assert load_tuned_capacities(path, thread_key) is None
