@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Compare BENCH_*.json results against committed baselines.
+
+CI runs this after every benchmark job: each freshly written
+``BENCH_<name>.json`` is diffed against ``benchmarks/baselines/<same
+name>.json`` and any metric that regressed by more than the threshold
+(20% by default) is surfaced as a GitHub ``::warning::`` annotation —
+the job stays green, because shared CI runners are far too noisy to
+gate merges on wall-clock numbers.  ``--strict`` turns regressions into
+a non-zero exit for local use; ``--bless`` rewrites the baselines from
+the current results.
+
+Two JSON shapes are understood:
+
+* the repo's own ``Report`` payload — ``{"benchmark": ..., "metrics":
+  {name: number, ...}}``; metric direction is inferred from the name
+  (``*_seconds``/``*_bytes`` are lower-better, ``*_per_second``/
+  ``*speedup*`` higher-better, anything else is ignored),
+* pytest-benchmark exports — ``{"benchmarks": [{"name": ...,
+  "stats": {"mean": seconds}}]}``; mean runtime is lower-better.
+
+Missing baselines are reported and skipped, never fatal: a new
+benchmark lands green and gets blessed in a follow-up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Metric-name fragments that decide comparison direction.
+LOWER_IS_BETTER = ("seconds", "bytes", "latency")
+HIGHER_IS_BETTER = ("per_second", "speedup", "throughput")
+
+
+def _metric_direction(name: str) -> "int | None":
+    """-1 if lower is better, +1 if higher is better, None if unknown."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in HIGHER_IS_BETTER):
+        return 1
+    if any(tag in lowered for tag in LOWER_IS_BETTER):
+        return -1
+    return None
+
+
+def extract_metrics(doc: dict) -> "dict[str, tuple[float, int]]":
+    """Flatten either JSON shape into ``{metric: (value, direction)}``."""
+    out: "dict[str, tuple[float, int]]" = {}
+    if "benchmarks" in doc:  # pytest-benchmark export
+        for bench in doc.get("benchmarks") or []:
+            name = bench.get("name") or bench.get("fullname") or "?"
+            mean = (bench.get("stats") or {}).get("mean")
+            if isinstance(mean, (int, float)):
+                out[f"{name}.mean_seconds"] = (float(mean), -1)
+        return out
+    for name, value in (doc.get("metrics") or {}).items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        direction = _metric_direction(name)
+        if direction is not None:
+            out[name] = (float(value), direction)
+    return out
+
+
+def compare_file(
+    current_path: Path, baseline_dir: Path, threshold: float
+) -> "tuple[list[str], list[str]]":
+    """Return (regression messages, info messages) for one result file."""
+    baseline_path = baseline_dir / current_path.name
+    if not baseline_path.is_file():
+        return [], [f"{current_path.name}: no baseline (skipped; "
+                    f"run --bless to record one)"]
+    current = extract_metrics(json.loads(current_path.read_text()))
+    baseline = extract_metrics(json.loads(baseline_path.read_text()))
+    regressions: list[str] = []
+    infos: list[str] = []
+    for name, (base_value, direction) in sorted(baseline.items()):
+        if name not in current or base_value == 0:
+            continue
+        value = current[name][0]
+        # Positive change = worse, regardless of metric direction.
+        change = (value - base_value) / abs(base_value) * -direction
+        if change > threshold:
+            regressions.append(
+                f"{current_path.name}: {name} regressed "
+                f"{change * 100:.0f}% ({base_value:.4g} -> {value:.4g})"
+            )
+        else:
+            trend = (f"{change * 100:.0f}% worse, within threshold"
+                     if change > 0 else f"{abs(change) * 100:.0f}% better")
+            infos.append(
+                f"{current_path.name}: {name} {base_value:.4g} -> "
+                f"{value:.4g} ({trend})"
+            )
+    return regressions, infos
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results", nargs="*", type=Path,
+        help="BENCH_*.json files to compare (default: ./BENCH_*.json)",
+    )
+    parser.add_argument("--baseline-dir", type=Path, default=BASELINE_DIR)
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative regression that triggers a warning (default: 0.20)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on regressions instead of only warning",
+    )
+    parser.add_argument(
+        "--bless", action="store_true",
+        help="copy the given results over the committed baselines",
+    )
+    args = parser.parse_args(argv)
+
+    results = args.results or sorted(Path.cwd().glob("BENCH_*.json"))
+    if not results:
+        print("no BENCH_*.json results to compare")
+        return 0
+
+    if args.bless:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in results:
+            shutil.copyfile(path, args.baseline_dir / path.name)
+            print(f"blessed {path.name} -> {args.baseline_dir}")
+        return 0
+
+    all_regressions: list[str] = []
+    for path in results:
+        regressions, infos = compare_file(
+            path, args.baseline_dir, args.threshold
+        )
+        for line in infos:
+            print(line)
+        all_regressions.extend(regressions)
+
+    for line in all_regressions:
+        # GitHub Actions annotation: visible on the run summary and the
+        # PR checks tab without failing the job.
+        print(f"::warning title=benchmark regression::{line}")
+    if all_regressions:
+        print(f"{len(all_regressions)} metric(s) regressed more than "
+              f"{args.threshold * 100:.0f}% (warning only)")
+        return 1 if args.strict else 0
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ Subcommands::
     persona varcall       <dataset-dir> --reference ref.fasta <out.vcf>
     persona pipeline      <dataset-dir> <out-dir> --reference ref.fasta
                           [--stages align,sort,dupmark,varcall] [--vcf out.vcf]
+                          [--ledger-dir runs/ [--resume]]
+    persona runs          list|show|verify <ledger-dir> [run-id]
     persona stats         <dataset-dir>
 """
 
@@ -288,6 +290,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         # suggestions and skip the probe entirely.
         args.tune_cache = str(Path(args.dataset_dir) / TUNE_SIDECAR_NAME)
     try:
+        ledger = _open_ledger(
+            args,
+            dataset_dir=args.dataset_dir,
+            output_dir=args.output_dir,
+            filter_dir=args.filter_dir,
+        )
         outcome = run_pipeline(
             dataset,
             stages,
@@ -307,6 +315,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                               if args.min_mapq is not None else None),
             output_store=output_store,
             filter_store=filter_store,
+            scratch_store=(DirectoryStore(args.scratch_dir)
+                           if args.scratch_dir else None),
             backend=args.backend,
             workers=args.workers,
             batch_size=args.batch_size,
@@ -315,6 +325,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             autotune_queues=args.autotune_queues,
             tune_path=(args.tune_cache if args.autotune_queues else None),
             shm=args.shm,
+            ledger=ledger,
         )
     except ValueError as exc:
         # Stage-composition errors (order, duplicates, missing results
@@ -363,6 +374,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                   f"(pass --vcf to write them)")
     if outcome.sorted_dataset is not None:
         print(f"  sorted dataset -> {args.output_dir}")
+    if ledger is not None:
+        _print_ledger_summary(ledger)
+        ledger.close()
     return 0
 
 
@@ -423,6 +437,23 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
         print("--output-dir is required when the plan places a sort stage",
               file=sys.stderr)
         return 2
+    try:
+        ledger = _open_ledger(
+            args,
+            dataset_dir=args.dataset_dir,
+            output_dir=args.output_dir,
+            filter_dir=args.filter_dir,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    scratch_factory = None
+    if args.scratch_dir:
+        scratch_root = Path(args.scratch_dir)
+
+        def scratch_factory(server: str):
+            return DirectoryStore(scratch_root / server)
+
     outcome = run_placed_pipeline(
         dataset,
         plan,
@@ -435,6 +466,7 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
                       if args.output_dir else None),
         filter_store=(DirectoryStore(args.filter_dir)
                       if args.filter_dir else None),
+        scratch_store_factory=scratch_factory,
         backend=args.backend,
         workers=args.workers,
         batch_size=args.batch_size,
@@ -445,6 +477,7 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
         autotune_edges=args.autotune_edges,
         session_timeout=args.timeout,
         vectorized=args.kernels == "vectorized",
+        ledger=ledger,
     )
     if "align" in stages:
         dataset.save_manifest(args.dataset_dir)
@@ -486,6 +519,9 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
               f"(pass --vcf to write them)")
     if outcome.sorted_dataset is not None:
         print(f"  sorted dataset -> {args.output_dir}")
+    if ledger is not None:
+        _print_ledger_summary(ledger)
+        ledger.close()
     return 0
 
 
@@ -658,6 +694,135 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledger_state_for(args: argparse.Namespace):
+    """Replay the run the `runs` subcommand points at (latest if no id)."""
+    from repro.core.ledger import RunLedger
+
+    path = RunLedger.run_path(args.ledger_dir, args.run_id)
+    return RunLedger.replay(path), path
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.core.ledger import LedgerError, list_runs
+
+    try:
+        runs = list_runs(args.ledger_dir)
+    except LedgerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not runs:
+        print(f"no run journals in {args.ledger_dir}")
+        return 0
+    print(f"{'RUN':<28} {'STATUS':<12} {'ATT':>3} {'CHUNKS':>6}  STAGES")
+    for state in runs:
+        created = (
+            time.strftime("%Y-%m-%d %H:%M:%S",
+                          time.localtime(state.created_at))
+            if state.created_at else "?"
+        )
+        stages = ",".join(state.meta.get("stages") or []) or "-"
+        chunks = sum(state.stage_counts.values())
+        print(f"{state.run_id:<28} {state.status:<12} {state.attempts:>3} "
+              f"{chunks:>6}  {stages}  ({created})")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.core.ledger import LedgerError
+
+    try:
+        state, path = _ledger_state_for(args)
+    except LedgerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"run:      {state.run_id}")
+    print(f"journal:  {path}")
+    print(f"status:   {state.status}")
+    print(f"attempts: {state.attempts}")
+    if state.created_at:
+        print(f"created:  "
+              f"{time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(state.created_at))}")
+    if state.meta:
+        print("config:")
+        for key in sorted(state.meta):
+            print(f"  {key:<20} {state.meta[key]}")
+    if state.stage_counts:
+        print("progress (journaled chunk writes):")
+        for stage in sorted(state.stage_counts):
+            print(f"  {stage:<10} {state.stage_counts[stage]:>5} chunks")
+    if state.spills:
+        print(f"sort spills journaled: {len(state.spills)}")
+    if state.edge_acks:
+        print("broker edge acks:")
+        for edge in sorted(state.edge_acks):
+            print(f"  {edge:<16} {len(state.edge_acks[edge]):>5} keys")
+    done = state.complete
+    if done is not None:
+        print("completion:")
+        if "wall_seconds" in done:
+            print(f"  wall        {done['wall_seconds']:.2f}s")
+        for field_name in ("chunks", "records"):
+            if field_name in done:
+                print(f"  {field_name:<11} {done[field_name]}")
+        if done.get("skipped"):
+            parts = ", ".join(f"{k}={v}"
+                              for k, v in sorted(done["skipped"].items()))
+            print(f"  skipped     {parts}")
+        for stage, timing in sorted((done.get("stages") or {}).items()):
+            busy = timing.get("busy_seconds", 0.0)
+            wait = timing.get("wait_seconds", 0.0)
+            print(f"  {stage:<11} busy {busy:7.2f}s  wait {wait:7.2f}s")
+        for server, info in sorted((done.get("servers") or {}).items()):
+            marker = " [KILLED]" if info.get("killed") else ""
+            print(f"  {server:<11} {info.get('chunks', 0):>4} chunks  "
+                  f"{info.get('records', 0):>7} records{marker}")
+    return 0
+
+
+#: `runs verify` resolves each journaled store label to the directory the
+#: run was started against (recorded in the run_config meta).
+_STORE_META_KEYS = {
+    "dataset": "dataset_dir",
+    "output": "output_dir",
+    "filter": "filter_dir",
+}
+
+
+def _cmd_runs_verify(args: argparse.Namespace) -> int:
+    from repro.core.ledger import LedgerError, blob_digest
+
+    try:
+        state, path = _ledger_state_for(args)
+    except LedgerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    checked = 0
+    problems: "list[str]" = []
+    skipped_labels: "set[str]" = set()
+    for (label, key), digest in sorted(state.writes.items()):
+        root = state.meta.get(_STORE_META_KEYS.get(label, ""))
+        if root is None:
+            skipped_labels.add(label or "?")
+            continue
+        target = Path(root) / key
+        checked += 1
+        if not target.is_file():
+            problems.append(f"missing   {label}:{key}")
+        elif blob_digest(target.read_bytes()) != digest:
+            problems.append(f"tampered  {label}:{key}")
+    print(f"run {state.run_id}: verified {checked} journaled output "
+          f"chunks against their digests")
+    for label in sorted(skipped_labels):
+        print(f"  (store {label!r} has no recorded directory; skipped)")
+    if problems:
+        for problem in problems:
+            print(f"  {problem}")
+        print(f"VERIFY FAILED: {len(problems)} chunk(s) missing or modified")
+        return 1
+    print("  all digests match")
+    return 0
+
+
 def _add_backend_options(
     p: argparse.ArgumentParser,
     default: str = "thread",
@@ -718,6 +883,68 @@ def _add_kernel_options(
             help="partitioned sort-merge kernels for phase 2 of the "
                  "external sort (default: one per backend worker)",
         )
+
+
+def _add_ledger_options(p: argparse.ArgumentParser) -> None:
+    """Attach the durable-run flags to a pipeline-running subcommand."""
+    p.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="journal this run's progress and provenance to an "
+             "append-only ledger under DIR (enables crash-resume and "
+             "the 'persona runs' subcommands)",
+    )
+    p.add_argument(
+        "--run-id",
+        default=None,
+        help="explicit run id for the ledger (default: a fresh "
+             "timestamped id; with --resume: the latest run)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from its ledger: work whose "
+             "journaled digests still match what is on disk is skipped, "
+             "and the output is byte-identical to an uninterrupted run",
+    )
+    p.add_argument(
+        "--scratch-dir",
+        default=None,
+        metavar="DIR",
+        help="durable scratch directory for external-sort spills "
+             "(default: in-memory; required for spill re-adoption "
+             "across a crash-resume)",
+    )
+
+
+def _open_ledger(args: argparse.Namespace, **meta_dirs) -> "object | None":
+    """Create or resume the run ledger the flags ask for (None if off)."""
+    from repro.core.ledger import RunLedger
+
+    if args.resume and not args.ledger_dir:
+        raise SystemExit("--resume requires --ledger-dir")
+    if not args.ledger_dir:
+        return None
+    if args.resume:
+        return RunLedger.resume(args.ledger_dir, run_id=args.run_id)
+    meta = {
+        key: str(Path(value).resolve())
+        for key, value in meta_dirs.items() if value
+    }
+    return RunLedger.create(args.ledger_dir, run_id=args.run_id, meta=meta)
+
+
+def _print_ledger_summary(ledger, report: "dict | None" = None) -> None:
+    skips = dict(ledger.skips)
+    line = f"  run ledger: {ledger.run_id} -> {ledger.path}"
+    if ledger.resuming:
+        done = sum(skips.values())
+        line += f" (resumed; {done} journaled steps skipped)"
+    print(line)
+    if skips:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(skips.items()))
+        print(f"  resume skips: {parts}")
 
 
 def _add_codec_level_option(p: argparse.ArgumentParser, what: str) -> None:
@@ -857,6 +1084,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_options(p, with_workers=True)
     _add_kernel_options(p, with_merge_partitions=True)
     _add_codec_level_option(p, "the sorted output chunks")
+    _add_ledger_options(p)
     p.set_defaults(fn=_cmd_pipeline)
 
     p = sub.add_parser(
@@ -914,6 +1142,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "per-edge capacities suggested from its broker "
                          "depth stats")
     _add_cluster_shared(cp)
+    _add_ledger_options(cp)
     cp.set_defaults(fn=_cmd_cluster_run)
 
     cp = cluster_sub.add_parser(
@@ -947,6 +1176,35 @@ def build_parser() -> argparse.ArgumentParser:
                          "workers)")
     _add_cluster_shared(cp)
     cp.set_defaults(fn=_cmd_cluster_worker)
+
+    p = sub.add_parser(
+        "runs",
+        help="inspect and verify durable run ledgers (see --ledger-dir)",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    rp = runs_sub.add_parser("list", help="list every run journaled in DIR")
+    rp.add_argument("ledger_dir", metavar="DIR")
+    rp.set_defaults(fn=_cmd_runs_list)
+
+    rp = runs_sub.add_parser(
+        "show",
+        help="show one run's provenance: config, progress, timings",
+    )
+    rp.add_argument("ledger_dir", metavar="DIR")
+    rp.add_argument("run_id", nargs="?", default=None,
+                    help="run id (default: the most recent run)")
+    rp.set_defaults(fn=_cmd_runs_show)
+
+    rp = runs_sub.add_parser(
+        "verify",
+        help="re-digest every journaled output chunk against the ledger; "
+             "exits 1 if any is missing or modified",
+    )
+    rp.add_argument("ledger_dir", metavar="DIR")
+    rp.add_argument("run_id", nargs="?", default=None,
+                    help="run id (default: the most recent run)")
+    rp.set_defaults(fn=_cmd_runs_verify)
 
     p = sub.add_parser("stats", help="show dataset statistics")
     p.add_argument("dataset_dir")

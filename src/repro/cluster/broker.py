@@ -75,6 +75,10 @@ class _Edge:
     total_published: int = 0
     total_redelivered: int = 0
     max_depth: int = 0
+    #: Keys completed in a previous attempt (durable-run resume): a
+    #: publish of one of these succeeds without enqueuing anything.
+    preacked: "set[str]" = field(default_factory=set)
+    total_preacked: int = 0
 
     @property
     def exhausted(self) -> bool:
@@ -95,6 +99,10 @@ class Broker:
         #: Opaque document served to workers asking for the plan
         #: (placement doc plus whatever the coordinator adds).
         self.plan_doc: "dict | None" = None
+        #: Optional ``callback(edge, key)`` fired (outside the broker
+        #: lock) whenever a delivery is actually acknowledged — the
+        #: durable-run ledger journals completed work through this.
+        self.ack_listener = None
 
     # ------------------------------------------------------------- edges
 
@@ -165,6 +173,18 @@ class Broker:
                 e.producers_remaining -= held
             self._cond.notify_all()
 
+    def pre_ack(self, edge: str, keys) -> None:
+        """Mark keys as already completed (durable-run resume).
+
+        A later publish of a pre-acked key reports success without
+        enqueuing a delivery, so consumers never see work a previous
+        attempt finished end-to-end.
+        """
+        with self._cond:
+            e = self._edge(edge)
+            e.preacked.update(keys)
+            self._cond.notify_all()
+
     # ----------------------------------------------------------- delivery
 
     def publish(self, edge: str, key: str, payload: bytes,
@@ -173,6 +193,10 @@ class Broker:
             e = self._edge(edge)
             if e.aborted:
                 return EDGE_ABORTED
+            if key in e.preacked:
+                e.preacked.discard(key)
+                e.total_preacked += 1
+                return PUBLISH_OK
             if e.producers_remaining <= 0:
                 return EDGE_CLOSED
             if len(e.pending) >= e.capacity:
@@ -195,23 +219,32 @@ class Broker:
                     timeout: float = 0.05) -> str:
         """Atomically publish to one edge and ack a delivery on another
         (the exactly-once-effective handoff between pipeline cuts)."""
+        acked = None
         with self._cond:
             e = self._edge(edge)
             a = self._edge(ack_edge)
             if e.aborted:
                 return EDGE_ABORTED
-            if e.producers_remaining <= 0:
-                return EDGE_CLOSED
-            if len(e.pending) >= e.capacity:
-                self._cond.wait(timeout)
-                if e.aborted:
-                    return EDGE_ABORTED
+            if key in e.preacked:
+                e.preacked.discard(key)
+                e.total_preacked += 1
+                acked = a.unacked.pop(ack_tag, None)
+                self._cond.notify_all()
+            else:
+                if e.producers_remaining <= 0:
+                    return EDGE_CLOSED
                 if len(e.pending) >= e.capacity:
-                    return PUBLISH_FULL
-            self._publish_locked(e, key, payload)
-            a.unacked.pop(ack_tag, None)
-            self._cond.notify_all()
-            return PUBLISH_OK
+                    self._cond.wait(timeout)
+                    if e.aborted:
+                        return EDGE_ABORTED
+                    if len(e.pending) >= e.capacity:
+                        return PUBLISH_FULL
+                self._publish_locked(e, key, payload)
+                acked = a.unacked.pop(ack_tag, None)
+                self._cond.notify_all()
+        if acked is not None and self.ack_listener is not None:
+            self.ack_listener(ack_edge, acked[1].key)
+        return PUBLISH_OK
 
     def pull(self, edge: str, consumer: int,
              timeout: float = 0.05) -> "tuple[str, int, str, bytes]":
@@ -233,8 +266,10 @@ class Broker:
     def ack(self, edge: str, tag: int) -> None:
         with self._cond:
             e = self._edge(edge)
-            e.unacked.pop(tag, None)
+            acked = e.unacked.pop(tag, None)
             self._cond.notify_all()
+        if acked is not None and self.ack_listener is not None:
+            self.ack_listener(edge, acked[1].key)
 
     # -------------------------------------------------------------- admin
 
@@ -267,6 +302,7 @@ class Broker:
                     "producers_remaining": e.producers_remaining,
                     "total_published": e.total_published,
                     "total_redelivered": e.total_redelivered,
+                    "total_preacked": e.total_preacked,
                     "max_depth": e.max_depth,
                     "aborted": e.aborted,
                 }

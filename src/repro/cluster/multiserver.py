@@ -217,6 +217,7 @@ def run_placed_pipeline(
     wire_codec: str = "none",
     session_timeout: "float | None" = 600.0,
     vectorized: bool = True,
+    ledger=None,
 ) -> PlacedPipelineOutcome:
     """Run the composed pipeline across the plan's servers.
 
@@ -243,6 +244,13 @@ def run_placed_pipeline(
     suggested by :func:`suggest_edge_capacities` from the probe's
     per-edge depth stats (explicit ``edge_capacities`` pins win).  The
     applied suggestions land in ``outcome.autotuned_edges``.
+
+    ``ledger`` (:class:`repro.core.ledger.RunLedger`) makes the placed
+    run durable: broker acks and per-stage output writes are journaled,
+    and a ledger opened with ``RunLedger.resume`` pre-acks work the
+    interrupted attempt completed (align-only plans over the shared
+    dataset store) while stage kernels skip digest-verified outputs —
+    the resumed run is byte-identical to an uninterrupted one.
     """
     if autotune_edges:
         kwargs = dict(
@@ -270,7 +278,8 @@ def run_placed_pipeline(
         )
         # Probe placement: outputs are deterministic and chunk writes
         # idempotent, so the measured run's inputs stay intact — the
-        # same contract as the in-graph queue autotuner.
+        # same contract as the in-graph queue autotuner.  Only the
+        # measured run journals to the ledger.
         probe = run_placed_pipeline(
             dataset, plan, edge_capacities=edge_capacities, **kwargs
         )
@@ -280,12 +289,22 @@ def run_placed_pipeline(
         merged = dict(tuned)
         merged.update(edge_capacities or {})
         outcome = run_placed_pipeline(
-            dataset, plan, edge_capacities=merged, **kwargs
+            dataset, plan, edge_capacities=merged, ledger=ledger, **kwargs
         )
         outcome.autotuned_edges = tuned
         return outcome
 
     manifest = dataset.manifest
+    if ledger is not None:
+        from repro.core.ledger import bind_run_config
+
+        backend_name = backend if isinstance(backend, str) \
+            else getattr(backend, "name", type(backend).__name__)
+        bind_run_config(
+            ledger, manifest, plan.stages,
+            backend=backend_name, workers=workers, transport=transport,
+            vectorized=vectorized, plan=plan.to_doc(),
+        )
     if aligner_factory is None:
         def aligner_factory(server):  # noqa: ARG001 - uniform signature
             return aligner
@@ -306,6 +325,35 @@ def run_placed_pipeline(
             else max(1, int(overrides.get(spec.name, edge_capacity))),
             producers=spec.producers,
         )
+
+    if ledger is not None:
+        broker.ack_listener = ledger.edge_ack
+        if ledger.resuming and plan.stages == ("align",) \
+                and align_results_store_factory is None:
+            # Align-only plans are terminal per work item, so a chunk
+            # whose journaled results digest still matches the shared
+            # store is genuinely finished — pre-ack it and the aligners
+            # never see it again.  Multi-stage plans must re-flow every
+            # chunk (resequencers, merge manifests, dup scans need the
+            # full set); their stage kernels skip the redundant work
+            # instead.
+            from repro.core.ledger import blob_digest
+            from repro.storage.base import StorageError
+
+            done = []
+            for entry in manifest.chunks:
+                key = entry.chunk_file("results")
+                digest = ledger.journaled_digest("align", key)
+                if digest is None:
+                    continue
+                try:
+                    if blob_digest(dataset.store.get(key)) == digest:
+                        done.append(entry.path)
+                except StorageError:
+                    continue
+            if done:
+                broker.pre_ack(WORK_EDGE, done)
+                ledger.count_skip("work.pre_acked", len(done))
 
     server_tcp: "BrokerServer | None" = None
     if transport == "tcp":
@@ -369,6 +417,7 @@ def run_placed_pipeline(
             sort_store=sort_store,
             filter_store=filter_out,
             vectorized=vectorized,
+            ledger=ledger,
         )
 
         def run_server(server_graph: PlacedServerGraph) -> None:
@@ -467,6 +516,26 @@ def run_placed_pipeline(
     if errors:
         raise errors[0]
     wall = time.monotonic() - started
+
+    if ledger is not None:
+        ledger.complete(
+            wall_seconds=wall,
+            chunks=manifest.num_chunks,
+            records=dataset.total_records,
+            skipped=dict(ledger.skips),
+            servers={
+                s.server: {"chunks": s.chunks, "records": s.records,
+                           "wall_seconds": s.wall_seconds,
+                           "killed": s.killed}
+                for s in outcomes.values()
+            },
+            broker={
+                edge: {"published": st["total_published"],
+                       "redelivered": st["total_redelivered"],
+                       "preacked": st.get("total_preacked", 0)}
+                for edge, st in broker_stats.items()
+            },
+        )
 
     if "align" in plan.stages and align_results_store_factory is None \
             and not manifest.has_column("results"):

@@ -189,6 +189,9 @@ class AlignerNode(Node):
         self.aligner_handle = aligner_handle
         self.backend_handle = backend_handle
         self.subchunk_size = subchunk_size
+        # Durable-run hook (ledger.StageJournal): lets a resumed run adopt
+        # journaled, digest-verified results instead of re-aligning.
+        self.journal = None
 
     @property
     def executor_handle(self) -> str:
@@ -196,6 +199,11 @@ class AlignerNode(Node):
         return self.backend_handle
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        if self.journal is not None:
+            cached = self.journal.cached_results(item.entry)
+            if cached is not None:
+                item.results = cached
+                return [item]
         backend = ctx.backend(self.backend_handle)
         bases = item.columns["bases"]
         payloads = [
@@ -224,8 +232,14 @@ class PairedAlignerNode(Node):
         self.paired_handle = paired_handle
         self.backend_handle = backend_handle
         self.subchunk_size = subchunk_size
+        self.journal = None  # durable-run hook, see AlignerNode
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
+        if self.journal is not None:
+            cached = self.journal.cached_results(item.entry)
+            if cached is not None:
+                item.results = cached
+                return [item]
         backend = ctx.backend(self.backend_handle)
         bases = item.columns["bases"]
         if len(bases) % 2:
@@ -722,15 +736,54 @@ class SortRunNode(Node):
         self._rows: list = []
         self._chunks_buffered = 0
         self._runs_emitted = 0
+        # Durable-run hook (ledger.SpillJournal): lets a resumed run
+        # re-adopt journaled spills whose scratch files survive.
+        self.journal = None
+        self._group_paths: "list[str]" = []
+
+    def _adopt_run(self, record: dict) -> SortRun:
+        """Rebuild a SortRun from a journaled spill without re-sorting."""
+        from repro.core.sort import decode_boundaries
+
+        parts_doc = record.get("partitions")
+        if parts_doc is not None:
+            partitions = [
+                None if doc is None else ChunkEntry(*doc) for doc in parts_doc
+            ]
+            entry = None
+        else:
+            partitions = None
+            entry = ChunkEntry(*record["entries"][0])
+        if self._spill_partitions >= 2 and self._boundaries is None:
+            self._spill_partitions = int(
+                record.get("spill_partitions", self._spill_partitions)
+            )
+            self._boundaries = decode_boundaries(record.get("boundaries"))
+        return SortRun(
+            entry=entry, index=self._runs_emitted, partitions=partitions
+        )
 
     def _flush_run(self, ctx: NodeContext) -> SortRun:
         from repro.core.sort import (
+            encode_boundaries,
             encode_run_spill,
             metadata_row_index,
             sort_rows_task,
             store_run_spill,
         )
 
+        group_paths = self._group_paths
+        if self.journal is not None:
+            record = self.journal.adopt(
+                self._runs_emitted, group_paths, self.ordered_columns
+            )
+            if record is not None:
+                run = self._adopt_run(record)
+                self._runs_emitted += 1
+                self._rows = []
+                self._chunks_buffered = 0
+                self._group_paths = []
+                return run
         backend = ctx.backend(self.backend_handle)
         meta_index = metadata_row_index(self.ordered_columns)
         # One payload by design: a run sort is a single stable sort over
@@ -755,6 +808,11 @@ class SortRunNode(Node):
             else:
                 self._boundaries = spill["boundaries"]
         spilled = store_run_spill(self.scratch, self._runs_emitted, spill)
+        if self.journal is not None:
+            self.journal.record(
+                self._runs_emitted, group_paths, spilled,
+                encode_boundaries(self._boundaries), self._spill_partitions,
+            )
         run = SortRun(
             entry=spilled.entries[0] if spilled.partitions is None
             else None,
@@ -764,11 +822,13 @@ class SortRunNode(Node):
         self._runs_emitted += 1
         self._rows = []
         self._chunks_buffered = 0
+        self._group_paths = []
         return run
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
         self._rows.extend(_item_rows(item, self.ordered_columns))
         self._chunks_buffered += 1
+        self._group_paths.append(item.entry.path)
         if self._chunks_buffered >= self.chunks_per_superchunk:
             return [self._flush_run(ctx)]
         return None

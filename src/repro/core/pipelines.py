@@ -23,6 +23,13 @@ from repro.align.bwa import BwaConfig, BwaMemAligner, FMIndex
 from repro.align.snap import SeedIndex, SnapAligner, SnapConfig
 from repro.core.dupmark import DupmarkStats, mark_duplicates
 from repro.core.filters import FilterStats
+from repro.core.ledger import (
+    JournaledStore,
+    RunLedger,
+    SpillJournal,
+    StageJournal,
+    bind_run_config,
+)
 from repro.core.ops import AckSinkNode, EdgeSinkNode, QueueNameSource
 from repro.core.sort import SortConfig, sort_dataset
 from repro.core.subgraphs import (
@@ -31,6 +38,7 @@ from repro.core.subgraphs import (
     ComposedPipeline,
     PipelineBuilder,
     StageGraph,
+    attach_stage_journal,
     build_align_graph,
     build_align_stage,
     build_dupmark_graph,
@@ -54,6 +62,7 @@ __all__ = [
     "PIPELINE_STAGES",
     "PipelineOutcome",
     "PlacedServerGraph",
+    "RunLedger",
     "StageBreakdown",
     "TUNE_SIDECAR_NAME",
     "align_dataset",
@@ -392,6 +401,7 @@ def _build_stage_graph(
     name_queue: "Queue | None" = None,
     varcall_passthrough: bool = False,
     align_results_store: "ChunkStore | None" = None,
+    ledger: "RunLedger | None" = None,
 ) -> StageGraph:
     """Build ONE pipeline stage subgraph.
 
@@ -404,6 +414,10 @@ def _build_stage_graph(
     ``name_queue``); ``previous`` is the stage immediately upstream in
     the full pipeline, used to decide whether arrival order must be
     restored.
+
+    With a ``ledger``, the stage's output store is wrapped for
+    idempotent journaled writes, and resumable kernels (aligner, sort
+    runs) get journal hooks so a resumed run skips verified work.
     """
     manifest = dataset.manifest
     if stage == "align":
@@ -417,10 +431,19 @@ def _build_stage_graph(
         ) if ("sort" in stages or "filter" in stages) else ()
         results_store = (align_results_store if align_results_store
                          is not None else dataset.store)
-        return build_align_stage(
+        if ledger is not None:
+            results_store = JournaledStore(
+                results_store, ledger, "align", label="dataset"
+            )
+        built = build_align_stage(
             manifest, dataset.store, results_store, aligner,
             config=config, extra_columns=extra, name_queue=name_queue,
         )
+        if ledger is not None:
+            attach_stage_journal(
+                built, StageJournal(ledger, "align", results_store)
+            )
+        return built
     if stage == "sort":
         # A caller-supplied SortConfig keeps its own vectorized choice;
         # the pipeline-wide flag fills the default and acts as a
@@ -431,9 +454,14 @@ def _build_stage_graph(
             stage_sort_config = replace(sort_config, vectorized=False)
         else:
             stage_sort_config = sort_config
-        return build_sort_graph(
+        stage_sort_store = sort_store
+        if ledger is not None and sort_store is not None:
+            stage_sort_store = JournaledStore(
+                sort_store, ledger, "sort", label="output"
+            )
+        built = build_sort_graph(
             manifest,
-            sort_store,
+            stage_sort_store,
             input_store=dataset.store if head else None,
             config=stage_sort_config,
             columns=(sorted(set(manifest.columns) | {"results"})
@@ -442,8 +470,18 @@ def _build_stage_graph(
             backend=backend_obj,
             name_queue=name_queue if head else None,
         )
+        if ledger is not None and scratch_store is not None:
+            # Spills only survive a restart in a durable scratch store;
+            # a per-run MemoryStore scratch simply recomputes its runs.
+            attach_stage_journal(built, SpillJournal(ledger, scratch_store))
+        return built
     if stage == "dupmark":
         store = sort_store if "sort" in stages else dataset.store
+        if ledger is not None:
+            store = JournaledStore(
+                store, ledger, "dupmark",
+                label="output" if "sort" in stages else "dataset",
+            )
         if "filter" in stages:
             # A downstream filter stage re-chunks every column, so a
             # head-mode dupmark must read them all.
@@ -472,9 +510,16 @@ def _build_stage_graph(
         filter_name, out_chunk, order = _filter_output_spec(
             manifest, stages, sort_config
         )
+        stage_filter_store = (
+            filter_store if filter_store is not None else MemoryStore()
+        )
+        if ledger is not None and filter_store is not None:
+            stage_filter_store = JournaledStore(
+                filter_store, ledger, "filter", label="filter"
+            )
         return build_filter_stage(
             filter_predicate,
-            filter_store if filter_store is not None else MemoryStore(),
+            stage_filter_store,
             filter_name,
             out_chunk,
             sorted(set(manifest.columns) | {"results"}),
@@ -524,6 +569,7 @@ def run_pipeline(
     autotune_queues: bool = False,
     tune_path: "str | Path | None" = None,
     shm: "bool | None" = None,
+    ledger: "RunLedger | None" = None,
 ) -> PipelineOutcome:
     """Run several workload stages as ONE streaming dataflow graph.
 
@@ -578,11 +624,26 @@ def run_pipeline(
     ``shm`` selects the process backend's zero-copy payload plane
     (None = auto where POSIX shared memory works; False forces the
     pickled IPC path — outputs are byte-identical either way).
+
+    ``ledger`` makes the run durable (:class:`repro.core.ledger.
+    RunLedger`): output writes journal their digests, and a ledger
+    opened with ``RunLedger.resume`` skips digest-verified work from the
+    interrupted attempt — the resumed run's outputs are byte-identical
+    to an uninterrupted one.  Per-stage skip counts land in
+    ``report["resume"]``.
     """
     stages = tuple(stages)
     _validate_stages(stages)
     _check_stage_requirements(stages, dataset.manifest, aligner, reference,
                               filter_predicate)
+    if ledger is not None:
+        backend_name = backend if isinstance(backend, str) \
+            else getattr(backend, "name", type(backend).__name__)
+        bind_run_config(
+            ledger, dataset.manifest, stages,
+            backend=backend_name, workers=workers, vectorized=vectorized,
+            shm=shm,
+        )
     kwargs = dict(
         aligner=aligner,
         reference=reference,
@@ -601,6 +662,7 @@ def run_pipeline(
         vectorized=vectorized,
         queue_sample_interval=queue_sample_interval,
         shm=shm,
+        ledger=ledger,
     )
     if not autotune_queues:
         return _run_pipeline_once(dataset, stages,
@@ -618,6 +680,9 @@ def run_pipeline(
         probe_kwargs = dict(kwargs)
         if probe_kwargs["queue_sample_interval"] is None:
             probe_kwargs["queue_sample_interval"] = 0.02
+        # The probe must not journal: only the measured run's progress
+        # belongs in the durable ledger.
+        probe_kwargs["ledger"] = None
         probe = _run_pipeline_once(dataset, stages,
                                    queue_capacities=queue_capacities,
                                    **probe_kwargs)
@@ -660,6 +725,7 @@ def _run_pipeline_once(
     queue_sample_interval: "float | None" = 0.02,
     queue_capacities: "dict[str, int] | None" = None,
     shm: "bool | None" = None,
+    ledger: "RunLedger | None" = None,
 ) -> PipelineOutcome:
     manifest = dataset.manifest
     backend_obj = make_backend(
@@ -696,6 +762,7 @@ def _run_pipeline_once(
                 scratch_store=scratch_store,
                 backend_obj=backend_obj,
                 vectorized=vectorized,
+                ledger=ledger,
             )
             built.append(stage_graph)
             by_stage[stage] = stage_graph
@@ -746,6 +813,21 @@ def _run_pipeline_once(
             "items_in": 0, "items_out": 0,
         })]
     ]
+    if ledger is not None:
+        result.report["resume"] = dict(ledger.skips)
+        ledger.complete(
+            wall_seconds=wall,
+            chunks=dataset.num_chunks,
+            records=dataset.total_records,
+            skipped=dict(ledger.skips),
+            stages={
+                b.name: {
+                    "busy_seconds": b.busy_seconds,
+                    "wait_seconds": b.wait_seconds,
+                }
+                for b in breakdowns
+            },
+        )
     return PipelineOutcome(
         wall_seconds=wall,
         total_reads=dataset.total_records,
@@ -933,6 +1015,7 @@ def build_placed_server_graph(
     backend_obj: "Backend | None" = None,
     vectorized: bool = True,
     align_results_store: "ChunkStore | None" = None,
+    ledger: "RunLedger | None" = None,
 ) -> PlacedServerGraph:
     """Assemble ONE server's subgraph of a placed pipeline.
 
@@ -974,6 +1057,7 @@ def build_placed_server_graph(
             name_queue=work_queue if head else None,
             varcall_passthrough=(stage == "varcall"),
             align_results_store=align_results_store,
+            ledger=ledger,
         ))
     composed = compose(*built, name=server, open_inlet=not head_group,
                        terminal=False)
@@ -1068,6 +1152,7 @@ def split_pipeline(
     sort_store: "ChunkStore | None" = None,
     filter_store: "ChunkStore | None" = None,
     vectorized: bool = True,
+    ledger: "RunLedger | None" = None,
 ) -> "list[PlacedServerGraph]":
     """Cut the composed pipeline into per-server subgraphs per ``plan``.
 
@@ -1135,5 +1220,6 @@ def split_pipeline(
                 align_results_store_for(placement.server)
                 if align_results_store_for else None
             ),
+            ledger=ledger,
         ))
     return servers

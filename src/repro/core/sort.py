@@ -36,6 +36,7 @@ single-kernel merge byte for byte.
 
 from __future__ import annotations
 
+import base64
 import heapq
 import itertools
 from dataclasses import dataclass
@@ -263,6 +264,28 @@ def spill_boundaries(keys: np.ndarray, partitions: int) -> np.ndarray:
         if not picks or b != picks[-1]:
             picks.append(b)
     return np.array(picks, dtype=keys.dtype)
+
+
+def encode_boundaries(boundaries: "np.ndarray | None") -> "dict | None":
+    """JSON-encode shared spill boundaries for the run ledger.
+
+    Boundaries are packed-uint64 or fixed-width-bytes key arrays; the
+    dtype string plus raw bytes round-trips either exactly.
+    """
+    if boundaries is None:
+        return None
+    return {
+        "dtype": boundaries.dtype.str,
+        "data": base64.b64encode(boundaries.tobytes()).decode("ascii"),
+    }
+
+
+def decode_boundaries(doc: "dict | None") -> "np.ndarray | None":
+    """Inverse of :func:`encode_boundaries`."""
+    if not doc:
+        return None
+    raw = base64.b64decode(doc["data"])
+    return np.frombuffer(raw, dtype=np.dtype(doc["dtype"])).copy()
 
 
 def partition_row_ranges(

@@ -338,6 +338,24 @@ class StageGraph:
             self.backend.shutdown(wait=wait)
 
 
+def attach_stage_journal(stage: StageGraph, journal) -> None:
+    """Attach a durable-run journal hook to a built stage's kernels.
+
+    Dispatches on the journal's interface: a results journal
+    (``cached_results``, :class:`repro.core.ledger.StageJournal`) lands
+    on aligner nodes, a spill journal (``adopt``,
+    :class:`repro.core.ledger.SpillJournal`) on sort-run nodes.  Stages
+    without a matching kernel are left untouched.
+    """
+    for node in stage.graph.nodes:
+        if isinstance(node, (AlignerNode, PairedAlignerNode)):
+            if hasattr(journal, "cached_results"):
+                node.journal = journal
+        elif isinstance(node, SortRunNode):
+            if hasattr(journal, "adopt"):
+                node.journal = journal
+
+
 def _stage_backend(
     backend: "str | Backend",
     workers: int,

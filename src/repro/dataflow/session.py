@@ -175,6 +175,7 @@ class Session:
             )
         stats_lock = threading.Lock()
         threads: list[threading.Thread] = []
+        started_at = time.time()  # wall clock, for provenance records
         start = time.monotonic()
         for node in self.graph.nodes:
             for replica in range(node.parallelism):
@@ -221,6 +222,10 @@ class Session:
             node_name, cause = self._failure
             raise PipelineError(node_name, cause) from cause
         report = self.graph.stats_report()
+        # Wall-clock bounds so provenance ledgers can place this session
+        # in time (monotonic wall_seconds covers only the duration).
+        report["started_at"] = started_at
+        report["finished_at"] = started_at + wall
         if sampler is not None:
             trace = sampler.trace()
             report["queue_trace"] = trace

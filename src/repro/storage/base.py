@@ -10,9 +10,13 @@ changing only the Reader/Writer dataflow nodes (§4.2).
 
 from __future__ import annotations
 
+import os
+import re
 import threading
 from pathlib import Path
 from typing import Iterator, Protocol, runtime_checkable
+
+_TMP_NAME = re.compile(r"\.\d+\.tmp$")
 
 
 class StorageError(IOError):
@@ -59,9 +63,14 @@ class DirectoryStore:
             raise StorageError(f"no chunk {key!r} in {self.root}") from None
 
     def put(self, key: str, data: bytes) -> None:
+        # Write-then-rename so a crash mid-write can never leave a torn
+        # chunk under the real key (durable-run resume trusts that an
+        # existing chunk file is complete).
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(data)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
 
     def exists(self, key: str) -> bool:
         return self._path(key).is_file()
@@ -75,7 +84,8 @@ class DirectoryStore:
 
     def keys(self) -> Iterator[str]:
         for path in sorted(self.root.rglob("*")):
-            if path.is_file():
+            # Skip in-flight temp files left by a crash mid-put.
+            if path.is_file() and not _TMP_NAME.search(path.name):
                 yield str(path.relative_to(self.root))
 
 
