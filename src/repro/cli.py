@@ -475,6 +475,7 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
         port=args.port,
         edge_capacity=args.edge_capacity,
         autotune_edges=args.autotune_edges,
+        broker_shm=args.broker_shm,
         session_timeout=args.timeout,
         vectorized=args.kernels == "vectorized",
         ledger=ledger,
@@ -543,7 +544,8 @@ def _cmd_cluster_broker(args: argparse.Namespace) -> int:
                       if spec.name == WORK_EDGE else args.edge_capacity),
             producers=spec.producers,
         )
-    server = BrokerServer(broker, host=args.host, port=args.port).start()
+    server = BrokerServer(broker, host=args.host, port=args.port,
+                          shm=args.broker_shm).start()
     print(f"broker serving plan [{args.plan}] on "
           f"{server.host}:{server.port}")
     coordinator = LocalBrokerClient(broker)
@@ -568,6 +570,13 @@ def _cmd_cluster_broker(args: argparse.Namespace) -> int:
         print(f"  {edge:<16} published {stat['total_published']:>5}  "
               f"redelivered {stat['total_redelivered']:>3}  "
               f"max depth {stat['max_depth']}")
+        if stat.get("wire_bytes") or stat.get("shm_handoffs"):
+            print(f"  {'':<16} wire {stat['wire_bytes']:>12,}B of "
+                  f"{stat['payload_bytes']:>12,}B payload  "
+                  f"shm handoffs {stat['shm_handoffs']:>4} "
+                  f"({stat['shm_bytes']:,}B)  copied "
+                  f"{stat['copied_segments']:>4} "
+                  f"({stat['copied_bytes']:,}B)")
     server.stop()
     if not done:
         print("timed out before every edge drained", file=sys.stderr)
@@ -591,7 +600,7 @@ def _cmd_cluster_worker(args: argparse.Namespace) -> int:
     from repro.formats.vcf import write_vcf
 
     host, port = _parse_host_port(args.connect)
-    client = TcpBrokerClient(host, port)
+    client = TcpBrokerClient(host, port, shm=args.broker_shm)
     plan_doc = client.plan()
     if not plan_doc:
         print("broker serves no placement plan", file=sys.stderr)
@@ -1141,6 +1150,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run a probe placement first, then re-run with "
                          "per-edge capacities suggested from its broker "
                          "depth stats")
+    cp.add_argument("--broker-shm", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="hand large TCP edge payloads to same-host "
+                         "workers through the broker's shared-memory "
+                         "pool instead of copying them over the socket "
+                         "(default: auto — on wherever /dev/shm works "
+                         "and the client proves it shares the host; "
+                         "--no-broker-shm forces the copy path)")
     _add_cluster_shared(cp)
     _add_ledger_options(cp)
     cp.set_defaults(fn=_cmd_cluster_run)
@@ -1159,6 +1176,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "per cut)")
     cp.add_argument("--timeout", type=float, default=3600.0,
                     help="how long to wait for workers to drain the run")
+    cp.add_argument("--broker-shm", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="offer the shared-memory handoff to workers "
+                         "that prove they share this host (default: "
+                         "auto; --no-broker-shm serves copies only)")
     cp.set_defaults(fn=_cmd_cluster_broker)
 
     cp = cluster_sub.add_parser(
@@ -1174,6 +1196,11 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--output-dir", default=None,
                     help="shared sorted-dataset directory (sort/dupmark "
                          "workers)")
+    cp.add_argument("--broker-shm", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="accept the broker's shared-memory handoff when "
+                         "this worker shares its host (default: auto; "
+                         "--no-broker-shm always pulls copies)")
     _add_cluster_shared(cp)
     cp.set_defaults(fn=_cmd_cluster_worker)
 

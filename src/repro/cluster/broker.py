@@ -31,12 +31,15 @@ from __future__ import annotations
 import collections
 import itertools
 import json
+import secrets
 import socket
 import struct
 import threading
 from dataclasses import dataclass, field
 
 from repro.agd.compression import get_codec
+from repro.cluster.wire import WireError
+from repro.dataflow import shm as shm_plane
 from repro.dataflow.queues import (
     EDGE_ABORTED,
     EDGE_CLOSED,
@@ -55,7 +58,20 @@ class BrokerError(RuntimeError):
 class _Delivery:
     tag: int
     key: str
-    payload: bytes
+    #: Opaque payload: one blob, or a scatter/gather segment list from a
+    #: frames-aware serializer.  The broker preserves the shape.
+    payload: "bytes | list"
+
+
+def _payload_nbytes(payload) -> int:
+    if isinstance(payload, shm_plane.ShmRef):
+        return payload.length
+    if isinstance(payload, list):
+        return sum(
+            s.length if isinstance(s, shm_plane.ShmRef) else len(s)
+            for s in payload
+        )
+    return len(payload)
 
 
 @dataclass
@@ -79,6 +95,18 @@ class _Edge:
     #: publish of one of these succeeds without enqueuing anything.
     preacked: "set[str]" = field(default_factory=set)
     total_preacked: int = 0
+    # --- wire accounting (per-edge cost model inputs) ---------------
+    #: Logical payload bytes enqueued (what the pipeline moved).
+    payload_bytes: int = 0
+    #: Bytes that actually crossed a TCP socket for this edge
+    #: (zero for in-process transports and shm-handed segments).
+    wire_bytes: int = 0
+    #: Segments handed off through same-host shared memory / copied
+    #: inline through the socket, with their byte totals.
+    shm_handoffs: int = 0
+    shm_bytes: int = 0
+    copied_segments: int = 0
+    copied_bytes: int = 0
 
     @property
     def exhausted(self) -> bool:
@@ -103,6 +131,14 @@ class Broker:
         #: lock) whenever a delivery is actually acknowledged — the
         #: durable-run ledger journals completed work through this.
         self.ack_listener = None
+        #: Optional ``callback(payload)`` fired when a payload leaves
+        #: the broker for good (acked, pre-acked, or never enqueued) —
+        #: the TCP server releases adopted shared-memory leases here.
+        self.payload_reaper = None
+
+    def _reap(self, payload) -> None:
+        if self.payload_reaper is not None and payload is not None:
+            self.payload_reaper(payload)
 
     # ------------------------------------------------------------- edges
 
@@ -196,21 +232,25 @@ class Broker:
             if key in e.preacked:
                 e.preacked.discard(key)
                 e.total_preacked += 1
-                return PUBLISH_OK
-            if e.producers_remaining <= 0:
-                return EDGE_CLOSED
-            if len(e.pending) >= e.capacity:
-                self._cond.wait(timeout)
-                if e.aborted:
-                    return EDGE_ABORTED
+            else:
+                if e.producers_remaining <= 0:
+                    return EDGE_CLOSED
                 if len(e.pending) >= e.capacity:
-                    return PUBLISH_FULL
-            self._publish_locked(e, key, payload)
-            return PUBLISH_OK
+                    self._cond.wait(timeout)
+                    if e.aborted:
+                        return EDGE_ABORTED
+                    if len(e.pending) >= e.capacity:
+                        return PUBLISH_FULL
+                self._publish_locked(e, key, payload)
+                return PUBLISH_OK
+        # Pre-acked key: the work is already done, the payload dies here.
+        self._reap(payload)
+        return PUBLISH_OK
 
-    def _publish_locked(self, e: _Edge, key: str, payload: bytes) -> None:
+    def _publish_locked(self, e: _Edge, key: str, payload) -> None:
         e.pending.append(_Delivery(next(self._tags), key, payload))
         e.total_published += 1
+        e.payload_bytes += _payload_nbytes(payload)
         e.max_depth = max(e.max_depth, len(e.pending))
         self._cond.notify_all()
 
@@ -220,6 +260,7 @@ class Broker:
         """Atomically publish to one edge and ack a delivery on another
         (the exactly-once-effective handoff between pipeline cuts)."""
         acked = None
+        dropped = None
         with self._cond:
             e = self._edge(edge)
             a = self._edge(ack_edge)
@@ -228,6 +269,7 @@ class Broker:
             if key in e.preacked:
                 e.preacked.discard(key)
                 e.total_preacked += 1
+                dropped = payload
                 acked = a.unacked.pop(ack_tag, None)
                 self._cond.notify_all()
             else:
@@ -242,8 +284,11 @@ class Broker:
                 self._publish_locked(e, key, payload)
                 acked = a.unacked.pop(ack_tag, None)
                 self._cond.notify_all()
-        if acked is not None and self.ack_listener is not None:
-            self.ack_listener(ack_edge, acked[1].key)
+        self._reap(dropped)
+        if acked is not None:
+            self._reap(acked[1].payload)
+            if self.ack_listener is not None:
+                self.ack_listener(ack_edge, acked[1].key)
         return PUBLISH_OK
 
     def pull(self, edge: str, consumer: int,
@@ -268,8 +313,25 @@ class Broker:
             e = self._edge(edge)
             acked = e.unacked.pop(tag, None)
             self._cond.notify_all()
-        if acked is not None and self.ack_listener is not None:
-            self.ack_listener(edge, acked[1].key)
+        if acked is not None:
+            self._reap(acked[1].payload)
+            if self.ack_listener is not None:
+                self.ack_listener(edge, acked[1].key)
+
+    def record_wire(self, edge: str, wire_bytes: int = 0,
+                    shm_segments: int = 0, shm_bytes: int = 0,
+                    copied_segments: int = 0, copied_bytes: int = 0) -> None:
+        """Credit transport-level traffic to an edge (the TCP server
+        calls this; in-process transports never touch a wire)."""
+        with self._lock:
+            e = self._edges.get(edge)
+            if e is None:
+                return
+            e.wire_bytes += wire_bytes
+            e.shm_handoffs += shm_segments
+            e.shm_bytes += shm_bytes
+            e.copied_segments += copied_segments
+            e.copied_bytes += copied_bytes
 
     # -------------------------------------------------------------- admin
 
@@ -305,6 +367,12 @@ class Broker:
                     "total_preacked": e.total_preacked,
                     "max_depth": e.max_depth,
                     "aborted": e.aborted,
+                    "payload_bytes": e.payload_bytes,
+                    "wire_bytes": e.wire_bytes,
+                    "shm_handoffs": e.shm_handoffs,
+                    "shm_bytes": e.shm_bytes,
+                    "copied_segments": e.copied_segments,
+                    "copied_bytes": e.copied_bytes,
                 }
                 for name, e in self._edges.items()
             }
@@ -360,40 +428,165 @@ class LocalBrokerClient:
 
 
 # ---------------------------------------------------------------------------
-# TCP transport: a length-prefixed request/response protocol.
+# TCP transport: a scatter/gather request/response protocol.
 #
 # Frame layout (both directions):
 #
-#     !II        header_length, payload_length
+#     !II        header_length, segment_count
 #     header     UTF-8 JSON ({"op": ..., "edge": ..., ...})
-#     payload    opaque bytes (publish bodies / pull results), optionally
-#                compressed with a named codec from the AGD codec layer
-#                (the "codec" header field names it)
+#     !I × n     per-segment byte lengths
+#     segments   opaque bytes, written with ``sendmsg`` straight from the
+#                caller's buffer list and read into preallocated buffers
+#                with ``recv_into`` — large AGD columns never pay a
+#                pack/concat copy on either end.
+#
+# The header's "multi" flag records whether the logical payload was a
+# segment list or one blob; "shm" (when present) is a per-segment plan
+# mixing inline wire segments with same-host shared-memory descriptors.
 
 _FRAME = struct.Struct("!II")
+_SEGLEN = struct.Struct("!I")
+
+#: Sanity caps: anything beyond these is a corrupt or hostile frame, and
+#: the connection surfaces a clean WireError instead of struct garbage.
+_MAX_HEAD_BYTES = 1 << 20
+_MAX_SEGMENTS = 4096
+_MAX_SEGMENT_BYTES = 1 << 30
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
 
-def _send_frame(sock: socket.socket, header: dict,
-                payload: bytes = b"") -> None:
+def _sendmsg_all(sock: socket.socket, buffers) -> None:
+    """Write a buffer list fully, handling partial ``sendmsg`` returns."""
+    views = [memoryview(b) for b in buffers if len(b)]
+    if not views:
+        return
+    if not _HAS_SENDMSG:  # pragma: no cover - exotic platforms
+        sock.sendall(b"".join(views))
+        return
+    while views:
+        sent = sock.sendmsg(views)
+        while sent > 0 and views:
+            if sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            else:
+                views[0] = views[0][sent:]
+                sent = 0
+
+
+def _send_frame(sock: socket.socket, header: dict, segments=()) -> int:
+    """Send one frame from a segment list; returns bytes put on the wire."""
     head = json.dumps(header).encode()
-    sock.sendall(_FRAME.pack(len(head), len(payload)) + head + payload)
+    prefix = b"".join(
+        (_FRAME.pack(len(head), len(segments)), head,
+         *(_SEGLEN.pack(len(s)) for s in segments))
+    )
+    _sendmsg_all(sock, [prefix, *segments])
+    return len(prefix) + sum(len(s) for s in segments)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
+def _recv_exact(sock: socket.socket, n: int,
+                at_frame_start: bool = False) -> bytes:
     buf = bytearray()
     while len(buf) < n:
         chunk = sock.recv(n - len(buf))
         if not chunk:
-            raise ConnectionError("broker connection closed")
+            if at_frame_start and not buf:
+                # Peer closed cleanly between frames.
+                raise ConnectionError("broker connection closed")
+            raise WireError("broker connection truncated mid-frame")
         buf.extend(chunk)
     return bytes(buf)
 
 
-def _recv_frame(sock: socket.socket) -> "tuple[dict, bytes]":
-    head_len, payload_len = _FRAME.unpack(_recv_exact(sock, _FRAME.size))
-    header = json.loads(_recv_exact(sock, head_len).decode())
-    payload = _recv_exact(sock, payload_len) if payload_len else b""
-    return header, payload
+def _recv_into_exact(sock: socket.socket, view: memoryview) -> None:
+    got = 0
+    while got < len(view):
+        n = sock.recv_into(view[got:])
+        if not n:
+            raise WireError("broker connection truncated mid-frame")
+        got += n
+
+
+def _recv_frame(sock: socket.socket) -> "tuple[dict, list, int]":
+    """Read one frame; returns (header, segments, wire_bytes)."""
+    head_len, seg_count = _FRAME.unpack(
+        _recv_exact(sock, _FRAME.size, at_frame_start=True)
+    )
+    if head_len > _MAX_HEAD_BYTES:
+        raise WireError(
+            f"frame header of {head_len} bytes exceeds the "
+            f"{_MAX_HEAD_BYTES}-byte sanity cap"
+        )
+    if seg_count > _MAX_SEGMENTS:
+        raise WireError(
+            f"frame with {seg_count} segments exceeds the "
+            f"{_MAX_SEGMENTS}-segment sanity cap"
+        )
+    try:
+        header = json.loads(_recv_exact(sock, head_len).decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireError(f"undecodable frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise WireError("frame header is not a JSON object")
+    wire = _FRAME.size + head_len
+    lengths = []
+    if seg_count:
+        raw = _recv_exact(sock, _SEGLEN.size * seg_count)
+        wire += len(raw)
+        for i in range(seg_count):
+            (n,) = _SEGLEN.unpack_from(raw, i * _SEGLEN.size)
+            if n > _MAX_SEGMENT_BYTES:
+                raise WireError(
+                    f"{n}-byte segment exceeds the "
+                    f"{_MAX_SEGMENT_BYTES}-byte sanity cap"
+                )
+            lengths.append(n)
+    segments = []
+    for n in lengths:
+        buf = bytearray(n)
+        if n:
+            _recv_into_exact(sock, memoryview(buf))
+        segments.append(buf)
+        wire += n
+    return header, segments, wire
+
+
+def _as_segments(payload) -> "tuple[bool, list]":
+    """Normalize a delivery payload to (multi, segment list).
+
+    Segments are bytes-like on the wire; a stored payload may also hold
+    :class:`~repro.dataflow.shm.ShmRef` leases (adopted publishes) that
+    the server resolves or re-leases per consumer.
+    """
+    if isinstance(payload, list):
+        return True, payload
+    if isinstance(payload, shm_plane.ShmRef):
+        return False, [payload]
+    return False, ([payload] if payload else [])
+
+
+def _from_segments(multi: bool, segments: list):
+    if multi:
+        return segments
+    return segments[0] if segments else b""
+
+
+class _ConnState:
+    """Per-connection server state: its consumer id, whether the shm
+    handshake verified a shared ``/dev/shm``, and the pool leases backing
+    deliveries handed to it that are not yet acknowledged."""
+
+    __slots__ = ("consumer", "shm_ok", "leases", "record")
+
+    def __init__(self, consumer: int):
+        self.consumer = consumer
+        self.shm_ok = False
+        #: (edge, tag) -> list[ShmRef] released on ack or disconnect.
+        self.leases: dict = {}
+        #: Deferred wire accounting for the reply being sent.
+        self.record = None
 
 
 class BrokerServer:
@@ -403,10 +596,23 @@ class BrokerServer:
     consumer id at accept time and calls :meth:`Broker.drop_consumer`
     when the socket dies — so over TCP, worker death detection is the
     transport itself, no heartbeats needed.
+
+    ``shm`` arms the same-host handoff: the server owns a
+    :class:`~repro.dataflow.shm.BufferPool` plus a boot-token probe
+    segment; a client that can read the probe's token back over
+    ``/dev/shm`` shares the host, and payload segments at or above
+    ``shm_threshold`` then cross as ~100-byte descriptors leased from
+    the pool (refcounted until the delivery is acked, swept when the
+    consumer's connection dies).  ``None`` auto-enables where POSIX
+    shared memory works; the socket copy path remains the byte-identical
+    fallback for every other peer.
     """
 
     def __init__(self, broker: Broker, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, shm: "bool | None" = None,
+                 shm_threshold: int = shm_plane.DEFAULT_SHM_THRESHOLD,
+                 shm_slab_bytes: int = shm_plane.DEFAULT_SLAB_BYTES,
+                 shm_max_bytes: int = shm_plane.DEFAULT_MAX_BYTES):
         self.broker = broker
         self._sock = socket.create_server((host, port))
         self.host, self.port = self._sock.getsockname()[:2]
@@ -418,6 +624,29 @@ class BrokerServer:
         self._conn_lock = threading.Lock()
         self._conn_cond = threading.Condition(self._conn_lock)
         self._active_connections = 0
+        self.shm_threshold = shm_threshold
+        self._pool = None
+        self._shm_token = None
+        self._probe_name = None
+        if shm is None:
+            shm = shm_plane.shm_available()
+        if shm and shm_plane.shm_available():
+            pool = shm_plane.BufferPool(
+                slab_bytes=shm_slab_bytes, max_bytes=shm_max_bytes
+            )
+            token = secrets.token_hex(16).encode()
+            probe = f"{pool.prefix}-probe"
+            if shm_plane.create_segment(probe, token):
+                self._pool = pool
+                self._shm_token = token
+                self._probe_name = probe
+                broker.payload_reaper = self._reap_payload
+            else:  # pragma: no cover - no shm space at boot
+                pool.close()
+
+    @property
+    def shm_enabled(self) -> bool:
+        return self._pool is not None
 
     @property
     def address(self) -> "tuple[str, int]":
@@ -441,70 +670,256 @@ class BrokerServer:
             self._threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        consumer = self.broker.register_consumer()
+        state = _ConnState(self.broker.register_consumer())
         with self._conn_cond:
             self._active_connections += 1
         try:
             with conn:
                 while True:
                     try:
-                        header, payload = _recv_frame(conn)
-                    except (ConnectionError, OSError):
+                        header, segments, recv_wire = _recv_frame(conn)
+                    except (ConnectionError, WireError, OSError):
                         return
                     try:
-                        reply, body = self._dispatch(consumer, header,
-                                                     payload)
+                        reply, body = self._dispatch(
+                            state, header, segments, recv_wire
+                        )
                     except BrokerError as exc:
                         reply, body = {"status": "error",
-                                       "error": str(exc)}, b""
+                                       "error": str(exc)}, []
                     try:
-                        _send_frame(conn, reply, body)
+                        sent = _send_frame(conn, reply, body)
                     except OSError:
                         return
+                    if state.record is not None:
+                        edge, shm_segs, shm_bytes, cp_segs, cp_bytes = \
+                            state.record
+                        state.record = None
+                        self.broker.record_wire(
+                            edge, wire_bytes=sent, shm_segments=shm_segs,
+                            shm_bytes=shm_bytes, copied_segments=cp_segs,
+                            copied_bytes=cp_bytes,
+                        )
         finally:
-            self.broker.drop_consumer(consumer)
+            self._release_leases(state, all_keys=True)
+            self.broker.drop_consumer(state.consumer)
             with self._conn_cond:
                 self._active_connections -= 1
                 self._conn_cond.notify_all()
 
-    def _dispatch(self, consumer: int, header: dict,
-                  payload: bytes) -> "tuple[dict, bytes]":
+    # ----------------------------------------------------- shm handoff
+
+    def _release_leases(self, state: _ConnState, key=None,
+                        all_keys: bool = False) -> None:
+        if self._pool is None:
+            return
+        if all_keys:
+            refs = [r for leases in state.leases.values() for r in leases]
+            state.leases.clear()
+        else:
+            refs = state.leases.pop(key, None) or []
+        self._pool.release_all(refs)
+
+    def _reap_payload(self, payload) -> None:
+        """Release the adopted-segment leases riding a dropped payload
+        (the :attr:`Broker.payload_reaper` hook)."""
+        if self._pool is None:
+            return
+        if isinstance(payload, shm_plane.ShmRef):
+            self._pool.release(payload)
+        elif isinstance(payload, list):
+            self._pool.release_all(
+                [s for s in payload if isinstance(s, shm_plane.ShmRef)]
+            )
+
+    def _materialize_inbound(self, state: _ConnState, header: dict,
+                             segments: list):
+        """Rebuild a published payload from inline wire segments plus
+        any same-host segment descriptors the client wrote.
+
+        Descriptor segments are *adopted*, not copied: the pool takes
+        ownership of the publisher's one-shot segment and the payload
+        carries a lease, so the bytes the publisher wrote are the bytes
+        a same-host consumer reads — zero server-side copies.  The
+        lease dies with the delivery (ack, pre-ack, or failed publish).
+        """
+        plan = header.get("shm")
+        shm_bytes = 0
+        if plan is not None:
+            if self._pool is None or not state.shm_ok:
+                raise BrokerError("shm publish from an unverified client")
+            rebuilt = []
+            inline = iter(segments)
+            for entry in plan:
+                if entry is None:
+                    rebuilt.append(next(inline))
+                    continue
+                name = str(entry["seg"])
+                if not name.startswith(self._pool.prefix):
+                    self._reap_payload(rebuilt)
+                    raise BrokerError(
+                        f"shm segment {name!r} outside the broker namespace"
+                    )
+                ref = self._pool.adopt_segment(
+                    name, int(entry.get("off", 0)), int(entry["len"])
+                )
+                if ref is None:
+                    self._reap_payload(rebuilt)
+                    raise BrokerError(
+                        f"shm segment {name!r} vanished before receipt"
+                    )
+                rebuilt.append(ref)
+                shm_bytes += int(entry["len"])
+            segments = rebuilt
+        payload = _from_segments(bool(header.get("multi")), segments)
+        return payload, shm_bytes
+
+    def _stage_outbound(self, state: _ConnState, edge: str, tag: int,
+                        payload) -> "tuple[dict, list]":
+        """Split a pulled payload into shm descriptors + inline segments
+        and stage the reply; leases stay with the connection until ack.
+
+        Adopted publish leases are re-leased to a verified consumer by
+        reference (the descriptor names the publisher's own segment —
+        the payload never existed server-side as bytes); for copy-path
+        peers they resolve to inline bytes.  Plain bytes segments at or
+        above the threshold are staged into a pool slab.
+        """
+        multi, segments = _as_segments(payload)
+        reply_extra: dict = {"multi": multi}
+        use_shm = state.shm_ok and self._pool is not None
+        shm_plan = []
+        wire_segments = []
+        leases = []
+        shm_segs = shm_bytes = 0
+        for seg in segments:
+            ref = None
+            if isinstance(seg, shm_plane.ShmRef):
+                if use_shm:
+                    ref = self._pool.incref(seg)
+                if ref is None:
+                    data = self._pool.read_ref(seg) \
+                        if self._pool is not None else None
+                    seg = data if data is not None else b""
+            elif use_shm and len(seg) >= self.shm_threshold:
+                ref = self._pool.put_bytes(seg)
+            if ref is None:
+                shm_plan.append(None)
+                wire_segments.append(seg)
+            else:
+                leases.append(ref)
+                shm_plan.append({"seg": ref.segment, "off": ref.offset,
+                                 "len": ref.length})
+                shm_segs += 1
+                shm_bytes += ref.length
+        if leases:
+            state.leases[(edge, tag)] = leases
+            reply_extra["shm"] = shm_plan
+        state.record = (
+            edge, shm_segs, shm_bytes, len(wire_segments),
+            sum(len(s) for s in wire_segments),
+        )
+        return reply_extra, wire_segments
+
+    # ------------------------------------------------------- dispatch
+
+    def _dispatch(self, state: _ConnState, header: dict, segments: list,
+                  recv_wire: int) -> "tuple[dict, list]":
         op = header.get("op")
         edge = header.get("edge", "")
         timeout = float(header.get("timeout", 0.05))
         if op == "hello":
-            return {"status": PULL_OK, "consumer": consumer,
-                    "plan": self.broker.plan_doc}, b""
+            reply = {"status": PULL_OK, "consumer": state.consumer,
+                     "plan": self.broker.plan_doc}
+            if self._pool is not None:
+                reply["shm"] = {
+                    "probe": self._probe_name,
+                    "token_len": len(self._shm_token),
+                    "prefix": self._pool.prefix,
+                    "threshold": self.shm_threshold,
+                }
+            return reply, []
+        if op == "shm_verify":
+            token = str(header.get("token", "")).encode()
+            state.shm_ok = (
+                self._pool is not None
+                and secrets.compare_digest(token, self._shm_token)
+            )
+            return {"status": PULL_OK, "shm": state.shm_ok}, []
         if op == "publish":
-            status = self.broker.publish(
-                edge, header.get("key", ""), payload, timeout=timeout
+            payload, shm_bytes = self._materialize_inbound(
+                state, header, segments
             )
-            return {"status": status}, b""
+            try:
+                status = self.broker.publish(
+                    edge, header.get("key", ""), payload, timeout=timeout
+                )
+            except BrokerError:
+                self._reap_payload(payload)
+                raise
+            if status != PUBLISH_OK:
+                self._reap_payload(payload)
+            shm_segs = len(header.get("shm") or []) - \
+                (header.get("shm") or []).count(None)
+            self.broker.record_wire(
+                edge, wire_bytes=recv_wire, shm_segments=shm_segs,
+                shm_bytes=shm_bytes, copied_segments=len(segments),
+                copied_bytes=sum(len(s) for s in segments),
+            )
+            return {"status": status}, []
         if op == "publish_ack":
-            status = self.broker.publish_ack(
-                edge, header.get("key", ""), payload,
-                header["ack_edge"], int(header["ack_tag"]), timeout=timeout,
+            payload, shm_bytes = self._materialize_inbound(
+                state, header, segments
             )
-            return {"status": status}, b""
+            ack_edge, ack_tag = header["ack_edge"], int(header["ack_tag"])
+            try:
+                status = self.broker.publish_ack(
+                    edge, header.get("key", ""), payload,
+                    ack_edge, ack_tag, timeout=timeout,
+                )
+            except BrokerError:
+                self._reap_payload(payload)
+                raise
+            if status == PUBLISH_OK:
+                self._release_leases(state, (ack_edge, ack_tag))
+            else:
+                self._reap_payload(payload)
+            shm_segs = len(header.get("shm") or []) - \
+                (header.get("shm") or []).count(None)
+            self.broker.record_wire(
+                edge, wire_bytes=recv_wire, shm_segments=shm_segs,
+                shm_bytes=shm_bytes, copied_segments=len(segments),
+                copied_bytes=sum(len(s) for s in segments),
+            )
+            return {"status": status}, []
         if op == "pull":
-            status, tag, key, body = self.broker.pull(
-                edge, consumer, timeout=timeout
+            status, tag, key, payload = self.broker.pull(
+                edge, state.consumer, timeout=timeout
             )
-            return {"status": status, "tag": tag, "key": key}, body
+            reply = {"status": status, "tag": tag, "key": key}
+            if status != PULL_OK:
+                return reply, []
+            extra, wire_segments = self._stage_outbound(
+                state, edge, tag, payload
+            )
+            reply.update(extra)
+            return reply, wire_segments
         if op == "ack":
-            self.broker.ack(edge, int(header["tag"]))
-            return {"status": PULL_OK}, b""
+            tag = int(header["tag"])
+            self.broker.ack(edge, tag)
+            self._release_leases(state, (edge, tag))
+            return {"status": PULL_OK}, []
         if op == "attach":
-            self.broker.attach_producer(edge, consumer)
-            return {"status": PULL_OK}, b""
+            self.broker.attach_producer(edge, state.consumer)
+            return {"status": PULL_OK}, []
         if op == "done":
-            self.broker.producer_done(edge, consumer)
-            return {"status": PULL_OK}, b""
+            self.broker.producer_done(edge, state.consumer)
+            return {"status": PULL_OK}, []
         if op == "abort":
             self.broker.abort(edge or None)
-            return {"status": PULL_OK}, b""
+            return {"status": PULL_OK}, []
         if op == "stats":
-            return {"status": PULL_OK, "stats": self.broker.stats()}, b""
+            return {"status": PULL_OK, "stats": self.broker.stats()}, []
         raise BrokerError(f"unknown op {op!r}")
 
     def wait_connections_closed(self, timeout: "float | None" = None) -> bool:
@@ -527,18 +942,31 @@ class BrokerServer:
             self._sock.close()
         except OSError:
             pass
+        if self._pool is not None:
+            # Unlinks the slabs and sweeps every same-prefix straggler:
+            # the boot probe plus any one-shot publish segment a client
+            # created but died before unlinking.
+            self._pool.close()
 
 
 class TcpBrokerClient:
     """Worker-side TCP transport (one lock-serialized connection).
 
-    ``wire_codec`` names an AGD codec applied to payload bodies on the
+    ``wire_codec`` names an AGD codec applied per payload segment on the
     wire (default ``"none"``: stage-boundary payloads are already
     chunk-compressed, so recompressing buys little).
+
+    ``shm`` opts into the same-host handoff: when the broker advertises
+    a probe segment in its hello and this process can read the boot
+    token back through ``/dev/shm``, large payload segments cross as
+    segment descriptors instead of socket bytes, in both directions.
+    ``None`` (the default) auto-detects; ``False`` forces the copy path;
+    ``True`` still degrades to copying when the probe is unreachable
+    (a cross-host peer can never be handed a local segment).
     """
 
     def __init__(self, host: str, port: int, wire_codec: str = "none",
-                 connect_timeout: float = 10.0):
+                 connect_timeout: float = 10.0, shm: "bool | None" = None):
         self._codec = get_codec(wire_codec)
         self._sock = socket.create_connection((host, port),
                                               timeout=connect_timeout)
@@ -547,20 +975,85 @@ class TcpBrokerClient:
         self._sock.settimeout(60.0)
         self._lock = threading.Lock()
         self._closed = False
+        self._shm = None
+        self._shm_counter = itertools.count()
         hello = self._request({"op": "hello"})[0]
         self.consumer = hello.get("consumer")
         self.plan_doc = hello.get("plan")
+        shm_info = hello.get("shm")
+        want_shm = shm_info is not None and shm is not False \
+            and shm_plane.shm_available()
+        if want_shm:
+            try:
+                token = shm_plane.read_segment(
+                    str(shm_info["probe"]), 0, int(shm_info["token_len"])
+                )
+            except OSError:
+                token = None  # not the broker's host: copy path
+            if token is not None:
+                reply = self._request(
+                    {"op": "shm_verify",
+                     "token": token.decode("ascii", "replace")}
+                )[0]
+                if reply.get("shm"):
+                    self._shm = {
+                        "prefix": str(shm_info["prefix"]),
+                        "threshold": int(shm_info["threshold"]),
+                    }
+
+    @property
+    def shm_active(self) -> bool:
+        """True when the same-host handshake verified a shared pool."""
+        return self._shm is not None
 
     def _request(self, header: dict,
-                 payload: bytes = b"") -> "tuple[dict, bytes]":
+                 segments=()) -> "tuple[dict, list]":
         with self._lock:
             if self._closed:
                 raise ConnectionError("broker client closed")
-            _send_frame(self._sock, header, payload)
-            reply, body = _recv_frame(self._sock)
+            _send_frame(self._sock, header, segments)
+            reply, body, _wire = _recv_frame(self._sock)
         if reply.get("status") == "error":
             raise BrokerError(reply.get("error", "broker error"))
         return reply, body
+
+    def _publish_op(self, header: dict, payload,
+                    timeout: float) -> str:
+        """Shared publish path: codec per segment, then hand every
+        at-or-above-threshold segment over shm when the handshake
+        verified a shared host (per-segment fallback to inline)."""
+        multi, segments = _as_segments(payload)
+        segments = [self._codec.compress(s) for s in segments]
+        header["multi"] = multi
+        header["timeout"] = timeout
+        created: list[str] = []
+        if self._shm is not None:
+            plan = []
+            inline = []
+            threshold = self._shm["threshold"]
+            for seg in segments:
+                name = None
+                if len(seg) >= threshold:
+                    name = (f"{self._shm['prefix']}-c{self.consumer}"
+                            f"-o{next(self._shm_counter)}")
+                    if not shm_plane.create_segment(name, seg,
+                                                    transfer=True):
+                        name = None  # shm space exhausted: ship inline
+                if name is None:
+                    plan.append(None)
+                    inline.append(seg)
+                else:
+                    created.append(name)
+                    plan.append({"seg": name, "len": len(seg)})
+            if created:
+                header["shm"] = plan
+                segments = inline
+        # Ownership transfers with the descriptors: the broker adopts
+        # the segments into its pool and unlinks them on last release.
+        # (If we die before the reply, the pool's prefix sweep reclaims
+        # them at server stop.)
+        reply, _ = self._request(header, segments)
+        return reply["status"]
 
     # ------------------------------------------------- QueueTransport API
 
@@ -570,23 +1063,20 @@ class TcpBrokerClient:
     def producer_done(self, edge: str) -> None:
         self._request({"op": "done", "edge": edge})
 
-    def publish(self, edge: str, key: str, payload: bytes,
+    def publish(self, edge: str, key: str, payload,
                 timeout: float = 0.05) -> str:
-        reply, _ = self._request(
-            {"op": "publish", "edge": edge, "key": key, "timeout": timeout},
-            self._codec.compress(payload),
+        return self._publish_op(
+            {"op": "publish", "edge": edge, "key": key}, payload, timeout
         )
-        return reply["status"]
 
-    def publish_ack(self, edge: str, key: str, payload: bytes,
+    def publish_ack(self, edge: str, key: str, payload,
                     ack_edge: str, ack_tag: int,
                     timeout: float = 0.05) -> str:
-        reply, _ = self._request(
+        return self._publish_op(
             {"op": "publish_ack", "edge": edge, "key": key,
-             "ack_edge": ack_edge, "ack_tag": ack_tag, "timeout": timeout},
-            self._codec.compress(payload),
+             "ack_edge": ack_edge, "ack_tag": ack_tag},
+            payload, timeout,
         )
-        return reply["status"]
 
     def pull(self, edge: str, timeout: float = 0.05):
         reply, body = self._request(
@@ -595,8 +1085,28 @@ class TcpBrokerClient:
         status = reply["status"]
         if status != PULL_OK:
             return (status, 0, "", b"")
-        return (status, reply["tag"], reply["key"],
-                self._codec.decompress(body))
+        plan = reply.get("shm")
+        if plan is not None:
+            segments = []
+            inline = iter(body)
+            for entry in plan:
+                if entry is None:
+                    segments.append(next(inline))
+                else:
+                    # Materialize NOW: the broker releases this lease as
+                    # soon as the delivery is acked, so the bytes must
+                    # leave shared memory before this pull returns.  No
+                    # caching — adopted publisher segments are one-shot
+                    # names and a cached mapping per chunk would leak.
+                    segments.append(shm_plane.read_segment(
+                        str(entry["seg"]), int(entry.get("off", 0)),
+                        int(entry["len"]), cache=False,
+                    ))
+        else:
+            segments = body
+        segments = [self._codec.decompress(s) for s in segments]
+        payload = _from_segments(bool(reply.get("multi")), segments)
+        return (status, reply["tag"], reply["key"], payload)
 
     def ack(self, edge: str, tag: int) -> None:
         self._request({"op": "ack", "edge": edge, "tag": tag})

@@ -215,6 +215,7 @@ def run_placed_pipeline(
     edge_capacities: "dict[str, int] | None" = None,
     autotune_edges: bool = False,
     wire_codec: str = "none",
+    broker_shm: "bool | None" = None,
     session_timeout: "float | None" = 600.0,
     vectorized: bool = True,
     ledger=None,
@@ -245,12 +246,22 @@ def run_placed_pipeline(
     per-edge depth stats (explicit ``edge_capacities`` pins win).  The
     applied suggestions land in ``outcome.autotuned_edges``.
 
+    ``wire_codec`` compresses TCP payload segments; ``broker_shm``
+    controls the same-host shared-memory handoff on TCP transports
+    (None probes ``/dev/shm`` and enables it when clients verify the
+    broker's boot token — i.e. they genuinely share the host; False
+    forces the byte-identical copy path).
+
     ``ledger`` (:class:`repro.core.ledger.RunLedger`) makes the placed
     run durable: broker acks and per-stage output writes are journaled,
     and a ledger opened with ``RunLedger.resume`` pre-acks work the
-    interrupted attempt completed (align-only plans over the shared
-    dataset store) while stage kernels skip digest-verified outputs —
-    the resumed run is byte-identical to an uninterrupted one.
+    interrupted attempt completed (plans whose leading group is pure
+    align over the shared dataset store) while stage kernels skip
+    digest-verified outputs — the resumed run is byte-identical to an
+    uninterrupted one.  When downstream stage groups exist, the
+    coordinator re-injects the pre-acked chunks' work items onto the
+    first boundary edge from the digest-verified stored columns, so
+    resequencers and dup scans still see the full chunk set.
     """
     if autotune_edges:
         kwargs = dict(
@@ -273,6 +284,7 @@ def run_placed_pipeline(
             port=port,
             edge_capacity=edge_capacity,
             wire_codec=wire_codec,
+            broker_shm=broker_shm,
             session_timeout=session_timeout,
             vectorized=vectorized,
         )
@@ -318,46 +330,60 @@ def run_placed_pipeline(
     broker.plan_doc = plan.to_doc()
     work_capacity = max(1, manifest.num_chunks)
     overrides = edge_capacities or {}
+
+    # Resume pre-ack: a plan whose LEADING group is pure align can skip
+    # chunks whose journaled results digest still matches the shared
+    # store — the aligners never see them again.  Computed before edge
+    # creation because, when downstream groups exist, the coordinator
+    # re-injects those chunks' work items onto the first boundary edge
+    # and needs a producer slot pre-declared there (resequencers, merge
+    # manifests and dup scans still see the full chunk set).  Leading
+    # groups that aggregate or re-chunk (sort, filter) and plans with
+    # per-server results stores cannot pre-ack; their stage kernels
+    # skip digest-verified writes instead.
+    pre_acked: "list[str]" = []
+    if ledger is not None and ledger.resuming \
+            and plan.groups[0] == ("align",) \
+            and align_results_store_factory is None:
+        from repro.core.ledger import blob_digest
+        from repro.storage.base import StorageError
+
+        for entry in manifest.chunks:
+            key = entry.chunk_file("results")
+            digest = ledger.journaled_digest("align", key)
+            if digest is None:
+                continue
+            try:
+                if blob_digest(dataset.store.get(key)) == digest:
+                    pre_acked.append(entry.path)
+            except StorageError:
+                continue
+    inject_edge: "str | None" = None
+    if pre_acked and len(plan.groups) > 1:
+        # First boundary edge (plan.edges() lists the work edge first).
+        inject_edge = plan.edges()[1].name
+
     for spec in plan.edges():
         broker.create_edge(
             spec.name,
             capacity=work_capacity if spec.name == WORK_EDGE
             else max(1, int(overrides.get(spec.name, edge_capacity))),
-            producers=spec.producers,
+            # One extra slot for the coordinator's re-injected items.
+            producers=spec.producers + (1 if spec.name == inject_edge
+                                        else 0),
         )
 
     if ledger is not None:
         broker.ack_listener = ledger.edge_ack
-        if ledger.resuming and plan.stages == ("align",) \
-                and align_results_store_factory is None:
-            # Align-only plans are terminal per work item, so a chunk
-            # whose journaled results digest still matches the shared
-            # store is genuinely finished — pre-ack it and the aligners
-            # never see it again.  Multi-stage plans must re-flow every
-            # chunk (resequencers, merge manifests, dup scans need the
-            # full set); their stage kernels skip the redundant work
-            # instead.
-            from repro.core.ledger import blob_digest
-            from repro.storage.base import StorageError
-
-            done = []
-            for entry in manifest.chunks:
-                key = entry.chunk_file("results")
-                digest = ledger.journaled_digest("align", key)
-                if digest is None:
-                    continue
-                try:
-                    if blob_digest(dataset.store.get(key)) == digest:
-                        done.append(entry.path)
-                except StorageError:
-                    continue
-            if done:
-                broker.pre_ack(WORK_EDGE, done)
-                ledger.count_skip("work.pre_acked", len(done))
+        if pre_acked:
+            broker.pre_ack(WORK_EDGE, pre_acked)
+            ledger.count_skip("work.pre_acked", len(pre_acked))
 
     server_tcp: "BrokerServer | None" = None
     if transport == "tcp":
-        server_tcp = BrokerServer(broker, host=host, port=port).start()
+        server_tcp = BrokerServer(
+            broker, host=host, port=port, shm=broker_shm
+        ).start()
     elif transport != "local":
         raise ValueError(f"unknown transport {transport!r} "
                          f"(choices: local, tcp)")
@@ -368,7 +394,8 @@ def run_placed_pipeline(
         if server not in clients:
             if server_tcp is not None:
                 clients[server] = TcpBrokerClient(
-                    server_tcp.host, server_tcp.port, wire_codec=wire_codec
+                    server_tcp.host, server_tcp.port,
+                    wire_codec=wire_codec, shm=broker_shm,
                 )
             else:
                 clients[server] = LocalBrokerClient(broker)
@@ -485,7 +512,7 @@ def run_placed_pipeline(
         # chunk name, then close it (the manifest-server publish, §5.2).
         coordinator = LocalBrokerClient(broker) if server_tcp is None \
             else TcpBrokerClient(server_tcp.host, server_tcp.port,
-                                 wire_codec=wire_codec)
+                                 wire_codec=wire_codec, shm=broker_shm)
         work_queue = RemoteQueue(coordinator, WORK_EDGE, entry_serializer())
         work_queue.register_producer()
         try:
@@ -498,6 +525,40 @@ def run_placed_pipeline(
             pass
         finally:
             work_queue.producer_done()
+
+        if inject_edge is not None:
+            # Re-inject the pre-acked chunks' work items from the
+            # digest-verified store so downstream groups see every
+            # chunk, exactly as an align replica would have sent them
+            # (the edge serializer normalizes both transports).
+            from repro.agd.chunk import read_chunk
+            from repro.core.ops import ChunkWorkItem
+
+            inject_queue = RemoteQueue(
+                coordinator, inject_edge, item_serializer()
+            )
+            inject_queue.register_producer()
+            inject_columns = tuple(
+                c for c in manifest.columns if c != "results"
+            )
+            try:
+                done_set = set(pre_acked)
+                for entry in manifest.chunks:
+                    if entry.path not in done_set:
+                        continue
+                    item = ChunkWorkItem(entry=entry)
+                    for column in inject_columns:
+                        item.columns[column] = read_chunk(
+                            dataset.store.get(entry.chunk_file(column))
+                        ).records
+                    item.results = read_chunk(
+                        dataset.store.get(entry.chunk_file("results"))
+                    ).records
+                    inject_queue.put(item)
+            except (PipelineAborted, QueueClosed):
+                pass
+            finally:
+                inject_queue.producer_done()
 
         for t in threads:
             t.join()

@@ -35,11 +35,21 @@ class WireError(ValueError):
 
 class PayloadSerializer(NamedTuple):
     """An encode/decode pair a :class:`~repro.dataflow.queues.RemoteQueue`
-    applies to items crossing its edge."""
+    applies to items crossing its edge.
+
+    ``encode_frames``/``decode_frames`` are the scatter/gather variants:
+    they trade in a *list* of segment blobs instead of one packed byte
+    string, so a transport that can move segments individually (the TCP
+    broker's ``sendmsg`` path, the same-host shm handoff) never pays the
+    pack/concat copy.  Serializers without them fall back to the packed
+    single-blob pair.
+    """
 
     encode: Callable[[object], bytes]
     decode: Callable[[bytes], object]
     key: Callable[[object], str]
+    encode_frames: "Callable[[object], list[bytes]] | None" = None
+    decode_frames: "Callable[[list[bytes]], object] | None" = None
 
 
 def pack_frames(blobs: "list[bytes]") -> bytes:
@@ -98,10 +108,14 @@ def entry_serializer() -> PayloadSerializer:
 # ------------------------------------------------------------- work items
 
 
-def encode_work_item(item, codec_level: int = EDGE_CODEC_LEVEL) -> bytes:
-    """Serialize a :class:`~repro.core.ops.ChunkWorkItem`: a JSON header
-    frame followed by one AGD chunk blob per column (results attached as
-    their own frame when they live on ``item.results``)."""
+def encode_work_item_frames(
+    item, codec_level: int = EDGE_CODEC_LEVEL
+) -> "list[bytes]":
+    """Serialize a :class:`~repro.core.ops.ChunkWorkItem` as a frames
+    *list*: a JSON header frame followed by one AGD chunk blob per column
+    (results attached as their own frame when they live on
+    ``item.results``).  Scatter/gather transports ship the list as-is;
+    :func:`encode_work_item` packs it for single-blob carriers."""
     codec = leveled_codec("gzip", codec_level)
     columns = sorted(item.columns)
     results_attached = item.results is not None and "results" not in columns
@@ -131,13 +145,17 @@ def encode_work_item(item, codec_level: int = EDGE_CODEC_LEVEL) -> bytes:
                 codec=codec,
             )
         )
-    return pack_frames(blobs)
+    return blobs
 
 
-def decode_work_item(blob: bytes):
+def encode_work_item(item, codec_level: int = EDGE_CODEC_LEVEL) -> bytes:
+    """Packed single-blob form of :func:`encode_work_item_frames`."""
+    return pack_frames(encode_work_item_frames(item, codec_level))
+
+
+def decode_work_item_frames(frames: "list[bytes]"):
     from repro.core.ops import ChunkWorkItem
 
-    frames = unpack_frames(blob)
     if not frames:
         raise WireError("work item frame missing header")
     header = json.loads(frames[0].decode())
@@ -157,9 +175,16 @@ def decode_work_item(blob: bytes):
     return item
 
 
+def decode_work_item(blob: bytes):
+    """Inverse of :func:`encode_work_item`."""
+    return decode_work_item_frames(unpack_frames(blob))
+
+
 def item_serializer(codec_level: int = EDGE_CODEC_LEVEL) -> PayloadSerializer:
     return PayloadSerializer(
         encode=lambda item: encode_work_item(item, codec_level),
         decode=decode_work_item,
         key=lambda item: item.entry.path,
+        encode_frames=lambda item: encode_work_item_frames(item, codec_level),
+        decode_frames=decode_work_item_frames,
     )

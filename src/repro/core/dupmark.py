@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.agd.chunk import read_chunk
 from repro.agd.dataset import AGDDataset
+from repro.dataflow import shm as shm_plane
 from repro.align.result import (
     FLAG_DUPLICATE,
     AlignmentResult,
@@ -223,12 +224,15 @@ def _mark_duplicates_vectorized(
         return dataset.store.get(
             dataset.manifest.chunks[chunk_index].chunk_file("results"))
 
-    def mark_chunk(chunk_index: int, blob: bytes, sigs, valid) -> None:
+    def mark_chunk(chunk_index: int, blob, sigs, valid) -> None:
         dup_positions = tracker.scan(sigs, valid, stats)
         if not dup_positions:
             return
         # Dirty chunks rewrite by patching the serialized flag bytes —
         # no AlignmentResult objects on either side of the marking.
+        # Under streaming wave leases the blob may be an ShmRef; it is
+        # resolved only here, i.e. only for chunks that are dirty.
+        blob = shm_plane.resolve_payload(blob)
         entry = dataset.manifest.chunks[chunk_index]
         dataset.store.put(
             entry.chunk_file("results"),
@@ -276,7 +280,9 @@ def _mark_duplicates_backend(
     ):
         dup_positions = scan_signatures(sigs, seen, stats)
         if dup_positions:
-            updated = list(read_chunk(blob).records)
+            # Lease-aware: resolve the (possibly ShmRef) blob only for
+            # the chunks that actually need rewriting.
+            updated = list(read_chunk(shm_plane.resolve_payload(blob)).records)
             for position in dup_positions:
                 updated[position] = updated[position].with_flag(
                     FLAG_DUPLICATE

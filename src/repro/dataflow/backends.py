@@ -169,6 +169,14 @@ class Backend(abc.ABC):
         process pool forked lazily from inside a running multithreaded
         graph can inherit locks held mid-operation by other threads."""
 
+    def payload_pool(self) -> "tuple[Any, int]":
+        """The ``(BufferPool, threshold)`` payloads may be leased into
+        ahead of :meth:`run_chunk`, or ``(None, 0)`` for backends whose
+        workers share the caller's memory (nothing to lease).  Streaming
+        callers (:func:`run_in_waves`) adopt payloads per in-flight wave
+        and release the leases as the wave's results drain."""
+        return None, 0
+
     def shutdown(self, wait: bool = True) -> None:
         """Release worker threads/processes (idempotent)."""
 
@@ -515,6 +523,12 @@ class ProcessBackend(Backend):
     def start(self) -> None:
         self._ensure_pool()
 
+    def payload_pool(self) -> "tuple[Any, int]":
+        if not self.shm:
+            return None, 0
+        self._ensure_pool()
+        return self._shm_pool, self.shm_threshold
+
     # ------------------------------------------------------------------ run
 
     def run_chunk(
@@ -634,13 +648,41 @@ def run_in_waves(
     before the next wave starts.  The payload is yielded alongside the
     result so callers can reuse it (e.g. decode an already-fetched
     blob) without re-reading storage.
+
+    When the backend exposes a payload pool (:meth:`Backend.payload_pool`),
+    each wave's payloads are *leased* into shared memory as they are
+    built — the heap originals drop immediately, the payloads the caller
+    sees back are ~100-byte :class:`~repro.dataflow.shm.ShmRef`\\ s, and
+    the leases release (rewinding the slab) once the wave's results have
+    drained from the generator.  Peak shm footprint is therefore one
+    wave regardless of pool size; callers that reuse the yielded payload
+    must resolve refs lazily via
+    :func:`~repro.dataflow.shm.resolve_payload`.
     """
     wave = max(1, wave_factor * max(1, backend.workers))
+    pool, threshold = backend.payload_pool()
     for start in range(0, len(items), wave):
         wave_items = items[start:start + wave]
-        payloads = [make_payload(item) for item in wave_items]
-        results = backend.run_chunk(fn, payloads)
-        yield from zip(wave_items, payloads, results)
+        if pool is None:
+            payloads = [make_payload(item) for item in wave_items]
+            results = backend.run_chunk(fn, payloads)
+            yield from zip(wave_items, payloads, results)
+            continue
+        leases: list = []
+        try:
+            # Adopt as each payload is built so at most one heap
+            # original is alive at a time; run_chunk passes existing
+            # ShmRefs through without re-leasing them.
+            payloads = [
+                shm_plane.adopt_payload(
+                    pool, make_payload(item), threshold, leases
+                )
+                for item in wave_items
+            ]
+            results = backend.run_chunk(fn, payloads)
+            yield from zip(wave_items, payloads, results)
+        finally:
+            pool.release_all(leases)
 
 
 # --------------------------------------------------------------------------

@@ -232,7 +232,11 @@ class RemoteQueue:
     ``serializer`` (an encode/decode/key triple, see
     :class:`repro.cluster.wire.PayloadSerializer`) converts items to the
     bytes that cross the transport; None passes payloads through
-    untouched (they must then be bytes already).
+    untouched (they must then be bytes already).  Serializers that carry
+    ``encode_frames``/``decode_frames`` trade in segment *lists* instead
+    of one packed blob, which scatter/gather transports move without the
+    pack/concat copy; the payloads a transport sees are then
+    ``list[bytes]`` and it must return the same shape from ``pull``.
 
     ``ack_mode`` selects the delivery contract:
 
@@ -294,10 +298,23 @@ class RemoteQueue:
 
     # ------------------------------------------------------------------ I/O
 
-    def _encode(self, item: Any) -> "tuple[str, bytes]":
+    def _encode(self, item: Any) -> "tuple[str, Any]":
         if self.serializer is None:
             return "", bytes(item)
+        encode_frames = getattr(self.serializer, "encode_frames", None)
+        if encode_frames is not None:
+            return self.serializer.key(item), encode_frames(item)
         return self.serializer.key(item), self.serializer.encode(item)
+
+    def _decode(self, payload: Any) -> Any:
+        if self.serializer is None:
+            return payload
+        if isinstance(payload, list):
+            decode_frames = getattr(self.serializer, "decode_frames", None)
+            if decode_frames is not None:
+                return decode_frames(payload)
+            payload = b"".join(payload)
+        return self.serializer.decode(payload)
 
     def _check_status(self, status: str) -> None:
         if status == EDGE_ABORTED:
@@ -376,11 +393,13 @@ class RemoteQueue:
         if self.ack_mode == "manual":
             with self._lock:
                 self._inflight[key] = tag
-        else:
-            self.client.ack(self.edge, tag)
-        if self.serializer is None:
-            return payload
-        return self.serializer.decode(payload)
+            return self._decode(payload)
+        # Auto-ack: decode BEFORE acknowledging.  Under the same-host shm
+        # handoff the ack releases the broker-side segment lease, so the
+        # payload must be fully materialized first.
+        item = self._decode(payload)
+        self.client.ack(self.edge, tag)
+        return item
 
     def _take_tag(self, key: str) -> "int | None":
         with self._lock:

@@ -56,12 +56,15 @@ __all__ = [
     "ShmRef",
     "adopt_payload",
     "configure_export",
+    "create_segment",
     "export_results",
     "list_segments",
+    "read_segment",
     "resolve_payload",
     "resolve_results",
     "shm_available",
     "sweep_segments",
+    "unlink_segment",
 ]
 
 #: Bytes per pooled slab segment.
@@ -167,6 +170,23 @@ def sweep_segments(prefix: str) -> int:
     return removed
 
 
+def _untrack(seg) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    CPython registers POSIX segments on *attach* too, so a process that
+    merely read (or handed off) a segment would unlink it at exit —
+    yanking live slabs out from under their owner.  Ownership-transfer
+    paths therefore unregister explicitly; the owning process keeps its
+    registration and unlinks deliberately.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker absent or renamed
+        pass
+
+
 class _Slab:
     """One pooled segment: bump allocation + live-lease count.
 
@@ -182,6 +202,21 @@ class _Slab:
         self.capacity = capacity
         self.used = 0
         self.live = 0
+
+
+class _Adopted:
+    """A foreign segment the pool took ownership of (broker handoff).
+
+    The publisher wrote it, the pool adopted it without copying; the
+    attached mapping stays open so the bytes survive even an early
+    unlink of the name.  Unlinked when the last lease token returns.
+    """
+
+    __slots__ = ("shm", "refs")
+
+    def __init__(self, shm):
+        self.shm = shm
+        self.refs = 0
 
 
 class BufferPool:
@@ -209,6 +244,7 @@ class BufferPool:
         )
         self._slabs: "list[_Slab]" = []
         self._leases: "dict[int, _Slab]" = {}
+        self._adopted: "dict[int, _Adopted]" = {}
         self._tokens = itertools.count()
         self._segments = itertools.count()
         self._lock = threading.Lock()
@@ -224,7 +260,7 @@ class BufferPool:
     @property
     def live_leases(self) -> int:
         with self._lock:
-            return len(self._leases)
+            return len(self._leases) + len(self._adopted)
 
     @property
     def allocated_bytes(self) -> int:
@@ -315,17 +351,101 @@ class BufferPool:
             token=token,
         )
 
+    # ---------------------------------------------------------- adoption
+
+    def adopt_segment(self, name: str, offset: int,
+                      length: int) -> "ShmRef | None":
+        """Take ownership of a publisher-written segment without copying.
+
+        The zero-copy half of the broker handoff: the publisher wrote
+        the bytes once, the pool attaches the segment and leases it like
+        its own allocation — the payload is never copied server-side.
+        The last lease out unlinks the segment.  None when the segment
+        is gone (the publisher died before the frame arrived).
+        """
+        if _shared_memory is None:
+            return None
+        try:
+            seg = _shared_memory.SharedMemory(name=name)
+        except OSError:
+            return None
+        with self._lock:
+            if self._closed:
+                closed = True
+            else:
+                closed = False
+                holder = _Adopted(seg)
+                holder.refs = 1
+                token = next(self._tokens)
+                self._adopted[token] = holder
+        if closed:
+            try:
+                seg.close()
+                seg.unlink()
+            except OSError:  # pragma: no cover - raced the sweep
+                pass
+            return None
+        return ShmRef(segment=name, offset=offset, length=length,
+                      token=token)
+
+    def incref(self, ref: ShmRef) -> "ShmRef | None":
+        """Lease an already-leased payload again (a second consumer
+        handoff of the same stored bytes).  Returns a new ref carrying
+        its own token, or None when the backing lease is gone."""
+        with self._lock:
+            holder = self._adopted.get(ref.token)
+            if holder is not None:
+                token = next(self._tokens)
+                holder.refs += 1
+                self._adopted[token] = holder
+                return replace(ref, token=token)
+            slab = self._leases.get(ref.token)
+            if slab is None:
+                return None
+            token = next(self._tokens)
+            slab.live += 1
+            self._leases[token] = slab
+            return replace(ref, token=token)
+
+    def read_ref(self, ref: ShmRef) -> "bytes | None":
+        """Copy a leased payload back out (for peers that cannot attach
+        the segment — the socket copy path)."""
+        with self._lock:
+            holder = self._adopted.get(ref.token)
+            if holder is not None:
+                buf = holder.shm.buf
+                return bytes(buf[ref.offset:ref.offset + ref.length])
+            slab = self._leases.get(ref.token)
+            if slab is not None:
+                buf = slab.shm.buf
+                return bytes(buf[ref.offset:ref.offset + ref.length])
+        return None
+
     # ------------------------------------------------------------- leases
 
     def release(self, ref: ShmRef) -> None:
-        """Return one lease; the last lease out rewinds its slab."""
+        """Return one lease; the last lease out rewinds its slab (or
+        unlinks its adopted segment)."""
+        dead = None
         with self._lock:
-            slab = self._leases.pop(ref.token, None)
-            if slab is None:
-                return
-            slab.live -= 1
-            if slab.live == 0:
-                slab.used = 0
+            holder = self._adopted.pop(ref.token, None)
+            if holder is not None:
+                holder.refs -= 1
+                if holder.refs == 0:
+                    dead = holder.shm
+            else:
+                slab = self._leases.pop(ref.token, None)
+                if slab is None:
+                    return
+                slab.live -= 1
+                if slab.live == 0:
+                    slab.used = 0
+        if dead is not None:
+            try:
+                dead.close()
+                dead.unlink()
+            except OSError:  # pragma: no cover - raced another cleaner
+                pass
 
     def release_all(self, refs) -> None:
         for ref in refs:
@@ -343,6 +463,15 @@ class BufferPool:
             self._closed = True
             slabs, self._slabs = self._slabs, []
             self._leases.clear()
+            adopted = list({id(h): h for h in self._adopted.values()}
+                           .values())
+            self._adopted.clear()
+        for holder in adopted:
+            try:
+                holder.shm.close()
+                holder.shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
         for slab in slabs:
             try:
                 slab.shm.close()
@@ -360,6 +489,86 @@ class BufferPool:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<BufferPool {self.prefix!r} slabs={len(self._slabs)} "
                 f"leases={len(self._leases)}>")
+
+
+# ---------------------------------------------------------------------------
+# Named one-shot segments: the broker's same-host handoff trades in
+# these directly (a publisher writes one, the receiver reads and the
+# creator unlinks), bypassing the pool's lease machinery.
+
+
+def create_segment(name: str, data, transfer: bool = False) -> bool:
+    """Create a named segment holding ``data``; False when shm space or
+    the name is unavailable (the caller ships the bytes inline).
+
+    ``transfer=True`` hands ownership to whoever adopts the segment by
+    name (the broker's publish handoff): this process's resource
+    tracker forgets it, so a later exit here cannot unlink bytes the
+    adopter still holds.
+    """
+    if _shared_memory is None:
+        return False
+    try:
+        seg = _shared_memory.SharedMemory(
+            create=True, size=max(1, len(data)), name=name
+        )
+    except OSError:
+        return False
+    seg.buf[:len(data)] = bytes(data) if isinstance(data, memoryview) \
+        else data
+    if transfer:
+        _untrack(seg)
+    seg.close()
+    return True
+
+
+def read_segment(name: str, offset: int, length: int,
+                 cache: bool = False) -> bytes:
+    """Copy ``length`` bytes out of a named segment.
+
+    ``cache=True`` keeps the attachment mapped (right for pooled slabs a
+    peer reads from repeatedly); one-shot segments should pass False so
+    the mapping drops immediately.  Raises OSError when the segment does
+    not exist — same-host handoffs treat that as a protocol error.
+
+    The uncached path reads the ``/dev/shm`` file directly where it
+    exists: cheaper than an mmap attach per chunk, and it keeps the
+    resource tracker out of it entirely — an attach would register a
+    segment this process does not own (and its unregister would race
+    the owner's when both sides share a forked tracker).
+    """
+    if cache:
+        return bytes(_attach(name).buf[offset:offset + length])
+    try:
+        with open(os.path.join(SHM_DIR, name), "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(length)
+        if len(data) == length:
+            return data
+    except OSError:
+        pass
+    seg = _shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(seg.buf[offset:offset + length])
+    finally:
+        # A reader is not an owner: forget the attachment so this
+        # process's exit never unlinks the creator's segment.
+        _untrack(seg)
+        seg.close()
+
+
+def unlink_segment(name: str) -> bool:
+    """Unlink a named segment; False when it is already gone."""
+    try:
+        seg = _shared_memory.SharedMemory(name=name)
+    except OSError:
+        return False
+    try:
+        seg.close()
+        seg.unlink()
+    except OSError:  # pragma: no cover - raced another cleaner
+        return False
+    return True
 
 
 # ---------------------------------------------------------------------------
