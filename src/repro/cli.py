@@ -276,6 +276,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     if "align" in stages:
         builder = {"snap": build_snap_aligner, "bwa": build_bwa_aligner}
         aligner = builder[args.aligner](reference)
+    if reference is not None:
+        # Output manifests (sorted dataset, VCF contigs) must name the
+        # reference even when this invocation runs no align stage.
         dataset.manifest.reference = reference.manifest_entry()
     output_store = DirectoryStore(args.output_dir) if "sort" in stages \
         else None
@@ -420,9 +423,34 @@ def _cluster_filter_predicate(args, stages):
     return by_min_mapq(args.min_mapq)
 
 
+def _delivery_deadline(raw: str):
+    """argparse type for ``--delivery-deadline``: auto | off | seconds."""
+    value = raw.strip().lower()
+    if value in ("auto", "off"):
+        return value
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto', 'off', or seconds, got {raw!r}"
+        ) from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("deadline must be positive")
+    return seconds
+
+
+def _print_quarantined(quarantined: dict) -> None:
+    for edge, records in sorted(quarantined.items()):
+        for rec in records:
+            print(f"  QUARANTINED {rec['key']!r} on edge {edge} after "
+                  f"{rec['strikes']} failed deliveries:")
+            for line in rec.get("history") or []:
+                print(f"    {line}")
+
+
 def _cmd_cluster_run(args: argparse.Namespace) -> int:
     """All-in-one placed run: broker + every server in one process."""
-    from repro.cluster.multiserver import run_placed_pipeline
+    from repro.cluster.multiserver import PoisonChunkError, run_placed_pipeline
     from repro.cluster.placement import PlacementPlan
     from repro.core.sort import SortConfig
     from repro.formats.vcf import write_vcf
@@ -431,7 +459,7 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
     stages = plan.stages
     dataset = AGDDataset.open(args.dataset_dir)
     reference, aligner = _cluster_reference_and_aligner(args, stages)
-    if aligner is not None:
+    if reference is not None:
         dataset.manifest.reference = reference.manifest_entry()
     if "sort" in stages and not args.output_dir:
         print("--output-dir is required when the plan places a sort stage",
@@ -454,32 +482,44 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
         def scratch_factory(server: str):
             return DirectoryStore(scratch_root / server)
 
-    outcome = run_placed_pipeline(
-        dataset,
-        plan,
-        aligner=aligner,
-        reference=reference,
-        sort_config=SortConfig(order=args.order,
-                               chunks_per_superchunk=args.superchunk),
-        filter_predicate=_cluster_filter_predicate(args, stages),
-        output_store=(DirectoryStore(args.output_dir)
-                      if args.output_dir else None),
-        filter_store=(DirectoryStore(args.filter_dir)
-                      if args.filter_dir else None),
-        scratch_store_factory=scratch_factory,
-        backend=args.backend,
-        workers=args.workers,
-        batch_size=args.batch_size,
-        transport=args.transport,
-        host=args.host,
-        port=args.port,
-        edge_capacity=args.edge_capacity,
-        autotune_edges=args.autotune_edges,
-        broker_shm=args.broker_shm,
-        session_timeout=args.timeout,
-        vectorized=args.kernels == "vectorized",
-        ledger=ledger,
-    )
+    try:
+        outcome = run_placed_pipeline(
+            dataset,
+            plan,
+            aligner=aligner,
+            reference=reference,
+            sort_config=SortConfig(order=args.order,
+                                   chunks_per_superchunk=args.superchunk),
+            filter_predicate=_cluster_filter_predicate(args, stages),
+            output_store=(DirectoryStore(args.output_dir)
+                          if args.output_dir else None),
+            filter_store=(DirectoryStore(args.filter_dir)
+                          if args.filter_dir else None),
+            scratch_store_factory=scratch_factory,
+            backend=args.backend,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            transport=args.transport,
+            host=args.host,
+            port=args.port,
+            edge_capacity=args.edge_capacity,
+            autotune_edges=args.autotune_edges,
+            broker_shm=args.broker_shm,
+            session_timeout=args.timeout,
+            vectorized=args.kernels == "vectorized",
+            ledger=ledger,
+            delivery_deadline=args.delivery_deadline,
+            max_redeliveries=args.max_redeliveries,
+            on_poison=args.on_poison,
+            spill_dir=args.spill_dir,
+            spill_watermark=args.spill_watermark,
+        )
+    except PoisonChunkError as exc:
+        print(f"poison chunk {exc.key!r} exhausted its redeliveries on "
+              f"edge {exc.edge!r} (--on-poison fail)", file=sys.stderr)
+        if ledger is not None:
+            ledger.close()
+        return 1
     if "align" in stages:
         dataset.save_manifest(args.dataset_dir)
     if outcome.sorted_dataset is not None:
@@ -501,6 +541,10 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
     print(f"  {total_chunks} chunk completions, "
           f"{outcome.total_redelivered} redelivered, imbalance "
           f"{outcome.completion_imbalance:.2f}x")
+    if outcome.quarantined:
+        print(f"  run completed DEGRADED: {outcome.total_quarantined} "
+              f"chunk(s) quarantined")
+        _print_quarantined(outcome.quarantined)
     if outcome.dupmark_stats is not None:
         print(f"  duplicates marked: "
               f"{outcome.dupmark_stats.duplicates_marked}")
@@ -535,7 +579,11 @@ def _cmd_cluster_broker(args: argparse.Namespace) -> int:
 
     plan = PlacementPlan.parse(args.plan)
     dataset = AGDDataset.open(args.dataset_dir)
-    broker = Broker()
+    broker = Broker(
+        delivery_deadline=args.delivery_deadline,
+        max_redeliveries=args.max_redeliveries,
+        on_poison=args.on_poison,
+    )
     broker.plan_doc = plan.to_doc()
     for spec in plan.edges():
         broker.create_edge(
@@ -545,7 +593,8 @@ def _cmd_cluster_broker(args: argparse.Namespace) -> int:
             producers=spec.producers,
         )
     server = BrokerServer(broker, host=args.host, port=args.port,
-                          shm=args.broker_shm).start()
+                          shm=args.broker_shm, spill_dir=args.spill_dir,
+                          spill_watermark=args.spill_watermark).start()
     print(f"broker serving plan [{args.plan}] on "
           f"{server.host}:{server.port}")
     coordinator = LocalBrokerClient(broker)
@@ -557,6 +606,10 @@ def _cmd_cluster_broker(args: argparse.Namespace) -> int:
     print(f"published {dataset.num_chunks} chunk names; waiting for "
           f"workers (timeout {args.timeout}s)")
     done = broker.wait_complete(timeout=args.timeout)
+    if broker.poison_failure is not None:
+        edge, key = broker.poison_failure
+        print(f"poison chunk {key!r} exhausted its redeliveries on edge "
+              f"{edge!r}; run aborted (--on-poison fail)", file=sys.stderr)
     if not done:
         # Abort the edges first so blocked workers unwind through the
         # PipelineAborted path instead of dying on connection resets
@@ -564,11 +617,15 @@ def _cmd_cluster_broker(args: argparse.Namespace) -> int:
         broker.abort()
     # Workers only learn an edge is exhausted (or aborted) by polling
     # it: keep the socket up until they have all observed it and
-    # disconnected.
-    server.wait_connections_closed(timeout=60.0)
+    # disconnected.  The grace period scales with the run deadline so a
+    # short-timeout invocation is not stuck a further fixed 60s here.
+    server.wait_connections_closed(timeout=min(60.0, max(1.0, args.timeout)))
+    quarantined = broker.quarantined()
     for edge, stat in broker.stats().items():
         print(f"  {edge:<16} published {stat['total_published']:>5}  "
               f"redelivered {stat['total_redelivered']:>3}  "
+              f"expired {stat['total_expired']:>3}  "
+              f"quarantined {stat['total_quarantined']:>3}  "
               f"max depth {stat['max_depth']}")
         if stat.get("wire_bytes") or stat.get("shm_handoffs"):
             print(f"  {'':<16} wire {stat['wire_bytes']:>12,}B of "
@@ -578,10 +635,19 @@ def _cmd_cluster_broker(args: argparse.Namespace) -> int:
                   f"{stat['copied_segments']:>4} "
                   f"({stat['copied_bytes']:,}B)")
     server.stop()
+    if quarantined:
+        _print_quarantined(quarantined)
+    if broker.poison_failure is not None:
+        return 1
     if not done:
         print("timed out before every edge drained", file=sys.stderr)
         return 1
-    print("all edges drained; run complete")
+    if quarantined:
+        total = sum(len(v) for v in quarantined.values())
+        print(f"all edges drained; run complete DEGRADED "
+              f"({total} chunk(s) quarantined)")
+    else:
+        print("all edges drained; run complete")
     return 0
 
 
@@ -599,18 +665,34 @@ def _cmd_cluster_worker(args: argparse.Namespace) -> int:
     from repro.dataflow.session import Session
     from repro.formats.vcf import write_vcf
 
+    from repro.cluster.broker import BrokerError
+
     host, port = _parse_host_port(args.connect)
     client = TcpBrokerClient(host, port, shm=args.broker_shm)
     plan_doc = client.plan()
     if not plan_doc:
         print("broker serves no placement plan", file=sys.stderr)
         return 1
+    if args.join:
+        # Live admission: ask the broker to grow `--join`'s (replicable)
+        # stage group by this server, then run with the updated plan.
+        try:
+            plan_doc = client.admit(args.server, args.join)
+        except BrokerError as exc:
+            print(f"broker refused admission: {exc}", file=sys.stderr)
+            client.close()
+            return 1
+        print(f"admitted into the running plan as a replica of "
+              f"{args.join!r}")
     plan = PlacementPlan.from_doc(plan_doc)
     placement = plan.placement_for(args.server)
     stages = plan.stages
     dataset = AGDDataset.open(args.dataset_dir)
     reference, aligner = _cluster_reference_and_aligner(args, placement.stages)
-    if aligner is not None:
+    if reference is not None:
+        # A sort/varcall-only worker writes the sorted manifest: it
+        # must carry the reference contigs exactly like a single-run
+        # `persona pipeline` output would, or the two diverge.
         dataset.manifest.reference = reference.manifest_entry()
     if "sort" in stages and not args.output_dir and (
             "sort" in placement.stages or "dupmark" in placement.stages):
@@ -649,6 +731,17 @@ def _cmd_cluster_worker(args: argparse.Namespace) -> int:
           f"against broker {host}:{port}")
     try:
         Session(graph.pipeline.graph).run(timeout=args.timeout)
+    except Exception as exc:
+        from repro.cluster.multiserver import _root_cause
+        from repro.dataflow.errors import WorkerFenced
+
+        if isinstance(_root_cause(exc), WorkerFenced):
+            # The broker gave up on us (deadline expiry) and reissued
+            # our work elsewhere; exit without corrupting the run.
+            print(f"worker {args.server!r} was fenced by the broker: "
+                  f"{_root_cause(exc)}", file=sys.stderr)
+            return 1
+        raise
     finally:
         backend_obj.shutdown()
         client.close()
@@ -765,6 +858,14 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
         print("broker edge acks:")
         for edge in sorted(state.edge_acks):
             print(f"  {edge:<16} {len(state.edge_acks[edge]):>5} keys")
+    if state.quarantined:
+        print("quarantined chunks (dead-lettered by the broker):")
+        for edge in sorted(state.quarantined):
+            for rec in state.quarantined[edge]:
+                print(f"  {edge:<16} {rec['key']!r} after "
+                      f"{rec['strikes']} strikes")
+                for line in rec.get("history") or []:
+                    print(f"    {line}")
     done = state.complete
     if done is not None:
         print("completion:")
@@ -1124,6 +1225,32 @@ def build_parser() -> argparse.ArgumentParser:
         _add_backend_options(cp, default="serial", with_workers=True)
         _add_kernel_options(cp)
 
+    def _add_fault_options(cp) -> None:
+        cp.add_argument("--delivery-deadline", type=_delivery_deadline,
+                        default="auto", metavar="auto|off|SECONDS",
+                        help="fence a worker whose delivery is overdue: "
+                             "'auto' scales a per-edge moving service-"
+                             "time estimate, a number is a fixed per-"
+                             "delivery deadline, 'off' disables fencing "
+                             "(default: auto)")
+        cp.add_argument("--max-redeliveries", type=int, default=4,
+                        help="strikes before a chunk is quarantined to "
+                             "the per-edge dead-letter queue (default: 4)")
+        cp.add_argument("--on-poison", choices=("quarantine", "fail"),
+                        default="quarantine",
+                        help="quarantine: complete the run degraded "
+                             "without the poison chunk; fail: abort the "
+                             "run at the first quarantined chunk")
+        cp.add_argument("--spill-dir", default=None,
+                        help="spill adopted shared-memory backlog past "
+                             "--spill-watermark to files here (freeing "
+                             "/dev/shm under backpressure)")
+        cp.add_argument("--spill-watermark", type=int, default=None,
+                        metavar="BYTES",
+                        help="adopted-backlog bytes held in shared "
+                             "memory before new payloads spill to "
+                             "--spill-dir (default: the pool cap)")
+
     cp = cluster_sub.add_parser(
         "run",
         help="all-in-one placed run: broker plus every server, in one "
@@ -1159,6 +1286,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "and the client proves it shares the host; "
                          "--no-broker-shm forces the copy path)")
     _add_cluster_shared(cp)
+    _add_fault_options(cp)
     _add_ledger_options(cp)
     cp.set_defaults(fn=_cmd_cluster_run)
 
@@ -1181,6 +1309,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="offer the shared-memory handoff to workers "
                          "that prove they share this host (default: "
                          "auto; --no-broker-shm serves copies only)")
+    _add_fault_options(cp)
     cp.set_defaults(fn=_cmd_cluster_broker)
 
     cp = cluster_sub.add_parser(
@@ -1193,6 +1322,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="broker address host:port")
     cp.add_argument("--server", required=True,
                     help="this worker's server name in the plan")
+    cp.add_argument("--join", default=None, metavar="SERVER",
+                    help="attach to the RUNNING pipeline as a new "
+                         "replica of SERVER's (replicable) stage group "
+                         "instead of claiming a pre-planned slot; "
+                         "--server names this new worker")
     cp.add_argument("--output-dir", default=None,
                     help="shared sorted-dataset directory (sort/dupmark "
                          "workers)")

@@ -16,6 +16,24 @@ items edge per stage boundary — with at-least-once delivery semantics:
   worker's in-flight chunks are redelivered to a surviving replica and
   the run still terminates.
 
+The self-healing layer hardens that contract against failure modes TCP
+cannot detect:
+
+* every delivery pulled off a manual-ack edge carries a *deadline*
+  derived from a per-edge moving estimate of service time; a consumer
+  that holds a delivery past it is **fenced** — its deliveries are
+  requeued (with exponential backoff) and every further operation from
+  it is rejected, so a SIGSTOPped or live-locked worker can no longer
+  stall the run or duplicate redone work with a late ack;
+* redeliveries per key are capped: a chunk that keeps killing its
+  consumers moves to a per-edge **dead-letter queue** after
+  ``max_redeliveries`` strikes (journaled through
+  ``quarantine_listener``) and the run completes degraded — or aborts
+  immediately under the ``on_poison="fail"`` policy;
+* a *running* plan accepts **late workers**: :meth:`Broker.admit_worker`
+  grows a replicable stage group by one server, and the pull-based work
+  edge rebalances outstanding deliveries onto the newcomer for free.
+
 Two transports expose the broker to workers: :class:`LocalBrokerClient`
 (the in-process reference — direct calls under the broker lock) and a
 TCP pair (:class:`BrokerServer`/:class:`TcpBrokerClient`) speaking a
@@ -35,12 +53,14 @@ import secrets
 import socket
 import struct
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.agd.compression import get_codec
 from repro.cluster.wire import WireError
 from repro.dataflow import shm as shm_plane
 from repro.dataflow.queues import (
+    DELIVERY_FENCED,
     EDGE_ABORTED,
     EDGE_CLOSED,
     PUBLISH_FULL,
@@ -56,11 +76,24 @@ class BrokerError(RuntimeError):
 
 @dataclass
 class _Delivery:
+    #: Current delivery tag.  Reassigned on EVERY requeue: a fenced-but-
+    #: alive worker may still hold the old tag, and a stale ack against a
+    #: reissued delivery must never credit another consumer's work.
     tag: int
     key: str
     #: Opaque payload: one blob, or a scatter/gather segment list from a
     #: frames-aware serializer.  The broker preserves the shape.
     payload: "bytes | list"
+    #: Original enqueue order (the first tag), so requeues land back at
+    #: the front of the edge in their original relative order.
+    seq: int = 0
+    #: Times this delivery has been requeued after a failed attempt.
+    strikes: int = 0
+    #: Earliest monotonic time the delivery may be handed out again
+    #: (exponential backoff between redeliveries).
+    not_before: float = 0.0
+    #: One line per failed attempt, journaled if the key is quarantined.
+    history: "list[str]" = field(default_factory=list)
 
 
 def _payload_nbytes(payload) -> int:
@@ -82,14 +115,32 @@ class _Edge:
     pending: "collections.deque[_Delivery]" = field(
         default_factory=collections.deque
     )
-    unacked: "dict[int, tuple[int, _Delivery]]" = field(default_factory=dict)
+    #: tag -> (consumer, delivery, pulled_at, deadline).  ``deadline`` is
+    #: None when no service estimate existed at pull time; the expiry
+    #: scan then derives one on the fly once the estimate warms up.
+    unacked: "dict[int, tuple[int, _Delivery, float, float | None]]" = field(
+        default_factory=dict
+    )
+    #: Requeued deliveries parked until their backoff ``not_before``
+    #: passes; promoted to the front of ``pending`` during servicing.
+    delayed: "list[_Delivery]" = field(default_factory=list)
+    #: Dead-letter queue: key -> quarantine record (strikes, history).
+    dead: "dict[str, dict]" = field(default_factory=dict)
     #: consumer id -> number of producer slots it holds (not yet done).
     producer_owners: "collections.Counter" = field(
         default_factory=collections.Counter
     )
+    #: consumer id -> deliveries pulled (who is actually consuming).
+    pulled_by: "collections.Counter" = field(
+        default_factory=collections.Counter
+    )
+    #: EWMA of pull-to-ack service time, the deadline basis (seconds).
+    service_ewma: "float | None" = None
     aborted: bool = False
     total_published: int = 0
     total_redelivered: int = 0
+    total_expired: int = 0
+    total_quarantined: int = 0
     max_depth: int = 0
     #: Keys completed in a previous attempt (durable-run resume): a
     #: publish of one of these succeeds without enqueuing anything.
@@ -111,19 +162,97 @@ class _Edge:
     @property
     def exhausted(self) -> bool:
         return (self.producers_remaining <= 0 and not self.pending
-                and not self.unacked)
+                and not self.delayed and not self.unacked)
+
+
+#: EWMA smoothing for the per-edge service-time estimate.
+_EWMA_ALPHA = 0.3
+#: Minimum seconds between opportunistic servicing passes (deadline
+#: expiry, backoff promotion) — ops arrive at poll frequency, one pass
+#: per poll would be pure overhead.
+_SERVICE_MIN_PERIOD = 0.02
+#: A producer silent for this many deadline intervals with nothing
+#: unacked is fenced (catches a worker frozen *between* deliveries,
+#: which holds no deadline-bearing chunk but still blocks edge close).
+_IDLE_FENCE_FACTOR = 4.0
 
 
 class Broker:
-    """Thread-safe edge registry with at-least-once delivery."""
+    """Thread-safe edge registry with at-least-once delivery.
 
-    def __init__(self, name: str = "broker"):
+    Self-healing policy knobs:
+
+    ``delivery_deadline``
+        ``"auto"`` (default) derives each delivery's deadline from the
+        edge's service-time EWMA — ``deadline_factor`` times the
+        estimate, clamped to [``deadline_min``, ``deadline_max``]; until
+        the estimate warms up, ``deadline_max`` applies.  A float fixes
+        the deadline in seconds; ``"off"``/None disables fencing.
+    ``max_redeliveries``
+        Strikes a key may accumulate (expiry or consumer death) before
+        it is quarantined to the edge's dead-letter queue.
+    ``on_poison``
+        ``"quarantine"`` completes the run degraded (the dead key is
+        excluded and reported); ``"fail"`` aborts every edge the moment
+        a key is quarantined (``poison_failure`` records which).
+    ``backoff_base``/``backoff_cap``
+        Exponential redelivery backoff: strike *n* parks the delivery
+        for ``min(cap, base * 2**(n-1))`` seconds before it returns to
+        the front of the edge.
+    """
+
+    def __init__(self, name: str = "broker", *,
+                 delivery_deadline="auto",
+                 deadline_factor: float = 8.0,
+                 deadline_min: float = 30.0,
+                 deadline_max: float = 600.0,
+                 max_redeliveries: int = 4,
+                 on_poison: str = "quarantine",
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0):
+        if delivery_deadline is None:
+            delivery_deadline = "off"
+        if delivery_deadline not in ("auto", "off"):
+            delivery_deadline = float(delivery_deadline)
+            if delivery_deadline <= 0:
+                raise ValueError("delivery_deadline must be positive")
+        if on_poison not in ("quarantine", "fail"):
+            raise ValueError(
+                f"on_poison must be 'quarantine' or 'fail', "
+                f"not {on_poison!r}"
+            )
+        if max_redeliveries < 0:
+            raise ValueError("max_redeliveries cannot be negative")
         self.name = name
+        self.delivery_deadline = delivery_deadline
+        self.deadline_factor = float(deadline_factor)
+        self.deadline_min = float(deadline_min)
+        self.deadline_max = float(deadline_max)
+        self.max_redeliveries = int(max_redeliveries)
+        self.on_poison = on_poison
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._edges: dict[str, _Edge] = {}
         self._tags = itertools.count(1)
         self._consumers = itertools.count(1)
+        #: Consumers rejected for missing a deadline: every further op
+        #: from them fails with ``DELIVERY_FENCED``.
+        self._fenced: "set[int]" = set()
+        #: consumer -> monotonic time of its last broker op (any op,
+        #: including empty polls) — the idle-fence signal.
+        self._last_op: "dict[int, float]" = {}
+        #: consumer -> lifetime pulls across all edges.  Consumers that
+        #: never pull (the coordinator) are exempt from idle fencing.
+        self._pull_counts: "collections.Counter" = collections.Counter()
+        #: consumer -> (server, stage group) for workers admitted into
+        #: the running plan via :meth:`admit_worker`.
+        self._admitted_by: "dict[int, tuple[str, tuple[str, ...]]]" = {}
+        #: (edge, key) of the quarantine that aborted the run under the
+        #: ``on_poison="fail"`` policy; None otherwise.
+        self.poison_failure: "tuple[str, str] | None" = None
+        self._last_service = 0.0
         #: Opaque document served to workers asking for the plan
         #: (placement doc plus whatever the coordinator adds).
         self.plan_doc: "dict | None" = None
@@ -135,10 +264,198 @@ class Broker:
         #: the broker for good (acked, pre-acked, or never enqueued) —
         #: the TCP server releases adopted shared-memory leases here.
         self.payload_reaper = None
+        #: Optional ``callback(edge, record)`` fired (outside the lock)
+        #: when a key is quarantined — the run ledger journals the
+        #: failure history through this.
+        self.quarantine_listener = None
+        #: Optional ``callback(consumer, reason)`` fired (outside the
+        #: lock) when a consumer is fenced.
+        self.fence_listener = None
 
     def _reap(self, payload) -> None:
         if self.payload_reaper is not None and payload is not None:
             self.payload_reaper(payload)
+
+    def _fire(self, events) -> None:
+        """Run deferred callbacks collected under the lock (payload
+        reaping, quarantine/fence listeners) now that it is released."""
+        for ev in events:
+            kind = ev[0]
+            if kind == "reap":
+                self._reap(ev[1])
+            elif kind == "quarantine":
+                if self.quarantine_listener is not None:
+                    self.quarantine_listener(ev[1], ev[2])
+            elif kind == "fence":
+                if self.fence_listener is not None:
+                    self.fence_listener(ev[1], ev[2])
+
+    # ------------------------------------------------------ self-healing
+
+    def _deadline_interval(self, e: _Edge) -> "float | None":
+        """Current delivery deadline for edge ``e`` in seconds (None:
+        deadlines are off)."""
+        mode = self.delivery_deadline
+        if mode == "off":
+            return None
+        if mode != "auto":
+            return mode
+        if e.service_ewma is None:
+            # No estimate yet: only the conservative ceiling applies,
+            # so a slow first chunk is never fenced spuriously.
+            return self.deadline_max
+        return min(self.deadline_max,
+                   max(self.deadline_min,
+                       self.deadline_factor * e.service_ewma))
+
+    def _observe_service(self, e: _Edge, pulled_at: float,
+                         now: float) -> None:
+        sample = max(0.0, now - pulled_at)
+        if e.service_ewma is None:
+            e.service_ewma = sample
+        else:
+            e.service_ewma += _EWMA_ALPHA * (sample - e.service_ewma)
+
+    def _requeue_locked(self, e: _Edge, entries, reason: str, now: float,
+                        events: list) -> None:
+        """Strike and requeue unacked deliveries (``entries`` is a list
+        of ``(tag, delivery)``), quarantining any that exhausted their
+        redelivery budget.  Requeues are parked in ``delayed`` under
+        exponential backoff; the servicing pass promotes them back to
+        the *front* of the edge in original order."""
+        requeued = 0
+        for tag, d in entries:
+            e.unacked.pop(tag, None)
+            d.strikes += 1
+            d.history.append(f"attempt {d.strikes}: {reason}")
+            if d.strikes > self.max_redeliveries:
+                self._quarantine_locked(e, d, events)
+                continue
+            # Fresh tag on every reissue: a fenced-but-alive worker may
+            # still ack the old tag, and that must never credit work a
+            # surviving replica is redoing.
+            d.tag = next(self._tags)
+            d.not_before = now + min(
+                self.backoff_cap,
+                self.backoff_base * (2 ** (d.strikes - 1)),
+            )
+            e.delayed.append(d)
+            requeued += 1
+        e.total_redelivered += requeued
+
+    def _quarantine_locked(self, e: _Edge, d: _Delivery,
+                           events: list) -> None:
+        record = {"key": d.key, "strikes": d.strikes,
+                  "history": list(d.history)}
+        e.dead[d.key] = record
+        e.total_quarantined += 1
+        events.append(("reap", d.payload))
+        events.append(("quarantine", e.name, record))
+        if self.on_poison == "fail" and self.poison_failure is None:
+            self.poison_failure = (e.name, d.key)
+            for other in self._edges.values():
+                other.aborted = True
+
+    def _fence_locked(self, consumer: int, reason: str, now: float,
+                      events: list) -> None:
+        """Reject every further op from ``consumer`` and reassign its
+        work: unacked deliveries are struck + requeued and its producer
+        slots released, exactly as if its connection had died."""
+        if consumer in self._fenced:
+            return
+        self._fenced.add(consumer)
+        self._admitted_by.pop(consumer, None)
+        for e in self._edges.values():
+            owned = sorted(
+                ((tag, d) for tag, (owner, d, _p, _dl) in e.unacked.items()
+                 if owner == consumer),
+                key=lambda td: td[1].seq,
+            )
+            self._requeue_locked(e, owned, reason, now, events)
+            held = e.producer_owners.pop(consumer, 0)
+            e.producers_remaining -= held
+        events.append(("fence", consumer, reason))
+        self._cond.notify_all()
+
+    def _service_locked(self, now: float, events: list) -> None:
+        """Opportunistic housekeeping, piggybacked on every broker op
+        (workers poll constantly, so this runs at poll frequency even
+        with no dedicated timer thread): promote requeued deliveries
+        whose backoff elapsed, fence consumers holding overdue
+        deliveries, and fence producers that went silent between
+        deliveries."""
+        if now - self._last_service < _SERVICE_MIN_PERIOD:
+            return
+        self._last_service = now
+        for e in self._edges.values():
+            if not e.delayed:
+                continue
+            due = [d for d in e.delayed if d.not_before <= now]
+            if not due:
+                continue
+            e.delayed = [d for d in e.delayed if d.not_before > now]
+            for d in sorted(due, key=lambda d: d.seq, reverse=True):
+                e.pending.appendleft(d)
+            e.max_depth = max(e.max_depth, len(e.pending))
+            self._cond.notify_all()
+        # Expiry scan: collect overdue owners first, fence after — the
+        # fence mutates ``unacked`` mid-iteration otherwise.
+        overdue: "dict[int, str]" = {}
+        for e in self._edges.values():
+            if e.aborted:
+                continue
+            interval = self._deadline_interval(e)
+            for owner, d, pulled_at, deadline in e.unacked.values():
+                eff = deadline
+                if eff is None and interval is not None:
+                    # Auto mode stores no deadline at pull time so a
+                    # warming estimate applies retroactively.
+                    eff = pulled_at + interval
+                if eff is not None and now > eff:
+                    e.total_expired += 1
+                    overdue.setdefault(owner, (
+                        f"delivery {d.key!r} on edge {e.name!r} overdue "
+                        f"by {now - eff:.2f}s"
+                    ))
+        for owner, reason in overdue.items():
+            self._fence_locked(owner, reason, now, events)
+        # Idle-producer scan: a consumer that HAS pulled before, holds
+        # producer slots on a still-open edge, has nothing unacked
+        # anywhere, and has gone completely silent is frozen between
+        # deliveries — no deadline covers it, but it blocks edge close.
+        busy = {owner for ee in self._edges.values()
+                for owner, _d, _p, _dl in ee.unacked.values()}
+        for e in self._edges.values():
+            if e.aborted or e.producers_remaining <= 0:
+                continue
+            interval = self._deadline_interval(e)
+            if interval is None:
+                continue
+            threshold = _IDLE_FENCE_FACTOR * interval
+            for owner, held in list(e.producer_owners.items()):
+                if held <= 0 or owner in self._fenced or owner in busy:
+                    continue
+                if self._pull_counts.get(owner, 0) <= 0:
+                    continue
+                last = self._last_op.get(owner)
+                if last is None or now - last <= threshold:
+                    continue
+                self._fence_locked(owner, (
+                    f"producer on edge {e.name!r} silent for "
+                    f"{now - last:.1f}s"
+                ), now, events)
+
+    def fence_consumer(self, consumer: int,
+                       reason: str = "fenced by operator") -> None:
+        """Manually fence a consumer (tests, admin tooling)."""
+        events: list = []
+        with self._cond:
+            self._fence_locked(consumer, reason, time.monotonic(), events)
+        self._fire(events)
+
+    def is_fenced(self, consumer: int) -> bool:
+        with self._lock:
+            return consumer in self._fenced
 
     # ------------------------------------------------------------- edges
 
@@ -169,6 +486,12 @@ class Broker:
 
     def attach_producer(self, edge: str, consumer: int) -> None:
         with self._cond:
+            if consumer in self._fenced:
+                # Its slots were already released at fence time; a late
+                # attach must not resurrect them (or mask the real
+                # failure behind a slot-accounting error).
+                return
+            self._last_op[consumer] = time.monotonic()
             e = self._edge(edge)
             if e.producers_remaining <= e.producer_owners.total():
                 raise BrokerError(
@@ -179,6 +502,8 @@ class Broker:
 
     def producer_done(self, edge: str, consumer: "int | None" = None) -> None:
         with self._cond:
+            if consumer is not None and consumer in self._fenced:
+                return  # slots already released at fence time
             e = self._edge(edge)
             if e.producers_remaining <= 0:
                 raise BrokerError(
@@ -186,28 +511,36 @@ class Broker:
                     f"producers"
                 )
             e.producers_remaining -= 1
-            if consumer is not None and e.producer_owners[consumer] > 0:
-                e.producer_owners[consumer] -= 1
+            if consumer is not None:
+                self._last_op[consumer] = time.monotonic()
+                if e.producer_owners[consumer] > 0:
+                    e.producer_owners[consumer] -= 1
             self._cond.notify_all()
 
     def drop_consumer(self, consumer: int) -> None:
         """A worker died or disconnected: requeue its unacked deliveries
-        (front of the edge, original order) and release any producer
-        slots it still held.  Harmless after a clean completion."""
+        (front of the edge, original order, after a strike + backoff)
+        and release any producer slots it still held.  Harmless after a
+        clean completion."""
+        events: list = []
         with self._cond:
+            now = time.monotonic()
             for e in self._edges.values():
                 dropped = sorted(
-                    (d for owner, d in e.unacked.values()
-                     if owner == consumer),
-                    key=lambda d: d.tag,
+                    ((tag, d) for tag, (owner, d, _p, _dl)
+                     in e.unacked.items() if owner == consumer),
+                    key=lambda td: td[1].seq,
                 )
-                for d in reversed(dropped):
-                    e.unacked.pop(d.tag, None)
-                    e.pending.appendleft(d)
-                e.total_redelivered += len(dropped)
+                self._requeue_locked(
+                    e, dropped, "consumer died or disconnected", now,
+                    events,
+                )
                 held = e.producer_owners.pop(consumer, 0)
                 e.producers_remaining -= held
+            self._admitted_by.pop(consumer, None)
+            self._last_op.pop(consumer, None)
             self._cond.notify_all()
+        self._fire(events)
 
     def pre_ack(self, edge: str, keys) -> None:
         """Mark keys as already completed (durable-run resume).
@@ -224,31 +557,48 @@ class Broker:
     # ----------------------------------------------------------- delivery
 
     def publish(self, edge: str, key: str, payload: bytes,
-                timeout: float = 0.05) -> str:
-        with self._cond:
-            e = self._edge(edge)
-            if e.aborted:
-                return EDGE_ABORTED
-            if key in e.preacked:
-                e.preacked.discard(key)
-                e.total_preacked += 1
-            else:
-                if e.producers_remaining <= 0:
-                    return EDGE_CLOSED
-                if len(e.pending) >= e.capacity:
-                    self._cond.wait(timeout)
-                    if e.aborted:
-                        return EDGE_ABORTED
+                timeout: float = 0.05,
+                consumer: "int | None" = None) -> str:
+        events: list = []
+        try:
+            with self._cond:
+                now = time.monotonic()
+                if consumer is not None:
+                    if consumer in self._fenced:
+                        return DELIVERY_FENCED
+                    self._last_op[consumer] = now
+                self._service_locked(now, events)
+                e = self._edge(edge)
+                if e.aborted:
+                    return EDGE_ABORTED
+                if key in e.dead:
+                    # The key was quarantined: swallow the publish so a
+                    # resumed producer doesn't loop on it forever.
+                    pass
+                elif key in e.preacked:
+                    e.preacked.discard(key)
+                    e.total_preacked += 1
+                else:
+                    if e.producers_remaining <= 0:
+                        return EDGE_CLOSED
                     if len(e.pending) >= e.capacity:
-                        return PUBLISH_FULL
-                self._publish_locked(e, key, payload)
-                return PUBLISH_OK
-        # Pre-acked key: the work is already done, the payload dies here.
+                        self._cond.wait(timeout)
+                        if e.aborted:
+                            return EDGE_ABORTED
+                        if len(e.pending) >= e.capacity:
+                            return PUBLISH_FULL
+                    self._publish_locked(e, key, payload)
+                    return PUBLISH_OK
+        finally:
+            self._fire(events)
+        # Pre-acked (work already done) or quarantined (work abandoned)
+        # key: either way the payload dies here.
         self._reap(payload)
         return PUBLISH_OK
 
     def _publish_locked(self, e: _Edge, key: str, payload) -> None:
-        e.pending.append(_Delivery(next(self._tags), key, payload))
+        tag = next(self._tags)
+        e.pending.append(_Delivery(tag, key, payload, seq=tag))
         e.total_published += 1
         e.payload_bytes += _payload_nbytes(payload)
         e.max_depth = max(e.max_depth, len(e.pending))
@@ -256,34 +606,52 @@ class Broker:
 
     def publish_ack(self, edge: str, key: str, payload: bytes,
                     ack_edge: str, ack_tag: int,
-                    timeout: float = 0.05) -> str:
+                    timeout: float = 0.05,
+                    consumer: "int | None" = None) -> str:
         """Atomically publish to one edge and ack a delivery on another
         (the exactly-once-effective handoff between pipeline cuts)."""
         acked = None
         dropped = None
-        with self._cond:
-            e = self._edge(edge)
-            a = self._edge(ack_edge)
-            if e.aborted:
-                return EDGE_ABORTED
-            if key in e.preacked:
-                e.preacked.discard(key)
-                e.total_preacked += 1
-                dropped = payload
-                acked = a.unacked.pop(ack_tag, None)
-                self._cond.notify_all()
-            else:
-                if e.producers_remaining <= 0:
-                    return EDGE_CLOSED
-                if len(e.pending) >= e.capacity:
-                    self._cond.wait(timeout)
-                    if e.aborted:
-                        return EDGE_ABORTED
+        events: list = []
+        try:
+            with self._cond:
+                now = time.monotonic()
+                if consumer is not None:
+                    if consumer in self._fenced:
+                        # The ack side is deliberately NOT processed: a
+                        # fenced worker's delivery was already requeued
+                        # under a fresh tag, and its reissued outputs
+                        # must not double-enqueue downstream.
+                        return DELIVERY_FENCED
+                    self._last_op[consumer] = now
+                self._service_locked(now, events)
+                e = self._edge(edge)
+                a = self._edge(ack_edge)
+                if e.aborted:
+                    return EDGE_ABORTED
+                if key in e.dead or key in e.preacked:
+                    if key in e.preacked:
+                        e.preacked.discard(key)
+                        e.total_preacked += 1
+                    dropped = payload
+                    acked = a.unacked.pop(ack_tag, None)
+                    self._cond.notify_all()
+                else:
+                    if e.producers_remaining <= 0:
+                        return EDGE_CLOSED
                     if len(e.pending) >= e.capacity:
-                        return PUBLISH_FULL
-                self._publish_locked(e, key, payload)
-                acked = a.unacked.pop(ack_tag, None)
-                self._cond.notify_all()
+                        self._cond.wait(timeout)
+                        if e.aborted:
+                            return EDGE_ABORTED
+                        if len(e.pending) >= e.capacity:
+                            return PUBLISH_FULL
+                    self._publish_locked(e, key, payload)
+                    acked = a.unacked.pop(ack_tag, None)
+                    self._cond.notify_all()
+                if acked is not None:
+                    self._observe_service(a, acked[2], now)
+        finally:
+            self._fire(events)
         self._reap(dropped)
         if acked is not None:
             self._reap(acked[1].payload)
@@ -293,26 +661,55 @@ class Broker:
 
     def pull(self, edge: str, consumer: int,
              timeout: float = 0.05) -> "tuple[str, int, str, bytes]":
-        with self._cond:
-            e = self._edge(edge)
-            if not e.pending and not e.exhausted and not e.aborted:
-                self._cond.wait(timeout)
-            if e.aborted:
-                return (EDGE_ABORTED, 0, "", b"")
-            if e.pending:
-                d = e.pending.popleft()
-                e.unacked[d.tag] = (consumer, d)
-                self._cond.notify_all()
-                return (PULL_OK, d.tag, d.key, d.payload)
-            if e.exhausted:
-                return (EDGE_CLOSED, 0, "", b"")
-            return (PULL_EMPTY, 0, "", b"")
+        events: list = []
+        try:
+            with self._cond:
+                now = time.monotonic()
+                if consumer in self._fenced:
+                    return (DELIVERY_FENCED, 0, "", b"")
+                self._last_op[consumer] = now
+                self._service_locked(now, events)
+                e = self._edge(edge)
+                if not e.pending and not e.exhausted and not e.aborted:
+                    self._cond.wait(timeout)
+                    now = time.monotonic()
+                if e.aborted:
+                    return (EDGE_ABORTED, 0, "", b"")
+                if e.pending:
+                    d = e.pending.popleft()
+                    deadline = None
+                    if self.delivery_deadline not in ("auto", "off"):
+                        deadline = now + self.delivery_deadline
+                    e.unacked[d.tag] = (consumer, d, now, deadline)
+                    e.pulled_by[consumer] += 1
+                    self._pull_counts[consumer] += 1
+                    self._last_op[consumer] = now
+                    self._cond.notify_all()
+                    return (PULL_OK, d.tag, d.key, d.payload)
+                if e.exhausted:
+                    return (EDGE_CLOSED, 0, "", b"")
+                return (PULL_EMPTY, 0, "", b"")
+        finally:
+            self._fire(events)
 
-    def ack(self, edge: str, tag: int) -> None:
+    def ack(self, edge: str, tag: int,
+            consumer: "int | None" = None) -> None:
+        events: list = []
         with self._cond:
+            now = time.monotonic()
+            if consumer is not None:
+                if consumer in self._fenced:
+                    # Stale ack from a fenced worker: the delivery was
+                    # reissued under a fresh tag, nothing to credit.
+                    return
+                self._last_op[consumer] = now
+            self._service_locked(now, events)
             e = self._edge(edge)
             acked = e.unacked.pop(tag, None)
+            if acked is not None:
+                self._observe_service(e, acked[2], now)
             self._cond.notify_all()
+        self._fire(events)
         if acked is not None:
             self._reap(acked[1].payload)
             if self.ack_listener is not None:
@@ -346,13 +743,99 @@ class Broker:
             self._cond.notify_all()
 
     def wait_complete(self, timeout: "float | None" = None) -> bool:
-        """Block until every edge is exhausted (or aborted)."""
+        """Block until every edge is exhausted (or aborted).
+
+        Polls rather than waiting passively: if every worker is stalled
+        at once there is no broker op left to piggyback deadline expiry
+        on, and this loop is what still fences them and promotes their
+        requeued deliveries.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            events: list = []
+            with self._cond:
+                now = time.monotonic()
+                self._service_locked(now, events)
+                done = all(e.exhausted or e.aborted
+                           for e in self._edges.values())
+                if not done and not events:
+                    wait = 0.05
+                    if deadline is not None:
+                        wait = min(wait, deadline - now)
+                    if wait > 0:
+                        self._cond.wait(wait)
+            self._fire(events)
+            if done:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+
+    # ---------------------------------------------------- live admission
+
+    def admit_worker(self, server: str, like: str,
+                     consumer: "int | None" = None) -> dict:
+        """Admit a late worker into the *running* plan.
+
+        ``server`` joins the replicable stage group that ``like`` (an
+        original plan member) belongs to: the group's egress edge gains
+        a producer slot — it must still be open, otherwise the group
+        already finished and admission is refused — and the plan
+        document served to future workers gains the replica.  The
+        work edge is pull-based, so rebalancing onto the newcomer is
+        automatic.  Returns the updated plan document.
+        """
+        from repro.cluster.placement import PlacementError, PlacementPlan
+
         with self._cond:
-            return self._cond.wait_for(
-                lambda: all(e.exhausted or e.aborted
-                            for e in self._edges.values()),
-                timeout,
-            )
+            if self.plan_doc is None:
+                raise BrokerError("no placement plan to admit into")
+            plan = PlacementPlan.from_doc(self.plan_doc)
+            try:
+                new_plan = plan.with_replica(server, like=like)
+            except PlacementError as exc:
+                # Surface as a protocol error so a TCP admit gets a clean
+                # error reply instead of a dropped connection.
+                raise BrokerError(str(exc)) from exc
+            placement = plan.placement_for(like)
+            egress = plan.egress_edge(like)
+            if egress is not None:
+                e = self._edge(egress)
+                if e.aborted:
+                    raise BrokerError(
+                        f"cannot admit {server!r}: the run has aborted"
+                    )
+                if e.producers_remaining <= 0:
+                    raise BrokerError(
+                        f"cannot admit {server!r}: edge {egress!r} is "
+                        f"already closed (the stage group finished)"
+                    )
+                e.producers_remaining += 1
+            if consumer is not None:
+                self._admitted_by[consumer] = (
+                    server, tuple(placement.stages)
+                )
+                self._last_op[consumer] = time.monotonic()
+            self.plan_doc = new_plan.to_doc()
+            self._cond.notify_all()
+            return self.plan_doc
+
+    def live_replicas(self, stages) -> "list[str]":
+        """Servers admitted mid-run (and not since fenced or dropped)
+        whose stage group matches ``stages``."""
+        wanted = tuple(stages)
+        with self._lock:
+            return [server for server, s in self._admitted_by.values()
+                    if s == wanted]
+
+    def quarantined(self) -> "dict[str, list]":
+        """Dead-letter contents: edge -> quarantine records (key,
+        strikes, failure history), for edges with any."""
+        with self._lock:
+            return {
+                name: [dict(r) for r in e.dead.values()]
+                for name, e in self._edges.items() if e.dead
+            }
 
     def stats(self) -> "dict[str, dict]":
         with self._lock:
@@ -361,12 +844,20 @@ class Broker:
                     "capacity": e.capacity,
                     "pending": len(e.pending),
                     "unacked": len(e.unacked),
+                    "delayed": len(e.delayed),
                     "producers_remaining": e.producers_remaining,
                     "total_published": e.total_published,
                     "total_redelivered": e.total_redelivered,
+                    "total_expired": e.total_expired,
+                    "total_quarantined": e.total_quarantined,
+                    "quarantined": sorted(e.dead),
                     "total_preacked": e.total_preacked,
                     "max_depth": e.max_depth,
                     "aborted": e.aborted,
+                    "service_ewma": e.service_ewma,
+                    "pulls_by_consumer": {
+                        str(c): n for c, n in sorted(e.pulled_by.items())
+                    },
                     "payload_bytes": e.payload_bytes,
                     "wire_bytes": e.wire_bytes,
                     "shm_handoffs": e.shm_handoffs,
@@ -397,23 +888,40 @@ class LocalBrokerClient:
 
     def publish(self, edge: str, key: str, payload: bytes,
                 timeout: float = 0.05) -> str:
-        return self.broker.publish(edge, key, payload, timeout=timeout)
+        return self.broker.publish(
+            edge, key, payload, timeout=timeout, consumer=self.consumer
+        )
 
     def publish_ack(self, edge: str, key: str, payload: bytes,
                     ack_edge: str, ack_tag: int,
                     timeout: float = 0.05) -> str:
         return self.broker.publish_ack(
-            edge, key, payload, ack_edge, ack_tag, timeout=timeout
+            edge, key, payload, ack_edge, ack_tag, timeout=timeout,
+            consumer=self.consumer,
         )
 
     def pull(self, edge: str, timeout: float = 0.05):
         return self.broker.pull(edge, self.consumer, timeout=timeout)
 
     def ack(self, edge: str, tag: int) -> None:
-        self.broker.ack(edge, tag)
+        self.broker.ack(edge, tag, consumer=self.consumer)
 
     def abort(self, edge: str) -> None:
         self.broker.abort(edge)
+
+    def admit(self, server: str, like: str) -> dict:
+        return self.broker.admit_worker(
+            server, like, consumer=self.consumer
+        )
+
+    def quarantined_keys(self) -> "set[str]":
+        """Keys dead-lettered on any edge — consumers use this to
+        distinguish an authorized hole (poison chunk) from data loss."""
+        return {
+            record["key"]
+            for records in self.broker.quarantined().values()
+            for record in records
+        }
 
     def plan(self) -> "dict | None":
         return self.broker.plan_doc
@@ -612,7 +1120,9 @@ class BrokerServer:
                  port: int = 0, shm: "bool | None" = None,
                  shm_threshold: int = shm_plane.DEFAULT_SHM_THRESHOLD,
                  shm_slab_bytes: int = shm_plane.DEFAULT_SLAB_BYTES,
-                 shm_max_bytes: int = shm_plane.DEFAULT_MAX_BYTES):
+                 shm_max_bytes: int = shm_plane.DEFAULT_MAX_BYTES,
+                 spill_dir: "str | None" = None,
+                 spill_watermark: "int | None" = None):
         self.broker = broker
         self._sock = socket.create_server((host, port))
         self.host, self.port = self._sock.getsockname()[:2]
@@ -632,7 +1142,8 @@ class BrokerServer:
             shm = shm_plane.shm_available()
         if shm and shm_plane.shm_available():
             pool = shm_plane.BufferPool(
-                slab_bytes=shm_slab_bytes, max_bytes=shm_max_bytes
+                slab_bytes=shm_slab_bytes, max_bytes=shm_max_bytes,
+                spill_dir=spill_dir, spill_watermark=spill_watermark,
             )
             token = secrets.token_hex(16).encode()
             probe = f"{pool.prefix}-probe"
@@ -801,6 +1312,11 @@ class BrokerServer:
                     data = self._pool.read_ref(seg) \
                         if self._pool is not None else None
                     seg = data if data is not None else b""
+                    if use_shm and len(seg) >= self.shm_threshold:
+                        # A spilled payload: re-lease it from disk into
+                        # a pool slab so the same-host consumer still
+                        # gets a descriptor handoff, not a socket copy.
+                        ref = self._pool.put_bytes(seg)
             elif use_shm and len(seg) >= self.shm_threshold:
                 ref = self._pool.put_bytes(seg)
             if ref is None:
@@ -852,7 +1368,8 @@ class BrokerServer:
             )
             try:
                 status = self.broker.publish(
-                    edge, header.get("key", ""), payload, timeout=timeout
+                    edge, header.get("key", ""), payload, timeout=timeout,
+                    consumer=state.consumer,
                 )
             except BrokerError:
                 self._reap_payload(payload)
@@ -876,6 +1393,7 @@ class BrokerServer:
                 status = self.broker.publish_ack(
                     edge, header.get("key", ""), payload,
                     ack_edge, ack_tag, timeout=timeout,
+                    consumer=state.consumer,
                 )
             except BrokerError:
                 self._reap_payload(payload)
@@ -906,7 +1424,7 @@ class BrokerServer:
             return reply, wire_segments
         if op == "ack":
             tag = int(header["tag"])
-            self.broker.ack(edge, tag)
+            self.broker.ack(edge, tag, consumer=state.consumer)
             self._release_leases(state, (edge, tag))
             return {"status": PULL_OK}, []
         if op == "attach":
@@ -918,8 +1436,17 @@ class BrokerServer:
         if op == "abort":
             self.broker.abort(edge or None)
             return {"status": PULL_OK}, []
+        if op == "admit":
+            plan = self.broker.admit_worker(
+                str(header["server"]), str(header["like"]),
+                consumer=state.consumer,
+            )
+            return {"status": PULL_OK, "plan": plan}, []
         if op == "stats":
-            return {"status": PULL_OK, "stats": self.broker.stats()}, []
+            reply = {"status": PULL_OK, "stats": self.broker.stats()}
+            if self._pool is not None:
+                reply["pool"] = self._pool.stats()
+            return reply, []
         raise BrokerError(f"unknown op {op!r}")
 
     def wait_connections_closed(self, timeout: "float | None" = None) -> bool:
@@ -1113,6 +1640,24 @@ class TcpBrokerClient:
 
     def abort(self, edge: str) -> None:
         self._request({"op": "abort", "edge": edge})
+
+    def admit(self, server: str, like: str) -> dict:
+        """Join the running plan as a replica of ``like``'s stage group
+        (see :meth:`Broker.admit_worker`); returns — and adopts — the
+        updated plan document."""
+        reply, _ = self._request(
+            {"op": "admit", "server": server, "like": like}
+        )
+        self.plan_doc = reply.get("plan")
+        return self.plan_doc
+
+    def quarantined_keys(self) -> "set[str]":
+        """Keys dead-lettered on any edge (from the broker's stats)."""
+        return {
+            key
+            for stat in self.stats().values()
+            for key in stat.get("quarantined", ())
+        }
 
     def plan(self) -> "dict | None":
         return self.plan_doc

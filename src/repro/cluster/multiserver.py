@@ -37,7 +37,12 @@ from repro.cluster.wire import entry_serializer, item_serializer
 from repro.core.pipelines import PlacedServerGraph, split_pipeline
 from repro.core.subgraphs import AlignGraphConfig
 from repro.dataflow.backends import Backend, make_backend
-from repro.dataflow.errors import PipelineAborted, PipelineError, QueueClosed
+from repro.dataflow.errors import (
+    PipelineAborted,
+    PipelineError,
+    QueueClosed,
+    WorkerFenced,
+)
 from repro.dataflow.queues import RemoteQueue
 from repro.dataflow.session import Session
 
@@ -65,6 +70,19 @@ class WorkerKilled(RuntimeError):
     client is dropped, its unacked chunk deliveries are requeued for a
     surviving replica, and the run continues.
     """
+
+
+class PoisonChunkError(RuntimeError):
+    """Raised when a quarantined chunk aborts the run
+    (``on_poison="fail"``)."""
+
+    def __init__(self, edge: str, key: str):
+        super().__init__(
+            f"chunk {key!r} on edge {edge!r} exhausted its redelivery "
+            f"budget and the broker's on_poison policy is 'fail'"
+        )
+        self.edge = edge
+        self.key = key
 
 
 @dataclass
@@ -106,6 +124,10 @@ class PlacedServerOutcome:
     records: int
     wall_seconds: float
     killed: bool = False
+    #: The broker consumer id this server ran under (set for workers
+    #: joined via :func:`join_placed_worker`; lets tests match the
+    #: server to ``broker_stats``'s per-consumer pull counters).
+    consumer: "int | None" = None
 
 
 @dataclass
@@ -124,6 +146,10 @@ class PlacedPipelineOutcome:
     #: Per-edge capacities an ``autotune_edges`` probe applied to this
     #: run (empty when autotuning was off or nothing needed changing).
     autotuned_edges: "dict[str, int]" = field(default_factory=dict)
+    #: edge -> quarantine records for keys that exhausted their
+    #: redelivery budget; a non-empty dict marks a *degraded* run whose
+    #: outputs exclude those chunks.
+    quarantined: "dict[str, list]" = field(default_factory=dict)
 
     def server(self, name: str) -> PlacedServerOutcome:
         for outcome in self.servers:
@@ -134,6 +160,10 @@ class PlacedPipelineOutcome:
     @property
     def total_redelivered(self) -> int:
         return sum(e["total_redelivered"] for e in self.broker_stats.values())
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(len(records) for records in self.quarantined.values())
 
     @property
     def completion_imbalance(self) -> float:
@@ -219,6 +249,12 @@ def run_placed_pipeline(
     session_timeout: "float | None" = 600.0,
     vectorized: bool = True,
     ledger=None,
+    delivery_deadline="auto",
+    max_redeliveries: int = 4,
+    on_poison: str = "quarantine",
+    spill_dir: "str | None" = None,
+    spill_watermark: "int | None" = None,
+    broker_ready=None,
 ) -> PlacedPipelineOutcome:
     """Run the composed pipeline across the plan's servers.
 
@@ -287,6 +323,11 @@ def run_placed_pipeline(
             broker_shm=broker_shm,
             session_timeout=session_timeout,
             vectorized=vectorized,
+            delivery_deadline=delivery_deadline,
+            max_redeliveries=max_redeliveries,
+            on_poison=on_poison,
+            spill_dir=spill_dir,
+            spill_watermark=spill_watermark,
         )
         # Probe placement: outputs are deterministic and chunk writes
         # idempotent, so the measured run's inputs stay intact — the
@@ -301,7 +342,8 @@ def run_placed_pipeline(
         merged = dict(tuned)
         merged.update(edge_capacities or {})
         outcome = run_placed_pipeline(
-            dataset, plan, edge_capacities=merged, ledger=ledger, **kwargs
+            dataset, plan, edge_capacities=merged, ledger=ledger,
+            broker_ready=broker_ready, **kwargs
         )
         outcome.autotuned_edges = tuned
         return outcome
@@ -326,7 +368,11 @@ def run_placed_pipeline(
     sort_store = output_store if output_store is not None else MemoryStore()
     filter_out = filter_store if filter_store is not None else MemoryStore()
 
-    broker = Broker()
+    broker = Broker(
+        delivery_deadline=delivery_deadline,
+        max_redeliveries=max_redeliveries,
+        on_poison=on_poison,
+    )
     broker.plan_doc = plan.to_doc()
     work_capacity = max(1, manifest.num_chunks)
     overrides = edge_capacities or {}
@@ -375,6 +421,7 @@ def run_placed_pipeline(
 
     if ledger is not None:
         broker.ack_listener = ledger.edge_ack
+        broker.quarantine_listener = ledger.quarantine
         if pre_acked:
             broker.pre_ack(WORK_EDGE, pre_acked)
             ledger.count_skip("work.pre_acked", len(pre_acked))
@@ -382,7 +429,8 @@ def run_placed_pipeline(
     server_tcp: "BrokerServer | None" = None
     if transport == "tcp":
         server_tcp = BrokerServer(
-            broker, host=host, port=port, shm=broker_shm
+            broker, host=host, port=port, shm=broker_shm,
+            spill_dir=spill_dir, spill_watermark=spill_watermark,
         ).start()
     elif transport != "local":
         raise ValueError(f"unknown transport {transport!r} "
@@ -457,10 +505,12 @@ def run_placed_pipeline(
                 wall = time.monotonic() - start
                 cause = _root_cause(exc)
                 if isinstance(exc, PipelineError) and \
-                        isinstance(cause, WorkerKilled):
-                    # A dead worker, not a broken pipeline: requeue its
-                    # unacked deliveries and release its producer slots
-                    # so replicas finish the work and edges still close.
+                        isinstance(cause, (WorkerKilled, WorkerFenced)):
+                    # A dead worker (or one the broker fenced for
+                    # missing a delivery deadline), not a broken
+                    # pipeline: requeue its unacked deliveries and
+                    # release its producer slots so replicas finish the
+                    # work and edges still close.
                     client_for(server_graph.server).close()
                     with lock:
                         dead.add(server_graph.server)
@@ -468,6 +518,10 @@ def run_placed_pipeline(
                             p.server for p in plan.placements
                             if p.stages == server_graph.stages
                             and p.server not in dead
+                        ] + [
+                            s for s in broker.live_replicas(
+                                server_graph.stages)
+                            if s not in dead
                         ]
                         outcomes[server_graph.server] = PlacedServerOutcome(
                             server=server_graph.server,
@@ -507,6 +561,12 @@ def run_placed_pipeline(
         ]
         for t in threads:
             t.start()
+
+        if broker_ready is not None:
+            # Edges exist, the plan is served, the TCP listener (if
+            # any) is accepting: late workers may now join via
+            # ``join_placed_worker`` / ``persona cluster worker --join``.
+            broker_ready(broker, server_tcp)
 
         # The coordinator is the work edge's one producer: publish every
         # chunk name, then close it (the manifest-server publish, §5.2).
@@ -565,6 +625,8 @@ def run_placed_pipeline(
         coordinator.close()
     finally:
         broker_stats = broker.stats()
+        quarantined = broker.quarantined()
+        poison_failure = broker.poison_failure
         for client in clients.values():
             client.close()
         if server_tcp is not None:
@@ -574,6 +636,10 @@ def run_placed_pipeline(
         if owns_backends:
             for b in backends.values():
                 b.shutdown(wait=not errors)
+    if poison_failure is not None:
+        # The on_poison="fail" policy aborted every edge; the sessions
+        # died of PipelineAborted symptoms — raise the actual disease.
+        raise PoisonChunkError(*poison_failure)
     if errors:
         raise errors[0]
     wall = time.monotonic() - started
@@ -593,7 +659,8 @@ def run_placed_pipeline(
             broker={
                 edge: {"published": st["total_published"],
                        "redelivered": st["total_redelivered"],
-                       "preacked": st.get("total_preacked", 0)}
+                       "preacked": st.get("total_preacked", 0),
+                       "quarantined": st.get("total_quarantined", 0)}
                 for edge, st in broker_stats.items()
             },
         )
@@ -630,7 +697,108 @@ def run_placed_pipeline(
         filter_stats=(filter_collector.filter_stats
                       if filter_collector is not None else None),
         broker_stats=broker_stats,
+        quarantined=quarantined,
     )
+
+
+def join_placed_worker(
+    dataset: AGDDataset,
+    server: str,
+    like: str,
+    *,
+    broker: "Broker | None" = None,
+    host: "str | None" = None,
+    port: "int | None" = None,
+    aligner=None,
+    reference=None,
+    align_config: "AlignGraphConfig | None" = None,
+    align_results_store=None,
+    backend: "str | Backend" = "serial",
+    workers: int = 2,
+    batch_size: "int | None" = None,
+    wire_codec: str = "none",
+    broker_shm: "bool | None" = None,
+    session_timeout: "float | None" = 600.0,
+    vectorized: bool = True,
+) -> PlacedServerOutcome:
+    """Attach a NEW worker to a placed pipeline that is already running.
+
+    The worker is admitted as a replica of ``like``'s stage group (only
+    the pure align group is replicable) via :meth:`Broker.admit_worker`:
+    the group's egress edge gains a producer slot, the plan document
+    grows the replica, and — because the work edge is pull-based — the
+    newcomer starts draining outstanding chunk deliveries immediately.
+    Pass either an in-process ``broker`` or the TCP coordinates
+    (``host``/``port``) of a running :class:`BrokerServer`.
+
+    Returns this worker's :class:`PlacedServerOutcome` once the run
+    drains (``consumer`` identifies it in
+    ``broker_stats[...]["pulls_by_consumer"]``); a worker killed or
+    fenced mid-run returns with ``killed=True`` — its in-flight chunks
+    were requeued, exactly like an original replica's.
+    """
+    from repro.core.pipelines import (
+        build_placed_server_graph,
+        placed_server_endpoints,
+    )
+
+    if (broker is None) == (host is None):
+        raise ValueError("pass exactly one of broker= or host=/port=")
+    client = LocalBrokerClient(broker) if broker is not None \
+        else TcpBrokerClient(host, port, wire_codec=wire_codec,
+                             shm=broker_shm)
+    owns_backend = not isinstance(backend, Backend)
+    backend_obj = make_backend(
+        backend, workers=workers, batch_size=batch_size,
+        name=f"{server}.backend",
+    ) if owns_backend else backend
+    started = time.monotonic()
+    killed = False
+    try:
+        plan = PlacementPlan.from_doc(client.admit(server, like))
+        placement = plan.placement_for(server)
+        work_queue, ingress, egress, manual = placed_server_endpoints(
+            plan, server, queue_factory(lambda s: client)
+        )
+        graph = build_placed_server_graph(
+            dataset,
+            server,
+            placement.stages,
+            plan.stages,
+            work_queue=work_queue,
+            ingress=ingress,
+            egress=egress,
+            manual_ack=manual,
+            aligner=aligner,
+            reference=reference,
+            align_config=align_config,
+            align_results_store=align_results_store,
+            backend_obj=backend_obj,
+            vectorized=vectorized,
+        )
+        try:
+            Session(graph.pipeline.graph).run(timeout=session_timeout)
+        except BaseException as exc:
+            if isinstance(exc, PipelineError) and isinstance(
+                    _root_cause(exc), (WorkerKilled, WorkerFenced)):
+                killed = True
+            else:
+                raise
+        finally:
+            graph.close(wait=False)
+        return PlacedServerOutcome(
+            server=server,
+            stages=placement.stages,
+            chunks=graph.sink.chunks,
+            records=graph.sink.records,
+            wall_seconds=time.monotonic() - started,
+            killed=killed,
+            consumer=getattr(client, "consumer", None),
+        )
+    finally:
+        client.close()
+        if owns_backend:
+            backend_obj.shutdown()
 
 
 def run_multi_server_alignment(

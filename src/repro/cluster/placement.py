@@ -222,6 +222,23 @@ class PlacementPlan:
             placements.append(StagePlacement(server.strip(), stages))
         return cls(placements)
 
+    def with_replica(self, server: str, like: str) -> "PlacementPlan":
+        """A new plan with ``server`` added as a replica of ``like``'s
+        stage group (live worker admission).
+
+        The group must be replicable — the :class:`PlacementPlan`
+        constructor re-validates, so only the pure align group passes —
+        and ``server`` must not already be placed.
+        """
+        template = self.placement_for(like)
+        if any(p.server == server for p in self.placements):
+            raise PlacementError(
+                f"server {server!r} is already in this plan"
+            )
+        return PlacementPlan(
+            self.placements + [StagePlacement(server, template.stages)]
+        )
+
     # -------------------------------------------------------------- wire
 
     def to_doc(self) -> dict:

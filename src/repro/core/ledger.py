@@ -56,11 +56,22 @@ __all__ = [
 
 LEDGER_SUFFIX = ".jsonl"
 
-#: Chaos hook: ``PERSONA_CRASH_AFTER="<stage>:<n>"`` SIGKILLs the process
-#: right after the n-th ``chunk_done`` record for that stage has been
-#: journaled — the record is durable, the rest of the run is not.  Used by
-#: the crash-resume tests and the CI chaos job; never set in production.
+#: Chaos hook: ``PERSONA_CRASH_AFTER="<stage>:<n>"`` triggers fault
+#: injection right after the n-th ``chunk_done`` record for that stage has
+#: been journaled — the record is durable, what happens next is governed
+#: by :data:`CHAOS_MODE_ENV`.  Used by the crash-resume tests and the CI
+#: fault-injection matrix; never set in production.
 CRASH_ENV = "PERSONA_CRASH_AFTER"
+
+#: What the chaos trigger does once it fires (default ``crash``):
+#:
+#: * ``crash`` — SIGKILL the process (the original crash-resume hook),
+#: * ``hang`` / ``hang:<seconds>`` — stall the journaling worker once, for
+#:   ``<seconds>`` (default 3600, i.e. until the broker's delivery
+#:   deadline fences it),
+#: * ``slow:<ms>`` — sleep ``<ms>`` before every subsequent ``chunk_done``
+#:   (a degraded-but-alive worker for deadline/EWMA tests).
+CHAOS_MODE_ENV = "PERSONA_CHAOS_MODE"
 
 
 class LedgerError(ValueError):
@@ -114,6 +125,7 @@ class LedgerState:
     writes: "dict[tuple[str, str], str]" = field(default_factory=dict)
     spills: "dict[int, dict]" = field(default_factory=dict)
     edge_acks: "dict[str, set[str]]" = field(default_factory=dict)
+    quarantined: "dict[str, list]" = field(default_factory=dict)
     complete: "dict | None" = None
     torn_tail: bool = False
     good_bytes: int = 0
@@ -138,6 +150,10 @@ class LedgerState:
             self.spills[int(record["run"])] = record
         elif kind == "edge_ack":
             self.edge_acks.setdefault(record["edge"], set()).add(record["key"])
+        elif kind == "quarantine":
+            self.quarantined.setdefault(record["edge"], []).append(
+                {k: record[k] for k in ("key", "strikes", "history")}
+            )
         elif kind == "run_complete":
             self.complete = record
 
@@ -200,6 +216,25 @@ def _parse_crash_target() -> "tuple[str, int] | None":
         return None
 
 
+def _parse_chaos_mode() -> "tuple[str, float]":
+    """``(mode, seconds)`` from :data:`CHAOS_MODE_ENV`; bad input → crash."""
+    raw = os.environ.get(CHAOS_MODE_ENV, "").strip().lower()
+    if not raw or raw == "crash":
+        return "crash", 0.0
+    mode, _, arg = raw.partition(":")
+    if mode == "hang":
+        try:
+            return "hang", float(arg) if arg else 3600.0
+        except ValueError:
+            return "hang", 3600.0
+    if mode == "slow":
+        try:
+            return "slow", float(arg) / 1000.0 if arg else 0.1
+        except ValueError:
+            return "slow", 0.1
+    return "crash", 0.0
+
+
 class RunLedger:
     """One run's durable journal: append on write, replay on resume.
 
@@ -218,6 +253,8 @@ class RunLedger:
         self.skips: "dict[str, int]" = {}
         self._crash_target = _parse_crash_target()
         self._crash_seen = 0
+        self._chaos_mode, self._chaos_arg = _parse_chaos_mode()
+        self._chaos_fired = False
 
     # -- construction ---------------------------------------------------
 
@@ -301,7 +338,7 @@ class RunLedger:
         payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
         data = payload.encode()
         line = b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF) + data + b"\n"
-        crash = False
+        chaos = None
         with self._lock:
             self._fh.write(line)
             self.state.apply(record)
@@ -311,9 +348,16 @@ class RunLedger:
                 and record.get("stage") == self._crash_target[0]
             ):
                 self._crash_seen += 1
-                crash = self._crash_seen >= self._crash_target[1]
-        if crash:
+                if self._crash_seen >= self._crash_target[1]:
+                    if self._chaos_mode == "slow" or not self._chaos_fired:
+                        chaos = self._chaos_mode
+                    self._chaos_fired = True
+        # Faults fire outside the lock: a hanging worker must not wedge
+        # other threads' journaling, only its own stage.
+        if chaos == "crash":
             os.kill(os.getpid(), signal.SIGKILL)
+        elif chaos in ("hang", "slow"):
+            time.sleep(self._chaos_arg)
 
     def chunk_done(
         self, stage: str, key: str, digest: str, store: str = ""
@@ -330,6 +374,24 @@ class RunLedger:
 
     def edge_ack(self, edge: str, key: str) -> None:
         self.append({"t": "edge_ack", "edge": edge, "key": key})
+
+    def quarantine(self, edge: str, record: dict) -> None:
+        """Journal a poison chunk the broker dead-lettered on ``edge``.
+
+        ``record`` is the broker's quarantine record (``key``,
+        ``strikes``, and the per-attempt failure ``history``); the run can
+        then complete degraded with a durable account of what was
+        excluded and why.
+        """
+        self.append(
+            {
+                "t": "quarantine",
+                "edge": edge,
+                "key": record["key"],
+                "strikes": record["strikes"],
+                "history": list(record.get("history") or []),
+            }
+        )
 
     def complete(self, **fields: Any) -> None:
         self.append(

@@ -639,12 +639,18 @@ class ResequencerNode(Node):
     queues keep to a handful.
     """
 
-    def __init__(self, expected: "list[str]", name: str = "resequencer"):
+    def __init__(self, expected: "list[str]", name: str = "resequencer",
+                 missing_ok=None):
         super().__init__(name, parallelism=1)
         self.expected = list(expected)
         self._positions = {path: i for i, path in enumerate(self.expected)}
         self._pending: dict[str, ChunkWorkItem] = {}
         self._next = 0
+        #: Zero-arg callable returning chunk paths *authorized* to be
+        #: missing when the input closes (broker-quarantined poison
+        #: chunks): those are skipped and the run completes degraded;
+        #: any other hole still fails loudly.
+        self._missing_ok = missing_ok
 
     def process(self, item: ChunkWorkItem, ctx: NodeContext):
         path = item.entry.path
@@ -664,14 +670,26 @@ class ResequencerNode(Node):
         return released
 
     def finalize(self, ctx: NodeContext):
-        if self._next != len(self.expected):
-            missing = self.expected[self._next:][:3]
-            raise ValueError(
-                f"resequencer {self.name!r}: input closed with "
-                f"{len(self.expected) - self._next} chunks missing "
-                f"(first: {missing})"
-            )
-        return None
+        if self._next == len(self.expected):
+            return None
+        remaining = self.expected[self._next:]
+        missing = [p for p in remaining if p not in self._pending]
+        if missing:
+            allowed = (set(self._missing_ok())
+                       if self._missing_ok is not None else set())
+            blocked = [p for p in missing if p not in allowed]
+            if blocked:
+                raise ValueError(
+                    f"resequencer {self.name!r}: input closed with "
+                    f"{len(blocked)} chunks missing "
+                    f"(first: {blocked[:3]})"
+                )
+        # Every hole was quarantined: release what did arrive, still in
+        # expected order, and let the run complete degraded.
+        released = [self._pending.pop(p) for p in remaining
+                    if p in self._pending]
+        self._next = len(self.expected)
+        return released
 
 
 @dataclass

@@ -402,6 +402,7 @@ def _build_stage_graph(
     varcall_passthrough: bool = False,
     align_results_store: "ChunkStore | None" = None,
     ledger: "RunLedger | None" = None,
+    missing_ok=None,
 ) -> StageGraph:
     """Build ONE pipeline stage subgraph.
 
@@ -469,6 +470,7 @@ def _build_stage_graph(
             scratch_store=scratch_store,
             backend=backend_obj,
             name_queue=name_queue if head else None,
+            missing_ok=missing_ok,
         )
         if ledger is not None and scratch_store is not None:
             # Spills only survive a restart in a durable scratch store;
@@ -505,6 +507,7 @@ def _build_stage_graph(
             backend=backend_obj,
             vectorized=vectorized,
             name_queue=name_queue if head else None,
+            missing_ok=missing_ok,
         )
     if stage == "filter":
         filter_name, out_chunk, order = _filter_output_spec(
@@ -530,6 +533,7 @@ def _build_stage_graph(
             reference=manifest.reference,
             sort_order=order,
             name_queue=name_queue if head else None,
+            missing_ok=missing_ok,
         )
     if stage == "varcall":
         return build_varcall_graph(
@@ -1032,6 +1036,12 @@ def build_placed_server_graph(
     server_stages = tuple(server_stages)
     pipeline_stages = tuple(pipeline_stages)
     head_group = server_stages[0] == pipeline_stages[0]
+    # Chunks the broker dead-lettered never arrive; let downstream
+    # resequencers release around those holes so the run completes
+    # degraded instead of wedging on a poison chunk.
+    feed = ingress if ingress is not None else work_queue
+    missing_ok = getattr(getattr(feed, "client", None),
+                         "quarantined_keys", None)
     built: list[StageGraph] = []
     for stage in server_stages:
         position = pipeline_stages.index(stage)
@@ -1058,6 +1068,7 @@ def build_placed_server_graph(
             varcall_passthrough=(stage == "varcall"),
             align_results_store=align_results_store,
             ledger=ledger,
+            missing_ok=missing_ok,
         ))
     composed = compose(*built, name=server, open_inlet=not head_group,
                        terminal=False)

@@ -483,6 +483,7 @@ def build_sort_graph(
     parser_nodes: int = 2,
     stage_name: str = "sort",
     name_queue: "Queue | None" = None,
+    missing_ok=None,
 ) -> StageGraph:
     """The external merge sort (§4.3) as a dataflow stage.
 
@@ -541,7 +542,8 @@ def build_sort_graph(
 
     q_ordered = g.queue("ordered_chunks", 2)
     g.add(
-        ResequencerNode([entry.path for entry in manifest.chunks]),
+        ResequencerNode([entry.path for entry in manifest.chunks],
+                        missing_ok=missing_ok),
         input=inlet,
         output=q_ordered,
     )
@@ -598,6 +600,7 @@ def build_dupmark_graph(
     stage_name: str = "dupmark",
     vectorized: bool = True,
     name_queue: "Queue | None" = None,
+    missing_ok=None,
 ) -> StageGraph:
     """Samblaster-style duplicate marking (§5.6) as a dataflow stage.
 
@@ -649,7 +652,8 @@ def build_dupmark_graph(
 
     if reorder is not None:
         q_ordered = g.queue("ordered_chunks", 2)
-        g.add(ResequencerNode(list(reorder)), input=inlet, output=q_ordered)
+        g.add(ResequencerNode(list(reorder), missing_ok=missing_ok),
+              input=inlet, output=q_ordered)
         inlet = q_ordered
 
     q_out = g.queue("stage_out", 2)
@@ -749,6 +753,7 @@ def build_filter_stage(
     parser_nodes: int = 2,
     stage_name: str = "filter",
     name_queue: "Queue | None" = None,
+    missing_ok=None,
 ) -> StageGraph:
     """Dataset filtering (§2.1) as a streaming dataflow stage.
 
@@ -792,7 +797,8 @@ def build_filter_stage(
 
     if reorder is not None:
         q_ordered = g.queue("ordered_chunks", 2)
-        g.add(ResequencerNode(list(reorder)), input=inlet, output=q_ordered)
+        g.add(ResequencerNode(list(reorder), missing_ok=missing_ok),
+              input=inlet, output=q_ordered)
         inlet = q_ordered
 
     q_out = g.queue("stage_out", 2)

@@ -11,6 +11,19 @@ class PipelineAborted(Exception):
     """Raised by queue operations after the graph has been aborted."""
 
 
+class WorkerFenced(PipelineAborted):
+    """Raised by remote queue operations once the broker has fenced this
+    worker's consumer.
+
+    A fenced worker missed a delivery deadline (it hung, was SIGSTOPped,
+    or fell behind a live-lock): its unacked deliveries were already
+    requeued for surviving replicas, so every further operation from it
+    is rejected — a late ack or publish must not duplicate work someone
+    else has redone.  The placed runner treats a session that dies with
+    this root cause like a killed worker, not a pipeline error.
+    """
+
+
 class PipelineError(RuntimeError):
     """Raised by ``Session.run`` when any node fails.
 

@@ -18,7 +18,7 @@ import threading
 import time
 from typing import Any, Generic, Iterator, Protocol, TypeVar
 
-from repro.dataflow.errors import PipelineAborted, QueueClosed
+from repro.dataflow.errors import PipelineAborted, QueueClosed, WorkerFenced
 
 T = TypeVar("T")
 
@@ -196,6 +196,9 @@ PUBLISH_OK = "ok"
 PUBLISH_FULL = "full"
 EDGE_CLOSED = "closed"
 EDGE_ABORTED = "aborted"
+#: The broker fenced this consumer (missed delivery deadline): all of
+#: its further operations are rejected with this status.
+DELIVERY_FENCED = "fenced"
 
 
 class QueueTransport(Protocol):
@@ -317,6 +320,8 @@ class RemoteQueue:
         return self.serializer.decode(payload)
 
     def _check_status(self, status: str) -> None:
+        if status == DELIVERY_FENCED:
+            raise WorkerFenced(self.edge)
         if status == EDGE_ABORTED:
             raise PipelineAborted(self.edge)
         if status == EDGE_CLOSED:

@@ -12,7 +12,12 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.dataflow.errors import PipelineAborted, PipelineError, QueueClosed
+from repro.dataflow.errors import (
+    PipelineAborted,
+    PipelineError,
+    QueueClosed,
+    WorkerFenced,
+)
 from repro.dataflow.executor import BusyCounter
 from repro.dataflow.graph import Graph
 from repro.dataflow.node import Node
@@ -148,6 +153,17 @@ class Session:
     def _replica_main(self, node: Node, ctx: NodeContext) -> None:
         try:
             node.run_replica(ctx)
+        except WorkerFenced as exc:
+            # The broker revoked this worker's deliveries.  Although it
+            # subclasses PipelineAborted (so transports unwind the same
+            # way), a fence is a *failure* of this session: record it
+            # and abort, or kernels upstream of the fenced endpoint
+            # would block forever on queues nobody drains.
+            with self._failure_lock:
+                if self._failure is None:
+                    self._failure = (node.name, exc)
+            node.stats.errors.append(repr(exc))
+            self.graph.abort()
         except (QueueClosed, PipelineAborted):
             # Normal shutdown (downstream closed first) or abort in
             # progress; producer_done below still runs.

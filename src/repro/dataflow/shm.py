@@ -212,11 +212,30 @@ class _Adopted:
     unlink of the name.  Unlinked when the last lease token returns.
     """
 
-    __slots__ = ("shm", "refs")
+    __slots__ = ("shm", "refs", "nbytes")
 
-    def __init__(self, shm):
+    def __init__(self, shm, nbytes: int = 0):
         self.shm = shm
         self.refs = 0
+        self.nbytes = nbytes
+
+
+class _SpilledSeg:
+    """An adopted payload pushed out to a disk file (backlog spill).
+
+    Created when adoption would carry the pool's adopted backlog past
+    its spill watermark: the publisher's segment is drained to disk and
+    unlinked, freeing ``/dev/shm`` immediately.  Same lease lifecycle as
+    an in-memory adoption — read via :meth:`BufferPool.read_ref`, file
+    deleted when the last lease returns.
+    """
+
+    __slots__ = ("path", "refs", "nbytes")
+
+    def __init__(self, path: str, nbytes: int):
+        self.path = path
+        self.refs = 0
+        self.nbytes = nbytes
 
 
 class BufferPool:
@@ -232,19 +251,37 @@ class BufferPool:
         slab_bytes: int = DEFAULT_SLAB_BYTES,
         max_bytes: int = DEFAULT_MAX_BYTES,
         prefix: "str | None" = None,
+        spill_dir: "str | None" = None,
+        spill_watermark: "int | None" = None,
     ):
         if _shared_memory is None:
             raise RuntimeError("multiprocessing.shared_memory unavailable")
         if slab_bytes <= 0 or max_bytes <= 0:
             raise ValueError("slab_bytes and max_bytes must be positive")
+        if spill_watermark is not None and spill_watermark < 0:
+            raise ValueError("spill_watermark cannot be negative")
         self.slab_bytes = slab_bytes
         self.max_bytes = max_bytes
         self.prefix = prefix or (
             f"psna-{os.getpid()}-{secrets.token_hex(4)}"
         )
+        #: Backlog spill: once adopted segments hold more than
+        #: ``spill_watermark`` bytes of shared memory, further adoptions
+        #: drain to files under ``spill_dir`` instead (and the shm
+        #: segment is unlinked immediately).  Disabled without a dir.
+        self._spill_dir = spill_dir
+        self._spill_watermark = (
+            max_bytes if spill_watermark is None else spill_watermark
+        ) if spill_dir is not None else None
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
         self._slabs: "list[_Slab]" = []
         self._leases: "dict[int, _Slab]" = {}
         self._adopted: "dict[int, _Adopted]" = {}
+        self._spilled: "dict[int, _SpilledSeg]" = {}
+        self._adopted_bytes = 0
+        self.total_spilled_segments = 0
+        self.total_spilled_bytes = 0
         self._tokens = itertools.count()
         self._segments = itertools.count()
         self._lock = threading.Lock()
@@ -260,12 +297,34 @@ class BufferPool:
     @property
     def live_leases(self) -> int:
         with self._lock:
-            return len(self._leases) + len(self._adopted)
+            return (len(self._leases) + len(self._adopted)
+                    + len(self._spilled))
 
     @property
     def allocated_bytes(self) -> int:
         with self._lock:
             return sum(s.capacity for s in self._slabs)
+
+    @property
+    def adopted_bytes(self) -> int:
+        """Shared-memory bytes currently held by adopted segments (the
+        quantity the spill watermark bounds)."""
+        with self._lock:
+            return self._adopted_bytes
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "slabs": len(self._slabs),
+                "allocated_bytes": sum(s.capacity for s in self._slabs),
+                "live_leases": len(self._leases),
+                "adopted_live": len(self._adopted),
+                "adopted_bytes": self._adopted_bytes,
+                "spilled_live": len(self._spilled),
+                "total_spilled_segments": self.total_spilled_segments,
+                "total_spilled_bytes": self.total_spilled_bytes,
+                "spill_watermark": self._spill_watermark,
+            }
 
     # --------------------------------------------------------- allocation
 
@@ -369,15 +428,22 @@ class BufferPool:
             seg = _shared_memory.SharedMemory(name=name)
         except OSError:
             return None
+        spill = False
         with self._lock:
             if self._closed:
                 closed = True
             else:
                 closed = False
-                holder = _Adopted(seg)
-                holder.refs = 1
-                token = next(self._tokens)
-                self._adopted[token] = holder
+                spill = (
+                    self._spill_watermark is not None
+                    and self._adopted_bytes + length > self._spill_watermark
+                )
+                if not spill:
+                    holder = _Adopted(seg, length)
+                    holder.refs = 1
+                    token = next(self._tokens)
+                    self._adopted[token] = holder
+                    self._adopted_bytes += length
         if closed:
             try:
                 seg.close()
@@ -385,14 +451,80 @@ class BufferPool:
             except OSError:  # pragma: no cover - raced the sweep
                 pass
             return None
+        if spill:
+            return self._spill_adopted(name, seg, offset, length)
         return ShmRef(segment=name, offset=offset, length=length,
                       token=token)
+
+    def _spill_adopted(self, name: str, seg, offset: int,
+                       length: int) -> "ShmRef | None":
+        """Drain an adopted segment to a spill file and unlink it.
+
+        The file is written *before* the segment is unlinked, so a disk
+        failure degrades to an in-memory adoption (ignoring the
+        watermark) rather than losing the payload.
+        """
+        data = bytes(seg.buf[offset:offset + length])
+        with self._lock:
+            token = next(self._tokens)
+        path = os.path.join(
+            self._spill_dir, f"{self.prefix}-spill-{token}"
+        )
+        try:
+            with open(path, "wb") as fh:
+                fh.write(data)
+        except OSError:
+            with self._lock:
+                if not self._closed:
+                    holder = _Adopted(seg, length)
+                    holder.refs = 1
+                    self._adopted[token] = holder
+                    self._adopted_bytes += length
+                    return ShmRef(segment=name, offset=offset,
+                                  length=length, token=token)
+            try:
+                seg.close()
+                seg.unlink()
+            except OSError:  # pragma: no cover - raced the sweep
+                pass
+            return None
+        try:
+            seg.close()
+            seg.unlink()
+        except OSError:  # pragma: no cover - raced the sweep
+            pass
+        dead_path = None
+        with self._lock:
+            if self._closed:
+                dead_path = path
+            else:
+                holder = _SpilledSeg(path, length)
+                holder.refs = 1
+                self._spilled[token] = holder
+                self.total_spilled_segments += 1
+                self.total_spilled_bytes += length
+        if dead_path is not None:
+            try:
+                os.unlink(dead_path)
+            except OSError:  # pragma: no cover - raced close()
+                pass
+            return None
+        # The file holds exactly [offset, offset+length) of the original
+        # segment, so the spilled ref reads from file offset 0.
+        return ShmRef(segment=name, offset=0, length=length, token=token)
 
     def incref(self, ref: ShmRef) -> "ShmRef | None":
         """Lease an already-leased payload again (a second consumer
         handoff of the same stored bytes).  Returns a new ref carrying
-        its own token, or None when the backing lease is gone."""
+        its own token, or None when the backing lease is gone.
+
+        Spilled payloads return None by design: their bytes no longer
+        live in a shared segment a consumer could attach, so the caller
+        must take the :meth:`read_ref` copy path (which re-stages them
+        from disk)."""
         with self._lock:
+            if ref.token in self._spilled:
+                return None
             holder = self._adopted.get(ref.token)
             if holder is not None:
                 token = next(self._tokens)
@@ -409,42 +541,74 @@ class BufferPool:
 
     def read_ref(self, ref: ShmRef) -> "bytes | None":
         """Copy a leased payload back out (for peers that cannot attach
-        the segment — the socket copy path)."""
+        the segment — the socket copy path — and for spilled payloads,
+        whose only home is their disk file)."""
+        path = None
         with self._lock:
-            holder = self._adopted.get(ref.token)
-            if holder is not None:
-                buf = holder.shm.buf
-                return bytes(buf[ref.offset:ref.offset + ref.length])
-            slab = self._leases.get(ref.token)
-            if slab is not None:
-                buf = slab.shm.buf
-                return bytes(buf[ref.offset:ref.offset + ref.length])
+            spilled = self._spilled.get(ref.token)
+            if spilled is not None:
+                path = spilled.path
+            else:
+                holder = self._adopted.get(ref.token)
+                if holder is not None:
+                    buf = holder.shm.buf
+                    return bytes(buf[ref.offset:ref.offset + ref.length])
+                slab = self._leases.get(ref.token)
+                if slab is not None:
+                    buf = slab.shm.buf
+                    return bytes(buf[ref.offset:ref.offset + ref.length])
+        if path is not None:
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(ref.offset)
+                    data = fh.read(ref.length)
+                if len(data) == ref.length:
+                    return data
+            except OSError:  # pragma: no cover - spill file vanished
+                pass
         return None
 
     # ------------------------------------------------------------- leases
 
     def release(self, ref: ShmRef) -> None:
-        """Return one lease; the last lease out rewinds its slab (or
-        unlinks its adopted segment)."""
+        """Return one lease; the last lease out rewinds its slab,
+        unlinks its adopted segment, or deletes its spill file."""
         dead = None
+        dead_path = None
         with self._lock:
-            holder = self._adopted.pop(ref.token, None)
-            if holder is not None:
-                holder.refs -= 1
-                if holder.refs == 0:
-                    dead = holder.shm
+            spilled = self._spilled.pop(ref.token, None)
+            if spilled is not None:
+                spilled.refs -= 1
+                if spilled.refs == 0:
+                    dead_path = spilled.path
             else:
-                slab = self._leases.pop(ref.token, None)
-                if slab is None:
-                    return
-                slab.live -= 1
-                if slab.live == 0:
-                    slab.used = 0
+                holder = self._adopted.pop(ref.token, None)
+                if holder is not None:
+                    holder.refs -= 1
+                    if holder.refs == 0:
+                        dead = holder.shm
+                        self._adopted_bytes -= holder.nbytes
+                else:
+                    slab = self._leases.pop(ref.token, None)
+                    if slab is None:
+                        return
+                    slab.live -= 1
+                    if slab.live == 0:
+                        slab.used = 0
+        self._finish_release(dead, dead_path)
+
+    @staticmethod
+    def _finish_release(dead, dead_path) -> None:
         if dead is not None:
             try:
                 dead.close()
                 dead.unlink()
             except OSError:  # pragma: no cover - raced another cleaner
+                pass
+        if dead_path is not None:
+            try:
+                os.unlink(dead_path)
+            except OSError:  # pragma: no cover - raced close()
                 pass
 
     def release_all(self, refs) -> None:
@@ -466,6 +630,14 @@ class BufferPool:
             adopted = list({id(h): h for h in self._adopted.values()}
                            .values())
             self._adopted.clear()
+            self._adopted_bytes = 0
+            spill_paths = [s.path for s in self._spilled.values()]
+            self._spilled.clear()
+        for path in spill_paths:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
         for holder in adopted:
             try:
                 holder.shm.close()

@@ -625,12 +625,32 @@ class TestPlacedShmEquivalence:
                 assert shm.list_segments(server._pool.prefix) == []
 
     def test_killed_worker_redelivered_under_shm(
-        self, fresh_dataset, snap_aligner, reference, single_session,
-        monkeypatch,
+        self, reads, snap_aligner, reference, monkeypatch,
     ):
         """At-least-once delivery survives shm handoffs: a dead worker's
         leases are reclaimed, its chunks redelivered, no segment
-        leaked once the run closes its pool."""
+        leaked once the run closes its pool.
+
+        24 small chunks, not the usual 6: each worker prefetches ~7
+        chunk names into its local pipeline, so with 6 chunks the
+        survivor can hoard the whole edge before the dying worker
+        aligns enough reads to die — death must not depend on winning
+        that race.
+        """
+        def dataset24():
+            return import_reads(
+                reads, "pg24", MemoryStore(), chunk_size=25,
+                reference=reference.manifest_entry(),
+            )
+
+        single = run_pipeline(
+            dataset24(),
+            ("align", "sort", "dupmark", "varcall"),
+            aligner=snap_aligner,
+            reference=reference,
+            sort_config=SORT_CONFIG,
+            backend="serial",
+        )
         servers: list = []
         monkeypatch.setattr(
             "repro.cluster.multiserver.BrokerServer",
@@ -642,11 +662,12 @@ class TestPlacedShmEquivalence:
 
         def factory(server):
             if server == "dying":
-                return _DyingAligner(snap_aligner, survive_reads=150)
+                # Dies 5 reads into its second chunk.
+                return _DyingAligner(snap_aligner, survive_reads=30)
             return snap_aligner
 
         placed = run_placed_pipeline(
-            fresh_dataset(),
+            dataset24(),
             plan,
             aligner_factory=factory,
             reference=reference,
@@ -658,8 +679,8 @@ class TestPlacedShmEquivalence:
         assert placed.server("dying").killed
         assert placed.total_redelivered > 0
         assert placed.server("dying").chunks \
-            + placed.server("survivor").chunks == 6
-        assert_matches_single(placed, single_session, reference)
+            + placed.server("survivor").chunks == 24
+        assert_matches_single(placed, single, reference)
         for server in servers:
             if server._pool is not None:
                 assert server._pool.live_leases == 0

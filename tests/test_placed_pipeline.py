@@ -549,22 +549,45 @@ class TestSelfBalancing:
             assert dataset.store.exists(entry.chunk_file("results"))
 
     def test_killed_worker_chunks_redelivered_and_completed(
-        self, fresh_dataset, snap_aligner, reference, single_session
+        self, reads, snap_aligner, reference
     ):
         """A worker dying mid-chunk loses nothing: its unacked names are
         redelivered to the surviving replica and the run completes with
-        byte-identical output."""
+        byte-identical output.
+
+        24 small chunks, not the usual 6: each worker's local pipeline
+        eagerly prefetches ~7 chunk names, so with 6 chunks the
+        survivor can hoard the whole edge before the dying worker
+        aligns enough reads to die — death must not depend on winning
+        that race.
+        """
+        def dataset24():
+            return import_reads(
+                reads, "pg24", MemoryStore(), chunk_size=25,
+                reference=reference.manifest_entry(),
+            )
+
+        single = run_pipeline(
+            dataset24(),
+            ("align", "sort", "dupmark", "varcall"),
+            aligner=snap_aligner,
+            reference=reference,
+            sort_config=SORT_CONFIG,
+            backend="serial",
+        )
         plan = PlacementPlan.parse(
             "dying=align;survivor=align;B=sort,dupmark,varcall"
         )
 
         def factory(server):
             if server == "dying":
-                return _DyingAligner(snap_aligner, survive_reads=150)
+                # Dies 5 reads into its second chunk: any schedule that
+                # hands it even two of the 24 chunks kills it mid-work.
+                return _DyingAligner(snap_aligner, survive_reads=30)
             return snap_aligner
 
         placed = run_placed_pipeline(
-            fresh_dataset(),
+            dataset24(),
             plan,
             aligner_factory=factory,
             reference=reference,
@@ -576,8 +599,8 @@ class TestSelfBalancing:
         assert dying.killed
         assert not survivor.killed
         assert placed.total_redelivered > 0
-        assert dying.chunks + survivor.chunks == 6  # exactly once
-        assert_matches_single(placed, single_session, reference)
+        assert dying.chunks + survivor.chunks == 24  # exactly once
+        assert_matches_single(placed, single, reference)
 
     def test_killed_worker_without_replica_fails_loudly(
         self, fresh_dataset, snap_aligner, reference
