@@ -168,6 +168,7 @@ class Report:
         self.metrics: dict = {}
         self.rows: list[dict] = []
         self.checks: list[dict] = []
+        self.gates: list[dict] = []
 
     def add(self, line: str = "") -> None:
         self.lines.append(line)
@@ -189,6 +190,34 @@ class Report:
         self.checks.append({"description": description, "holds": bool(holds)})
         assert holds, f"shape violated: {description}"
 
+    def gate(self, name: str, threshold: float, measured: float,
+             armed: bool, note: str = "") -> None:
+        """A numeric speedup gate, recorded structurally either way.
+
+        ``armed=False`` (e.g. too few CPUs for a timing assertion)
+        records the measurement without asserting; the JSON still
+        carries threshold, measured value, and arming state, so
+        ``compare_bench.py`` can surface drift between what a gate
+        states and what a host actually measured.
+        """
+        holds = bool(measured >= threshold)
+        self.gates.append({
+            "name": name, "threshold": float(threshold),
+            "measured": float(measured), "armed": bool(armed),
+            "holds": holds,
+        })
+        if armed:
+            marker = "HOLDS" if holds else "VIOLATED"
+            self.add(f"  [{marker}] gate {name}: measured {measured:.2f} "
+                     f"vs threshold {threshold:g}")
+            assert holds, (
+                f"gate violated: {name}: {measured:.3f} < {threshold:g}"
+            )
+        else:
+            suffix = f" — {note}" if note else ""
+            self.add(f"  [UNARMED] gate {name}: measured {measured:.2f} "
+                     f"vs threshold {threshold:g}{suffix}")
+
     def finish(self) -> str:
         import json
 
@@ -201,6 +230,7 @@ class Report:
             "metrics": self.metrics,
             "rows": self.rows,
             "checks": self.checks,
+            "gates": self.gates,
         }
         (REPO_ROOT / f"BENCH_{self.name}.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -154,16 +154,27 @@ def read_chunk_index(blob: bytes) -> tuple[ChunkHeader, RelativeIndex]:
     return header, RelativeIndex.from_bytes(index_bytes, header.record_count)
 
 
-def read_chunk_data(blob: bytes) -> tuple[ChunkHeader, RelativeIndex, bytes]:
+def read_chunk_data(blob) -> tuple[ChunkHeader, RelativeIndex, bytes]:
     """Header, relative index, and decompressed CRC-verified data block.
 
     The shared validation core of every chunk decode: the object path
     (:func:`read_chunk`) and the columnar array paths
     (:mod:`repro.core.columnar`) all read through here, so format and
     corruption handling cannot drift between them.
+
+    View-native: ``blob`` may be any bytes-like buffer (``bytes``, a
+    :class:`memoryview` over a shared-memory delivery, an
+    ``np.frombuffer`` view).  For a ``memoryview`` input whose chunk was
+    framed with the identity ``none`` codec, the returned data block is
+    a zero-copy slice of that same buffer — no intermediate ``bytes``
+    is ever materialized, and every downstream decoder
+    (``np.frombuffer``, the record codecs) reads the transport buffer
+    in place.  CRC and length validation run identically either way.
     """
     header, index = read_chunk_index(blob)
     data_start = HEADER_SIZE + header.record_count * 4
+    # Slicing a memoryview is zero-copy (slicing bytes is not), so a
+    # memoryview input stays allocation-free through the identity codec.
     compressed = blob[data_start : data_start + header.compressed_size]
     if len(compressed) != header.compressed_size:
         raise ChunkFormatError("chunk data block truncated")
@@ -182,12 +193,37 @@ def read_chunk_data(blob: bytes) -> tuple[ChunkHeader, RelativeIndex, bytes]:
     return header, index, data
 
 
-def read_chunk(blob: bytes) -> Chunk:
-    """Decode a full chunk file image into typed records."""
+def read_chunk(blob, views: bool = False) -> Chunk:
+    """Decode a full chunk file image into typed records.
+
+    ``views=True`` asks record codecs that support it to return
+    zero-copy slices of the data block instead of owned ``bytes`` —
+    meaningful when ``blob`` is a ``memoryview`` over a leased segment
+    and the chunk's codec is ``none``.  View records alias the buffer:
+    call :func:`materialize_records` (or ``bytes(record)``) before
+    retaining one past the delivery lease.
+    """
     header, index, data = read_chunk_data(blob)
     record_codec = get_record_codec(header.record_type)
+    if views:
+        decode_views = getattr(record_codec, "decode_views", None)
+        if decode_views is not None:
+            return Chunk(
+                header.record_type, decode_views(data, index),
+                header.first_ordinal,
+            )
     records = record_codec.decode(data, index)
     return Chunk(header.record_type, records, header.first_ordinal)
+
+
+def materialize_records(records: list) -> list:
+    """Escape hatch out of the view plane: convert any ``memoryview``
+    records into owned ``bytes`` (non-view records pass through).  After
+    this, the list no longer aliases its delivery buffer and may outlive
+    the lease, be pickled, hashed, or sorted."""
+    return [
+        bytes(r) if isinstance(r, memoryview) else r for r in records
+    ]
 
 
 def chunk_record_count(blob: bytes) -> int:

@@ -127,6 +127,35 @@ class BasesColumn:
         for i in range(len(self)):
             yield flat[bounds[i]:bounds[i + 1]].tobytes()
 
+    def view(self, index: int) -> memoryview:
+        """Zero-copy window onto record ``index``'s bases.
+
+        The per-record analog of slicing: no bytes object is built, the
+        view aliases :attr:`flat`.  ``bytes.join`` and ``np.frombuffer``
+        accept it directly; call ``bytes()`` on it (or
+        :meth:`materialize` the column) before retaining it past the
+        column's backing buffer.
+        """
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(f"record {index} of {len(self)}")
+        return memoryview(self.flat[self.bounds[i]:self.bounds[i + 1]])
+
+    def materialize(self) -> "BasesColumn":
+        """Escape hatch out of the view plane: a column whose arrays own
+        their storage (and are writable), safe to retain after the
+        segment backing a view-decoded column is released.  Returns
+        ``self`` when the arrays already own their data."""
+        if self.flat.flags.owndata and self.flat.flags.writeable and \
+                self.bounds.flags.owndata:
+            return self
+        return BasesColumn(
+            flat=np.array(self.flat, copy=True),
+            bounds=np.array(self.bounds, copy=True),
+        )
+
     def to_list(self) -> "list[bytes]":
         return list(self)
 
@@ -209,7 +238,13 @@ def _validate_packed_size(data: bytes, words_per_record: np.ndarray) -> int:
 
 def unpack_column_flat(data: bytes, lengths) -> BasesColumn:
     """Decode a packed column into one flat ASCII array (zero per-record
-    bytes objects) — the decode half of the columnar aligner feed."""
+    bytes objects) — the decode half of the columnar aligner feed.
+
+    ``data`` may be any bytes-like buffer: a ``memoryview`` over a
+    leased shm segment reads through ``np.frombuffer`` without ever
+    materializing the packed block as ``bytes``.  The returned column's
+    arrays are fresh (the 3-bit unpack is a transform, not a copy), so
+    it never aliases — and never outlives — the delivery buffer."""
     n = len(lengths)
     n_bases = np.asarray(lengths, dtype=np.int64) if n \
         else np.zeros(0, np.int64)

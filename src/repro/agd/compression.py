@@ -39,7 +39,24 @@ def _lzma_decompress(data: bytes) -> bytes:
 
 
 def _identity(data: bytes) -> bytes:
+    # Pass buffers through untouched: a ``memoryview`` in is a
+    # ``memoryview`` out, which is what makes the ``none`` codec the
+    # zero-copy leg of the view-native decode plane — a chunk framed at
+    # codec level 0 decodes into views of the transport buffer.
     return data
+
+
+def as_bytes(data) -> bytes:
+    """Materialize any bytes-like buffer as owned ``bytes``.
+
+    The explicit escape hatch out of the view plane: decoders that hand
+    out :class:`memoryview` slices alias their transport buffer, and a
+    consumer that outlives the buffer's lease (or needs hashable /
+    orderable / picklable records) converts through here exactly once.
+    """
+    if isinstance(data, bytes):
+        return data
+    return bytes(data)
 
 
 GZIP = Codec("gzip", _gzip_compress, _gzip_decompress)

@@ -71,17 +71,44 @@ class RawBytesCodec:
         return b"".join(records), [len(r) for r in records]
 
     def decode(self, data: bytes, index: RelativeIndex) -> list[bytes]:
+        # Accepts any bytes-like buffer.  A memoryview input (the shm
+        # view plane) still yields owned bytes records by default:
+        # text records are used as dict keys and sort keys downstream,
+        # which memoryviews cannot serve.  decode_views is the
+        # explicitly-requested zero-copy variant.
+        materialize = isinstance(data, memoryview)
         out: list[bytes] = []
         offset = 0
         for i in range(len(index)):
             n = index[i]
             if offset + n > len(data):
                 raise ValueError("text column data truncated")
-            out.append(data[offset : offset + n])
+            record = data[offset : offset + n]
+            out.append(bytes(record) if materialize else record)
             offset += n
         if offset != len(data):
             raise ValueError(
                 f"text column has {len(data) - offset} trailing bytes"
+            )
+        return out
+
+    def decode_views(self, data, index: RelativeIndex) -> list:
+        """Zero-copy decode: each record is a slice of ``data`` (a
+        memoryview when ``data`` is one).  Records alias the buffer —
+        materialize (``bytes(record)``) anything retained past its
+        delivery lease, hashed, sorted, or pickled."""
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        out: list = []
+        offset = 0
+        for i in range(len(index)):
+            n = index[i]
+            if offset + n > len(view):
+                raise ValueError("text column data truncated")
+            out.append(view[offset : offset + n])
+            offset += n
+        if offset != len(view):
+            raise ValueError(
+                f"text column has {len(view) - offset} trailing bytes"
             )
         return out
 
@@ -105,14 +132,20 @@ class ResultsCodec:
 
     def decode(self, data: bytes, index: RelativeIndex) -> list[AlignmentResult]:
         # Trusted fast path: the chunk layer has already CRC-verified the
-        # data block, and records were validated when encoded.
+        # data block, and records were validated when encoded.  A
+        # memoryview input (the shm view plane) is sliced in place and
+        # each record materialized exactly once — AlignmentResult fields
+        # (cigar bytes) must own their storage, since results are
+        # re-serialized, compared, and shipped across process backends.
+        materialize = isinstance(data, memoryview)
         out: list[AlignmentResult] = []
         offset = 0
         for i in range(len(index)):
             n = index[i]
-            out.append(
-                AlignmentResult.from_bytes_trusted(data[offset : offset + n])
-            )
+            record = data[offset : offset + n]
+            if materialize:
+                record = bytes(record)
+            out.append(AlignmentResult.from_bytes_trusted(record))
             offset += n
         if offset != len(data):
             raise ValueError(

@@ -33,7 +33,7 @@ from repro.cluster.broker import (
     TcpBrokerClient,
 )
 from repro.cluster.placement import WORK_EDGE, PlacementPlan
-from repro.cluster.wire import entry_serializer, item_serializer
+from repro.cluster.wire import edge_item_serializer, entry_serializer
 from repro.core.pipelines import PlacedServerGraph, split_pipeline
 from repro.core.subgraphs import AlignGraphConfig
 from repro.dataflow.backends import Backend, make_backend
@@ -55,10 +55,13 @@ def queue_factory(client_for):
     :func:`repro.core.pipelines.split_pipeline`."""
     def make_queue(server: str, edge: str, kind: str,
                    ack_mode: str) -> RemoteQueue:
+        client = client_for(server)
+        # Per-edge codec negotiation: the serializer is chosen per
+        # client, after its shm handshake — same-host edges carry raw
+        # level-0 frames and decode as views, remote edges keep gzip.
         serializer = entry_serializer() if kind == "names" \
-            else item_serializer()
-        return RemoteQueue(client_for(server), edge, serializer,
-                           ack_mode=ack_mode)
+            else edge_item_serializer(client)
+        return RemoteQueue(client, edge, serializer, ack_mode=ack_mode)
     return make_queue
 
 
@@ -595,7 +598,7 @@ def run_placed_pipeline(
             from repro.core.ops import ChunkWorkItem
 
             inject_queue = RemoteQueue(
-                coordinator, inject_edge, item_serializer()
+                coordinator, inject_edge, edge_item_serializer(coordinator)
             )
             inject_queue.register_producer()
             inject_columns = tuple(

@@ -18,7 +18,7 @@ import struct
 from typing import Callable, NamedTuple
 
 from repro.agd.chunk import read_chunk, write_chunk
-from repro.agd.compression import leveled_codec
+from repro.agd.compression import as_bytes, get_codec, leveled_codec
 from repro.agd.manifest import ChunkEntry
 from repro.agd.records import record_type_for_column
 
@@ -27,6 +27,20 @@ _LEN = struct.Struct("!I")
 #: Edge payloads are transient (written once, read once), so compress
 #: like sort scratch: cheap level, not the archival default.
 EDGE_CODEC_LEVEL = 1
+
+#: Codec level for shm-verified same-host edges: no compression at all.
+#: Compression on a same-host edge buys nothing (the bytes never cross
+#: a wire) and costs the decode plane its zero-copy property — a chunk
+#: framed at level 0 decodes as views of the mapped segment.
+RAW_EDGE_CODEC_LEVEL = 0
+
+
+def _codec_for_level(codec_level: int):
+    """Level 0 is the identity codec (the raw-shm leg); positive levels
+    are light gzip for TCP edges."""
+    if codec_level <= 0:
+        return get_codec("none")
+    return leveled_codec("gzip", codec_level)
 
 
 class WireError(ValueError):
@@ -116,7 +130,7 @@ def encode_work_item_frames(
     (results attached as their own frame when they live on
     ``item.results``).  Scatter/gather transports ship the list as-is;
     :func:`encode_work_item` packs it for single-blob carriers."""
-    codec = leveled_codec("gzip", codec_level)
+    codec = _codec_for_level(codec_level)
     columns = sorted(item.columns)
     results_attached = item.results is not None and "results" not in columns
     header = {
@@ -153,12 +167,26 @@ def encode_work_item(item, codec_level: int = EDGE_CODEC_LEVEL) -> bytes:
     return pack_frames(encode_work_item_frames(item, codec_level))
 
 
-def decode_work_item_frames(frames: "list[bytes]"):
+def decode_work_item_frames(frames: "list[bytes]", views: bool = False):
+    """Rebuild a work item from its frames.
+
+    Frames may be any bytes-like buffers — under the raw-shm handoff
+    each large frame arrives as a read-only ``memoryview`` of the
+    mapped segment.  With ``views=True`` the bases column decodes
+    straight to a flat :class:`~repro.agd.compaction.BasesColumn`
+    (no per-record bytes objects at all), which every kernel consumes
+    natively; text and results records follow the record-codec policy
+    (materialized per record, since they are hashed/sorted/pickled
+    downstream).  The delivery lease must outlive decoding — the
+    :class:`~repro.dataflow.queues.RemoteQueue` deferred ack guarantees
+    it for the worker loop.
+    """
+    from repro.core.columnar import read_bases_column
     from repro.core.ops import ChunkWorkItem
 
     if not frames:
         raise WireError("work item frame missing header")
-    header = json.loads(frames[0].decode())
+    header = json.loads(as_bytes(frames[0]).decode())
     columns = list(header["columns"])
     expected = len(columns) + (1 if header["results"] else 0)
     if len(frames) != expected + 1:
@@ -169,22 +197,45 @@ def decode_work_item_frames(frames: "list[bytes]"):
     entry = ChunkEntry(header["path"], header["first"], header["count"])
     item = ChunkWorkItem(entry=entry)
     for i, column in enumerate(columns):
-        item.columns[column] = read_chunk(frames[1 + i]).records
+        frame = frames[1 + i]
+        if views and record_type_for_column(column) == "bases":
+            item.columns[column] = read_bases_column(frame)
+        else:
+            item.columns[column] = read_chunk(frame).records
     if header["results"]:
         item.results = read_chunk(frames[-1]).records
     return item
 
 
-def decode_work_item(blob: bytes):
+def decode_work_item(blob: bytes, views: bool = False):
     """Inverse of :func:`encode_work_item`."""
-    return decode_work_item_frames(unpack_frames(blob))
+    return decode_work_item_frames(unpack_frames(blob), views=views)
 
 
-def item_serializer(codec_level: int = EDGE_CODEC_LEVEL) -> PayloadSerializer:
+def item_serializer(codec_level: int = EDGE_CODEC_LEVEL,
+                    views: bool = False) -> PayloadSerializer:
     return PayloadSerializer(
         encode=lambda item: encode_work_item(item, codec_level),
-        decode=decode_work_item,
+        decode=lambda blob: decode_work_item(blob, views=views),
         key=lambda item: item.entry.path,
         encode_frames=lambda item: encode_work_item_frames(item, codec_level),
-        decode_frames=decode_work_item_frames,
+        decode_frames=lambda frames: decode_work_item_frames(
+            frames, views=views
+        ),
     )
+
+
+def edge_item_serializer(client) -> PayloadSerializer:
+    """Per-edge transport-aware codec negotiation.
+
+    The edge's codec is chosen where the transport is known — right
+    after the client's shm handshake: an edge whose client verified
+    same-host shared memory carries columns as *raw* level-0 frames
+    (no gzip on either end; large frames cross as segment descriptors
+    and decode as views), while a remote TCP edge keeps the light
+    level-1 gzip of :data:`EDGE_CODEC_LEVEL`.  Clients without a
+    handshake (in-process transports) also keep the compressed form.
+    """
+    if getattr(client, "shm_active", False):
+        return item_serializer(RAW_EDGE_CODEC_LEVEL, views=True)
+    return item_serializer()

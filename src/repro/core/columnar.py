@@ -383,6 +383,32 @@ def _ensure_results_arrays(results) -> ResultsArrays:
     return ResultsArrays.from_records(results)
 
 
+def _gather_kept(col, idx: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Concatenate the kept records of a column as one uint8 array.
+
+    The varcall pileup feed of the view plane: a
+    :class:`~repro.agd.compaction.BasesColumn` gathers straight from its
+    flat array in one fancy-index pass — no per-record bytes objects,
+    no join copy.  List-of-buffers columns (including memoryview
+    records aliasing a leased segment) take the join path; ``b"".join``
+    accepts any buffer, so views are consumed in place.
+    """
+    from repro.agd.compaction import BasesColumn
+
+    if isinstance(col, BasesColumn):
+        bounds = np.asarray(col.bounds, dtype=np.int64)
+        lens = (bounds[1:] - bounds[:-1])[idx]
+        starts = bounds[:-1][idx]
+        total = int(lens.sum())
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            _cumsum0(lens)[:-1], lens
+        )
+        return np.asarray(col.flat)[np.repeat(starts, lens) + offs], lens
+    kept = [col[int(i)] for i in idx]
+    lens = np.fromiter((len(b) for b in kept), np.int64, idx.size)
+    return np.frombuffer(b"".join(kept), dtype=np.uint8), lens
+
+
 def pileup_partial(results, bases_col, quals_col, config) -> dict:
     """Vectorized analog of :func:`repro.core.varcall.pileup_records`.
 
@@ -397,14 +423,10 @@ def pileup_partial(results, bases_col, quals_col, config) -> dict:
     idx = np.flatnonzero(keep)
     if idx.size == 0:
         return {}
-    kept_bases = [bases_col[int(i)] for i in idx]
-    kept_quals = [quals_col[int(i)] for i in idx]
-    lens = np.fromiter((len(b) for b in kept_bases), np.int64, idx.size)
-    qlens = np.fromiter((len(q) for q in kept_quals), np.int64, idx.size)
+    raw_b, lens = _gather_kept(bases_col, idx)
+    raw_q, qlens = _gather_kept(quals_col, idx)
     if not np.array_equal(lens, qlens):
         raise ValueError("bases/qual record lengths disagree")
-    raw_b = np.frombuffer(b"".join(kept_bases), dtype=np.uint8)
-    raw_q = np.frombuffer(b"".join(kept_quals), dtype=np.uint8)
     starts = _cumsum0(lens)
     total = int(starts[-1])
     rev = arrays.is_reverse[idx]
@@ -854,6 +876,12 @@ def mark_duplicates_blob(blob: bytes, dup_positions) -> bytes:
     a byte-patch of the decompressed data block plus a re-compress.  No
     AlignmentResult is ever materialized, and the output is byte-for-
     byte what ``write_chunk`` would produce for the object path.
+
+    Copy-on-write discipline for the view plane: ``blob`` may be a
+    (readonly) ``memoryview`` over a leased shm segment — the
+    ``bytearray(data)`` below is the one place the mutation copies, so
+    the patch can never write through to a shared segment another
+    consumer (or a redelivery) might still read.
     """
     import zlib
     from dataclasses import replace as dc_replace
@@ -867,7 +895,7 @@ def mark_duplicates_blob(blob: bytes, dup_positions) -> bytes:
             f"expected a results chunk, got {header.record_type!r}"
         )
     data_start = HEADER_SIZE + header.record_count * 4
-    index_bytes = blob[HEADER_SIZE:data_start]
+    index_bytes = bytes(blob[HEADER_SIZE:data_start])
     offsets = _cumsum0(np.asarray(index.lengths, dtype=np.int64))
     patched = bytearray(data)
     for position in dup_positions:

@@ -10,11 +10,12 @@ executor, and writers.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.agd.chunk import read_chunk, write_chunk
+from repro.agd.chunk import materialize_records, read_chunk, write_chunk
 from repro.agd.manifest import ChunkEntry, Manifest
 from repro.align.result import AlignmentResult
 from repro.dataflow.node import Node
@@ -614,7 +615,12 @@ def _item_results(item: ChunkWorkItem) -> list:
 
 
 def _item_rows(item: ChunkWorkItem, ordered_columns: "list[str]") -> list:
-    """One row tuple per record, in sort column order."""
+    """One row tuple per record, in sort column order.
+
+    Rows outlive the item (buffered across chunks until a sort run
+    flushes, then pickled to a backend), so any record that is a
+    ``memoryview`` of a delivery buffer is materialized here — the sort
+    spill is where the view plane must end."""
     column_data = []
     for column in ordered_columns:
         if column in item.columns:
@@ -626,6 +632,11 @@ def _item_rows(item: ChunkWorkItem, ordered_columns: "list[str]") -> list:
                 f"chunk {item.entry.path!r} lacks column {column!r} "
                 f"needed by the sort stage"
             )
+    if any(
+        isinstance(r, memoryview)
+        for col in column_data for r in itertools.islice(col, 1)
+    ):
+        column_data = [materialize_records(list(col)) for col in column_data]
     return list(zip(*column_data))
 
 

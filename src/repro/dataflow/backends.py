@@ -85,7 +85,11 @@ def payload_nbytes(payload: Any, _depth: int = 0) -> int:
     """
     if isinstance(payload, ShmRef):
         return _SHM_REF_NBYTES
-    if isinstance(payload, (bytes, bytearray, memoryview)):
+    if isinstance(payload, memoryview):
+        # len() counts first-axis items, which undercounts any view
+        # that is multi-dimensional or wider than one byte per item.
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, str):
         return len(payload)

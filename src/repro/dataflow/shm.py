@@ -53,6 +53,8 @@ __all__ = [
     "DEFAULT_SHM_THRESHOLD",
     "DEFAULT_SLAB_BYTES",
     "BufferPool",
+    "PooledView",
+    "SegmentLease",
     "ShmRef",
     "adopt_payload",
     "configure_export",
@@ -542,7 +544,12 @@ class BufferPool:
     def read_ref(self, ref: ShmRef) -> "bytes | None":
         """Copy a leased payload back out (for peers that cannot attach
         the segment — the socket copy path — and for spilled payloads,
-        whose only home is their disk file)."""
+        whose only home is their disk file).
+
+        Deprecated on hot paths: a same-host consumer should take
+        :meth:`view_ref` instead, which aliases the segment with zero
+        copies.  ``read_ref`` remains the right call only for spilled
+        payloads and for remote peers reading through the broker."""
         path = None
         with self._lock:
             spilled = self._spilled.get(ref.token)
@@ -567,6 +574,33 @@ class BufferPool:
             except OSError:  # pragma: no cover - spill file vanished
                 pass
         return None
+
+    def view_ref(self, ref: ShmRef) -> "PooledView | None":
+        """Zero-copy read of a leased payload: a read-only window over
+        the backing slab or adopted segment, guarded by its own lease
+        (taken via :meth:`incref`) so the pool cannot rewind or unlink
+        the bytes under the view.  The hot-path replacement for
+        :meth:`read_ref`.
+
+        Returns None for spilled payloads (their bytes live in a disk
+        file, not a mappable segment — fall back to the ``read_ref``
+        copy path) and for leases that are already gone.
+        """
+        guard = self.incref(ref)
+        if guard is None:
+            return None
+        with self._lock:
+            holder = self._adopted.get(guard.token)
+            if holder is not None:
+                shm = holder.shm
+            else:
+                slab = self._leases.get(guard.token)
+                shm = slab.shm if slab is not None else None
+        if shm is None:  # pragma: no cover - raced a close()
+            self.release(guard)
+            return None
+        view = shm.buf[ref.offset:ref.offset + ref.length].toreadonly()
+        return PooledView(view, self, guard)
 
     # ------------------------------------------------------------- leases
 
@@ -602,6 +636,14 @@ class BufferPool:
         if dead is not None:
             try:
                 dead.close()
+            except (OSError, BufferError):
+                # BufferError: a consumer still holds an exported view
+                # of the mapping.  The name can still be unlinked —
+                # POSIX keeps unlinked-but-mapped bytes alive until the
+                # last view drops — so /dev/shm never leaks and the
+                # straggler view reads valid bytes until released.
+                pass
+            try:
                 dead.unlink()
             except OSError:  # pragma: no cover - raced another cleaner
                 pass
@@ -641,12 +683,18 @@ class BufferPool:
         for holder in adopted:
             try:
                 holder.shm.close()
+            except (OSError, BufferError):  # live views pin the mapping
+                pass
+            try:
                 holder.shm.unlink()
             except OSError:  # pragma: no cover - already gone
                 pass
         for slab in slabs:
             try:
                 slab.shm.close()
+            except (OSError, BufferError):  # live views pin the mapping
+                pass
+            try:
                 slab.shm.unlink()
             except OSError:  # pragma: no cover - already gone
                 pass
@@ -661,6 +709,144 @@ class BufferPool:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<BufferPool {self.prefix!r} slabs={len(self._slabs)} "
                 f"leases={len(self._leases)}>")
+
+
+class PooledView:
+    """A zero-copy read-only window onto a pool-leased payload.
+
+    Returned by :meth:`BufferPool.view_ref`.  Holding the view holds a
+    pool lease — the slab cannot rewind and the adopted segment cannot
+    unlink until :meth:`release` — which is the copy-on-write
+    discipline of the view plane: ``view`` is read-only, so a kernel
+    that tries to mutate it raises instead of corrupting bytes another
+    consumer may be redelivered.  Use as a context manager, or release
+    explicitly once every array derived from the view is dropped.
+    """
+
+    __slots__ = ("view", "_pool", "_ref")
+
+    def __init__(self, view: memoryview, pool: BufferPool, ref: ShmRef):
+        self.view = view
+        self._pool = pool
+        self._ref = ref
+
+    @property
+    def nbytes(self) -> int:
+        return self.view.nbytes
+
+    def materialize(self) -> bytes:
+        """Escape hatch out of the view plane: owned bytes, safe to
+        retain after the lease is released."""
+        return bytes(self.view)
+
+    def release(self) -> bool:
+        """Drop the view and return the lease.  False when buffers
+        derived from the view (``np.frombuffer`` arrays, sub-views)
+        still pin it — the lease stays held, so the pool can never
+        recycle bytes that live arrays alias; retry after dropping
+        them."""
+        if self._pool is None:
+            return True
+        try:
+            self.view.release()
+        except BufferError:
+            return False
+        pool, self._pool = self._pool, None
+        pool.release(self._ref)
+        return True
+
+    def __enter__(self) -> "PooledView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+#: Leases whose mappings were still pinned by exported views when their
+#: last reference dropped (see :meth:`SegmentLease.__del__`): parked
+#: here — strongly referenced, so no teardown runs while views alive —
+#: and retried whenever a new lease is created.
+_ZOMBIE_LOCK = threading.Lock()
+_ZOMBIE_LEASES: "list" = []
+
+
+def sweep_zombie_leases() -> int:
+    """Retry parked zombie leases; returns how many remain pinned."""
+    with _ZOMBIE_LOCK:
+        zombies = list(_ZOMBIE_LEASES)
+        _ZOMBIE_LEASES.clear()
+    survivors = [z for z in zombies if not z.release()]
+    if survivors:
+        with _ZOMBIE_LOCK:
+            _ZOMBIE_LEASES.extend(survivors)
+    return len(survivors)
+
+
+class SegmentLease:
+    """A read-only mapping of one named segment, held open for views.
+
+    The consumer half of the raw-shm decode plane: a broker pull that
+    delivers segment descriptors attaches each segment once, hands out
+    zero-copy read-only windows via :meth:`view`, and keeps the mapping
+    open until :meth:`release` — the delivery-lease discipline that
+    lets decoded records alias shared memory safely.  Release tolerates
+    still-exported views by returning False (the caller parks the lease
+    as a zombie and retries later); POSIX keeps unlinked-but-mapped
+    bytes alive, so a parked zombie neither corrupts a reader nor
+    leaks a ``/dev/shm`` entry.
+    """
+
+    __slots__ = ("name", "_seg", "_mv")
+
+    def __init__(self, name: str):
+        sweep_zombie_leases()
+        self.name = name
+        self._seg = _shared_memory.SharedMemory(name=name)
+        # An attacher is not an owner: keep the resource tracker out of
+        # it so this process's exit never unlinks the creator's segment.
+        _untrack(self._seg)
+        self._mv = self._seg.buf.toreadonly()
+
+    @property
+    def nbytes(self) -> int:
+        return self._seg.size
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy read-only window onto ``[offset, offset+length)``."""
+        if offset < 0 or length < 0 or offset + length > len(self._mv):
+            raise ValueError(
+                f"view [{offset}, {offset + length}) outside segment "
+                f"{self.name!r} of {len(self._mv)} bytes"
+            )
+        return self._mv[offset:offset + length]
+
+    def release(self) -> bool:
+        """Drop the mapping.  False when exported views still pin it
+        (retry after the views are garbage)."""
+        if self._seg is None:
+            return True
+        try:
+            if self._mv is not None:
+                self._mv.release()
+                self._mv = None
+            self._seg.close()
+        except BufferError:
+            return False
+        self._seg = None
+        return True
+
+    def __del__(self):
+        # An abandoned lease must not let SharedMemory.__del__ close a
+        # mapping that exported views still pin (unraisable
+        # BufferError).  If release fails, resurrect into the zombie
+        # registry; a later sweep — or interpreter teardown after the
+        # views die — finishes the job.
+        try:
+            if not self.release():
+                with _ZOMBIE_LOCK:
+                    _ZOMBIE_LEASES.append(self)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,419 @@
+"""Zero-copy decode plane tests (view-based codecs, per-edge encoding).
+
+The acceptance properties of the end-to-end view plane:
+
+* chunk decoding over a ``memoryview`` + the identity codec is genuinely
+  zero-copy — the data block, view-decoded text records, and the bases
+  flat array all alias the input buffer — and every escape hatch
+  (``materialize_records``, ``BasesColumn.materialize``, ``PooledView
+  .materialize``) produces owned storage byte-identical to the views;
+* view aliasing is *safe*: delivered views are read-only, a consumer
+  mutating (or dying while holding) a view never corrupts the segment a
+  redelivery reads, and no ``/dev/shm`` segment outlives the server;
+* the per-edge codec negotiation picks raw level-0 frames exactly for
+  shm-verified clients and keeps gzip level 1 everywhere else, with
+  byte-identical decoded items either way;
+* the broker's decode counters prove the property the bench gates on:
+  a shm-verified edge decodes with ``decode_copies == 0``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.agd.chunk import (
+    materialize_records,
+    read_chunk,
+    read_chunk_data,
+    write_chunk,
+)
+from repro.agd.compaction import BasesColumn, unpack_column_flat
+from repro.agd.manifest import ChunkEntry
+from repro.agd.records import get_record_codec
+from repro.align.result import AlignmentResult
+from repro.cluster.broker import Broker, BrokerServer, TcpBrokerClient
+from repro.cluster.wire import (
+    EDGE_CODEC_LEVEL,
+    RAW_EDGE_CODEC_LEVEL,
+    decode_work_item_frames,
+    edge_item_serializer,
+    encode_work_item_frames,
+)
+from repro.core.columnar import _gather_kept, read_bases_column
+from repro.core.ops import ChunkWorkItem
+from repro.dataflow import shm
+from repro.dataflow.backends import payload_nbytes
+from repro.dataflow.queues import PUBLISH_OK, PULL_OK, RemoteQueue
+
+needs_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="POSIX shared memory unavailable"
+)
+
+READS = [b"ACGTACGTAC", b"GGGTTTAAAC", b"ACGT", b"TTTTTTTTTTTTTTTT"]
+QUALS = [b"IIIIIIIIII", b"FFFFFFFFFF", b"IIII", b"FFFFFFFFFFFFFFFF"]
+
+
+def _drain_pull(client, edge, deadline=10.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        status, tag, key, payload = client.pull(edge, timeout=0.2)
+        if status == PULL_OK:
+            return tag, key, payload
+    raise TimeoutError(f"no delivery on {edge!r} within {deadline}s")
+
+
+def _wait_for(predicate, deadline=10.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+# ------------------------------------------------- chunk-level view decode
+
+
+class TestChunkViewDecode:
+    def test_none_codec_memoryview_data_block_aliases_blob(self):
+        blob = write_chunk(QUALS, "text", codec="none")
+        view = memoryview(blob)
+        header, index, data = read_chunk_data(view)
+        assert isinstance(data, memoryview)
+        # Zero-copy: the data block is a window into the input buffer.
+        assert data.obj is blob
+        assert bytes(data) == b"".join(QUALS)
+
+    def test_gzip_codec_still_decodes_from_views(self):
+        blob = write_chunk(QUALS, "text")  # default gzip codec
+        header, index, data = read_chunk_data(memoryview(blob))
+        assert isinstance(data, bytes)  # decompression must materialize
+        assert read_chunk(memoryview(blob)).records == QUALS
+
+    def test_text_decode_views_alias_and_materialize(self):
+        blob = write_chunk(QUALS, "text", codec="none")
+        chunk = read_chunk(memoryview(blob), views=True)
+        assert all(isinstance(r, memoryview) for r in chunk.records)
+        assert [bytes(r) for r in chunk.records] == QUALS
+        owned = materialize_records(chunk.records)
+        assert owned == QUALS
+        assert all(isinstance(r, bytes) for r in owned)
+        # Non-view records pass through materialize_records untouched.
+        assert materialize_records(owned) == owned
+
+    def test_default_decode_of_memoryview_owns_records(self):
+        blob = write_chunk(QUALS, "text", codec="none")
+        records = read_chunk(memoryview(blob)).records
+        assert records == QUALS
+        assert all(isinstance(r, bytes) for r in records)
+
+    def test_results_decode_from_view_owns_storage(self):
+        results = [
+            AlignmentResult(flag=0, mapq=60, contig_index=0, position=i,
+                            cigar=b"10M")
+            for i in range(4)
+        ]
+        blob = write_chunk(results, "results", codec="none")
+        decoded = read_chunk(memoryview(blob)).records
+        assert decoded == results
+        assert all(isinstance(r.cigar, bytes) for r in decoded)
+
+
+class TestBasesColumnViews:
+    def _column(self) -> BasesColumn:
+        blob = write_chunk(READS, "bases", codec="none")
+        return read_bases_column(blob)
+
+    def test_unpack_column_flat_round_trips(self):
+        column = self._column()
+        assert len(column) == len(READS)
+        assert column.to_list() == READS
+
+    def test_view_is_zero_copy_window(self):
+        column = self._column()
+        for i, read in enumerate(READS):
+            window = column.view(i)
+            assert isinstance(window, memoryview)
+            assert bytes(window) == read
+        with pytest.raises(IndexError):
+            column.view(len(READS))
+
+    def test_materialize_returns_owning_copy(self):
+        column = self._column()
+        aliased = BasesColumn(flat=column.flat[:], bounds=column.bounds)
+        assert not aliased.flat.flags.owndata
+        owned = aliased.materialize()
+        assert owned.flat.flags.owndata and owned.flat.flags.writeable
+        assert owned == column
+        # Already-owning columns come back as-is (no needless copy).
+        assert owned.materialize() is owned
+
+    def test_gather_kept_matches_list_path(self):
+        column = self._column()
+        idx = np.array([3, 0, 2], dtype=np.int64)
+        flat_col, lens_col = _gather_kept(column, idx)
+        flat_lst, lens_lst = _gather_kept(list(READS), idx)
+        assert np.array_equal(lens_col, lens_lst)
+        assert np.array_equal(flat_col, flat_lst)
+        assert flat_col.tobytes() == READS[3] + READS[0] + READS[2]
+
+
+# ----------------------------------------------------- pool view leases
+
+
+@needs_shm
+class TestBufferPoolViewRef:
+    def test_view_ref_is_readonly_and_guards_lease(self):
+        with shm.BufferPool(slab_bytes=1 << 16, max_bytes=1 << 20) as pool:
+            payload = os.urandom(4096)
+            ref = pool.put_bytes(payload)
+            assert ref is not None
+            view = pool.view_ref(ref)
+            assert view is not None
+            assert view.nbytes == len(payload)
+            assert bytes(view.view) == payload
+            with pytest.raises(TypeError):
+                view.view[0] = 0  # delivered views are read-only
+            assert view.materialize() == payload
+            # The guard lease keeps the payload alive past its own
+            # release; dropping the view frees the last lease.
+            pool.release(ref)
+            assert pool.live_leases == 1
+            assert view.release()
+            assert pool.live_leases == 0
+
+    def test_view_ref_after_release_returns_none(self):
+        with shm.BufferPool(slab_bytes=1 << 16, max_bytes=1 << 20) as pool:
+            ref = pool.put_bytes(b"x" * 128)
+            pool.release(ref)
+            assert pool.view_ref(ref) is None
+
+    def test_view_ref_spilled_falls_back_to_none(self, tmp_path):
+        pool = shm.BufferPool(
+            slab_bytes=1 << 16, max_bytes=1 << 20,
+            spill_dir=str(tmp_path), spill_watermark=0,
+        )
+        try:
+            name = f"{pool.prefix}-adoptee"
+            data = os.urandom(2048)
+            assert shm.create_segment(name, data)
+            ref = pool.adopt_segment(name, 0, len(data))
+            assert ref is not None
+            # Watermark 0 spills every adoption to disk: no mappable
+            # segment exists, so the view path must decline...
+            assert pool.view_ref(ref) is None
+            # ...and the copy path still serves the bytes.
+            assert pool.read_ref(ref) == data
+        finally:
+            pool.close()
+
+
+# ------------------------------------------------ per-edge codec choice
+
+
+class TestEdgeCodecNegotiation:
+    def _item(self) -> ChunkWorkItem:
+        entry = ChunkEntry("c0", 0, len(READS))
+        item = ChunkWorkItem(entry=entry)
+        item.columns["bases"] = list(READS)
+        item.columns["qual"] = list(QUALS)
+        item.results = [
+            AlignmentResult(flag=0, mapq=60, contig_index=0, position=i,
+                            cigar=b"10M")
+            for i in range(len(READS))
+        ]
+        return item
+
+    def test_raw_frames_decode_identically_to_gzip_frames(self):
+        item = self._item()
+        raw = encode_work_item_frames(item, RAW_EDGE_CODEC_LEVEL)
+        gz = encode_work_item_frames(item, EDGE_CODEC_LEVEL)
+        for frames in (raw, gz):
+            got = decode_work_item_frames(frames)
+            assert got.entry == item.entry
+            assert got.columns["bases"] == READS
+            assert got.columns["qual"] == QUALS
+            assert got.results == item.results
+
+    def test_views_decode_feeds_bases_column(self):
+        item = self._item()
+        frames = [
+            memoryview(f)
+            for f in encode_work_item_frames(item, RAW_EDGE_CODEC_LEVEL)
+        ]
+        got = decode_work_item_frames(frames, views=True)
+        bases = got.columns["bases"]
+        assert isinstance(bases, BasesColumn)
+        assert bases.to_list() == READS
+        # Text/results follow the record-codec policy: owned storage.
+        assert got.columns["qual"] == QUALS
+        assert all(isinstance(r, bytes) for r in got.columns["qual"])
+        assert got.results == item.results
+
+    def test_negotiation_keys_on_shm_handshake(self):
+        class _ShmClient:
+            shm_active = True
+
+        class _TcpClient:
+            shm_active = False
+
+        item = self._item()
+        raw_frames = edge_item_serializer(_ShmClient()).encode_frames(item)
+        gz_frames = edge_item_serializer(_TcpClient()).encode_frames(item)
+        # Raw frames carry the identity codec: strictly larger than the
+        # gzip frames for these compressible columns.
+        assert sum(len(f) for f in raw_frames) > sum(
+            len(f) for f in gz_frames
+        )
+        assert read_chunk(raw_frames[1]).record_type == "bases"
+        # No-handshake clients (in-process transports) keep level 1.
+        assert sum(
+            len(f) for f in edge_item_serializer(object()).encode_frames(item)
+        ) == sum(len(f) for f in gz_frames)
+
+    def test_payload_nbytes_counts_memoryview_storage(self):
+        arr = np.zeros((10, 10))
+        assert payload_nbytes(memoryview(arr)) == 800
+        # Container overhead (16) + view nbytes + bytes len.
+        assert payload_nbytes([memoryview(b"abcd"), b"ef"]) == 16 + 4 + 2
+
+
+# ----------------------------------------- end-to-end view deliveries
+
+
+def _pull_views_and_die(host, port, edge):  # pragma: no cover - in child
+    client = TcpBrokerClient(host, port, views=True)
+    status, _tag, _key, payload = client.pull(edge, timeout=10.0)
+    assert status == PULL_OK
+    assert isinstance(payload, memoryview)
+    # Die holding the mapped view, delivery unacked: the broker must
+    # reclaim the lease and a redelivery must read the original bytes.
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@needs_shm
+class TestViewDeliveries:
+    def _server(self, threshold=64):
+        broker = Broker()
+        broker.create_edge("e", capacity=8, producers=1)
+        return BrokerServer(
+            broker, shm=True, shm_threshold=threshold
+        ).start()
+
+    def test_view_pull_is_readonly_and_counts_zero_copies(self):
+        server = self._server()
+        try:
+            producer = TcpBrokerClient(*server.address)
+            consumer = TcpBrokerClient(*server.address, views=True)
+            assert consumer.views_active
+            producer.attach_producer("e")
+            blob = os.urandom(16384)
+            assert producer.publish("e", "k", blob,
+                                    timeout=5.0) == PUBLISH_OK
+            tag, key, payload = _drain_pull(consumer, "e")
+            assert isinstance(payload, memoryview)
+            assert payload.readonly
+            with pytest.raises(TypeError):
+                payload[0] = 0x00
+            assert bytes(payload) == blob
+            payload.release()
+            consumer.ack("e", tag)
+            stat = consumer.stats()["e"]
+            assert stat["raw_segments"] == 1
+            assert stat["decode_copies"] == 0
+            assert stat["decode_view_bytes"] == len(blob)
+            producer.close()
+            consumer.close()
+        finally:
+            server.stop()
+        assert shm.list_segments(server._pool.prefix) == []
+
+    def test_small_socket_payloads_still_copy_under_views_client(self):
+        server = self._server(threshold=1 << 20)
+        try:
+            producer = TcpBrokerClient(*server.address)
+            consumer = TcpBrokerClient(*server.address, views=True)
+            producer.attach_producer("e")
+            assert producer.publish("e", "k", b"tiny payload",
+                                    timeout=5.0) == PUBLISH_OK
+            tag, _key, payload = _drain_pull(consumer, "e")
+            assert bytes(payload) == b"tiny payload"
+            consumer.ack("e", tag)
+            producer.close()
+            consumer.close()
+        finally:
+            server.stop()
+
+    def test_consumer_death_holding_views_never_corrupts_redelivery(self):
+        server = self._server()
+        try:
+            producer = TcpBrokerClient(*server.address)
+            producer.attach_producer("e")
+            blob = os.urandom(16384)
+            assert producer.publish("e", "k", blob,
+                                    timeout=5.0) == PUBLISH_OK
+
+            ctx = multiprocessing.get_context("fork")
+            child = ctx.Process(
+                target=_pull_views_and_die,
+                args=(server.host, server.port, "e"),
+            )
+            child.start()
+            child.join(15.0)
+            assert child.exitcode == -signal.SIGKILL
+
+            survivor = TcpBrokerClient(*server.address, views=True)
+            tag, key, payload = _drain_pull(survivor, "e")
+            assert (key, bytes(payload)) == ("k", blob)
+            survivor.ack("e", tag)
+            survivor.stats()  # flush past the deferred record
+            assert _wait_for(lambda: server._pool.live_leases == 0)
+            assert server.broker.stats()["e"]["total_redelivered"] == 1
+            producer.close()
+            survivor.close()
+        finally:
+            server.stop()
+        # Leak check: the child died holding mapped views; its mappings
+        # die with it, and nothing under the pool prefix survives stop.
+        assert shm.list_segments(server._pool.prefix) == []
+
+    def test_remote_queue_defers_ack_until_next_get(self):
+        server = self._server()
+        try:
+            producer = TcpBrokerClient(*server.address)
+            consumer = TcpBrokerClient(*server.address, views=True)
+            inlet = RemoteQueue(producer, "e")
+            outlet = RemoteQueue(consumer, "e")
+            inlet.register_producer()
+            first, second = os.urandom(8192), os.urandom(8192)
+            inlet.put(first, timeout=5.0)
+            inlet.put(second, timeout=5.0)
+
+            got = outlet.get(timeout=5.0)
+            assert isinstance(got, memoryview)
+            assert bytes(got) == first
+            # The delivery stays unacked while the decoded views are
+            # live: the worker loop is still processing this item.
+            assert server.broker.stats()["e"]["unacked"] == 1
+            got.release()
+
+            # The next get flushes the deferred ack before pulling.
+            assert bytes(outlet.get(timeout=5.0)) == second
+            assert _wait_for(
+                lambda: server.broker.stats()["e"]["unacked"] == 1
+            )
+            outlet._flush_deferred()
+            assert _wait_for(
+                lambda: server.broker.stats()["e"]["unacked"] == 0
+            )
+            producer.close()
+            consumer.close()
+        finally:
+            server.stop()
+        assert shm.list_segments(server._pool.prefix) == []
