@@ -138,7 +138,14 @@ def write_chunk(
 
 
 def read_chunk_header(blob: bytes) -> ChunkHeader:
-    """Decode only the header of a chunk file image."""
+    """Decode only the header of a chunk file image.
+
+    Works on any 64-byte-or-larger buffer (``bytes`` or ``memoryview``),
+    so callers holding an mmap of a spilled sort run can sniff its
+    framing codec — restore paths dispatch on this header rather than on
+    any negotiated write-side setting, which is what lets raw and gzip
+    scratch coexist in one run (mixed after a crash-resume, say).
+    """
     return ChunkHeader.from_bytes(blob)
 
 

@@ -42,7 +42,10 @@ def _identity(data: bytes) -> bytes:
     # Pass buffers through untouched: a ``memoryview`` in is a
     # ``memoryview`` out, which is what makes the ``none`` codec the
     # zero-copy leg of the view-native decode plane — a chunk framed at
-    # codec level 0 decodes into views of the transport buffer.
+    # codec level 0 decodes into views of the transport buffer.  The
+    # external sort writes local-disk scratch in this framing so merge
+    # kernels restore spilled runs as mmap views instead of inflating
+    # gzip blocks (``SortConfig.raw_scratch``).
     return data
 
 

@@ -181,7 +181,10 @@ def _cmd_sort(args: argparse.Namespace) -> int:
                 output_codec_level=args.codec_level,
                 merge_partitions=args.merge_partitions,
                 vectorized=args.kernels == "vectorized",
+                raw_scratch=_raw_scratch_arg(args),
             ),
+            scratch_store=(DirectoryStore(args.scratch_dir)
+                           if args.scratch_dir else None),
             backend=backend,
         )
     finally:
@@ -313,6 +316,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                 chunks_per_superchunk=args.superchunk,
                 output_codec_level=args.codec_level,
                 merge_partitions=args.merge_partitions,
+                raw_scratch=_raw_scratch_arg(args),
             ),
             filter_predicate=(by_min_mapq(args.min_mapq)
                               if args.min_mapq is not None else None),
@@ -489,7 +493,8 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
             aligner=aligner,
             reference=reference,
             sort_config=SortConfig(order=args.order,
-                                   chunks_per_superchunk=args.superchunk),
+                                   chunks_per_superchunk=args.superchunk,
+                                   raw_scratch=_raw_scratch_arg(args)),
             filter_predicate=_cluster_filter_predicate(args, stages),
             output_store=(DirectoryStore(args.output_dir)
                           if args.output_dir else None),
@@ -719,7 +724,8 @@ def _cmd_cluster_worker(args: argparse.Namespace) -> int:
         aligner=aligner,
         reference=reference,
         sort_config=SortConfig(order=args.order,
-                               chunks_per_superchunk=args.superchunk),
+                               chunks_per_superchunk=args.superchunk,
+                               raw_scratch=_raw_scratch_arg(args)),
         filter_predicate=_cluster_filter_predicate(args, placement.stages),
         sort_store=sort_store,
         filter_store=(DirectoryStore(args.filter_dir)
@@ -985,6 +991,15 @@ def _add_kernel_options(
              "path (default) or the scalar reference path (identical "
              "output, used for equivalence testing)",
     )
+    p.add_argument(
+        "--raw-scratch",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="sort-spill scratch framing: 'on' writes runs raw "
+             "(identity codec) so the merge restores them as zero-copy "
+             "mmap views, 'off' gzips scratch, 'auto' (default) picks "
+             "raw when the scratch store is a local directory",
+    )
     if with_merge_partitions:
         p.add_argument(
             "--merge-partitions",
@@ -993,6 +1008,12 @@ def _add_kernel_options(
             help="partitioned sort-merge kernels for phase 2 of the "
                  "external sort (default: one per backend worker)",
         )
+
+
+def _raw_scratch_arg(args: argparse.Namespace) -> "bool | None":
+    """Map the ``--raw-scratch`` tri-state to ``SortConfig.raw_scratch``."""
+    value = getattr(args, "raw_scratch", "auto")
+    return None if value == "auto" else value == "on"
 
 
 def _add_ledger_options(p: argparse.ArgumentParser) -> None:
@@ -1115,6 +1136,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output_dir")
     p.add_argument("--order", choices=("location", "metadata"), default="location")
     p.add_argument("--superchunk", type=int, default=4)
+    p.add_argument(
+        "--scratch-dir",
+        default=None,
+        metavar="DIR",
+        help="spill superchunk runs under DIR instead of in memory "
+             "(a local directory arms the zero-copy raw-scratch path; "
+             "see --raw-scratch)",
+    )
     _add_backend_options(p, default="serial", with_workers=True)
     _add_kernel_options(p, with_merge_partitions=True)
     _add_codec_level_option(p, "the sorted output chunks")

@@ -162,6 +162,10 @@ class _Edge:
     shm_bytes: int = 0
     copied_segments: int = 0
     copied_bytes: int = 0
+    #: Spilled payloads re-staged from disk back into a pool slab for a
+    #: same-host descriptor handoff (one ``readinto`` each).
+    spill_restores: int = 0
+    spill_restore_bytes: int = 0
     # --- decode accounting (the consumer reports back on ack) -------
     #: Segments the consumer decoded as zero-copy views (raw-shm edges).
     raw_segments: int = 0
@@ -728,7 +732,9 @@ class Broker:
 
     def record_wire(self, edge: str, wire_bytes: int = 0,
                     shm_segments: int = 0, shm_bytes: int = 0,
-                    copied_segments: int = 0, copied_bytes: int = 0) -> None:
+                    copied_segments: int = 0, copied_bytes: int = 0,
+                    spill_restores: int = 0,
+                    spill_restore_bytes: int = 0) -> None:
         """Credit transport-level traffic to an edge (the TCP server
         calls this; in-process transports never touch a wire)."""
         with self._lock:
@@ -740,6 +746,8 @@ class Broker:
             e.shm_bytes += shm_bytes
             e.copied_segments += copied_segments
             e.copied_bytes += copied_bytes
+            e.spill_restores += spill_restores
+            e.spill_restore_bytes += spill_restore_bytes
 
     def record_decode(self, edge: str, raw_segments: int = 0,
                       decode_copies: int = 0,
@@ -889,6 +897,8 @@ class Broker:
                     "shm_bytes": e.shm_bytes,
                     "copied_segments": e.copied_segments,
                     "copied_bytes": e.copied_bytes,
+                    "spill_restores": e.spill_restores,
+                    "spill_restore_bytes": e.spill_restore_bytes,
                     "raw_segments": e.raw_segments,
                     "decode_copies": e.decode_copies,
                     "decode_view_bytes": e.decode_view_bytes,
@@ -1114,7 +1124,7 @@ class _ConnState:
     handshake verified a shared ``/dev/shm``, and the pool leases backing
     deliveries handed to it that are not yet acknowledged."""
 
-    __slots__ = ("consumer", "shm_ok", "leases", "record")
+    __slots__ = ("consumer", "shm_ok", "leases", "record", "send_views")
 
     def __init__(self, consumer: int):
         self.consumer = consumer
@@ -1123,6 +1133,10 @@ class _ConnState:
         self.leases: dict = {}
         #: Deferred wire accounting for the reply being sent.
         self.record = None
+        #: PooledViews backing the reply's inline segments (copy-path
+        #: peers): the socket writes straight out of the pool slab, so
+        #: the views must outlive the send and are released right after.
+        self.send_views: list = []
 
 
 class BrokerServer:
@@ -1230,16 +1244,24 @@ class BrokerServer:
                         sent = _send_frame(conn, reply, body)
                     except OSError:
                         return
+                    finally:
+                        for view in state.send_views:
+                            view.release()
+                        state.send_views.clear()
                     if state.record is not None:
-                        edge, shm_segs, shm_bytes, cp_segs, cp_bytes = \
-                            state.record
+                        (edge, shm_segs, shm_bytes, cp_segs, cp_bytes,
+                         restages, restage_bytes) = state.record
                         state.record = None
                         self.broker.record_wire(
                             edge, wire_bytes=sent, shm_segments=shm_segs,
                             shm_bytes=shm_bytes, copied_segments=cp_segs,
-                            copied_bytes=cp_bytes,
+                            copied_bytes=cp_bytes, spill_restores=restages,
+                            spill_restore_bytes=restage_bytes,
                         )
         finally:
+            for view in state.send_views:
+                view.release()
+            state.send_views.clear()
             self._release_leases(state, all_keys=True)
             self.broker.drop_consumer(state.consumer)
             with self._conn_cond:
@@ -1333,9 +1355,14 @@ class BrokerServer:
 
         Adopted publish leases are re-leased to a verified consumer by
         reference (the descriptor names the publisher's own segment —
-        the payload never existed server-side as bytes); for copy-path
-        peers they resolve to inline bytes.  Plain bytes segments at or
-        above the threshold are staged into a pool slab.
+        the payload never existed server-side as bytes); spilled leases
+        are re-staged from disk into a pool slab with one ``readinto``
+        (:meth:`~repro.dataflow.shm.BufferPool.restage_ref`).  For
+        copy-path peers, mappable segments go out as zero-copy pool
+        views written straight from the slab to the socket (released
+        after the send); only spilled copy-path payloads still
+        materialize through :meth:`read_ref`.  Plain bytes segments at
+        or above the threshold are staged into a pool slab.
         """
         multi, segments = _as_segments(payload)
         reply_extra: dict = {"multi": multi}
@@ -1344,20 +1371,33 @@ class BrokerServer:
         wire_segments = []
         leases = []
         shm_segs = shm_bytes = 0
+        restages = restage_bytes = 0
         for seg in segments:
             ref = None
             if isinstance(seg, shm_plane.ShmRef):
                 if use_shm:
                     ref = self._pool.incref(seg)
-                if ref is None:
-                    data = self._pool.read_ref(seg) \
-                        if self._pool is not None else None
-                    seg = data if data is not None else b""
-                    if use_shm and len(seg) >= self.shm_threshold:
-                        # A spilled payload: re-lease it from disk into
-                        # a pool slab so the same-host consumer still
-                        # gets a descriptor handoff, not a socket copy.
-                        ref = self._pool.put_bytes(seg)
+                    if ref is None:
+                        # A spilled payload: re-stage it from disk into
+                        # a pool slab (one readinto) so the same-host
+                        # consumer still gets a descriptor handoff, not
+                        # a socket copy.
+                        ref = self._pool.restage_ref(seg)
+                        if ref is not None:
+                            restages += 1
+                            restage_bytes += ref.length
+                if ref is None and self._pool is not None:
+                    view = self._pool.view_ref(seg)
+                    if view is not None:
+                        # Copy-path peer, mappable segment: send the
+                        # pool bytes zero-copy off the slab.
+                        state.send_views.append(view)
+                        seg = view.view
+                    else:
+                        data = self._pool.read_ref(seg)
+                        seg = data if data is not None else b""
+                elif ref is None:
+                    seg = b""
             elif use_shm and len(seg) >= self.shm_threshold:
                 ref = self._pool.put_bytes(seg)
             if ref is None:
@@ -1374,7 +1414,7 @@ class BrokerServer:
             reply_extra["shm"] = shm_plan
         state.record = (
             edge, shm_segs, shm_bytes, len(wire_segments),
-            sum(len(s) for s in wire_segments),
+            sum(len(s) for s in wire_segments), restages, restage_bytes,
         )
         return reply_extra, wire_segments
 

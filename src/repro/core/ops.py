@@ -710,12 +710,15 @@ class SortRun:
     ``partitions`` is the per-key-range sub-chunk list when the run was
     spilled partitioned (spill locality: phase-2 merge kernels then read
     only their own key range); ``entry`` names the whole-run superchunk
-    otherwise.
+    otherwise.  ``nbytes`` is the stored frame size (0 when unknown,
+    e.g. a ledger-adopted run) so payload byte-batching weighs the run
+    by what a restore will actually map, not the pickled entry list.
     """
 
     entry: "ChunkEntry | None"
     index: int
     partitions: "list[ChunkEntry | None] | None" = None
+    nbytes: int = 0
 
 
 class SortRunNode(Node):
@@ -743,8 +746,10 @@ class SortRunNode(Node):
         scratch_codec_level: "int | None" = None,
         vectorized: bool = True,
         merge_partitions: int = 1,
+        raw_scratch: "bool | None" = None,
     ):
         from repro.agd.compression import SCRATCH_CODEC_LEVEL
+        from repro.core.sort import local_scratch_root
 
         super().__init__(name, parallelism=1)
         if chunks_per_superchunk <= 0:
@@ -758,6 +763,12 @@ class SortRunNode(Node):
             SCRATCH_CODEC_LEVEL if scratch_codec_level is None
             else scratch_codec_level
         )
+        # Raw-scratch negotiation (write side; mirrors
+        # SortConfig.resolve_scratch_codec): spill raw frames when the
+        # scratch store is a local directory the merge can mmap.
+        if raw_scratch is None:
+            raw_scratch = local_scratch_root(scratch) is not None
+        self.scratch_codec_name = "none" if raw_scratch else "gzip"
         self.vectorized = vectorized
         self.merge_partitions = merge_partitions
         self._spill_partitions = merge_partitions if vectorized else 1
@@ -828,6 +839,7 @@ class SortRunNode(Node):
             rows, self.order, self.ordered_columns,
             self.scratch_codec_level, self._boundaries,
             self._spill_partitions, meta_index,
+            self.scratch_codec_name,
         )
         if self._spill_partitions >= 2 and self._boundaries is None:
             if spill["boundaries"] is None:
@@ -842,11 +854,13 @@ class SortRunNode(Node):
                 self._runs_emitted, group_paths, spilled,
                 encode_boundaries(self._boundaries), self._spill_partitions,
             )
+        self.stats.add_counters({"spill_bytes": spilled.nbytes})
         run = SortRun(
             entry=spilled.entries[0] if spilled.partitions is None
             else None,
             index=self._runs_emitted,
             partitions=spilled.partitions,
+            nbytes=spilled.nbytes,
         )
         self._runs_emitted += 1
         self._rows = []
@@ -946,11 +960,14 @@ class SuperchunkMergeNode(Node):
             DEFAULT_CODEC if self.output_codec_level is None
             else leveled_codec("gzip", self.output_codec_level)
         )
+        # Restore-side memory-plane accounting lands directly in this
+        # node's counters (spill_view_bytes / decode_copies / backend
+        # result-path deltas) and surfaces through stage_report.
         for entry, columns in iter_merged_chunks(
             self.scratch, runs, self.ordered_columns, self.order,
             self.out_chunk_size, self.dataset_name, self.output_store,
             backend=backend, merge_partitions=self.merge_partitions,
-            out_codec=out_codec,
+            out_codec=out_codec, counters=self.stats.counters,
         ):
             self.entries.append(entry)
             yield ChunkWorkItem(entry=entry, columns=columns)

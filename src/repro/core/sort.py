@@ -32,6 +32,16 @@ runs round-tripping through the caller.  Because boundaries are applied
 with the same left-closed searchsorted rule everywhere, equal keys never
 straddle a partition and the concatenated partitions reproduce the
 single-kernel merge byte for byte.
+
+Spill-as-views: when the scratch store is a local directory, spills are
+written in the *raw* (identity-codec) chunk frame layout and restored by
+``mmap`` — a merge kernel receives a tiny :class:`SpillFileRef` instead
+of the blob bytes, maps the file under a :class:`SpillLease` guard, and
+decodes records straight from the mapped pages in one pass (no
+``scratch.get`` copy, no gzip inflate, no blob shipping).  The chunk
+header is self-describing, so gzip scratch (remote / in-memory stores,
+or ``raw_scratch=False``) and resumed runs with mixed spills restore
+through the same path byte-identically.
 """
 
 from __future__ import annotations
@@ -39,12 +49,15 @@ from __future__ import annotations
 import base64
 import heapq
 import itertools
+import mmap
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
-from repro.agd.chunk import read_chunk, write_chunk
+from repro.agd.chunk import read_chunk, read_chunk_header, write_chunk
 from repro.agd.compression import (
     DEFAULT_CODEC,
     SCRATCH_CODEC_LEVEL,
@@ -81,9 +94,29 @@ class SortConfig:
     #: Use the numpy fast path for run sorts and the partitioned merge.
     #: False forces the scalar reference implementation everywhere.
     vectorized: bool = True
+    #: Raw-scratch negotiation.  None = auto: spill in the raw
+    #: (identity-codec) frame layout when the scratch store resolves to
+    #: a local directory (see :func:`local_scratch_root`) so phase 2 can
+    #: ``mmap`` spills and decode them in place; gzip otherwise.  True
+    #: forces raw frames even for non-mappable stores (no inflate cost,
+    #: but restore copies through ``scratch.get``); False forces the
+    #: gzip fallback everywhere.
+    raw_scratch: "bool | None" = None
 
-    def scratch_codec(self) -> Codec:
-        return leveled_codec("gzip", self.scratch_codec_level)
+    def scratch_codec(self, codec_name: str = "gzip") -> Codec:
+        return leveled_codec(codec_name, self.scratch_codec_level)
+
+    def resolve_scratch_codec(self, scratch) -> str:
+        """Scratch codec name after raw-scratch negotiation.
+
+        Write-side only: restore reads whatever codec each spill's
+        header declares, so mixed scratch (a resumed run that changed
+        the setting) still merges byte-identically.
+        """
+        if self.raw_scratch is None:
+            return "none" if local_scratch_root(scratch) is not None \
+                else "gzip"
+        return "none" if self.raw_scratch else "gzip"
 
     def output_codec(self) -> "Codec":
         if self.output_codec_level is None:
@@ -201,6 +234,199 @@ def sort_rows_task(shared, payload) -> "list[tuple]":
 
 
 # ---------------------------------------------------------------------------
+# Spill-as-views: local raw-framed spills restored through mmap leases.
+
+
+def local_scratch_root(store) -> "Path | None":
+    """Directory behind a scratch store, if it has one.
+
+    Unwraps the repo's store wrappers (``JournaledStore.store``,
+    ``LocalCacheStore``/``CountingStore`` ``.backing``) down to a
+    :class:`~repro.storage.base.DirectoryStore` ``root``; None for
+    in-memory or otherwise non-mappable stores.  This is the whole
+    raw-scratch negotiation: a local directory means phase 2 can
+    ``mmap`` spill files instead of copying blobs out of the store.
+    """
+    seen: set[int] = set()
+    while store is not None and id(store) not in seen:
+        seen.add(id(store))
+        root = getattr(store, "root", None)
+        if root is not None:
+            return Path(root)
+        store = getattr(store, "backing", None) or getattr(store, "store",
+                                                          None)
+    return None
+
+
+@dataclass(frozen=True)
+class SpillFileRef:
+    """A spill sub-chunk by file path instead of blob bytes.
+
+    What crosses the backend boundary on the spill-view path: ~100
+    bytes regardless of run size.  ``nbytes`` is the on-disk frame size
+    so :func:`~repro.dataflow.backends.payload_nbytes` batches by the
+    mapped payload, not the pickled ref.
+    """
+
+    path: str
+    nbytes: int
+
+
+class SpillLease:
+    """:class:`~repro.dataflow.shm.SegmentLease`-style guard over one
+    mmap'ed spill file.
+
+    ``buf`` is a read-only view of the mapped frame; records decoded
+    from it alias page-cache memory, so the lease must outlive every
+    view derived from it.  Merge kernels decode (materializing records
+    in the same pass) and release immediately; :meth:`release` returns
+    False while derived buffers still pin the mapping, exactly like the
+    segment lease it mirrors.
+    """
+
+    __slots__ = ("path", "_mm", "_mv")
+
+    def __init__(self, path: "str | Path"):
+        self.path = str(path)
+        with open(self.path, "rb") as fh:
+            self._mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        self._mv = memoryview(self._mm).toreadonly()
+
+    @property
+    def buf(self) -> memoryview:
+        return self._mv
+
+    @property
+    def nbytes(self) -> int:
+        return self._mv.nbytes
+
+    def view(self, offset: int = 0, length: "int | None" = None) -> memoryview:
+        end = self._mv.nbytes if length is None else offset + length
+        return self._mv[offset:end]
+
+    def release(self) -> bool:
+        """Unmap; False when views derived from ``buf`` still pin the
+        mapping (the lease stays held — retry after dropping them)."""
+        if self._mv is None:
+            return True
+        try:
+            self._mv.release()
+            self._mm.close()
+        except BufferError:
+            return False
+        self._mv = None
+        return True
+
+    def __enter__(self) -> "SpillLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self):  # pragma: no cover - GC ordering dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+def open_spill_ref(ref: SpillFileRef) -> "tuple[memoryview, SpillLease]":
+    """Map one spilled sub-chunk; returns ``(frame_view, lease)``.
+
+    The worker-side half of the spill-view path: kernels decode the
+    returned view in place and release the lease before returning."""
+    lease = SpillLease(ref.path)
+    return lease.buf, lease
+
+
+class _SpillSource:
+    """Resolver from spill chunk files to decodable buffers.
+
+    Caches the scratch store's local root once; :meth:`ref` hands out
+    :class:`SpillFileRef` descriptors for backend shipping (None when
+    the store is not mappable — the caller falls back to blob bytes),
+    :meth:`open` yields ``(buffer, lease-or-None)`` for in-caller
+    decode."""
+
+    def __init__(self, scratch: ChunkStore):
+        self.scratch = scratch
+        self.root = local_scratch_root(scratch)
+
+    def ref(self, chunk_file: str) -> "SpillFileRef | None":
+        if self.root is None:
+            return None
+        path = self.root / chunk_file
+        try:
+            nbytes = os.path.getsize(path)
+        except OSError:
+            return None
+        return SpillFileRef(str(path), nbytes)
+
+    def open(self, chunk_file: str):
+        ref = self.ref(chunk_file)
+        if ref is None:
+            return self.scratch.get(chunk_file), None
+        return open_spill_ref(ref)
+
+
+def _credit_spill(counters: "dict | None", header) -> None:
+    """Account one restored spill blob by what its header says happened.
+
+    ``spill_view_bytes`` — data-block bytes decoded in place (identity
+    codec: the frame *is* the uncompressed block); ``decode_copies`` —
+    blobs whose restore had to materialize a decompressed copy (the
+    gzip fallback).  The acceptance bar for the view path is
+    ``decode_copies == 0``.
+    """
+    if counters is None:
+        return
+    counters["spill_restores"] = counters.get("spill_restores", 0) + 1
+    if header.codec_name == "none":
+        counters["spill_view_bytes"] = (
+            counters.get("spill_view_bytes", 0) + header.uncompressed_size
+        )
+    else:
+        counters["decode_copies"] = counters.get("decode_copies", 0) + 1
+        counters["spill_decoded_bytes"] = (
+            counters.get("spill_decoded_bytes", 0) + header.uncompressed_size
+        )
+
+
+def _spill_header(blob):
+    """Header of one spill blob without pulling its bytes: 64 bytes read
+    straight from the file when ``blob`` is a :class:`SpillFileRef`."""
+    if isinstance(blob, SpillFileRef):
+        with open(blob.path, "rb") as fh:
+            return read_chunk_header(fh.read(64))
+    return read_chunk_header(blob)
+
+
+def _result_stats_snapshot(backend) -> "dict | None":
+    """Snapshot a backend's result-path counters (None when the backend
+    does not account results — serial/thread, or shm off)."""
+    stats = getattr(backend, "result_stats", None)
+    return dict(stats) if stats else None
+
+
+def _credit_result_stats(counters: "dict | None", backend,
+                         snapshot: "dict | None") -> None:
+    """Fold the backend's result-path counter deltas since ``snapshot``
+    into ``counters``.  Copied result segments also count as
+    ``decode_copies`` so one counter covers the whole sort memory plane
+    (spill restore *and* worker→coordinator results)."""
+    if counters is None or snapshot is None:
+        return
+    stats = getattr(backend, "result_stats", None) or {}
+    for key, value in stats.items():
+        delta = value - snapshot.get(key, 0)
+        if delta:
+            counters[key] = counters.get(key, 0) + delta
+    copies = stats.get("result_copies", 0) - snapshot.get("result_copies", 0)
+    if copies:
+        counters["decode_copies"] = counters.get("decode_copies", 0) + copies
+
+
+# ---------------------------------------------------------------------------
 # Spill locality: runs spilled as per-partition sub-chunks at shared key
 # boundaries, so each phase-2 merge kernel touches only its key range.
 
@@ -213,11 +439,15 @@ class SpilledRun:
     superchunk, or the non-empty partition sub-chunks — concatenating
     them reproduces the sorted run either way).  ``partitions`` is the
     per-key-range sub-chunk list (None entries for ranges the run has no
-    rows in), present only for partition-spilled runs.
+    rows in), present only for partition-spilled runs.  ``nbytes`` is
+    the total stored frame size (what a restore will map or read), so
+    byte-batching over run payloads sees the real weight, not the
+    pickled entry list.
     """
 
     entries: "list[ChunkEntry]"
     partitions: "list[ChunkEntry | None] | None" = None
+    nbytes: int = 0
 
     @property
     def record_count(self) -> int:
@@ -233,13 +463,15 @@ def _as_spilled(run) -> SpilledRun:
         return SpilledRun(entries=list(run))
     partitions = getattr(run, "partitions", None)
     entry = getattr(run, "entry", None)
+    nbytes = getattr(run, "nbytes", 0)
     if partitions is not None:
         return SpilledRun(
             entries=[e for e in partitions if e is not None],
             partitions=list(partitions),
+            nbytes=nbytes,
         )
     if entry is not None:
-        return SpilledRun(entries=[entry])
+        return SpilledRun(entries=[entry], nbytes=nbytes)
     raise TypeError(f"cannot interpret {type(run).__name__} as a sorted run")
 
 
@@ -311,6 +543,7 @@ def encode_run_spill(
     boundaries: "np.ndarray | None",
     partitions: int,
     meta_index: int = 1,
+    scratch_codec: str = "gzip",
 ) -> dict:
     """Encode one *sorted* run for the scratch store.
 
@@ -321,8 +554,12 @@ def encode_run_spill(
     the first run of a sort fixes the key ranges every later run spills
     against.  Unpackable keys (or ``partitions <= 1``) fall back to one
     jumbo chunk per column under ``columns``.
+
+    ``scratch_codec`` is the negotiated spill codec name (``"none"``
+    writes the raw frame layout phase 2 can mmap and decode in place;
+    see :meth:`SortConfig.resolve_scratch_codec`).
     """
-    codec = leveled_codec("gzip", scratch_level)
+    codec = leveled_codec(scratch_codec, scratch_level)
 
     def encode_rows(some_rows) -> "dict[str, bytes]":
         return {
@@ -361,14 +598,21 @@ def encode_run_spill(
 def store_run_spill(scratch: ChunkStore, run_index: int,
                     spill: dict) -> SpilledRun:
     """Write one encoded run spill to the scratch store (caller side —
-    worker processes never touch stores)."""
+    worker processes never touch stores).
+
+    Blob values may be ``memoryview``s (raw-framed process-backend
+    results delivered as segment views) — stores accept any buffer, and
+    the views are consumed here, inside the caller's result lease
+    window."""
+    nbytes = 0
     if spill["parts"] is None:
         entry = ChunkEntry(
             f"superchunk-{run_index}", 0, spill["record_count"]
         )
         for column, blob in spill["columns"].items():
             scratch.put(entry.chunk_file(column), blob)
-        return SpilledRun(entries=[entry])
+            nbytes += len(blob)
+        return SpilledRun(entries=[entry], nbytes=nbytes)
     partition_entries: "list[ChunkEntry | None]" = []
     for p, (count, blobs) in enumerate(spill["parts"]):
         if blobs is None:
@@ -377,10 +621,12 @@ def store_run_spill(scratch: ChunkStore, run_index: int,
         entry = ChunkEntry(f"superchunk-{run_index}-part{p}", 0, count)
         for column, blob in blobs.items():
             scratch.put(entry.chunk_file(column), blob)
+            nbytes += len(blob)
         partition_entries.append(entry)
     return SpilledRun(
         entries=[e for e in partition_entries if e is not None],
         partitions=partition_entries,
+        nbytes=nbytes,
     )
 
 
@@ -393,7 +639,8 @@ def sort_run_spill_task(shared, payload) -> dict:
     the returned blobs via :func:`store_run_spill`.
     """
     (order, ordered_columns, chunk_blobs, scratch_level, vectorized,
-     boundaries, partitions) = payload
+     boundaries, partitions, *rest) = payload
+    scratch_codec = rest[0] if rest else "gzip"
     rows: "list[tuple]" = []
     for blobs in chunk_blobs:
         column_data = [read_chunk(blobs[column]).records
@@ -404,6 +651,7 @@ def sort_run_spill_task(shared, payload) -> dict:
     return encode_run_spill(
         rows, order, ordered_columns, scratch_level,
         boundaries, partitions if vectorized else 1, meta_index,
+        scratch_codec,
     )
 
 
@@ -430,10 +678,15 @@ def merge_partition_blobs_task(shared, payload) -> "list[tuple]":
     """Backend task: merge one key-range partition straight from spilled
     sub-chunk blobs (the spill-locality path).
 
-    ``payload`` carries, per run, the compressed per-column blobs of
-    *this partition's* sub-chunk only (None for runs empty in the
-    range), so a worker decodes exactly its own key range of each run —
-    never a whole run.  Semantics are identical to
+    ``payload`` carries, per run, *this partition's* sub-chunk of each
+    run only (None for runs empty in the range), so a worker decodes
+    exactly its own key range of each run — never a whole run.  A value
+    is either the blob bytes (gzip/remote scratch) or a
+    :class:`SpillFileRef` (the spill-view path): the kernel maps the
+    file under a :class:`SpillLease`, decodes records straight from the
+    mapped raw frame in one pass, and releases the lease before
+    returning — rows own their bytes, the run itself is never
+    materialized.  Semantics are identical to
     :func:`merge_partition_task` over the decoded slices.
     """
     order, ordered_columns, blob_maps, meta_index = payload
@@ -441,8 +694,18 @@ def merge_partition_blobs_task(shared, payload) -> "list[tuple]":
     for blobs in blob_maps:
         if blobs is None:
             continue
-        column_data = [read_chunk(blobs[column]).records
-                       for column in ordered_columns]
+        leases: "list[SpillLease]" = []
+        column_data = []
+        try:
+            for column in ordered_columns:
+                blob = blobs[column]
+                if isinstance(blob, SpillFileRef):
+                    blob, lease = open_spill_ref(blob)
+                    leases.append(lease)
+                column_data.append(read_chunk(blob).records)
+        finally:
+            for lease in leases:
+                lease.release()
         rows_slices.append(list(zip(*column_data)))
     flat = [row for rows in rows_slices for row in rows]
     perm = row_sort_permutation(order, flat, meta_index)
@@ -458,6 +721,7 @@ def sort_dataset(
     config: "SortConfig | None" = None,
     scratch_store: "ChunkStore | None" = None,
     backend=None,
+    counters: "dict | None" = None,
 ) -> AGDDataset:
     """Sort a dataset into ``output_store``; returns the sorted dataset.
 
@@ -471,6 +735,11 @@ def sort_dataset(
     (see :data:`SortConfig.merge_partitions`); ``None`` keeps the
     sequential single-kernel path.  Output bytes are identical either
     way.
+
+    ``counters`` (optional dict) accumulates the memory-plane
+    accounting: ``spill_view_bytes``/``decode_copies`` from spill
+    restore (see :func:`_credit_spill`) plus the backend's result-path
+    deltas (``result_view_bytes``/``result_copies``).
     """
     config = config or SortConfig()
     if config.chunks_per_superchunk <= 0:
@@ -493,10 +762,11 @@ def sort_dataset(
                            config.chunks_per_superchunk)
     ]
     merge_partitions = config.resolve_merge_partitions(backend)
+    scratch_codec = config.resolve_scratch_codec(scratch)
     if backend is None:
         runs: "list" = [
             _write_run(dataset, group, ordered_columns, key_fn,
-                       scratch, run_index, config)
+                       scratch, run_index, config, scratch_codec)
             for run_index, group in enumerate(groups)
         ]
     else:
@@ -517,6 +787,7 @@ def sort_dataset(
                     config.vectorized,
                     boundaries,
                     partitions,
+                    scratch_codec,
                 )
             return payload
 
@@ -524,6 +795,7 @@ def sort_dataset(
         rest = groups
         rest_partitions = merge_partitions
         boundaries = None
+        result_snapshot = _result_stats_snapshot(backend)
         if merge_partitions >= 2 and groups:
             # The first run alone fixes the shared key-range boundaries
             # every run spills against (spill locality: each phase-2
@@ -546,6 +818,7 @@ def sort_dataset(
             group_payload(boundaries, rest_partitions),
         ):
             runs.append(store_run_spill(scratch, len(runs), spill))
+        _credit_result_stats(counters, backend, result_snapshot)
 
     # --------------------------------------------------- phase 2: merge
     out_chunk_size = config.output_chunk_size or (
@@ -559,6 +832,7 @@ def sort_dataset(
             backend=backend,
             merge_partitions=merge_partitions,
             out_codec=config.output_codec(),
+            counters=counters,
         )
     ]
     sorted_manifest = build_sorted_manifest(
@@ -623,14 +897,17 @@ def _merged_row_iter(
     order: str,
     backend,
     merge_partitions: int,
+    counters: "dict | None" = None,
 ):
     """Rows of all runs in globally sorted order.
 
     Spill-locality path (partition-spilled runs + a backend): dispatch
     one :func:`merge_partition_blobs_task` per key range, each decoding
-    only its own sub-chunks of every run straight from scratch blobs.
-    Legacy partitioned path (whole-run spills): decode each run in the
-    caller, slice at shared boundaries, dispatch
+    only its own sub-chunks of every run.  On a local scratch directory
+    the payload per sub-chunk is a :class:`SpillFileRef` — the kernel
+    mmaps the raw frame and decodes it in place; otherwise the blob
+    bytes ship as before.  Legacy partitioned path (whole-run spills):
+    decode each run in the caller, slice at shared boundaries, dispatch
     :func:`merge_partition_task` per range.  Either way, chaining the
     ranges in key order reproduces the single-kernel merge exactly;
     ``heapq.merge`` remains the fallback when no backend is given, a
@@ -638,9 +915,11 @@ def _merged_row_iter(
     """
     meta_index = metadata_row_index(ordered_columns)
     runs = [_as_spilled(run) for run in runs]
+    source = _SpillSource(scratch)
     if backend is None or merge_partitions <= 1 or not runs:
         streams = [
-            _RunReader(scratch, run.entries, ordered_columns)
+            _RunReader(scratch, run.entries, ordered_columns,
+                       source=source, counters=counters)
             for run in runs
         ]
         return heapq.merge(*streams, key=sort_key_for(order, meta_index))
@@ -648,23 +927,31 @@ def _merged_row_iter(
     if spill_partitions is not None:
         payloads = []
         for p in range(spill_partitions):
-            blob_maps = [
-                None if run.partitions[p] is None else {
-                    column: scratch.get(
-                        run.partitions[p].chunk_file(column)
-                    )
-                    for column in ordered_columns
-                }
-                for run in runs
-            ]
+            blob_maps = []
+            for run in runs:
+                if run.partitions[p] is None:
+                    blob_maps.append(None)
+                    continue
+                blobs = {}
+                for column in ordered_columns:
+                    chunk_file = run.partitions[p].chunk_file(column)
+                    blob = source.ref(chunk_file)
+                    if blob is None:
+                        blob = scratch.get(chunk_file)
+                    _credit_spill(counters, _spill_header(blob))
+                    blobs[column] = blob
+                blob_maps.append(blobs)
             payloads.append((order, ordered_columns, blob_maps, meta_index))
+        result_snapshot = _result_stats_snapshot(backend)
         results = backend.run_chunk(merge_partition_blobs_task, payloads)
+        _credit_result_stats(counters, backend, result_snapshot)
         return itertools.chain.from_iterable(results)
     run_rows: list[list[tuple]] = []
     key_arrays: list[np.ndarray] = []
     packable = True
     for run in runs:
-        rows = list(_RunReader(scratch, run.entries, ordered_columns))
+        rows = list(_RunReader(scratch, run.entries, ordered_columns,
+                               source=source, counters=counters))
         run_rows.append(rows)
         if packable:
             keys = row_sort_keys(order, rows, meta_index)
@@ -681,7 +968,9 @@ def _merged_row_iter(
          meta_index)
         for part in bounds
     ]
+    result_snapshot = _result_stats_snapshot(backend)
     results = backend.run_chunk(merge_partition_task, payloads)
+    _credit_result_stats(counters, backend, result_snapshot)
     return itertools.chain.from_iterable(results)
 
 
@@ -696,6 +985,7 @@ def iter_merged_chunks(
     backend=None,
     merge_partitions: int = 1,
     out_codec: "Codec | str" = DEFAULT_CODEC,
+    counters: "dict | None" = None,
 ):
     """Phase 2 of the external sort: merge sorted runs and write final
     chunks; yields ``(entry, columns)`` per chunk written.
@@ -705,10 +995,12 @@ def iter_merged_chunks(
     chunk naming, ordinals, and bytes cannot drift apart.  With a
     ``backend`` and ``merge_partitions >= 2`` the merge itself runs as
     partitioned kernels (see :func:`_merged_row_iter`); chunk emission
-    is unchanged either way.
+    is unchanged either way.  ``counters`` accumulates the restore-side
+    memory-plane accounting (see :func:`_credit_spill`).
     """
     merged = _merged_row_iter(
-        scratch, runs, ordered_columns, order, backend, merge_partitions
+        scratch, runs, ordered_columns, order, backend, merge_partitions,
+        counters=counters,
     )
     sorted_name = f"{dataset_name}-sorted"
     buffer: list[tuple] = []
@@ -780,9 +1072,12 @@ def _write_run(
     scratch: ChunkStore,
     run_index: int,
     config: "SortConfig | None" = None,
+    scratch_codec: "str | None" = None,
 ) -> list[ChunkEntry]:
     """Sort a group of chunks into one superchunk (a sorted run)."""
     config = config or SortConfig()
+    if scratch_codec is None:
+        scratch_codec = config.resolve_scratch_codec(scratch)
     rows: list[tuple] = []
     for chunk_index in chunk_indices:
         column_data = [
@@ -794,7 +1089,7 @@ def _write_run(
                         metadata_row_index(ordered_columns))
     # A superchunk is stored as one jumbo chunk per column.
     entry = ChunkEntry(f"superchunk-{run_index}", 0, len(rows))
-    codec = config.scratch_codec()
+    codec = config.scratch_codec(scratch_codec)
     for c_index, column in enumerate(ordered_columns):
         records = [row[c_index] for row in rows]
         blob = write_chunk(records, record_type_for_column(column),
@@ -804,24 +1099,43 @@ def _write_run(
 
 
 class _RunReader:
-    """Streams rows of one sorted run for the merge heap."""
+    """Streams rows of one sorted run for the merge heap.
+
+    On a local scratch directory each entry's columns are mmap'ed under
+    :class:`SpillLease` guards and decoded straight from the mapped
+    frames (records own their bytes after the one decode pass, so the
+    leases release before the rows are yielded); otherwise blobs are
+    read through ``scratch.get`` as before.
+    """
 
     def __init__(
         self,
         scratch: ChunkStore,
         entries: list[ChunkEntry],
         ordered_columns: list[str],
+        source: "_SpillSource | None" = None,
+        counters: "dict | None" = None,
     ):
         self._scratch = scratch
         self._entries = entries
         self._columns = ordered_columns
+        self._source = source if source is not None else _SpillSource(scratch)
+        self._counters = counters
 
     def __iter__(self):
         for entry in self._entries:
-            column_data = [
-                read_chunk(self._scratch.get(entry.chunk_file(column))).records
-                for column in self._columns
-            ]
+            leases: "list[SpillLease]" = []
+            column_data = []
+            try:
+                for column in self._columns:
+                    buf, lease = self._source.open(entry.chunk_file(column))
+                    if lease is not None:
+                        leases.append(lease)
+                    _credit_spill(self._counters, read_chunk_header(buf))
+                    column_data.append(read_chunk(buf).records)
+            finally:
+                for lease in leases:
+                    lease.release()
             yield from zip(*column_data)
 
 

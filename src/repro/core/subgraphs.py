@@ -561,6 +561,7 @@ def build_sort_graph(
             # Partitioned merges read partition-spilled runs: each
             # phase-2 kernel decodes only its own key range (locality).
             merge_partitions=merge_partitions,
+            raw_scratch=config.raw_scratch,
         ),
         input=q_ordered,
         output=q_runs,

@@ -79,9 +79,14 @@ def payload_nbytes(payload: Any, _depth: int = 0) -> int:
     their containers — dict *keys* as well as values); scalars and small
     objects round to a nominal cost.  A :class:`ShmRef` counts as the
     reference it is (~100 bytes), not the data it points to — that data
-    never crosses the pipe.  Recursion is capped at ``_NBYTES_MAX_DEPTH``
-    container levels.  This is a *batching heuristic*, not an exact
-    pickle size.
+    never crosses the pipe.  Spill-view payloads
+    (:class:`~repro.core.sort.SpillFileRef`,
+    :class:`~repro.core.sort.SpilledRun`, mmap-backed views) carry an
+    ``nbytes`` attribute naming their *mapped* size and are counted by
+    it — the work a kernel does scales with the mapped frame, so
+    byte-batching must weigh it, not the ~100-byte pickled ref.
+    Recursion is capped at ``_NBYTES_MAX_DEPTH`` container levels.
+    This is a *batching heuristic*, not an exact pickle size.
     """
     if isinstance(payload, ShmRef):
         return _SHM_REF_NBYTES
@@ -413,6 +418,21 @@ class ProcessBackend(Backend):
     works; pool exhaustion falls back to pickling per payload, and the
     pickled path remains the reference semantics (outputs are byte-
     identical either way).
+
+    Raw-framed results (``result_views``, default on, effective only
+    with ``shm``): large task results a worker exported into a one-shot
+    segment are *mapped and decoded in place* by the coordinator — a
+    read-only view for bytes payloads, an ``np.frombuffer`` array for
+    array payloads — instead of copied out, so worker→coordinator is
+    the worker's single memcpy into shared memory.  Each ``run_chunk``
+    call's result leases are released at the calling thread's *next*
+    dispatch (and at :meth:`shutdown`) — the deferred-ack discipline of
+    ``RemoteQueue.get`` — so callers consume or materialize a call's
+    results before their next call, which every streaming kernel
+    already does.  Segment names are unlinked at attach, so deferral
+    can never leak ``/dev/shm`` entries.  ``result_stats`` counts
+    ``result_view_bytes``/``result_segments`` (view path) and
+    ``result_copies`` (copy fallback).
     """
 
     name = "process"
@@ -430,6 +450,7 @@ class ProcessBackend(Backend):
         shm_threshold: int = shm_plane.DEFAULT_SHM_THRESHOLD,
         shm_slab_bytes: int = shm_plane.DEFAULT_SLAB_BYTES,
         shm_max_bytes: int = shm_plane.DEFAULT_MAX_BYTES,
+        result_views: bool = True,
     ):
         super().__init__()
         if workers is None:
@@ -454,10 +475,23 @@ class ProcessBackend(Backend):
         self.shm_threshold = shm_threshold
         self.shm_slab_bytes = shm_slab_bytes
         self.shm_max_bytes = shm_max_bytes
+        self.result_views = bool(result_views) and self.shm
+        #: Result-direction accounting (see class docstring); sort
+        #: kernels fold per-call deltas into their node counters.
+        self.result_stats: dict = {
+            "result_view_bytes": 0,
+            "result_segments": 0,
+            "result_copies": 0,
+        }
         self._shm_pool: "shm_plane.BufferPool | None" = None
         self._pool = None
         self._pool_lock = threading.Lock()
         self._busy_counter = busy_counter
+        # Deferred result leases, keyed by calling thread: a thread's
+        # leases from its previous run_chunk release at its next call
+        # (RemoteQueue.get's deferred-ack discipline) and at shutdown.
+        self._result_leases: "dict[int, list]" = {}
+        self._result_lock = threading.Lock()
 
     def _make_batches(self, payloads: Sequence[Any]) -> "list[list[Any]]":
         """Group payloads into IPC batches, size- and byte-bounded.
@@ -546,6 +580,9 @@ class ProcessBackend(Backend):
         # worker processes by construction; only register_shared state is.
         if not payloads:
             return []
+        # Deferred-ack: this thread's previous call is consumed by now —
+        # release its result leases before mapping new ones.
+        self._flush_result_leases(threading.get_ident())
         pool = self._ensure_pool()
         shm_pool = self._shm_pool
         # Adopt BEFORE batching: a payload that became a ~100-byte
@@ -566,15 +603,24 @@ class ProcessBackend(Backend):
         batches = self._make_batches(payloads)
         batch_results: list = [None] * len(batches)
         completion = ChunkCompletion(len(batches))
+        # View-mode result leases for THIS call, appended by the pool's
+        # single result-handler thread and registered for deferred
+        # release once the call completes.
+        result_leases: "list | None" = [] if self.result_views else None
 
         def make_callbacks(index: int, leases: list):
             def on_done(result: list) -> None:
                 # Resolution runs in the pool's result-handler thread:
-                # materialize any one-shot result segments (unlinking
-                # them) before the waiting kernel sees the batch.
+                # one-shot result segments are mapped in place (view
+                # mode — names unlinked at attach) or materialized and
+                # unlinked (copy fallback) before the waiting kernel
+                # sees the batch.
                 try:
                     if shm_pool is not None:
-                        result = shm_plane.resolve_results(result)
+                        result = shm_plane.resolve_results(
+                            result, leases=result_leases,
+                            stats=self.result_stats,
+                        )
                     batch_results[index] = result
                 except BaseException as exc:  # noqa: BLE001 - relayed
                     completion.task_done(exc)
@@ -619,9 +665,33 @@ class ProcessBackend(Backend):
         finally:
             if self._busy_counter is not None:
                 self._busy_counter.exit()
+            if result_leases:
+                # Register this call's leases for release at the
+                # calling thread's next dispatch (or shutdown).
+                with self._result_lock:
+                    self._result_leases.setdefault(
+                        threading.get_ident(), []
+                    ).extend(result_leases)
         return [result for batch in batch_results for result in batch]
 
+    def _flush_result_leases(self, thread_id: "int | None") -> None:
+        """Release deferred result leases — one thread's, or all
+        (``None``, at shutdown).  A lease still pinned by live views
+        parks itself in the zombie registry on finalization and is
+        retried by later sweeps; the segment name was unlinked at
+        attach either way, so nothing can leak."""
+        with self._result_lock:
+            if thread_id is None:
+                pending = [lease for leases in self._result_leases.values()
+                           for lease in leases]
+                self._result_leases.clear()
+            else:
+                pending = self._result_leases.pop(thread_id, [])
+        for lease in pending:
+            lease.release()
+
     def shutdown(self, wait: bool = True) -> None:
+        self._flush_result_leases(None)
         with self._pool_lock:
             pool, self._pool = self._pool, None
             shm_pool, self._shm_pool = self._shm_pool, None

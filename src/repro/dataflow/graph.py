@@ -234,6 +234,13 @@ class Graph:
                 "wait_seconds": round(node.stats.wait_seconds, 6),
                 "replicas": node.parallelism,
             }
+            # Memory-plane counters ride along only when a node recorded
+            # any, so reports (and tests comparing them) are unchanged
+            # for nodes outside the view plane.
+            if node.stats.counters:
+                report["nodes"][node.name]["counters"] = dict(
+                    node.stats.counters
+                )
         for q in self.queues:
             report["queues"][q.name] = {
                 "capacity": q.capacity,
@@ -262,5 +269,10 @@ class Graph:
                 agg["wait_seconds"] = round(
                     agg["wait_seconds"] + node.stats.wait_seconds, 6
                 )
+                for key, value in node.stats.counters.items():
+                    if isinstance(value, (int, float)) \
+                            and not isinstance(value, bool):
+                        counters = agg.setdefault("counters", {})
+                        counters[key] = counters.get(key, 0) + value
             report["stages"] = stages
         return report

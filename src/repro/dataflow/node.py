@@ -31,6 +31,19 @@ class NodeStats:
     wait_seconds: float = 0.0
     replicas: int = 1
     errors: list[str] = field(default_factory=list)
+    #: Free-form node counters (memory-plane accounting: spill/result
+    #: view bytes, decode copies, ...).  Surfaced per node and summed
+    #: per stage by ``Graph.stats_report`` when non-empty.
+    counters: dict = field(default_factory=dict)
+
+    def add_counters(self, extra: "dict | None") -> None:
+        """Accumulate counter deltas (int/float values sum; other value
+        types overwrite)."""
+        for key, value in (extra or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.counters[key] = self.counters.get(key, 0) + value
+            else:
+                self.counters[key] = value
 
     @property
     def total_seconds(self) -> float:

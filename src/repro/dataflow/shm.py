@@ -38,6 +38,7 @@ import itertools
 import os
 import secrets
 import threading
+import warnings
 from dataclasses import dataclass, is_dataclass, replace
 from typing import Any
 
@@ -54,6 +55,7 @@ __all__ = [
     "DEFAULT_SLAB_BYTES",
     "BufferPool",
     "PooledView",
+    "ResultLease",
     "SegmentLease",
     "ShmRef",
     "adopt_payload",
@@ -546,10 +548,14 @@ class BufferPool:
         the segment — the socket copy path — and for spilled payloads,
         whose only home is their disk file).
 
-        Deprecated on hot paths: a same-host consumer should take
-        :meth:`view_ref` instead, which aliases the segment with zero
-        copies.  ``read_ref`` remains the right call only for spilled
-        payloads and for remote peers reading through the broker."""
+        .. deprecated:: on hot paths.  Every mappable (non-spilled)
+           lease should be read through :meth:`view_ref`, which aliases
+           the segment with zero copies — calling ``read_ref`` on one
+           emits a :class:`DeprecationWarning`.  ``read_ref`` remains
+           the right (warning-free) call only for spilled payloads;
+           same-host re-staging of those goes through
+           :meth:`restage_ref` (one ``readinto`` copy) instead of
+           ``read_ref`` + :meth:`put_bytes` (two)."""
         path = None
         with self._lock:
             spilled = self._spilled.get(ref.token)
@@ -558,10 +564,20 @@ class BufferPool:
             else:
                 holder = self._adopted.get(ref.token)
                 if holder is not None:
+                    warnings.warn(
+                        "BufferPool.read_ref on a mappable segment copies; "
+                        "use view_ref (zero-copy) instead",
+                        DeprecationWarning, stacklevel=2,
+                    )
                     buf = holder.shm.buf
                     return bytes(buf[ref.offset:ref.offset + ref.length])
                 slab = self._leases.get(ref.token)
                 if slab is not None:
+                    warnings.warn(
+                        "BufferPool.read_ref on a mappable segment copies; "
+                        "use view_ref (zero-copy) instead",
+                        DeprecationWarning, stacklevel=2,
+                    )
                     buf = slab.shm.buf
                     return bytes(buf[ref.offset:ref.offset + ref.length])
         if path is not None:
@@ -601,6 +617,44 @@ class BufferPool:
             return None
         view = shm.buf[ref.offset:ref.offset + ref.length].toreadonly()
         return PooledView(view, self, guard)
+
+    def restage_ref(self, ref: ShmRef) -> "ShmRef | None":
+        """Move a *spilled* payload back into a pool slab with one copy.
+
+        The view-path successor of ``read_ref`` + :meth:`put_bytes` on
+        the broker's spilled re-delivery path: the spill file is read
+        directly into freshly allocated slab space (``readinto``), so
+        the payload is never materialized as intermediate ``bytes``.
+        Returns a slab-backed ref carrying its own lease, or None when
+        the payload is not spilled (use :meth:`view_ref`), slab space is
+        exhausted, or the spill file vanished.
+        """
+        with self._lock:
+            spilled = self._spilled.get(ref.token)
+            path = spilled.path if spilled is not None else None
+        if path is None:
+            return None
+        got = self._alloc(ref.length)
+        if got is None:
+            return None
+        slab, offset, token = got
+        staged = ShmRef(segment=slab.shm.name, offset=offset,
+                        length=ref.length, token=token)
+        n = -1
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(ref.offset)
+                dst = slab.shm.buf[offset:offset + ref.length]
+                try:
+                    n = fh.readinto(dst)
+                finally:
+                    dst.release()
+        except OSError:  # pragma: no cover - spill file vanished
+            pass
+        if n != ref.length:
+            self.release(staged)
+            return None
+        return staged
 
     # ------------------------------------------------------------- leases
 
@@ -1065,17 +1119,30 @@ def configure_export(prefix: "str | None", threshold: int) -> None:
     _EXPORT["threshold"] = threshold
 
 
-def _export_segment(data: bytes, descr, shape) -> "ShmRef | None":
+def _export_segment(data, descr, shape) -> "ShmRef | None":
+    """Write one result payload into a fresh one-shot segment.
+
+    ``data`` may be ``bytes`` or a contiguous ``np.ndarray`` — arrays
+    are copied straight into the mapping (``np.copyto``), never
+    round-tripped through ``tobytes()``, so the worker-side cost is the
+    single unavoidable memcpy into shared memory."""
     name = (f"{_EXPORT['prefix']}-r{os.getpid()}"
             f"-{next(_EXPORT_COUNTER)}")
+    is_array = isinstance(data, np.ndarray)
+    nbytes = data.nbytes if is_array else len(data)
     try:
-        seg = _shared_memory.SharedMemory(create=True, size=max(1, len(data)),
+        seg = _shared_memory.SharedMemory(create=True, size=max(1, nbytes),
                                           name=name)
     except OSError:
         return None  # no shm space: the value travels pickled
-    seg.buf[:len(data)] = data
+    if is_array:
+        dst = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+        np.copyto(dst, data)
+        del dst
+    else:
+        seg.buf[:nbytes] = data
     seg.close()
-    return ShmRef(segment=name, offset=0, length=len(data), descr=descr,
+    return ShmRef(segment=name, offset=0, length=nbytes, descr=descr,
                   shape=shape, own_segment=True)
 
 
@@ -1098,7 +1165,7 @@ def export_results(results: Any) -> Any:
                 return obj
             arr = np.ascontiguousarray(obj)
             ref = _export_segment(
-                arr.tobytes(),
+                arr,
                 np.lib.format.dtype_to_descr(arr.dtype),
                 tuple(arr.shape),
             )
@@ -1127,12 +1194,68 @@ def _take_own_segment(ref: ShmRef) -> Any:
     return value
 
 
-def resolve_results(results: Any) -> Any:
-    """Caller side: materialize one-shot result refs (unlinking each)."""
+class ResultLease(SegmentLease):
+    """A one-shot result segment mapped for in-place decode.
+
+    The result-direction counterpart of the broker's delivery lease:
+    the coordinator attaches the segment a worker exported and decodes
+    the payload straight out of the mapping — the worker's single write
+    into shared memory is the only memcpy on the path.  The name is
+    unlinked *at attach*: POSIX keeps unlinked-but-mapped bytes alive
+    until the last mapping drops, so however long the caller defers
+    :meth:`release` (and even if it never runs), ``/dev/shm`` cannot
+    leak the entry.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        try:
+            self._seg.unlink()
+        except OSError:  # pragma: no cover - raced the sweep
+            pass
+
+
+def resolve_results(results: Any, leases: "list | None" = None,
+                    stats: "dict | None" = None) -> Any:
+    """Caller side: resolve one-shot result refs out of ``results``.
+
+    Default (``leases=None``): each exported segment is copied out and
+    unlinked, exactly the pre-view behavior.
+
+    View mode (``leases`` a list): each segment is mapped under a
+    :class:`ResultLease` appended to ``leases`` and the returned values
+    *alias* the mapping — a read-only ``memoryview`` for bytes
+    payloads, a zero-copy ``np.frombuffer`` array for array payloads.
+    The caller owns the deferred release (mirror of
+    ``RemoteQueue.get``'s deferred-ack discipline): consume or
+    materialize the values, then release the leases — typically at the
+    *next* dispatch, the way :class:`~repro.dataflow.backends
+    .ProcessBackend` does.
+
+    ``stats`` (optional dict) accumulates ``result_view_bytes`` /
+    ``result_segments`` (view mode) and ``result_copies`` (copy mode).
+    """
 
     def swap(obj):
-        if isinstance(obj, ShmRef) and obj.own_segment:
-            return _take_own_segment(obj)
-        return obj
+        if not (isinstance(obj, ShmRef) and obj.own_segment):
+            return obj
+        if leases is None:
+            value = _take_own_segment(obj)
+            if stats is not None:
+                stats["result_copies"] = stats.get("result_copies", 0) + 1
+            return value
+        lease = ResultLease(obj.segment)
+        leases.append(lease)
+        if stats is not None:
+            stats["result_segments"] = stats.get("result_segments", 0) + 1
+            stats["result_view_bytes"] = (
+                stats.get("result_view_bytes", 0) + obj.length
+            )
+        if obj.descr is None:
+            return lease.view(obj.offset, obj.length)
+        return np.frombuffer(
+            lease.view(obj.offset, obj.length),
+            dtype=np.lib.format.descr_to_dtype(obj.descr),
+        ).reshape(obj.shape)
 
     return _walk(results, swap)

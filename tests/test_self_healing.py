@@ -368,7 +368,8 @@ class TestBacklogSpill:
             # the bytes no longer live in any attachable segment.
             assert pool.incref(ref2) is None
             assert pool.read_ref(ref2) == data2
-            assert pool.read_ref(ref1) == data1
+            with pytest.warns(DeprecationWarning, match="view_ref"):
+                assert pool.read_ref(ref1) == data1
 
             pool.release(ref2)
             assert not list(tmp_path.glob(f"{pool.prefix}-spill-*"))
